@@ -1,0 +1,1 @@
+bench/harness.ml: Array Buffer Gc List Printf String Sxsi_xml Unix

@@ -1,0 +1,1 @@
+bench/workloads.ml: Document Dom Lazy List String Sxsi_baseline Sxsi_bio Sxsi_core Sxsi_datagen Sxsi_wordindex Sxsi_xml

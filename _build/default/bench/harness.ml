@@ -1,0 +1,88 @@
+(* Timing and table-printing helpers shared by every benchmark section.
+   Protocol mirrors §6.1: each measurement runs the workload several
+   times in a row, discards the first (cold) run and averages the
+   rest. *)
+
+let runs = ref 3
+let fast () = runs := 1
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* seconds, averaged over !runs after one discarded warm-up *)
+let time f =
+  ignore (f ());
+  let acc = ref 0.0 in
+  for _ = 1 to !runs do
+    let _, t = time_once f in
+    acc := !acc +. t
+  done;
+  !acc /. float_of_int !runs
+
+let time_with_result f =
+  let r = f () in
+  let acc = ref 0.0 in
+  for _ = 1 to !runs do
+    let _, t = time_once f in
+    acc := !acc +. t
+  done;
+  (r, !acc /. float_of_int !runs)
+
+let ms t = t *. 1000.0
+
+let pp_ms t =
+  let m = ms t in
+  if m >= 1000.0 then Printf.sprintf "%.2fs" (t)
+  else if m >= 100.0 then Printf.sprintf "%.0fms" m
+  else if m >= 1.0 then Printf.sprintf "%.1fms" m
+  else Printf.sprintf "%.3fms" m
+
+let pp_bytes b =
+  let f = float_of_int b in
+  if f >= 1e9 then Printf.sprintf "%.2fGB" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fMB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fKB" (f /. 1e3)
+  else Printf.sprintf "%dB" b
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let table header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    (header :: rows);
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then print_string "  ";
+        Printf.printf "%-*s" widths.(i) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows;
+  flush stdout
+
+(* Serialization sink: reused buffer, returns total bytes produced. *)
+let sink = Buffer.create 65536
+
+let serialize_bytes doc nodes =
+  let total = ref 0 in
+  Array.iter
+    (fun x ->
+      Buffer.clear sink;
+      Buffer.add_string sink (Sxsi_xml.Document.serialize doc x);
+      total := !total + Buffer.length sink)
+    nodes;
+  !total
+
+(* Heap words currently live, as a coarse memory probe. *)
+let live_mb () =
+  let st = Gc.quick_stat () in
+  float_of_int (st.Gc.heap_words * 8) /. 1e6

@@ -1,0 +1,644 @@
+(* Benchmark harness regenerating every table and figure of the
+   paper's evaluation section (§6) over the synthetic corpora.
+
+   Usage:  dune exec bench/main.exe -- [section ...] [options]
+   Sections: fig8 table2 table3 table4 table5 table6 fig10 fig11 fig12
+             fig13 fig15 table7 fig18 bechamel   (default: all except
+             bechamel)
+   Options:  --fast (single timed run)  --runs N  --scale F
+
+   Absolute numbers are machine- and substrate-dependent; the paper's
+   reproduction targets are the SHAPES: which engine/strategy wins,
+   by roughly what factor, and where cutoffs fall.  EXPERIMENTS.md
+   records a reference run. *)
+
+open Sxsi_xml
+open Sxsi_core
+open Sxsi_baseline
+open Workloads
+module H = Harness
+
+let parse_query = Sxsi_xpath.Xpath_parser.parse
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: indexing time / memory, index size vs document size       *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  H.section "Figure 8: indexing XMark documents of growing size";
+  let rows =
+    List.map
+      (fun scale ->
+        let scale = scaled scale in
+        let xml = Sxsi_datagen.Xmark.generate ~scale () in
+        Gc.compact ();
+        let before = H.live_mb () in
+        let doc, t = H.time_once (fun () -> Document.of_xml xml) in
+        let after = H.live_mb () in
+        let tree = Document.tree_space_bits doc / 8 in
+        let text = Sxsi_text.Text_collection.fm_space_bits (Document.text doc) / 8 in
+        (* loading time from disk, the paper's third row *)
+        let path = Filename.temp_file "sxsi" ".idx" in
+        let t_load =
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Document.save doc path;
+              H.time (fun () -> Document.load path))
+        in
+        [
+          H.pp_bytes (String.length xml);
+          Printf.sprintf "%.2fs" t;
+          Printf.sprintf "%.0fMB" (after -. before);
+          H.pp_ms t_load;
+          H.pp_bytes tree;
+          H.pp_bytes text;
+          Printf.sprintf "%.2f" (float_of_int (tree + text) /. float_of_int (String.length xml));
+        ])
+      [ 400; 800; 1600; 3200; 6400 ]
+  in
+  H.table
+    [ "doc size"; "index time"; "mem delta"; "load time"; "tree index"; "FM index"; "index/doc" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Tables II and III: raw FM-index search times                        *)
+(* ------------------------------------------------------------------ *)
+
+let fm_table ~sample_rate () =
+  H.section
+    (Printf.sprintf
+       "Table %s: FM-index search times over the Medline text collection (l = %d)"
+       (if sample_rate = 64 then "II" else "III")
+       sample_rate);
+  let c = Lazy.force medline in
+  let texts = Document.texts (Lazy.force c.doc) in
+  let tc = Sxsi_text.Text_collection.build ~sample_rate ~contains_cutoff:max_int texts in
+  let naive_time p =
+    H.time (fun () -> Sxsi_text.Text_collection.contains_via tc Sxsi_text.Text_collection.Plain_scan p)
+  in
+  let rows =
+    List.map
+      (fun p ->
+        let gc, gt =
+          H.time_with_result (fun () -> Sxsi_text.Text_collection.global_count tc p)
+        in
+        let ids, ct =
+          H.time_with_result (fun () ->
+              Sxsi_text.Text_collection.contains_via tc Sxsi_text.Text_collection.Fm_locate p)
+        in
+        [
+          p;
+          string_of_int gc;
+          H.pp_ms gt;
+          string_of_int (List.length ids);
+          H.pp_ms ct;
+          H.pp_ms (naive_time p);
+        ])
+      fm_patterns
+  in
+  H.table
+    [ "pattern"; "GlobalCount"; "time"; "ContainsCount"; "FM time"; "plain scan" ]
+    rows;
+  Printf.printf "FM-index: %s for %s of text\n"
+    (H.pp_bytes (Sxsi_text.Text_collection.fm_space_bits tc / 8))
+    (H.pp_bytes (Sxsi_text.Text_collection.total_length tc))
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: construction times, pointer versus SXSI stores             *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  H.section "Table IV: construction times, pointer vs SXSI tree store";
+  let one (c : corpus) =
+    let xml = c.xml in
+    let t_parse =
+      H.time (fun () ->
+          Xml_parser.parse
+            ~on_open:(fun _ _ -> ())
+            ~on_close:(fun _ -> ())
+            ~on_text:(fun _ -> ())
+            xml)
+    in
+    let t_pointers = H.time (fun () -> Dom.of_xml xml) in
+    (* parentheses alone *)
+    let t_parens =
+      H.time (fun () ->
+          let b = Sxsi_tree.Bp.Builder.create () in
+          Sxsi_tree.Bp.Builder.open_node b;
+          Xml_parser.parse
+            ~on_open:(fun _ attrs ->
+              Sxsi_tree.Bp.Builder.open_node b;
+              List.iter
+                (fun _ ->
+                  Sxsi_tree.Bp.Builder.open_node b;
+                  Sxsi_tree.Bp.Builder.close_node b)
+                attrs)
+            ~on_close:(fun _ -> Sxsi_tree.Bp.Builder.close_node b)
+            ~on_text:(fun _ -> ())
+            xml;
+          Sxsi_tree.Bp.Builder.close_node b;
+          ignore (Sxsi_tree.Bp.Builder.finish b))
+    in
+    (* tag index alone, over the already-built parentheses *)
+    let doc = Lazy.force c.doc in
+    let bp = Document.bp doc in
+    let tags = Array.init (Sxsi_tree.Bp.length bp) (fun i -> Document.tag_of doc i) in
+    let t_tags =
+      H.time (fun () ->
+          Sxsi_tree.Tag_index.build bp ~tag_count:(Document.tag_count doc) ~tags)
+    in
+    let texts = Document.texts doc in
+    let t_fm = H.time (fun () -> Sxsi_text.Text_collection.build ~store_plain:false texts) in
+    let t_full = H.time (fun () -> Document.of_xml xml) in
+    [
+      c.name;
+      H.pp_bytes (String.length xml);
+      H.pp_ms t_parse;
+      H.pp_ms t_pointers;
+      H.pp_ms t_parens;
+      H.pp_ms t_tags;
+      H.pp_ms t_fm;
+      H.pp_ms t_full;
+    ]
+  in
+  H.table
+    [ "corpus"; "size"; "parse"; "pointers"; "parens"; "tags"; "FM build"; "full index" ]
+    (List.map one [ Lazy.force xmark_small; Lazy.force treebank; Lazy.force medline ])
+
+(* ------------------------------------------------------------------ *)
+(* Table V: full traversals                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  H.section "Table V: full traversal, pointer vs succinct tree";
+  let one (c : corpus) =
+    let doc = Lazy.force c.doc and dom = Lazy.force c.dom in
+    let bp = Document.bp doc in
+    let t_pointer = H.time (fun () -> Dom.count_all_nodes dom) in
+    let rec sxsi_count x acc =
+      if x = Document.nil then acc
+      else
+        sxsi_count (Sxsi_tree.Bp.next_sibling bp x)
+          (sxsi_count (Sxsi_tree.Bp.first_child bp x) (acc + 1))
+    in
+    let t_sxsi = H.time (fun () -> sxsi_count (Document.root doc) 0) in
+    let rec elem_count x acc =
+      if x = Document.nil then acc
+      else
+        elem_count (Sxsi_tree.Bp.next_sibling bp x)
+          (elem_count (Sxsi_tree.Bp.first_child bp x)
+             (if Document.is_element doc x then acc + 1 else acc))
+    in
+    let t_elem = H.time (fun () -> elem_count (Document.root doc) 0) in
+    let star = Engine.prepare doc "//*" in
+    let t_star = H.time (fun () -> Engine.count ~strategy:Engine.Top_down star) in
+    [
+      c.name;
+      string_of_int (Document.node_count doc);
+      H.pp_ms t_pointer;
+      H.pp_ms t_sxsi;
+      Printf.sprintf "%.1fx" (t_sxsi /. t_pointer);
+      H.pp_ms t_elem;
+      H.pp_ms t_star;
+    ]
+  in
+  H.table
+    [ "corpus"; "nodes"; "pointer rec."; "SXSI rec."; "ratio"; "elem rec."; "//* (count)" ]
+    (List.map one [ Lazy.force xmark_small; Lazy.force treebank; Lazy.force medline ])
+
+(* ------------------------------------------------------------------ *)
+(* Table VI: tagged traversals                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  H.section "Table VI: tagged traversals over XMark (jump loop vs automaton)";
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  let ti = Document.tag_index doc in
+  let rows =
+    List.filter_map
+      (fun tag_name ->
+        match Document.tag_id doc tag_name with
+        | None -> None
+        | Some tg ->
+          let t_jump =
+            H.time (fun () ->
+                let count = ref 0 and p = ref 0 in
+                let rec go () =
+                  let q = Sxsi_tree.Tag_index.tagged_next ti !p tg in
+                  if q >= 0 then begin
+                    incr count;
+                    p := q + 1;
+                    go ()
+                  end
+                in
+                go ();
+                !count)
+          in
+          let q = Engine.prepare doc ("//" ^ tag_name) in
+          let n, t_count =
+            H.time_with_result (fun () -> Engine.count ~strategy:Engine.Top_down q)
+          in
+          let t_mat = H.time (fun () -> Engine.select ~strategy:Engine.Top_down q) in
+          Some
+            [
+              tag_name;
+              string_of_int n;
+              H.pp_ms t_jump;
+              H.pp_ms t_count;
+              H.pp_ms t_mat;
+            ])
+      [ "category"; "date"; "listitem"; "keyword" ]
+  in
+  H.table [ "tag"; "#nodes"; "jump loop"; "//tag (count)"; "//tag (mat)" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10/11: query batteries, SXSI vs the pointer baseline         *)
+(* ------------------------------------------------------------------ *)
+
+let query_battery title (c : corpus) queries =
+  H.section title;
+  let doc = Lazy.force c.doc and dom = Lazy.force c.dom in
+  Printf.printf "corpus %s: %s, %d nodes\n" c.name
+    (H.pp_bytes (String.length c.xml))
+    (Document.node_count doc);
+  let rows =
+    List.map
+      (fun (id, q) ->
+        let cq = Engine.prepare doc q in
+        let pq = parse_query q in
+        let n, t_count = H.time_with_result (fun () -> Engine.count cq) in
+        let nb, tb_count = H.time_with_result (fun () -> Naive_eval.eval_count dom pq) in
+        let t_mat = H.time (fun () -> Engine.select cq) in
+        let serializable = n <= 200_000 in
+        let t_ser =
+          if serializable then
+            H.time (fun () -> H.serialize_bytes doc (Engine.select cq))
+          else infinity
+        in
+        let tb_ser =
+          if serializable then
+            H.time (fun () ->
+                List.iter (fun nd -> ignore (Dom.serialize nd)) (Naive_eval.eval dom pq))
+          else infinity
+        in
+        if n <> nb then
+          Printf.printf "!! %s: engines disagree (%d vs %d)\n" id n nb;
+        [
+          id;
+          string_of_int n;
+          H.pp_ms t_count;
+          H.pp_ms tb_count;
+          Printf.sprintf "%.1fx" (tb_count /. t_count);
+          H.pp_ms t_mat;
+          (if serializable then H.pp_ms t_ser else "+++");
+          (if serializable then H.pp_ms tb_ser else "+++");
+        ])
+      queries
+  in
+  H.table
+    [
+      "query"; "results"; "SXSI count"; "base count"; "speedup"; "SXSI mat";
+      "SXSI mat+ser"; "base mat+ser";
+    ]
+    rows
+
+let fig10 () =
+  query_battery "Figure 10: XMark queries X01-X17 (small document)"
+    (Lazy.force xmark_small) xmark_queries;
+  query_battery "Figure 10: XMark queries X01-X17 (large document)"
+    (Lazy.force xmark_large) xmark_queries
+
+let fig11 () =
+  query_battery "Figure 11: Treebank queries T01-T05" (Lazy.force treebank)
+    treebank_queries
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: optimization ablation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  H.section "Figure 12: impact of jumping and memoization (counting, X01-X17)";
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  let run_with q jump memo early =
+    let config =
+      {
+        Run.enable_jump = jump;
+        enable_memo = memo;
+        enable_early = early;
+        stats = Run.fresh_stats ();
+      }
+    in
+    H.time (fun () -> Engine.count ~config ~strategy:Engine.Top_down q)
+  in
+  let rows =
+    List.map
+      (fun (id, q) ->
+        let cq = Engine.prepare doc q in
+        let naive = run_with cq false false false in
+        let jump_only = run_with cq true false false in
+        let memo_only = run_with cq false true false in
+        let no_early = run_with cq true true false in
+        let all_opt = run_with cq true true true in
+        [
+          id;
+          H.pp_ms naive;
+          H.pp_ms jump_only;
+          H.pp_ms memo_only;
+          H.pp_ms no_early;
+          H.pp_ms all_opt;
+          Printf.sprintf "%.0fx" (naive /. all_opt);
+        ])
+      xmark_queries
+  in
+  H.table
+    [ "query"; "naive"; "jump only"; "memo only"; "jump+memo"; "+early eval"; "gain" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: memory use and node-visit precision                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  H.section "Figure 13: visited / marked / result nodes and memory (X01-X17)";
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  let rows =
+    List.map
+      (fun (id, q) ->
+        let cq = Engine.prepare doc q in
+        let stats = Run.fresh_stats () in
+        let config = { (Run.default_config ()) with Run.stats = stats } in
+        Gc.compact ();
+        let before = Gc.allocated_bytes () in
+        let nodes = Engine.select ~config ~strategy:Engine.Top_down cq in
+        let allocated = Gc.allocated_bytes () -. before in
+        [
+          id;
+          string_of_int stats.Run.visited;
+          string_of_int stats.Run.marked;
+          string_of_int (Array.length nodes);
+          string_of_int stats.Run.jumps;
+          Printf.sprintf "%.1fMB" (allocated /. 1e6);
+        ])
+      xmark_queries
+  in
+  H.table [ "query"; "visited"; "marked"; "results"; "jumps"; "allocated" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15 (and Figure 14's strategy column): Medline text queries    *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  H.section "Figure 15: Medline text queries M01-M11";
+  let c = Lazy.force medline in
+  let doc = Lazy.force c.doc and dom = Lazy.force c.dom in
+  let rows =
+    List.map
+      (fun (id, q) ->
+        let cq = Engine.prepare doc q in
+        let strategy =
+          match Engine.chosen_strategy cq with `Bottom_up -> "up" | `Top_down -> "down"
+        in
+        let n, t = H.time_with_result (fun () -> Engine.count cq) in
+        let nb, tb = H.time_with_result (fun () -> Naive_eval.eval_count dom (parse_query q)) in
+        if n <> nb then Printf.printf "!! %s: engines disagree (%d vs %d)\n" id n nb;
+        let text_t, auto_t =
+          match Engine.bottom_up_plan cq with
+          | Some plan when strategy = "up" ->
+            let tt, _ = Bottom_up.run_with_text_time doc plan in
+            (H.pp_ms tt, H.pp_ms (max 0.0 (t -. tt)))
+          | Some _ | None -> ("-", "-")
+        in
+        [
+          id; strategy; string_of_int n; H.pp_ms t; text_t; auto_t; H.pp_ms tb;
+          Printf.sprintf "%.0fx" (tb /. t);
+        ])
+      medline_queries
+  in
+  H.table
+    [ "query"; "strategy"; "results"; "SXSI"; "text part"; "auto part"; "baseline"; "speedup" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table VII: word-based text queries                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table7 () =
+  H.section "Table VII: word-based queries (word index plugged into SXSI)";
+  let battery (c : corpus) queries =
+    let doc = Lazy.force c.doc and dom = Lazy.force c.dom in
+    let funs = ft_registry doc in
+    let dom_funs = ft_dom_funs () in
+    (* force the word index build outside the timings *)
+    ignore (funs "ftcontains:warmup");
+    List.map
+      (fun (id, q) ->
+        let cq = Engine.prepare doc q in
+        let n, t = H.time_with_result (fun () -> Engine.count ~funs cq) in
+        let nb, tb =
+          H.time_with_result (fun () ->
+              Naive_eval.eval_count ~funs:dom_funs dom (parse_query q))
+        in
+        if n <> nb then Printf.printf "!! %s: engines disagree (%d vs %d)\n" id n nb;
+        [
+          id; c.name; string_of_int n; H.pp_ms t; H.pp_ms tb;
+          Printf.sprintf "%.0fx" (tb /. t);
+        ])
+      queries
+  in
+  H.table
+    [ "query"; "corpus"; "results"; "SXSI+word idx"; "baseline scan"; "speedup" ]
+    (battery (Lazy.force medline) word_queries_medline
+    @ battery (Lazy.force wiki) word_queries_wiki)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 18: PSSM queries over the bio corpus                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig18 () =
+  H.section "Figure 18: PSSM queries over gene-annotation XML";
+  let c = Lazy.force bio in
+  let doc = Lazy.force c.doc in
+  let funs = Sxsi_bio.Pssm.registry Sxsi_bio.Pssm.sample_matrices in
+  let texts = Document.texts doc in
+  let rows =
+    List.map
+      (fun q ->
+        let cq = Engine.prepare doc q in
+        let n, total = H.time_with_result (fun () -> Engine.count ~funs cq) in
+        (* the text phase alone: scan every text with the matrix *)
+        let mname =
+          (* the matrix name follows ", " in "PSSM(., M1)" *)
+          let i = String.rindex q 'M' in
+          String.sub q i 2
+        in
+        let m, thr =
+          List.find
+            (fun (m, _) -> Sxsi_bio.Pssm.name m = mname)
+            Sxsi_bio.Pssm.sample_matrices
+        in
+        let text_t =
+          H.time (fun () ->
+              Array.iter (fun s -> ignore (Sxsi_bio.Pssm.matches m ~threshold:thr s)) texts)
+        in
+        [
+          q; string_of_int n; H.pp_ms text_t;
+          H.pp_ms (max 0.0 (total -. text_t)); H.pp_ms total;
+        ])
+      pssm_queries
+  in
+  H.table [ "query"; "results"; "text"; "auto"; "total" ] rows;
+  (* index size: character FM vs run-length FM on the repetitive texts *)
+  let fm = Sxsi_fm.Fm_index.build texts in
+  let rle = Sxsi_bio.Rle_fm.build texts in
+  H.table
+    [ "index"; "size"; "runs/symbols" ]
+    [
+      [ "FM-index"; H.pp_bytes (Sxsi_fm.Fm_index.space_bits fm / 8); "-" ];
+      [
+        "RLCSA (run-length)";
+        H.pp_bytes (Sxsi_bio.Rle_fm.space_bits rle / 8);
+        Printf.sprintf "%.3f"
+          (float_of_int (Sxsi_bio.Rle_fm.run_count rle)
+          /. float_of_int (Sxsi_bio.Rle_fm.length rle));
+      ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Introduction claim: in-memory indexed evaluation vs streaming        *)
+(* ------------------------------------------------------------------ *)
+
+let streaming () =
+  H.section "Intro: indexed (SXSI) vs one-pass streaming evaluation";
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  Printf.printf "document: %s (streaming re-parses it per query)\n"
+    (H.pp_bytes (String.length c.xml));
+  let rows =
+    List.map
+      (fun q ->
+        let path = parse_query q in
+        let cq = Engine.prepare doc q in
+        let n, t_idx = H.time_with_result (fun () -> Engine.count cq) in
+        let ns, t_str = H.time_with_result (fun () -> Stream_eval.count c.xml path) in
+        if n <> ns then Printf.printf "!! %s: %d vs %d\n" q n ns;
+        [
+          q; string_of_int n; H.pp_ms t_idx; H.pp_ms t_str;
+          Printf.sprintf "%.0fx" (t_str /. t_idx);
+        ])
+      [
+        "//keyword"; "//listitem//keyword"; "/site/people/person/name";
+        "//emph"; "//text()"; "//@id";
+      ]
+  in
+  H.table [ "query"; "results"; "SXSI (indexed)"; "streaming"; "speedup" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make group per table             *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  H.section "Bechamel micro-benchmarks (OLS ns/run)";
+  let open Bechamel in
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  let m = Lazy.force medline in
+  let mdoc = Lazy.force m.doc in
+  let tc = Document.text mdoc in
+  let bp = Document.bp doc in
+  let count q = Staged.stage (fun () -> Engine.count (Engine.prepare doc q)) in
+  let tests =
+    [
+      Test.make_grouped ~name:"table2-fm"
+        [
+          Test.make ~name:"global_count[brain]"
+            (Staged.stage (fun () -> Sxsi_text.Text_collection.global_count tc "brain"));
+          Test.make ~name:"contains[morphine]"
+            (Staged.stage (fun () -> Sxsi_text.Text_collection.contains tc "morphine"));
+        ];
+      Test.make_grouped ~name:"table5-traversal"
+        [
+          Test.make ~name:"subtree_size(root)"
+            (Staged.stage (fun () -> Sxsi_tree.Bp.subtree_size bp 0));
+          Test.make ~name:"count //*" (count "//*");
+        ];
+      Test.make_grouped ~name:"fig10-queries"
+        [
+          Test.make ~name:"X04" (count "//listitem//keyword");
+          Test.make ~name:"X08" (count "/site/people/person[phone or homepage]/name");
+        ];
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.3) ~stabilize:false () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let bm = Benchmark.run cfg [ instance ] elt in
+          let ols =
+            Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+          in
+          let est = Analyze.one ols instance bm in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "%-28s %12.0f ns/run\n" (Test.Elt.name elt) ns
+          | _ -> Printf.printf "%-28s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig8", fig8);
+    ("table2", fm_table ~sample_rate:64);
+    ("table3", fm_table ~sample_rate:4);
+    ("table4", table4);
+    ("table5", table5);
+    ("table6", table6);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig15", fig15);
+    ("table7", table7);
+    ("fig18", fig18);
+    ("streaming", streaming);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let selected = ref [] in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      H.fast ();
+      parse rest
+    | "--runs" :: n :: rest ->
+      H.runs := int_of_string n;
+      parse rest
+    | "--scale" :: f :: rest ->
+      Workloads.scale_factor := float_of_string f;
+      parse rest
+    | name :: rest ->
+      if List.mem_assoc name sections then selected := name :: !selected
+      else begin
+        Printf.eprintf "unknown section %s\n" name;
+        exit 1
+      end;
+      parse rest
+  in
+  parse args;
+  let to_run =
+    match !selected with
+    | [] -> List.filter (fun (n, _) -> n <> "bechamel") sections
+    | l -> List.filter (fun (n, _) -> List.mem n l) sections
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, f) -> f ()) to_run;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,245 @@
+(* The sxsi command-line tool: index an XML file in memory and run
+   Core+ queries against it, inspect document statistics, or generate
+   the synthetic benchmark corpora. *)
+
+open Cmdliner
+open Sxsi_xml
+open Sxsi_core
+
+let pp_bytes b =
+  let f = float_of_int b in
+  if f >= 1e6 then Printf.sprintf "%.2fMB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fKB" (f /. 1e3)
+  else Printf.sprintf "%dB" b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML document")
+
+let query_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"Core+ XPath query")
+
+let drop_ws =
+  Arg.(value & flag & info [ "drop-whitespace" ] ~doc:"Discard whitespace-only text nodes")
+
+let no_jump =
+  Arg.(value & flag & info [ "no-jump" ] ~doc:"Disable jumping to relevant nodes (§5.4.1)")
+
+let no_memo =
+  Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable transition memoization (§5.5.2)")
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum [ ("auto", Engine.Auto); ("top-down", Engine.Top_down); ("bottom-up", Engine.Bottom_up) ]
+  in
+  Arg.(value & opt strategy_conv Engine.Auto & info [ "strategy" ] ~docv:"S"
+         ~doc:"Evaluation strategy: auto, top-down or bottom-up")
+
+let show_stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics (visited/marked/jumps)")
+
+let load_document ~keep_whitespace file =
+  if Filename.check_suffix file ".sxsi" then Document.load file
+  else Document.of_xml ~keep_whitespace (read_file file)
+
+let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag k =
+  let doc = load_document ~keep_whitespace:(not drop_whitespace) file in
+  let compiled = Engine.prepare doc query in
+  let stats = Run.fresh_stats () in
+  let config = { (Run.default_config ()) with Run.enable_jump = not no_jump; enable_memo = not no_memo; stats } in
+  let t0 = Unix.gettimeofday () in
+  k doc compiled config strategy;
+  let dt = Unix.gettimeofday () -. t0 in
+  if stats_flag then
+    Printf.eprintf
+      "time: %.3fms  strategy: %s  visited: %d  marked: %d  jumps: %d  memo hits: %d\n"
+      (dt *. 1000.0)
+      (match Engine.chosen_strategy ~strategy compiled with
+      | `Top_down -> "top-down"
+      | `Bottom_up -> "bottom-up")
+      stats.Run.visited stats.Run.marked stats.Run.jumps stats.Run.memo_hits
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count_cmd =
+  let run file query dw nj nm strategy st =
+    with_engine file query dw nj nm strategy st (fun _doc c config strategy ->
+        Printf.printf "%d\n" (Engine.count ~config ~strategy c))
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Count the nodes selected by a query")
+    Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
+          $ show_stats)
+
+let select_cmd =
+  let ids =
+    Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
+  in
+  let run file query dw nj nm strategy st ids =
+    with_engine file query dw nj nm strategy st (fun doc c config strategy ->
+        let nodes = Engine.select ~config ~strategy c in
+        if ids then
+          Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
+        else
+          Array.iter (fun x -> print_endline (Document.serialize doc x)) nodes)
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
+    Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
+          $ show_stats $ ids)
+
+let stats_cmd =
+  let run file dw =
+    let xml = read_file file in
+    let t0 = Unix.gettimeofday () in
+    let doc = Document.of_xml ~keep_whitespace:(not dw) xml in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf "document:        %s\n" (pp_bytes (String.length xml));
+    Printf.printf "index time:      %.2fs\n" dt;
+    Printf.printf "nodes:           %d\n" (Document.node_count doc);
+    Printf.printf "texts:           %d\n" (Document.text_count doc);
+    Printf.printf "distinct tags:   %d\n" (Document.tag_count doc);
+    Printf.printf "tree index:      %s\n" (pp_bytes (Document.tree_space_bits doc / 8));
+    Printf.printf "text self-index: %s\n"
+      (pp_bytes (Sxsi_text.Text_collection.fm_space_bits (Document.text doc) / 8));
+    Printf.printf "index/document:  %.2f\n"
+      (float_of_int ((Document.tree_space_bits doc / 8)
+                     + (Sxsi_text.Text_collection.fm_space_bits (Document.text doc) / 8))
+      /. float_of_int (String.length xml))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Index a document and report size statistics")
+    Term.(const run $ file_arg $ drop_ws)
+
+let index_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Index file to write (conventionally .sxsi)")
+  in
+  let run file dw out =
+    let doc = Document.of_xml ~keep_whitespace:(not dw) (read_file file) in
+    Document.save doc out;
+    Printf.printf "indexed %d nodes, %d texts -> %s\n" (Document.node_count doc)
+      (Document.text_count doc) out
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build the self-index and save it; count/select accept .sxsi files")
+    Term.(const run $ file_arg $ drop_ws $ out)
+
+let explain_cmd =
+  let query_only =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"Core+ XPath query")
+  in
+  let run file query =
+    let doc = load_document ~keep_whitespace:true file in
+    let c = Engine.prepare doc query in
+    print_string (Sxsi_auto.Automaton.to_string (Engine.automaton c));
+    (match Engine.bottom_up_plan c with
+    | Some _ -> print_endline "bottom-up plan: available"
+    | None -> print_endline "bottom-up plan: not applicable")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Print the compiled tree automaton for a query")
+    Term.(const run $ file_arg $ query_only)
+
+let repl_cmd =
+  let run file dw =
+    let t0 = Unix.gettimeofday () in
+    let doc = load_document ~keep_whitespace:(not dw) file in
+    Printf.printf "loaded %d nodes, %d texts in %.2fs\n"
+      (Document.node_count doc) (Document.text_count doc)
+      (Unix.gettimeofday () -. t0);
+    print_endline
+      "enter Core+ queries; prefix with 'count ' for counting only; ctrl-D quits";
+    let rec loop () =
+      print_string "sxsi> ";
+      match read_line () with
+      | exception End_of_file -> print_newline ()
+      | "" -> loop ()
+      | line ->
+        let counting, query =
+          if String.length line > 6 && String.sub line 0 6 = "count " then
+            (true, String.sub line 6 (String.length line - 6))
+          else (false, line)
+        in
+        (match Engine.prepare doc query with
+        | exception Sxsi_xpath.Xpath_parser.Parse_error (pos, msg) ->
+          Printf.printf "parse error at %d: %s\n" pos msg
+        | exception Sxsi_auto.Compile.Unsupported msg ->
+          Printf.printf "unsupported: %s\n" msg
+        | c ->
+          let t0 = Unix.gettimeofday () in
+          if counting then begin
+            let n = Engine.count c in
+            Printf.printf "%d result(s) in %.2fms\n" n
+              ((Unix.gettimeofday () -. t0) *. 1000.0)
+          end
+          else begin
+            let nodes = Engine.select c in
+            let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            Array.iteri
+              (fun i x ->
+                if i < 10 then print_endline (Document.serialize doc x))
+              nodes;
+            if Array.length nodes > 10 then
+              Printf.printf "... (%d more)\n" (Array.length nodes - 10);
+            Printf.printf "%d result(s) in %.2fms\n" (Array.length nodes) dt
+          end);
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Load a document once and run queries interactively")
+    Term.(const run $ file_arg $ drop_ws)
+
+let gen_cmd =
+  let kind =
+    Arg.(required & pos 0 (some (enum
+      [ ("xmark", `Xmark); ("medline", `Medline); ("treebank", `Treebank);
+        ("wiki", `Wiki); ("bio", `Bio) ])) None
+      & info [] ~docv:"KIND" ~doc:"Corpus kind: xmark, medline, treebank, wiki or bio")
+  in
+  let scale =
+    Arg.(value & opt int 1000 & info [ "scale" ] ~docv:"N" ~doc:"Corpus scale")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout by default)")
+  in
+  let run kind scale out =
+    let xml =
+      match kind with
+      | `Xmark -> Sxsi_datagen.Xmark.generate ~scale ()
+      | `Medline -> Sxsi_datagen.Medline.generate ~citations:scale ()
+      | `Treebank -> Sxsi_datagen.Treebank.generate ~sentences:scale ()
+      | `Wiki -> Sxsi_datagen.Wiki.generate ~pages:scale ()
+      | `Bio -> Sxsi_datagen.Bio.generate ~genes:scale ()
+    in
+    match out with
+    | None -> print_string xml
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc xml)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic benchmark corpus")
+    Term.(const run $ kind $ scale $ out)
+
+let () =
+  let info =
+    Cmd.info "sxsi" ~version:"1.0.0"
+      ~doc:"Succinct XML Self-Index: in-memory XPath search over compressed indexes"
+  in
+  exit (Cmd.eval (Cmd.group info [ count_cmd; select_cmd; stats_cmd; gen_cmd; index_cmd; explain_cmd; repl_cmd ]))

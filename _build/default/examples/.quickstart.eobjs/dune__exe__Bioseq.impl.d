@@ -1,0 +1,1 @@
+examples/bioseq.ml: Array Document Engine List Printf Pssm Rle_fm String Sxsi_bio Sxsi_core Sxsi_datagen Sxsi_fm Sxsi_xml Unix

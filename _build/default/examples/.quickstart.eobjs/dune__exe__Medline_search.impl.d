@@ -1,0 +1,1 @@
+examples/medline_search.ml: Document Engine List Printf String Sxsi_core Sxsi_datagen Sxsi_text Sxsi_xml Unix

@@ -1,0 +1,1 @@
+examples/medline_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Document Engine Printf Sxsi_core Sxsi_xml

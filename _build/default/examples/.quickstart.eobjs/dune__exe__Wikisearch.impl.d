@@ -1,0 +1,1 @@
+examples/wikisearch.ml: Document Engine List Printf Run String Sxsi_core Sxsi_datagen Sxsi_wordindex Sxsi_xml Unix Word_index

@@ -1,0 +1,68 @@
+(* Quickstart: index a small document and run a few Core+ queries.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Sxsi_xml
+open Sxsi_core
+
+let xml =
+  {|<library>
+  <book year="1994" id="b1">
+    <title>Managing Gigabytes</title>
+    <author><last>Witten</last></author>
+    <author><last>Moffat</last></author>
+    <topic>compression</topic>
+  </book>
+  <book year="2008" id="b2">
+    <title>Compact Data Structures</title>
+    <author><last>Navarro</last></author>
+    <topic>succinct structures</topic>
+    <note>Includes a chapter on <em>trees</em> and texts.</note>
+  </book>
+  <article id="a1">
+    <title>Fast In-Memory XPath Search</title>
+    <topic>compressed indexes</topic>
+  </article>
+</library>|}
+
+let () =
+  (* Parsing builds the whole self-index: balanced-parentheses tree,
+     per-tag jump structures and the FM-index over all texts. *)
+  let doc = Document.of_xml ~keep_whitespace:false xml in
+  Printf.printf "indexed %d nodes, %d texts, %d distinct tags\n\n"
+    (Document.node_count doc) (Document.text_count doc) (Document.tag_count doc);
+
+  let show query =
+    let compiled = Engine.prepare doc query in
+    let n = Engine.count compiled in
+    Printf.printf "%-55s -> %d result(s)\n" query n;
+    Array.iter
+      (fun node -> Printf.printf "    %s\n" (Document.serialize doc node))
+      (Engine.select compiled);
+    print_newline ()
+  in
+
+  (* structural navigation *)
+  show "/library/book/title";
+  show "//author/last";
+  show "//book[author/last]/title";
+  show "//book[not(note)]";
+
+  (* attributes *)
+  show "//book[@year = '2008']/title";
+  show "//@id";
+
+  (* text predicates, answered through the FM-index *)
+  show "//title[contains(., 'Data')]";
+  show "//topic[starts-with(., 'comp')]";
+  show "//last[. = 'Navarro']";
+
+  (* mixed content: the string-value spans several texts *)
+  show "//note[contains(., 'trees and texts')]";
+
+  (* the same query can be evaluated top-down or bottom-up *)
+  let q = Engine.prepare doc "//last[. = 'Moffat']" in
+  Printf.printf "strategy chosen for //last[. = 'Moffat']: %s\n"
+    (match Engine.chosen_strategy q with
+    | `Bottom_up -> "bottom-up (from the text index)"
+    | `Top_down -> "top-down (tree automaton)")

@@ -1,0 +1,58 @@
+(* Word-based full-text search (the paper's §6.6.2 scenario): plug a
+   word-level index into the engine and run phrase queries over a
+   wiki-like corpus.
+
+   Run with:  dune exec examples/wikisearch.exe *)
+
+open Sxsi_xml
+open Sxsi_core
+open Sxsi_wordindex
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let () =
+  let xml = Sxsi_datagen.Wiki.generate ~pages:2000 () in
+  let doc = Document.of_xml xml in
+  let widx, t_build = time (fun () -> Word_index.build (Document.texts doc)) in
+  Printf.printf
+    "wiki corpus: %.1f MB, %d pages; word index: %d distinct words over %d tokens (built in %.0f ms)\n\n"
+    (float_of_int (String.length xml) /. 1e6)
+    (Engine.count (Engine.prepare doc "//page"))
+    (Word_index.distinct_words widx)
+    (Word_index.token_count widx) t_build;
+
+  (* expose the word index to the engine as the 'ftcontains' predicate *)
+  let funs key =
+    match String.index_opt key ':' with
+    | Some i when String.sub key 0 i = "ftcontains" ->
+      let phrase = String.sub key (i + 1) (String.length key - i - 1) in
+      Some
+        {
+          Run.cp_match = (fun s -> Word_index.matches_text widx phrase s);
+          cp_texts = Some (fun () -> Word_index.contains_phrase widx phrase);
+        }
+    | _ -> None
+  in
+
+  List.iter
+    (fun query ->
+      let compiled = Engine.prepare doc query in
+      let n, t = time (fun () -> Engine.count ~funs compiled) in
+      Printf.printf "%-70s %6d pages  %8.2f ms\n" query n t)
+    [
+      "//text[ftcontains(., 'dark horse')]";
+      "//page[.//text[ftcontains(., 'played on a board')]]/title";
+      "//page[.//text[ftcontains(., 'crude oil')]]/title";
+      "//text[ftcontains(., 'horse') and ftcontains(., 'princess')]";
+    ];
+
+  (* phrase semantics: word boundaries matter *)
+  print_newline ();
+  List.iter
+    (fun phrase ->
+      Printf.printf "texts containing %-36s : %d\n" (Printf.sprintf "%S" phrase)
+        (Word_index.contains_phrase_count widx phrase))
+    [ "dark horse"; "dark"; "horse"; "darkhorse" ]

@@ -1,0 +1,1 @@
+lib/auto/automaton.ml: Array Buffer Document Formula Hashtbl List Printf Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+lib/auto/automaton.mli: Formula Hashtbl Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+lib/auto/compile.ml: Automaton Document Formula Hashtbl List Option Sxsi_tree Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+lib/auto/compile.mli: Automaton Sxsi_xml Sxsi_xpath

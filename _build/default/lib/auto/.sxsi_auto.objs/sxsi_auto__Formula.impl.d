@@ -1,0 +1,1 @@
+lib/auto/formula.ml: Hashtbl List Printf

@@ -1,0 +1,105 @@
+open Sxsi_xml
+
+type state = int
+
+type pred_descr =
+  | Text_pred of Sxsi_xpath.Ast.value_op * string
+  | Custom_pred of string * string
+
+type transition = {
+  guard : Formula.guard;
+  phi : Formula.t;
+}
+
+type scan_info = {
+  scan_guard : Formula.guard;
+  scan_recursive : bool;
+  scan_collect : bool;
+  scan_match : Formula.t;
+  scan_marking : bool;
+  scan_drop : bool;
+  scan_tags : int list;
+}
+
+type t = {
+  doc : Document.t;
+  start : state;
+  mutable states : state list;
+  trans : (state, transition list) Hashtbl.t;
+  bottom : (state, unit) Hashtbl.t;
+  mutable preds : pred_descr array;
+  scan : (state, scan_info) Hashtbl.t;
+  mutable needs_dedup : bool;
+}
+
+let state_counter = ref 0
+
+let fresh_state () =
+  let q = !state_counter in
+  incr state_counter;
+  q
+
+let create doc ~start =
+  {
+    doc;
+    start;
+    states = [ start ];
+    trans = Hashtbl.create 16;
+    bottom = Hashtbl.create 16;
+    preds = [||];
+    scan = Hashtbl.create 16;
+    needs_dedup = false;
+  }
+
+let add_transition t q guard phi =
+  if not (List.mem q t.states) then t.states <- q :: t.states;
+  let existing = match Hashtbl.find_opt t.trans q with Some l -> l | None -> [] in
+  Hashtbl.replace t.trans q (existing @ [ { guard; phi } ])
+
+let set_bottom t q = Hashtbl.replace t.bottom q ()
+let is_bottom t q = Hashtbl.mem t.bottom q
+let set_scan_info t q i = Hashtbl.replace t.scan q i
+let scan_info t q = Hashtbl.find_opt t.scan q
+
+let add_pred t d =
+  t.preds <- Array.append t.preds [| d |];
+  Array.length t.preds - 1
+
+let transitions t q =
+  match Hashtbl.find_opt t.trans q with Some l -> l | None -> []
+
+let guard_matches t g tag =
+  match g with
+  | Formula.Any -> true
+  | Formula.Tag tg -> tag = tg
+  | Formula.Elements -> Document.is_element_tag t.doc tag
+  | Formula.Attributes -> Document.is_attribute_tag t.doc tag
+  | Formula.Node_kind ->
+    Document.is_element_tag t.doc tag
+    || tag = Document.text_tag || tag = Document.root_tag
+
+let matching_phi t q tag =
+  List.fold_left
+    (fun acc tr ->
+      if guard_matches t tr.guard tag then Formula.disj acc tr.phi else acc)
+    Formula.fls (transitions t q)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "start: q%d\n" t.start;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun tr ->
+          Printf.bprintf buf "q%d, %s -> %s%s\n" q
+            (match tr.guard with
+            | Formula.Any -> "L"
+            | Formula.Tag tg -> Printf.sprintf "{%s}" (Document.tag_name t.doc tg)
+            | Formula.Elements -> "{*}"
+            | Formula.Attributes -> "{@*}"
+            | Formula.Node_kind -> "{node()}")
+            (Formula.to_string tr.phi)
+            (if is_bottom t q then "  [bottom]" else ""))
+        (transitions t q))
+    (List.sort compare t.states);
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(** Marking alternating tree automata over the first-child/next-sibling
+    binary view of the document tree (Definition 5.1 of the paper).
+
+    States are globally unique integers (so formulas and state sets can
+    be hash-consed across automata).  Each state carries a list of
+    guarded transitions; several may match one label, and their
+    formulas are combined disjunctively (the non-deterministic runs of
+    §5.2). *)
+
+type state = int
+
+type pred_descr =
+  | Text_pred of Sxsi_xpath.Ast.value_op * string
+      (** value test on the current node's string-value *)
+  | Custom_pred of string * string  (** name, argument *)
+
+type transition = {
+  guard : Formula.guard;
+  phi : Formula.t;
+}
+
+(** How a state scans its region — used by the engine to decide jumps
+    (§5.4.1) and constant-time subtree collection (§5.5.3-4). *)
+type scan_info = {
+  scan_guard : Formula.guard;   (* labels that trigger the match transition *)
+  scan_recursive : bool;        (* moves both down1 and down2 *)
+  scan_collect : bool;          (* match formula is exactly mark: the state
+                                   only accumulates matches *)
+  scan_match : Formula.t;       (* the match formula alone (no continuation) *)
+  scan_marking : bool;          (* top-level scan: accepts with zero matches *)
+  scan_drop : bool;             (* a successful match does not rescan its
+                                   subtree (descendant-led remainder) *)
+  scan_tags : int list;         (* concrete tags matching the guard in
+                                   this document *)
+}
+
+type t = {
+  doc : Sxsi_xml.Document.t;
+  start : state;
+  mutable states : state list;            (* all states of this automaton *)
+  trans : (state, transition list) Hashtbl.t;
+  bottom : (state, unit) Hashtbl.t;       (* states accepting at Nil *)
+  mutable preds : pred_descr array;
+  scan : (state, scan_info) Hashtbl.t;
+  mutable needs_dedup : bool;
+  (* marks may be produced twice for the same node (overlapping
+     following-sibling scans, recursive scans from nested anchors);
+     the engine then deduplicates materialized results *)
+}
+
+val fresh_state : unit -> state
+(** Globally unique. *)
+
+val create : Sxsi_xml.Document.t -> start:state -> t
+val add_transition : t -> state -> Formula.guard -> Formula.t -> unit
+val set_bottom : t -> state -> unit
+val is_bottom : t -> state -> bool
+val set_scan_info : t -> state -> scan_info -> unit
+val scan_info : t -> state -> scan_info option
+val add_pred : t -> pred_descr -> int
+(** Register a predicate, returning its index for {!Formula.pred}. *)
+
+val transitions : t -> state -> transition list
+val guard_matches : t -> Formula.guard -> int -> bool
+(** Does a tag identifier satisfy a guard in this document? *)
+
+val matching_phi : t -> state -> int -> Formula.t
+(** Disjunction of the formulas of all transitions of a state matching
+    a tag ([Formula.fls] when none match). *)
+
+val to_string : t -> string

@@ -1,0 +1,225 @@
+open Sxsi_xml
+open Sxsi_xpath.Ast
+
+exception Unsupported of string
+
+module F = Formula
+module A = Automaton
+
+(* Guard for a node test, per axis context; [None] = cannot match any
+   node of this document (unknown tag). *)
+let element_guard doc = function
+  | Star -> Some F.Elements
+  | Name n -> Option.map (fun t -> F.Tag t) (Document.tag_id doc n)
+  | Text -> Some (F.Tag Document.text_tag)
+  | Node -> Some F.Node_kind
+
+let attribute_guard doc = function
+  | Star | Node -> Some F.Attributes
+  | Name n -> Option.map (fun t -> F.Tag t) (Document.attribute_tag_id doc n)
+  | Text -> None
+
+(* Concrete tags matching a guard in this document. *)
+let tags_of_guard doc = function
+  | F.Tag t -> [ t ]
+  | F.Elements ->
+    List.filter
+      (Document.is_element_tag doc)
+      (List.init (Document.tag_count doc) (fun i -> i))
+  | F.Attributes ->
+    List.filter
+      (Document.is_attribute_tag doc)
+      (List.init (Document.tag_count doc) (fun i -> i))
+  | F.Node_kind ->
+    List.filter
+      (fun t -> Document.is_element_tag doc t || t = Document.text_tag)
+      (List.init (Document.tag_count doc) (fun i -> i))
+  | F.Any -> List.init (Document.tag_count doc) (fun i -> i)
+
+let compile doc path =
+  let a = A.create doc ~start:(A.fresh_state ()) in
+  let pred_cache : (A.pred_descr, int) Hashtbl.t = Hashtbl.create 8 in
+  let intern_pred d =
+    match Hashtbl.find_opt pred_cache d with
+    | Some i -> i
+    | None ->
+      let i = A.add_pred a d in
+      Hashtbl.add pred_cache d i;
+      i
+  in
+  (* [marking] distinguishes the top-level (answer-collecting) path,
+     whose scans accept with zero matches, from predicate paths, whose
+     scans must find a match. *)
+  let rec formula_of_steps ?(top = false) steps ~marking ~final =
+    match steps with
+    | [] -> final ()
+    (* //@x at the very top of an absolute query: the root carries no
+       attributes, so "attributes of any descendant" is exactly "every
+       @x-tagged node" — one collectible recursive scan (O(1) counting,
+       direct jumps) instead of scanning every node *)
+    | { axis = Descendant; test = Node; preds = [] }
+      :: ({ axis = Attribute; _ } as astep)
+      :: rest
+      when top ->
+      launch ~marking ~recurse:true ~move:F.down1
+        (attribute_guard doc astep.test)
+        astep.preds rest ~final
+    | step :: rest -> begin
+      match step.axis with
+      | Self -> begin
+        match element_guard doc step.test with
+        | None -> if marking then F.tru else F.fls
+        | Some g ->
+          F.conj_list
+            [
+              F.is_label g;
+              preds_formula step.preds;
+              formula_of_steps rest ~marking ~final;
+            ]
+      end
+      | Child ->
+        launch ~marking ~recurse:false ~move:F.down1
+          (element_guard doc step.test)
+          step.preds rest ~final
+      | Descendant ->
+        launch ~marking ~recurse:true ~move:F.down1
+          (element_guard doc step.test)
+          step.preds rest ~final
+      | Following_sibling ->
+        launch ~marking ~recurse:false ~move:F.down2
+          (element_guard doc step.test)
+          step.preds rest ~final
+      (* (Attribute handled below) *)
+      | Attribute -> begin
+        match attribute_guard doc step.test with
+        | None -> if marking then F.tru else F.fls
+        | Some ag ->
+          (* context/child::@/child::attr — the model encoding of §2 *)
+          let inner () =
+            launch ~marking ~recurse:false ~move:F.down1 (Some ag) step.preds
+              rest ~final
+          in
+          launch_with_match ~marking ~recurse:false ~move:F.down1
+            (F.Tag Document.attlist_tag) inner
+      end
+    end
+  (* A scanning state for one step: [guard] labels trigger the match
+     formula; every label continues the scan (down2, and also down1
+     when recursive).  Marking scans are bottom states.
+
+     Marks must be produced at most once per node (so counters and O(1)
+     concatenation are sound, §5.5.3).  Two rules guarantee it together
+     with the engine's left-biased disjunction: transitions are ordered
+     match-first, and when the remainder of the path starts with a
+     descendant step, a successful match does not descend again — every
+     answer below is already covered by the remainder launched at the
+     match ([drop_down1]). *)
+  and launch ~marking ~recurse ~move guard preds rest ~final =
+    match guard with
+    | None -> if marking then F.tru else F.fls
+    | Some guard ->
+      let match_phi () =
+        F.conj (preds_formula preds) (formula_of_steps rest ~marking ~final)
+      in
+      let rec first_effective = function
+        | { axis = Self; _ } :: tl -> first_effective tl
+        | { axis; _ } :: _ -> Some axis
+        | [] -> None
+      in
+      let drop_down1 = marking && recurse && first_effective rest = Some Descendant in
+      launch_with_match ~marking ~recurse ~move ~drop_down1 guard match_phi
+        ~collect:(marking && preds = [] && rest = [])
+  and launch_with_match ?(collect = false) ?(drop_down1 = false) ~marking ~recurse
+      ~move guard match_phi =
+    let q = A.fresh_state () in
+    (* a marking scan must keep collecting in both directions (it
+       accepts vacuously at Nil); an existence scan succeeds if a match
+       is found below OR to the right *)
+    let cont =
+      if marking then F.conj (if recurse then F.down1 q else F.tru) (F.down2 q)
+      else F.disj (if recurse then F.down1 q else F.fls) (F.down2 q)
+    in
+    let cont_on_match =
+      F.conj (if recurse && not drop_down1 then F.down1 q else F.tru) (F.down2 q)
+    in
+    let mp = match_phi () in
+    if marking then begin
+      A.add_transition a q guard (F.conj mp cont_on_match);
+      A.add_transition a q F.Any cont;
+      A.set_bottom a q
+    end
+    else begin
+      (* existence: stop at the first success, keep scanning otherwise *)
+      A.add_transition a q guard mp;
+      A.add_transition a q F.Any cont
+    end;
+    A.set_scan_info a q
+      {
+        A.scan_guard = guard;
+        scan_recursive = recurse;
+        scan_collect = collect && mp == F.mark;
+        scan_match = mp;
+        scan_marking = marking;
+        scan_drop = drop_down1;
+        scan_tags = tags_of_guard doc guard;
+      };
+    move q
+  and preds_formula preds = F.conj_list (List.map pred_formula preds)
+  and pred_formula = function
+    | And (p1, p2) -> F.conj (pred_formula p1) (pred_formula p2)
+    | Or (p1, p2) -> F.disj (pred_formula p1) (pred_formula p2)
+    | Not p -> F.neg (pred_formula p)
+    | Exists p ->
+      if p.absolute then raise (Unsupported "absolute path inside a predicate");
+      formula_of_steps p.steps ~marking:false ~final:(fun () -> F.tru)
+    | Value (p, op, lit) ->
+      if p.absolute then raise (Unsupported "absolute path inside a predicate");
+      let idx = intern_pred (A.Text_pred (op, lit)) in
+      formula_of_steps p.steps ~marking:false ~final:(fun () -> F.pred idx)
+    | Fun (name, p, arg) ->
+      if p.absolute then raise (Unsupported "absolute path inside a predicate");
+      let idx = intern_pred (A.Custom_pred (name, arg)) in
+      formula_of_steps p.steps ~marking:false ~final:(fun () -> F.pred idx)
+  in
+  let phi =
+    formula_of_steps ~top:true path.steps ~marking:true ~final:(fun () -> F.mark)
+  in
+  A.add_transition a a.A.start (F.Tag Document.root_tag) phi;
+  A.set_bottom a a.A.start;
+  (* Can a node be marked through two overlapping scans?  Yes when a
+     following-sibling scan is launched from several sibling anchors,
+     or when a recursive (descendant) scan is launched from two nested
+     anchors.  Anchor nesting is tracked along the step chain; the
+     drop-down1 rule prevents it within one scan, so it can only creep
+     in when the remainder is not descendant-led and the step's own
+     matches can nest in this document. *)
+  let self_nest test =
+    match test with
+    | Star | Node -> true
+    | Text -> false
+    | Name n -> begin
+      match Document.tag_id doc n with
+      | Some t -> Sxsi_tree.Tag_rel.mem (Document.rel doc) Sxsi_tree.Tag_rel.Descendant t t
+      | None -> false
+    end
+  in
+  let rec first_effective = function
+    | { axis = Self; _ } :: tl -> first_effective tl
+    | { axis; _ } :: _ -> Some axis
+    | [] -> None
+  in
+  let rec dup nested = function
+    | [] -> false
+    | step :: rest -> begin
+      match step.axis with
+      | Following_sibling -> true
+      | Descendant ->
+        nested
+        ||
+        let dropped = first_effective rest = Some Descendant in
+        dup (nested || ((not dropped) && self_nest step.test)) rest
+      | Child | Attribute | Self -> dup nested rest
+    end
+  in
+  a.A.needs_dedup <- dup false path.steps;
+  a

@@ -1,0 +1,16 @@
+(** Syntax-directed translation from Core+ to marking tree automata
+    (§5.2).  The produced automaton is run from the document root in
+    its start state; marked nodes are the query answers.
+
+    The translation is compositional: each [child::]/[descendant::]/
+    [following-sibling::] step becomes a scanning state over the
+    first-child/next-sibling encoding; [self::] steps become label
+    tests inside formulas; the [attribute::] axis is rewritten through
+    the ["@"]-list encoding of the model; predicates become
+    sub-automata (existence scans) or built-in predicate atoms. *)
+
+exception Unsupported of string
+(** Raised on constructs the automaton engine does not evaluate
+    (currently: absolute paths inside predicates). *)
+
+val compile : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> Automaton.t

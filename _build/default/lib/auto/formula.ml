@@ -1,0 +1,135 @@
+type state = int
+
+type guard =
+  | Any
+  | Tag of int
+  | Elements
+  | Attributes
+  | Node_kind
+
+type t = {
+  id : int;
+  node : node;
+  down1 : state list;
+  down2 : state list;
+  has_mark : bool;
+}
+
+and node =
+  | True
+  | False
+  | Mark
+  | Down1 of state
+  | Down2 of state
+  | Is_label of guard
+  | Pred of int
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(* Hash-consing: key on the shape with child ids. *)
+type key =
+  | KTrue
+  | KFalse
+  | KMark
+  | KDown1 of state
+  | KDown2 of state
+  | KLabel of guard
+  | KPred of int
+  | KAnd of int * int
+  | KOr of int * int
+  | KNot of int
+
+let table : (key, t) Hashtbl.t = Hashtbl.create 256
+let counter = ref 0
+
+let union_sorted a b =
+  let rec go a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+      if x < y then x :: go xs b
+      else if x > y then y :: go a ys
+      else x :: go xs ys
+  in
+  go a b
+
+let key_of = function
+  | True -> KTrue
+  | False -> KFalse
+  | Mark -> KMark
+  | Down1 q -> KDown1 q
+  | Down2 q -> KDown2 q
+  | Is_label g -> KLabel g
+  | Pred i -> KPred i
+  | And (a, b) -> KAnd (a.id, b.id)
+  | Or (a, b) -> KOr (a.id, b.id)
+  | Not a -> KNot a.id
+
+let cons node =
+  let key = key_of node in
+  match Hashtbl.find_opt table key with
+  | Some f -> f
+  | None ->
+    let down1, down2, has_mark =
+      match node with
+      | True | False | Is_label _ | Pred _ -> ([], [], false)
+      | Mark -> ([], [], true)
+      | Down1 q -> ([ q ], [], false)
+      | Down2 q -> ([], [ q ], false)
+      | And (a, b) | Or (a, b) ->
+        ( union_sorted a.down1 b.down1,
+          union_sorted a.down2 b.down2,
+          a.has_mark || b.has_mark )
+      | Not a -> (a.down1, a.down2, a.has_mark)
+    in
+    let f = { id = !counter; node; down1; down2; has_mark } in
+    incr counter;
+    Hashtbl.add table key f;
+    f
+
+let tru = cons True
+let fls = cons False
+let mark = cons Mark
+let down1 q = cons (Down1 q)
+let down2 q = cons (Down2 q)
+let is_label g = cons (Is_label g)
+let pred i = cons (Pred i)
+
+let conj a b =
+  if a == fls || b == fls then fls
+  else if a == tru then b
+  else if b == tru then a
+  else if a == b then a
+  else cons (And (a, b))
+
+let disj a b =
+  if a == tru || b == tru then tru
+  else if a == fls then b
+  else if b == fls then a
+  else if a == b then a
+  else cons (Or (a, b))
+
+let neg a = if a == tru then fls else if a == fls then tru else cons (Not a)
+
+let conj_list l = List.fold_left conj tru l
+
+let guard_to_string = function
+  | Any -> "L"
+  | Tag t -> Printf.sprintf "tag(%d)" t
+  | Elements -> "*"
+  | Attributes -> "@*"
+  | Node_kind -> "node()"
+
+let rec to_string f =
+  match f.node with
+  | True -> "T"
+  | False -> "F"
+  | Mark -> "mark"
+  | Down1 q -> Printf.sprintf "d1 q%d" q
+  | Down2 q -> Printf.sprintf "d2 q%d" q
+  | Is_label g -> Printf.sprintf "label=%s" (guard_to_string g)
+  | Pred i -> Printf.sprintf "p%d" i
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (to_string a) (to_string b)
+  | Not a -> Printf.sprintf "~%s" (to_string a)

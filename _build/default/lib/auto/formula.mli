@@ -1,0 +1,53 @@
+(** Hash-consed Boolean formulas over automaton states (§5.3, §5.5.1).
+
+    Structurally equal formulas share one representation, so equality
+    is physical, every formula carries a small unique [id] usable as a
+    memo-table key, and the engine's per-(state-set, label) caches stay
+    cheap. *)
+
+type state = int
+
+type guard =
+  | Any                 (** every label *)
+  | Tag of int          (** one tag identifier *)
+  | Elements            (** any named element tag (the XPath [*]) *)
+  | Attributes          (** any attribute-name tag *)
+  | Node_kind           (** [node()]: element, text or root *)
+
+type t = private {
+  id : int;
+  node : node;
+  (* precomputed atom sets, as sorted state lists *)
+  down1 : state list;
+  down2 : state list;
+  has_mark : bool;
+}
+
+and node =
+  | True
+  | False
+  | Mark
+  | Down1 of state
+  | Down2 of state
+  | Is_label of guard    (** label test on the current node *)
+  | Pred of int          (** built-in predicate index on the current node *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val tru : t
+val fls : t
+val mark : t
+val down1 : state -> t
+val down2 : state -> t
+val is_label : guard -> t
+val pred : int -> t
+
+val conj : t -> t -> t
+(** Conjunction with constant folding. *)
+
+val disj : t -> t -> t
+val neg : t -> t
+
+val conj_list : t list -> t
+val to_string : t -> string

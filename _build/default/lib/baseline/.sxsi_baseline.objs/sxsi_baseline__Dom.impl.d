@@ -1,0 +1,1 @@
+lib/baseline/dom.ml: Buffer List String Sxsi_xml Xml_parser

@@ -1,0 +1,1 @@
+lib/baseline/naive_eval.ml: Dom List Printf String Sxsi_xpath

@@ -1,0 +1,1 @@
+lib/baseline/naive_eval.mli: Dom Sxsi_xpath

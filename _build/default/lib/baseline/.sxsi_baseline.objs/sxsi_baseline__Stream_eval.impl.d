@@ -1,0 +1,1 @@
+lib/baseline/stream_eval.ml: Array List Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+lib/baseline/stream_eval.mli: Sxsi_xpath

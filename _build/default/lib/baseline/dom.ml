@@ -1,0 +1,194 @@
+open Sxsi_xml
+
+type kind =
+  | Root
+  | Element of string
+  | Attlist
+  | Attribute of string
+  | Text_leaf of string
+  | Attval_leaf of string
+
+type node = {
+  id : int;
+  kind : kind;
+  mutable children : node list;
+  mutable parent : node option;
+  mutable next_sibling : node option;
+}
+
+type t = {
+  root : node;
+  count : int;
+}
+
+let of_xml ?(keep_whitespace = true) src =
+  let counter = ref 0 in
+  let mk kind =
+    let id = !counter in
+    incr counter;
+    { id; kind; children = []; parent = None; next_sibling = None }
+  in
+  let root = mk Root in
+  let stack = ref [ root ] in
+  let push kind =
+    let n = mk kind in
+    (match !stack with
+    | top :: _ -> top.children <- n :: top.children
+    | [] -> assert false);
+    stack := n :: !stack;
+    n
+  in
+  let pop () =
+    match !stack with
+    | top :: rest ->
+      top.children <- List.rev top.children;
+      stack := rest
+    | [] -> assert false
+  in
+  let emit_text s =
+    let blank =
+      String.for_all (function ' ' | '\t' | '\n' | '\r' -> true | _ -> false) s
+    in
+    if String.length s > 0 && (keep_whitespace || not blank) then begin
+      ignore (push (Text_leaf s));
+      pop ()
+    end
+  in
+  let on_open name attrs =
+    ignore (push (Element name));
+    if attrs <> [] then begin
+      ignore (push Attlist);
+      List.iter
+        (fun (aname, avalue) ->
+          ignore (push (Attribute aname));
+          if String.length avalue > 0 then begin
+            ignore (push (Attval_leaf avalue));
+            pop ()
+          end;
+          pop ())
+        attrs;
+      pop ()
+    end
+  in
+  Xml_parser.parse ~on_open ~on_close:(fun _ -> pop ()) ~on_text:emit_text src;
+  pop ();
+  assert (!stack = []);
+  (* wire parent / next_sibling *)
+  let rec wire n =
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        a.next_sibling <- Some b;
+        link rest
+      | [ _ ] | [] -> ()
+    in
+    link n.children;
+    List.iter
+      (fun c ->
+        c.parent <- Some n;
+        wire c)
+      n.children
+  in
+  wire root;
+  { root; count = !counter }
+
+let root t = t.root
+let node_count t = t.count
+
+let is_attlist n = match n.kind with Attlist -> true | _ -> false
+let is_element n = match n.kind with Element _ -> true | _ -> false
+
+let logical_children n = List.filter (fun c -> not (is_attlist c)) n.children
+
+let attributes n =
+  match List.find_opt is_attlist n.children with
+  | Some al -> al.children
+  | None -> []
+
+let logical_following_siblings n =
+  match n.kind with
+  | Attlist | Attribute _ | Attval_leaf _ -> []
+  | Root | Element _ | Text_leaf _ ->
+    let rec collect = function
+      | None -> []
+      | Some s ->
+        if is_attlist s then collect s.next_sibling
+        else s :: collect s.next_sibling
+    in
+    collect n.next_sibling
+
+let descendants n =
+  let acc = ref [] in
+  let rec go n =
+    List.iter
+      (fun c ->
+        if not (is_attlist c) then begin
+          acc := c :: !acc;
+          go c
+        end)
+      n.children
+  in
+  go n;
+  List.rev !acc
+
+let string_value n =
+  let buf = Buffer.create 32 in
+  let in_attributes =
+    match n.kind with
+    | Attlist | Attribute _ | Attval_leaf _ -> true
+    | Root | Element _ | Text_leaf _ -> false
+  in
+  let rec go n =
+    match n.kind with
+    | Text_leaf s -> Buffer.add_string buf s
+    | Attval_leaf s -> if in_attributes then Buffer.add_string buf s
+    | Attlist -> if in_attributes then List.iter go n.children
+    | Root | Element _ | Attribute _ -> List.iter go n.children
+  in
+  go n;
+  Buffer.contents buf
+
+let serialize n =
+  let buf = Buffer.create 256 in
+  let rec emit n =
+    match n.kind with
+    | Text_leaf s | Attval_leaf s -> Buffer.add_string buf (Xml_parser.escape_text s)
+    | Root -> List.iter emit n.children
+    | Attlist -> ()
+    | Attribute _ -> Buffer.add_string buf (Xml_parser.escape_text (string_value n))
+    | Element name ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      List.iter
+        (fun a ->
+          match a.kind with
+          | Attribute aname ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf aname;
+            Buffer.add_string buf "=\"";
+            Buffer.add_string buf (Xml_parser.escape_attr (string_value a));
+            Buffer.add_string buf "\""
+          | Root | Element _ | Attlist | Text_leaf _ | Attval_leaf _ -> ())
+        (attributes n);
+      let content = logical_children n in
+      if content = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter emit content;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+      end
+  in
+  emit n;
+  Buffer.contents buf
+
+let count_all_nodes t =
+  let rec go acc n = List.fold_left go (acc + 1) n.children in
+  go 0 t.root
+
+let count_elements t =
+  let rec go acc n =
+    let acc = if is_element n then acc + 1 else acc in
+    List.fold_left go acc n.children
+  in
+  go 0 t.root

@@ -1,0 +1,51 @@
+(** Pointer-based DOM over the paper's document model (§2): the
+    comparison structure of §6.4 and the substrate of the naive XPath
+    engine that stands in for MonetDB/Qizx in the benchmarks.
+
+    Nodes carry the same preorder identifiers as the succinct
+    {!Sxsi_xml.Document} built from the same input, so result sets of
+    the two engines are directly comparable. *)
+
+type kind =
+  | Root                      (** the extra ["&"] node *)
+  | Element of string
+  | Attlist                   (** ["@"] *)
+  | Attribute of string
+  | Text_leaf of string       (** ["#"] with its content *)
+  | Attval_leaf of string     (** ["%"] with its content *)
+
+type node = {
+  id : int;                          (* preorder in the model tree *)
+  kind : kind;
+  mutable children : node list;      (* model children, "@" first *)
+  mutable parent : node option;
+  mutable next_sibling : node option (* within the model children list *);
+}
+
+type t
+
+val of_xml : ?keep_whitespace:bool -> string -> t
+(** Same modelling rules as {!Sxsi_xml.Document.of_xml}. *)
+
+val root : t -> node
+val node_count : t -> int
+
+(** {1 Logical (XPath) navigation: the ["@"] subtree is invisible} *)
+
+val logical_children : node -> node list
+val attributes : node -> node list
+val logical_following_siblings : node -> node list
+val descendants : node -> node list
+(** Proper descendants in document order, excluding attribute
+    subtrees. *)
+
+val is_element : node -> bool
+val string_value : node -> string
+val serialize : node -> string
+
+(** {1 Raw traversal (for the Table IV/V comparisons)} *)
+
+val count_all_nodes : t -> int
+(** Full first-child/next-sibling recursion over the model tree. *)
+
+val count_elements : t -> int

@@ -1,0 +1,101 @@
+open Sxsi_xpath.Ast
+
+type custom = Dom.node -> bool
+
+let test_matches ~axis test (n : Dom.node) =
+  match axis with
+  | Attribute -> begin
+    match (test, n.Dom.kind) with
+    | Star, Dom.Attribute _ -> true
+    | Name s, Dom.Attribute a -> s = a
+    | (Node | Text), Dom.Attribute _ -> test = Node
+    | _, _ -> false
+  end
+  | Self | Child | Descendant | Following_sibling -> begin
+    match (test, n.Dom.kind) with
+    | Star, Dom.Element _ -> true
+    | Name s, Dom.Element e -> s = e
+    | Text, Dom.Text_leaf _ -> true
+    | Node, (Dom.Element _ | Dom.Text_leaf _ | Dom.Root) -> true
+    | _, _ -> false
+  end
+
+let axis_candidates axis (n : Dom.node) =
+  match axis with
+  | Self -> [ n ]
+  | Child -> Dom.logical_children n
+  | Descendant -> Dom.descendants n
+  | Attribute -> Dom.attributes n
+  | Following_sibling -> Dom.logical_following_siblings n
+
+let sort_unique nodes =
+  List.sort_uniq (fun (a : Dom.node) b -> compare a.Dom.id b.Dom.id) nodes
+
+let rec eval_path ~funs doc ctx (path : path) : Dom.node list =
+  let start = if path.absolute then [ Dom.root doc ] else [ ctx ] in
+  List.fold_left
+    (fun nodes step ->
+      sort_unique (List.concat_map (eval_step ~funs doc step) nodes))
+    start path.steps
+
+and eval_step ~funs doc (step : step) n =
+  axis_candidates step.axis n
+  |> List.filter (test_matches ~axis:step.axis step.test)
+  |> List.filter (fun n ->
+         List.for_all (fun p -> eval_pred ~funs doc n p) step.preds)
+
+and eval_pred ~funs doc n = function
+  | And (a, b) -> eval_pred ~funs doc n a && eval_pred ~funs doc n b
+  | Or (a, b) -> eval_pred ~funs doc n a || eval_pred ~funs doc n b
+  | Not p -> not (eval_pred ~funs doc n p)
+  | Exists path -> eval_path ~funs doc n path <> []
+  | Value (path, op, lit) ->
+    List.exists
+      (fun sel -> value_matches op (Dom.string_value sel) lit)
+      (eval_path ~funs doc n path)
+  | Fun (name, path, arg) -> begin
+    match funs (name ^ ":" ^ arg) with
+    | Some f -> List.exists f (eval_path ~funs doc n path)
+    | None -> begin
+      match funs name with
+      | Some f -> List.exists f (eval_path ~funs doc n path)
+      | None -> invalid_arg (Printf.sprintf "Naive_eval: unknown predicate %s" name)
+    end
+  end
+
+and value_matches op value lit =
+  let has_sub s p =
+    let n = String.length s and m = String.length p in
+    if m = 0 then true
+    else begin
+      let found = ref false in
+      for i = 0 to n - m do
+        if String.sub s i m = p then found := true
+      done;
+      !found
+    end
+  in
+  match op with
+  | Eq -> value = lit
+  | Contains -> has_sub value lit
+  | Starts_with ->
+    String.length lit <= String.length value
+    && String.sub value 0 (String.length lit) = lit
+  | Ends_with ->
+    String.length lit <= String.length value
+    && String.sub value (String.length value - String.length lit) (String.length lit)
+       = lit
+  | Lt -> value < lit
+  | Le -> value <= lit
+  | Gt -> value > lit
+  | Ge -> value >= lit
+
+let eval ?(funs = fun _ -> None) doc path =
+  eval_path ~funs doc (Dom.root doc) path
+
+let eval_count ?funs doc path = List.length (eval ?funs doc path)
+
+let eval_ids ?funs doc path = List.map (fun n -> n.Dom.id) (eval ?funs doc path)
+
+let eval_union_ids ?funs doc paths =
+  List.concat_map (eval_ids ?funs doc) paths |> List.sort_uniq compare

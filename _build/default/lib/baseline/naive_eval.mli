@@ -1,0 +1,26 @@
+(** Straightforward recursive evaluator for Core+ over the pointer DOM
+    — the engine that plays the role of MonetDB/Qizx in the benchmark
+    comparisons, and the semantics oracle the SXSI engine is tested
+    against. *)
+
+type custom = Dom.node -> bool
+(** A registered custom predicate ([PSSM]-style, §6.7), applied to a
+    node selected by the predicate's path. *)
+
+val eval :
+  ?funs:(string -> custom option) ->
+  Dom.t ->
+  Sxsi_xpath.Ast.path ->
+  Dom.node list
+(** Nodes selected by an absolute query, in document order, duplicate
+    free.
+    @raise Invalid_argument on an unregistered custom predicate. *)
+
+val eval_count : ?funs:(string -> custom option) -> Dom.t -> Sxsi_xpath.Ast.path -> int
+
+val eval_ids : ?funs:(string -> custom option) -> Dom.t -> Sxsi_xpath.Ast.path -> int list
+(** Preorder identifiers of the selected nodes (sorted). *)
+
+val eval_union_ids :
+  ?funs:(string -> custom option) -> Dom.t -> Sxsi_xpath.Ast.path list -> int list
+(** Identifiers selected by a union of paths, merged and sorted. *)

@@ -1,0 +1,78 @@
+open Sxsi_xpath.Ast
+
+exception Unsupported of string
+
+(* State sets are bitmasks over step indices: bit i = "step i may match
+   the current event".  Descendant bits persist downwards; a matched
+   step arms the next one for the children. *)
+
+let supported (path : path) =
+  path.absolute
+  && List.length path.steps <= 60
+  && List.for_all (fun s -> s.preds = []) path.steps
+  && (match List.rev path.steps with
+     | [] -> false
+     | last :: before ->
+       (last.axis = Child || last.axis = Descendant || last.axis = Attribute)
+       && List.for_all (fun s -> s.axis = Child || s.axis = Descendant) before)
+
+let count xml (path : path) =
+  if not (supported path) then
+    raise (Unsupported "streaming supports predicate-free forward paths only");
+  let steps = Array.of_list path.steps in
+  let m = Array.length steps in
+  let attr_last = steps.(m - 1).axis = Attribute in
+  let elem_test test name =
+    match test with
+    | Star -> true
+    | Name n -> n = name
+    | Node -> true
+    | Text -> false
+  in
+  let attr_test test aname =
+    match test with
+    | Star | Node -> true
+    | Name n -> n = aname
+    | Text -> false
+  in
+  let count = ref 0 in
+  (* stack of masks; top applies to the children of the current open
+     element *)
+  let stack = ref [ 1 ] (* bit 0 armed for the document element *) in
+  let elem_steps = if attr_last then m - 1 else m in
+  let on_open name attrs =
+    let mask = List.hd !stack in
+    let child_mask = ref 0 and completed = ref false in
+    for i = 0 to elem_steps - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        if steps.(i).axis = Descendant then child_mask := !child_mask lor (1 lsl i);
+        if elem_test steps.(i).test name then begin
+          if i = m - 1 then completed := true
+          else if attr_last && i = m - 2 then
+            (* the attribute step applies to this element's attributes *)
+            List.iter
+              (fun (aname, _) -> if attr_test steps.(m - 1).test aname then incr count)
+              attrs
+          else child_mask := !child_mask lor (1 lsl (i + 1))
+        end
+      end
+    done;
+    if !completed then incr count;
+    stack := !child_mask :: !stack
+  in
+  let on_close _ = stack := List.tl !stack in
+  let on_text _ =
+    if not attr_last then begin
+      let mask = List.hd !stack in
+      (* the mask on top applies to children of the enclosing element,
+         which is where text nodes live; only a final text()/node()
+         step can match *)
+      let i = m - 1 in
+      if
+        mask land (1 lsl i) <> 0
+        && (steps.(i).test = Text || steps.(i).test = Node)
+      then incr count
+    end
+  in
+  Sxsi_xml.Xml_parser.parse ~on_open ~on_close ~on_text xml;
+  !count

@@ -1,0 +1,18 @@
+(** One-pass streaming evaluator for predicate-free forward paths — the
+    stand-in for the streaming engines (GCX, SPEX) the paper's
+    introduction compares against.  No preprocessing: every query reads
+    the whole document once through the SAX parser, keeping only a
+    stack of NFA state sets.
+
+    Supported fragment: absolute paths of [child::]/[descendant::]
+    steps over name, [*], [text()] and [node()] tests, optionally
+    ending with an [attribute::] step; no predicates. *)
+
+exception Unsupported of string
+
+val supported : Sxsi_xpath.Ast.path -> bool
+
+val count : string -> Sxsi_xpath.Ast.path -> int
+(** Number of nodes selected, computed in one pass over the XML text.
+    @raise Unsupported when the query is outside the fragment.
+    @raise Sxsi_xml.Xml_parser.Parse_error on malformed input. *)

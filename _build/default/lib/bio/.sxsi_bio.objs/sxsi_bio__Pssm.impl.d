@@ -1,0 +1,1 @@
+lib/bio/pssm.ml: Array List Random String Sxsi_core

@@ -1,0 +1,1 @@
+lib/bio/pssm.mli: Sxsi_core

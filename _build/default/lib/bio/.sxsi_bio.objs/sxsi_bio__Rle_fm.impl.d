@@ -1,0 +1,1 @@
+lib/bio/rle_fm.ml: Array Buffer Bytes Char Intvec List Sais Sparse String Sxsi_bits Sxsi_fm Wavelet

@@ -1,0 +1,1 @@
+lib/bio/rle_fm.mli:

@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  width : int;
+  (* scores.(pos * 4 + base); base index from A=0 C=1 G=2 T=3 *)
+  scores : float array;
+}
+
+let base_index = function
+  | 'A' | 'a' -> 0
+  | 'C' | 'c' -> 1
+  | 'G' | 'g' -> 2
+  | 'T' | 't' -> 3
+  | _ -> -1
+
+let of_counts ~name counts =
+  if Array.length counts <> 4 then invalid_arg "Pssm.of_counts: need 4 rows";
+  let width = Array.length counts.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then invalid_arg "Pssm.of_counts: ragged rows")
+    counts;
+  let scores = Array.make (width * 4) 0.0 in
+  for pos = 0 to width - 1 do
+    let total =
+      float_of_int
+        (counts.(0).(pos) + counts.(1).(pos) + counts.(2).(pos) + counts.(3).(pos))
+      +. 1.0
+    in
+    for base = 0 to 3 do
+      let p = (float_of_int counts.(base).(pos) +. 0.25) /. total in
+      scores.((pos * 4) + base) <- log (p /. 0.25) /. log 2.0
+    done
+  done;
+  { name; width; scores }
+
+let name t = t.name
+let width t = t.width
+
+let score t s off =
+  let acc = ref 0.0 in
+  (try
+     for pos = 0 to t.width - 1 do
+       let b = base_index s.[off + pos] in
+       if b < 0 then begin
+         acc := neg_infinity;
+         raise Exit
+       end;
+       acc := !acc +. t.scores.((pos * 4) + b)
+     done
+   with Exit -> ());
+  !acc
+
+let matches t ~threshold s =
+  let n = String.length s in
+  let rec go off = off + t.width <= n && (score t s off >= threshold || go (off + 1)) in
+  go 0
+
+let count_matches t ~threshold s =
+  let n = String.length s in
+  let c = ref 0 in
+  for off = 0 to n - t.width do
+    if score t s off >= threshold then incr c
+  done;
+  !c
+
+(* Deterministic synthetic matrices: a strong short motif, a medium
+   12-mer, and a long weak 14-mer, echoing the M1-M3 selectivity ladder
+   of Figure 18. *)
+let synth ~name ~width ~seed =
+  let st = Random.State.make [| seed |] in
+  let counts =
+    Array.init 4 (fun _ -> Array.init width (fun _ -> Random.State.int st 10))
+  in
+  (* sharpen one consensus base per position *)
+  for pos = 0 to width - 1 do
+    counts.(Random.State.int st 4).(pos) <- 25 + Random.State.int st 10
+  done;
+  of_counts ~name counts
+
+let sample_matrices =
+  [
+    (synth ~name:"M1" ~width:8 ~seed:101, 6.0);
+    (synth ~name:"M2" ~width:12 ~seed:102, 11.0);
+    (synth ~name:"M3" ~width:14 ~seed:103, 14.0);
+  ]
+
+let registry mats : Sxsi_core.Run.text_funs =
+ fun key ->
+  List.find_map
+    (fun (m, threshold) ->
+      if key = "PSSM:" ^ m.name then
+        Some (Sxsi_core.Run.simple_fun (matches m ~threshold))
+      else None)
+    mats

@@ -1,0 +1,31 @@
+(** Position-specific scoring matrices (§6.7): given a position
+    frequency matrix over A/C/G/T, converted to log-odds form, a
+    sequence matches when some window scores at least the threshold.
+    [registry] packages named matrices as engine predicates, so XPath
+    queries can say [//promoter\[PSSM(., M1)\]]. *)
+
+type t
+
+val of_counts : name:string -> int array array -> t
+(** [of_counts ~name counts]: [counts.(base).(position)] with bases in
+    A, C, G, T order; converted to log-odds against a uniform
+    background with a pseudocount.
+    @raise Invalid_argument unless there are exactly 4 equal-length
+    rows. *)
+
+val name : t -> string
+val width : t -> int
+
+val score : t -> string -> int -> float
+(** Score of the window starting at an offset (0 on alphabet errors). *)
+
+val matches : t -> threshold:float -> string -> bool
+val count_matches : t -> threshold:float -> string -> int
+
+val sample_matrices : (t * float) list
+(** Three bundled matrices of widths 8, 12 and 14 with thresholds, in
+    the spirit of the Jaspar matrices used in Figure 18 ("M1", "M2",
+    "M3"). *)
+
+val registry : (t * float) list -> Sxsi_core.Run.text_funs
+(** Expose matrices as custom predicates keyed ["PSSM:<name>"]. *)

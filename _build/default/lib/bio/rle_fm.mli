@@ -1,0 +1,21 @@
+(** Run-length compressed FM-index (a simplified RLCSA [48], §6.7):
+    the BWT of a repetitive collection has long runs of equal symbols,
+    so storing one wavelet-tree entry per {e run} plus run-boundary
+    bitmaps compresses far below the character-level index while still
+    supporting counting via backward search. *)
+
+type t
+
+val build : string array -> t
+(** Index a collection of texts (byte 0 reserved, as in
+    {!Sxsi_fm.Fm_index}). *)
+
+val length : t -> int
+val doc_count : t -> int
+val run_count : t -> int
+(** Number of BWT runs — the compression driver. *)
+
+val count : t -> string -> int
+(** Occurrences of the pattern in the collection. *)
+
+val space_bits : t -> int

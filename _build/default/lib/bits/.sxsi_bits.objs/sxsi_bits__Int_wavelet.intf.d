@@ -1,0 +1,1 @@
+lib/bits/int_wavelet.mli:

@@ -1,0 +1,1 @@
+lib/bits/sparse.ml: Array Bitvec Intvec

@@ -1,0 +1,1 @@
+lib/bits/wavelet.ml: Array Bitvec Bytes Char List String

@@ -1,0 +1,156 @@
+(* Bits are packed 63 per OCaml int.  A rank directory stores the
+   cumulative number of ones before every block of [words_per_block]
+   words; rank pops at most 8 words, select binary-searches the
+   directory then scans one block. *)
+
+let word_bits = 63
+let words_per_block = 8
+let block_bits = word_bits * words_per_block
+
+type t = {
+  len : int;                (* length in bits *)
+  words : int array;
+  blocks : int array;       (* blocks.(k) = ones before word k*8 *)
+  ones : int;
+}
+
+module Builder = struct
+  type bv = t
+
+  type t = {
+    mutable data : int array;
+    mutable nbits : int;
+  }
+
+  let create ?(hint = 64) () =
+    { data = Array.make (max 1 ((hint + word_bits - 1) / word_bits)) 0; nbits = 0 }
+
+  let ensure b nwords =
+    if nwords > Array.length b.data then begin
+      let data = Array.make (max nwords (2 * Array.length b.data)) 0 in
+      Array.blit b.data 0 data 0 (Array.length b.data);
+      b.data <- data
+    end
+
+  let push b bit =
+    let w = b.nbits / word_bits and o = b.nbits mod word_bits in
+    ensure b (w + 1);
+    if bit then b.data.(w) <- b.data.(w) lor (1 lsl o);
+    b.nbits <- b.nbits + 1
+
+  let push_run b bit k =
+    (* Simple loop: runs in our workloads are short except for zeros,
+       which only need the length bump. *)
+    if not bit then begin
+      ensure b ((b.nbits + k) / word_bits + 1);
+      b.nbits <- b.nbits + k
+    end
+    else
+      for _ = 1 to k do
+        push b bit
+      done
+
+  let length b = b.nbits
+
+  let finish b : bv =
+    let nwords = (b.nbits + word_bits - 1) / word_bits in
+    let words = Array.sub b.data 0 (max 1 nwords) in
+    let nblocks = (nwords + words_per_block - 1) / words_per_block + 1 in
+    let blocks = Array.make nblocks 0 in
+    let acc = ref 0 in
+    for w = 0 to nwords - 1 do
+      if w mod words_per_block = 0 then blocks.(w / words_per_block) <- !acc;
+      acc := !acc + Popcnt.popcount words.(w)
+    done;
+    blocks.(nblocks - 1) <- !acc;
+    { len = b.nbits; words; blocks; ones = !acc }
+end
+
+let of_fun n f =
+  let b = Builder.create ~hint:n () in
+  for i = 0 to n - 1 do
+    Builder.push b (f i)
+  done;
+  Builder.finish b
+
+let length t = t.len
+let count t = t.ones
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.get";
+  (Array.unsafe_get t.words (i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let rank1 t i =
+  if i <= 0 then 0
+  else if i >= t.len then t.ones
+  else begin
+    let w = i / word_bits and o = i mod word_bits in
+    let blk = w / words_per_block in
+    let r = ref t.blocks.(blk) in
+    for k = blk * words_per_block to w - 1 do
+      r := !r + Popcnt.popcount (Array.unsafe_get t.words k)
+    done;
+    if o > 0 then
+      r := !r + Popcnt.popcount (Array.unsafe_get t.words w land ((1 lsl o) - 1));
+    !r
+  end
+
+let rank0 t i =
+  let i = if i < 0 then 0 else if i > t.len then t.len else i in
+  i - rank1 t i
+
+(* Generic select over a "ones before block" function: binary search the
+   directory, then scan the block's words. *)
+let select_gen t j ones_before_block word_count word_select total =
+  if j < 0 || j >= total then invalid_arg "Bitvec.select";
+  let nwords = Array.length t.words in
+  let nblocks = (nwords + words_per_block - 1) / words_per_block in
+  (* last block index b such that ones_before_block b <= j *)
+  let lo = ref 0 and hi = ref (nblocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if ones_before_block mid <= j then lo := mid else hi := mid - 1
+  done;
+  let blk = !lo in
+  let rem = ref (j - ones_before_block blk) in
+  let w = ref (blk * words_per_block) in
+  let wmax = min nwords ((blk + 1) * words_per_block) in
+  let res = ref (-1) in
+  (try
+     while !w < wmax do
+       let c = word_count (Array.unsafe_get t.words !w) in
+       if !rem < c then begin
+         res := (!w * word_bits) + word_select (Array.unsafe_get t.words !w) !rem;
+         raise Exit
+       end;
+       rem := !rem - c;
+       incr w
+     done
+   with Exit -> ());
+  if !res < 0 then invalid_arg "Bitvec.select: out of range" else !res
+
+let mask63 = (1 lsl word_bits) - 1
+
+let select1 t j =
+  select_gen t j
+    (fun b -> t.blocks.(b))
+    Popcnt.popcount Popcnt.select_in_word t.ones
+
+let select0 t j =
+  let zeros_before b = (b * block_bits) - t.blocks.(b) in
+  let word_count w = word_bits - Popcnt.popcount w in
+  let word_select w r = Popcnt.select_in_word (lnot w land mask63) r in
+  let total = t.len - t.ones in
+  (* The tail of the last word is implicit zero padding; selecting a zero
+     there would be out of range, guarded by [total]. *)
+  select_gen t j zeros_before word_count word_select total
+
+let next1 t i =
+  if i >= t.len then -1
+  else begin
+    let r = rank1 t i in
+    if r >= t.ones then -1 else select1 t r
+  end
+
+let space_bits t =
+  (Array.length t.words + Array.length t.blocks) * 64 + 128

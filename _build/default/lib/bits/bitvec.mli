@@ -1,0 +1,42 @@
+(** Static bit vectors with constant-time-style [rank] and fast
+    [select], the base layer of every succinct structure in SXSI.
+
+    Positions are 0-based. [rank1 t i] counts set bits in the half-open
+    prefix [\[0, i)]; [select1 t j] is the position of the [j]-th set
+    bit (0-based), so [rank1 t (select1 t j) = j]. *)
+
+type t
+
+module Builder : sig
+  type bv = t
+  type t
+
+  val create : ?hint:int -> unit -> t
+  val push : t -> bool -> unit
+  val push_run : t -> bool -> int -> unit
+
+  val length : t -> int
+
+  val finish : t -> bv
+  (** Freeze into a static bitvector with rank/select support. *)
+end
+
+val of_fun : int -> (int -> bool) -> t
+(** [of_fun n f] builds an [n]-bit vector whose bit [i] is [f i]. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val count : t -> int
+(** Total number of set bits. *)
+
+val rank1 : t -> int -> int
+val rank0 : t -> int -> int
+val select1 : t -> int -> int
+val select0 : t -> int -> int
+
+val next1 : t -> int -> int
+(** [next1 t i] is the smallest position [p >= i] with bit [p] set, or
+    [-1] if none. *)
+
+val space_bits : t -> int
+(** Total space of the structure, in bits (payload plus directories). *)

@@ -1,0 +1,129 @@
+(* Balanced shape: level k partitions values by bit (width-1-k).  Node
+   bitmaps are stored per level over implicit value intervals, so the
+   whole tree is [width] bitvectors of length [n]. *)
+
+type t = {
+  n : int;
+  sigma : int;
+  width : int;
+  levels : Bitvec.t array;    (* levels.(k): bit (width-1-k) of each value,
+                                 in the order induced by the upper bits *)
+}
+
+let bits_for v =
+  let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let of_array ~sigma a =
+  Array.iter
+    (fun v -> if v < 0 || v >= sigma then invalid_arg "Int_wavelet.of_array")
+    a;
+  let n = Array.length a in
+  let width = bits_for (max 1 (sigma - 1)) in
+  let levels = Array.make width (Bitvec.of_fun 0 (fun _ -> false)) in
+  let cur = ref (Array.copy a) in
+  for k = 0 to width - 1 do
+    let bit = width - 1 - k in
+    let seq = !cur in
+    levels.(k) <- Bitvec.of_fun n (fun i -> (seq.(i) lsr bit) land 1 = 1);
+    (* next level: stable counting sort by the top (k+1) bits, which
+       partitions within every node while keeping node spans intact *)
+    if k < width - 1 then begin
+      let shift = bit in
+      let buckets = 1 lsl (k + 1) in
+      let counts = Array.make (buckets + 1) 0 in
+      Array.iter (fun v -> counts.((v lsr shift) + 1) <- counts.((v lsr shift) + 1) + 1) seq;
+      for b = 1 to buckets do
+        counts.(b) <- counts.(b) + counts.(b - 1)
+      done;
+      let next = Array.make n 0 in
+      Array.iter
+        (fun v ->
+          let b = v lsr shift in
+          next.(counts.(b)) <- v;
+          counts.(b) <- counts.(b) + 1)
+        seq;
+      cur := next
+    end
+  done;
+  { n; sigma; width; levels }
+
+let length t = t.n
+let sigma t = t.sigma
+
+let access t i =
+  if i < 0 || i >= t.n then invalid_arg "Int_wavelet.access";
+  let v = ref 0 and pos = ref i and lo = ref 0 and hi = ref t.n in
+  for k = 0 to t.width - 1 do
+    let bv = t.levels.(k) in
+    let ones_before = Bitvec.rank1 bv !lo in
+    if Bitvec.get bv !pos then begin
+      v := (!v lsl 1) lor 1;
+      (* ones of this node go to the right part of the next level *)
+      let node_ones = Bitvec.rank1 bv !hi - ones_before in
+      let rank_in = Bitvec.rank1 bv !pos - ones_before in
+      let zeros_total = !hi - !lo - node_ones in
+      pos := !lo + zeros_total + rank_in;
+      lo := !lo + zeros_total
+    end
+    else begin
+      v := !v lsl 1;
+      let rank_in = Bitvec.rank0 bv !pos - Bitvec.rank0 bv !lo in
+      let node_ones = Bitvec.rank1 bv !hi - ones_before in
+      pos := !lo + rank_in;
+      hi := !hi - node_ones
+    end
+  done;
+  !v
+
+(* Generic traversal: visit leaves intersecting the value range,
+   carrying the mapped positional interval. *)
+let traverse t ~lo ~hi ~vlo ~vhi f =
+  let lo = max 0 lo and hi = min t.n hi in
+  let vlo = max 0 vlo and vhi = min t.sigma vhi in
+  if lo < hi && vlo < vhi then begin
+    let rec go k node_lo node_hi seg_lo seg_hi vmin vmax =
+      (* seg = positional node interval at level k; [vmin, vmax) = value
+         interval of this node *)
+      if node_lo < node_hi && vmin < vhi && vmax > vlo then begin
+        if k = t.width then f vmin (node_hi - node_lo)
+        else begin
+          let bv = t.levels.(k) in
+          let seg_ones_before = Bitvec.rank1 bv seg_lo in
+          let seg_ones = Bitvec.rank1 bv seg_hi - seg_ones_before in
+          let seg_zeros = seg_hi - seg_lo - seg_ones in
+          let z_before = Bitvec.rank0 bv node_lo - Bitvec.rank0 bv seg_lo in
+          let z_inside = Bitvec.rank0 bv node_hi - Bitvec.rank0 bv node_lo in
+          let o_before = Bitvec.rank1 bv node_lo - seg_ones_before in
+          let o_inside = Bitvec.rank1 bv node_hi - Bitvec.rank1 bv node_lo in
+          let vmid = vmin + ((vmax - vmin + 1) / 2) in
+          (* left child occupies [seg_lo, seg_lo + seg_zeros) next level *)
+          go (k + 1) (seg_lo + z_before)
+            (seg_lo + z_before + z_inside)
+            seg_lo (seg_lo + seg_zeros) vmin vmid;
+          go (k + 1)
+            (seg_lo + seg_zeros + o_before)
+            (seg_lo + seg_zeros + o_before + o_inside)
+            (seg_lo + seg_zeros) seg_hi vmid vmax
+        end
+      end
+    in
+    go 0 lo hi 0 t.n 0 (1 lsl t.width)
+  end
+
+let range_count t ~lo ~hi ~vlo ~vhi =
+  let acc = ref 0 in
+  traverse t ~lo ~hi ~vlo ~vhi (fun v c -> if v >= vlo && v < vhi then acc := !acc + c);
+  !acc
+
+let range_report t ~lo ~hi ~vlo ~vhi =
+  let acc = ref [] in
+  traverse t ~lo ~hi ~vlo ~vhi (fun v c ->
+      if v >= vlo && v < vhi && c > 0 then acc := v :: !acc);
+  List.sort compare !acc
+
+let rank_value t v i =
+  if v < 0 || v >= t.sigma then 0 else range_count t ~lo:0 ~hi:i ~vlo:v ~vhi:(v + 1)
+
+let space_bits t =
+  Array.fold_left (fun acc bv -> acc + Bitvec.space_bits bv) 192 t.levels

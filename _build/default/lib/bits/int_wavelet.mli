@@ -1,0 +1,26 @@
+(** Balanced wavelet tree over an integer sequence — the structure
+    behind the general form of the [Doc] mapping (§3.2 of the paper,
+    after Mäkinen and Navarro [46]): report, among the entries of a
+    positional range, those whose value falls in a value range, in
+    O(log sigma) per answer. *)
+
+type t
+
+val of_array : sigma:int -> int array -> t
+(** [of_array ~sigma a] with values of [a] in [\[0, sigma)]. *)
+
+val length : t -> int
+val sigma : t -> int
+val access : t -> int -> int
+
+val rank_value : t -> int -> int -> int
+(** [rank_value t v i]: occurrences of value [v] in positions
+    [\[0, i)]. *)
+
+val range_count : t -> lo:int -> hi:int -> vlo:int -> vhi:int -> int
+(** Entries in positions [\[lo, hi)] with value in [\[vlo, vhi)]. *)
+
+val range_report : t -> lo:int -> hi:int -> vlo:int -> vhi:int -> int list
+(** The distinct values of those entries, sorted increasingly. *)
+
+val space_bits : t -> int

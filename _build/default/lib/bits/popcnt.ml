@@ -1,0 +1,29 @@
+(* 16-bit lookup table; OCaml ints are 63-bit so SWAR constants with the
+   64th bit set cannot be written as literals. *)
+let table =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set t i (Char.unsafe_chr (count i 0))
+  done;
+  t
+
+let popcount x =
+  Char.code (Bytes.unsafe_get table (x land 0xffff))
+  + Char.code (Bytes.unsafe_get table ((x lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get table ((x lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get table (x lsr 48))
+
+let select_in_word x j =
+  let rec go x j pos =
+    let c = Char.code (Bytes.unsafe_get table (x land 0xffff)) in
+    if j < c then
+      (* scan the low 16 bits *)
+      let rec bit x j pos =
+        if x land 1 = 1 then if j = 0 then pos else bit (x lsr 1) (j - 1) (pos + 1)
+        else bit (x lsr 1) j (pos + 1)
+      in
+      bit x j pos
+    else go (x lsr 16) (j - c) (pos + 16)
+  in
+  go x j 0

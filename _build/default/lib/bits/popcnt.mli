@@ -1,0 +1,10 @@
+(** Population-count primitives for 63-bit OCaml integers. *)
+
+val popcount : int -> int
+(** [popcount x] is the number of set bits in the 63-bit integer [x].
+    [x] must be non-negative. *)
+
+val select_in_word : int -> int -> int
+(** [select_in_word x j] is the 0-based position of the [j]-th set bit
+    of [x] (0-based [j]); behaviour is unspecified when
+    [j >= popcount x]. *)

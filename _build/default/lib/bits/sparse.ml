@@ -1,0 +1,87 @@
+type t = {
+  m : int;
+  universe : int;
+  lbits : int;
+  low : Intvec.t option;    (* None when lbits = 0 *)
+  high : Bitvec.t;
+}
+
+let of_sorted ~universe a =
+  let m = Array.length a in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= universe then invalid_arg "Sparse.of_sorted: out of universe";
+      if i > 0 && a.(i - 1) >= v then invalid_arg "Sparse.of_sorted: not increasing")
+    a;
+  let lbits =
+    if m = 0 then 0
+    else begin
+      let rec log2 v acc = if v <= 1 then acc else log2 (v lsr 1) (acc + 1) in
+      max 0 (log2 (universe / m) 0)
+    end
+  in
+  let low =
+    if lbits = 0 then None
+    else begin
+      let iv = Intvec.make m lbits in
+      let mask = (1 lsl lbits) - 1 in
+      Array.iteri (fun i v -> Intvec.set iv i (v land mask)) a;
+      Some iv
+    end
+  in
+  let hlen = m + (universe lsr lbits) + 1 in
+  let b = Bitvec.Builder.create ~hint:hlen () in
+  let prev_bucket = ref 0 in
+  Array.iter
+    (fun v ->
+      let bucket = v lsr lbits in
+      Bitvec.Builder.push_run b false (bucket - !prev_bucket);
+      Bitvec.Builder.push b true;
+      prev_bucket := bucket)
+    a;
+  Bitvec.Builder.push_run b false (hlen - Bitvec.Builder.length b);
+  { m; universe; lbits; low; high = Bitvec.Builder.finish b }
+
+let length t = t.m
+let universe t = t.universe
+
+let low_of t i = match t.low with None -> 0 | Some iv -> Intvec.get iv i
+
+let get t i =
+  if i < 0 || i >= t.m then invalid_arg "Sparse.get";
+  let p = Bitvec.select1 t.high i in
+  ((p - i) lsl t.lbits) lor low_of t i
+
+let rank t i =
+  if t.m = 0 || i <= 0 then 0
+  else if i >= t.universe then t.m
+  else begin
+    let hb = i lsr t.lbits in
+    let start = if hb = 0 then 0 else Bitvec.select0 t.high (hb - 1) + 1 in
+    let ilow = i land ((1 lsl t.lbits) - 1) in
+    let j = ref (start - hb) and p = ref start in
+    while
+      !p < Bitvec.length t.high
+      && Bitvec.get t.high !p
+      && low_of t !j < ilow
+    do
+      incr j;
+      incr p
+    done;
+    !j
+  end
+
+let next t i =
+  let r = rank t i in
+  if r >= t.m then -1 else get t r
+
+let prev t i =
+  let r = rank t i in
+  if r = 0 then -1 else get t (r - 1)
+
+let mem t i = next t i = i
+
+let space_bits t =
+  Bitvec.space_bits t.high
+  + (match t.low with None -> 0 | Some iv -> Intvec.space_bits iv)
+  + 192

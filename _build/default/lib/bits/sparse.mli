@@ -1,0 +1,32 @@
+(** Sparse bitmaps in Elias-Fano encoding (the practical counterpart of
+    Okanohara and Sadakane's [sarray], used for the per-tag rows of the
+    tag index).  A value stores [m] strictly increasing integers drawn
+    from [\[0, universe)] in roughly [m log (universe/m) + 2m] bits. *)
+
+type t
+
+val of_sorted : universe:int -> int array -> t
+(** [of_sorted ~universe a] encodes the strictly increasing array [a].
+    @raise Invalid_argument if [a] is not strictly increasing or an
+    element falls outside [\[0, universe)]. *)
+
+val length : t -> int
+(** Number of stored elements. *)
+
+val universe : t -> int
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th smallest stored value (0-based). *)
+
+val rank : t -> int -> int
+(** [rank t i] is the number of stored values strictly below [i]. *)
+
+val mem : t -> int -> bool
+
+val next : t -> int -> int
+(** [next t i] is the smallest stored value [>= i], or [-1]. *)
+
+val prev : t -> int -> int
+(** [prev t i] is the largest stored value [< i], or [-1]. *)
+
+val space_bits : t -> int

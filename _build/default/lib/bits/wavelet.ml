@@ -1,0 +1,152 @@
+type node =
+  | Leaf of int                                    (* symbol *)
+  | Node of { bits : Bitvec.t; left : node; right : node }
+
+type t = {
+  root : node;
+  len : int;
+  (* per byte: code length (-1 if absent), code path (bit k = direction
+     at depth k, 0 = left), total count *)
+  code_len : int array;
+  code_path : int array;
+  counts : int array;
+}
+
+(* Huffman tree over the distinct bytes of [s], by repeatedly merging
+   the two smallest-weight trees.  A sorted-list based merge is ample
+   for a 256-symbol alphabet. *)
+type htree = HLeaf of int * int | HNode of int * htree * htree
+
+let hweight = function HLeaf (w, _) -> w | HNode (w, _, _) -> w
+
+let build_huffman counts =
+  let leaves = ref [] in
+  for c = 255 downto 0 do
+    if counts.(c) > 0 then leaves := HLeaf (counts.(c), c) :: !leaves
+  done;
+  let sorted = List.sort (fun a b -> compare (hweight a) (hweight b)) !leaves in
+  let rec insert t = function
+    | [] -> [ t ]
+    | x :: rest as l ->
+      if hweight t <= hweight x then t :: l else x :: insert t rest
+  in
+  let rec merge = function
+    | [] -> None
+    | [ t ] -> Some t
+    | a :: b :: rest ->
+      merge (insert (HNode (hweight a + hweight b, a, b)) rest)
+  in
+  merge sorted
+
+let of_string s =
+  let len = String.length s in
+  let counts = Array.make 256 0 in
+  String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) s;
+  let code_len = Array.make 256 (-1) and code_path = Array.make 256 0 in
+  match build_huffman counts with
+  | None ->
+    { root = Leaf 0; len; code_len; code_path; counts }
+  | Some (HLeaf (_, sym)) ->
+    code_len.(sym) <- 0;
+    { root = Leaf sym; len; code_len; code_path; counts }
+  | Some hroot ->
+    let rec assign depth path = function
+      | HLeaf (_, sym) ->
+        if depth > 62 then failwith "Wavelet: code too long";
+        code_len.(sym) <- depth;
+        code_path.(sym) <- path
+      | HNode (_, l, r) ->
+        assign (depth + 1) path l;
+        assign (depth + 1) (path lor (1 lsl depth)) r
+    in
+    assign 0 0 hroot;
+    (* Build each node's bitmap by recursively partitioning the symbol
+       stream; [seq] holds the byte values routed to this node, in
+       order, and [depth] selects the code bit deciding the direction. *)
+    let rec build2 ht depth (seq : Bytes.t) n =
+      match ht with
+      | HLeaf (_, sym) -> Leaf sym
+      | HNode (_, hl, hr) ->
+        let b = Bitvec.Builder.create ~hint:n () in
+        let nr = ref 0 in
+        for i = 0 to n - 1 do
+          let c = Char.code (Bytes.unsafe_get seq i) in
+          let dir = (code_path.(c) lsr depth) land 1 in
+          Bitvec.Builder.push b (dir = 1);
+          if dir = 1 then incr nr
+        done;
+        let sl = Bytes.create (n - !nr) and sr = Bytes.create !nr in
+        let il = ref 0 and ir = ref 0 in
+        for i = 0 to n - 1 do
+          let ch = Bytes.unsafe_get seq i in
+          let dir = (code_path.(Char.code ch) lsr depth) land 1 in
+          if dir = 1 then begin
+            Bytes.unsafe_set sr !ir ch;
+            incr ir
+          end
+          else begin
+            Bytes.unsafe_set sl !il ch;
+            incr il
+          end
+        done;
+        let left = build2 hl (depth + 1) sl (n - !nr) in
+        let right = build2 hr (depth + 1) sr !nr in
+        Node { bits = Bitvec.Builder.finish b; left; right }
+    in
+    let root = build2 hroot 0 (Bytes.of_string s) len in
+    { root; len; code_len; code_path; counts }
+
+let length t = t.len
+
+let access t i =
+  if i < 0 || i >= t.len then invalid_arg "Wavelet.access";
+  let rec go node i =
+    match node with
+    | Leaf sym -> Char.chr sym
+    | Node { bits; left; right } ->
+      if Bitvec.get bits i then go right (Bitvec.rank1 bits i)
+      else go left (Bitvec.rank0 bits i)
+  in
+  go t.root i
+
+let rank t c i =
+  let sym = Char.code c in
+  if t.code_len.(sym) < 0 then 0
+  else begin
+    let i = if i < 0 then 0 else if i > t.len then t.len else i in
+    let path = t.code_path.(sym) in
+    let rec go node depth i =
+      if i = 0 then 0
+      else
+        match node with
+        | Leaf _ -> i
+        | Node { bits; left; right } ->
+          if (path lsr depth) land 1 = 1 then go right (depth + 1) (Bitvec.rank1 bits i)
+          else go left (depth + 1) (Bitvec.rank0 bits i)
+    in
+    go t.root 0 i
+  end
+
+let count t c = t.counts.(Char.code c)
+
+let select t c j =
+  let sym = Char.code c in
+  if t.code_len.(sym) < 0 || j < 0 || j >= t.counts.(sym) then
+    invalid_arg "Wavelet.select";
+  let path = t.code_path.(sym) in
+  let rec go node depth j =
+    match node with
+    | Leaf _ -> j
+    | Node { bits; left; right } ->
+      if (path lsr depth) land 1 = 1 then
+        Bitvec.select1 bits (go right (depth + 1) j)
+      else Bitvec.select0 bits (go left (depth + 1) j)
+  in
+  go t.root 0 j
+
+let space_bits t =
+  let rec go = function
+    | Leaf _ -> 64
+    | Node { bits; left; right } -> Bitvec.space_bits bits + go left + go right
+  in
+  go t.root + (3 * 256 * 64)

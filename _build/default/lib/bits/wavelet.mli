@@ -1,0 +1,25 @@
+(** Huffman-shaped wavelet tree over byte sequences, the sequence
+    representation SXSI uses for the BWT (§3.1 of the paper): plain
+    bitmaps inside a Huffman-shaped tree give [H0]-compressed space and
+    [O(H0)] average-time [access]/[rank]/[select]. *)
+
+type t
+
+val of_string : string -> t
+
+val length : t -> int
+
+val access : t -> int -> char
+
+val rank : t -> char -> int -> int
+(** [rank t c i] is the number of occurrences of [c] in the half-open
+    prefix [\[0, i)]. *)
+
+val select : t -> char -> int -> int
+(** [select t c j] is the position of the [j]-th occurrence of [c]
+    (0-based), so [rank t c (select t c j) = j]. *)
+
+val count : t -> char -> int
+(** Total occurrences of [c]. *)
+
+val space_bits : t -> int

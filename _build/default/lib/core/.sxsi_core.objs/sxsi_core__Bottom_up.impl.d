@@ -1,0 +1,1 @@
+lib/core/bottom_up.ml: Array Bp Document Hashtbl List Option Run Sxsi_auto Sxsi_tree Sxsi_xml Sxsi_xpath Unix

@@ -1,0 +1,1 @@
+lib/core/bottom_up.mli: Run Sxsi_auto Sxsi_xml Sxsi_xpath

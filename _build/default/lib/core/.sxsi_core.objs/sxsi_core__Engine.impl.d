@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Automaton Bottom_up Buffer Compile Document Lazy List Marks Run Sxsi_auto Sxsi_text Sxsi_tree Sxsi_xml Sxsi_xpath Tag_index

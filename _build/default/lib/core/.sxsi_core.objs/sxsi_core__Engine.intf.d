@@ -1,0 +1,1 @@
+lib/core/engine.mli: Bottom_up Buffer Run Sxsi_auto Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+lib/core/marks.ml: Array List Sxsi_tree Tag_index

@@ -1,0 +1,1 @@
+lib/core/marks.mli: Sxsi_tree

@@ -1,0 +1,1 @@
+lib/core/run.ml: Array Automaton Bp Document Formula Hashtbl List Marks Printf Stateset String Sxsi_auto Sxsi_text Sxsi_tree Sxsi_xml Sxsi_xpath Tag_index

@@ -1,0 +1,1 @@
+lib/core/run.mli: Marks Sxsi_auto Sxsi_tree Sxsi_xml Sxsi_xpath

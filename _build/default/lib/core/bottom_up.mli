@@ -1,0 +1,32 @@
+(** Bottom-up evaluation (§5.4.2): for queries of the shape
+    [/axis::t1/.../axis::tk\[text-predicate\]], ask the text index for
+    the matching texts first, then verify each candidate's upward path
+    to the root — a huge win when the predicate is selective.
+
+    Shared ancestors are verified once through a (step, node) memo
+    table, which plays the role of the shift-reduce bookkeeping of the
+    paper's Figure 6. *)
+
+type plan
+
+val plan : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> plan option
+(** [Some] when the query has the bottom-up-compatible shape: child or
+    descendant steps, no intermediate filters, and a single text
+    predicate on the last step applied to the node's own value — where
+    the last step selects text nodes, or elements whose tag the index
+    knows to be PCDATA-only (so "one matching text = one matching
+    node" holds, §6.6). *)
+
+val pred_of : plan -> Sxsi_auto.Automaton.pred_descr
+
+val matches_empty_value : ?funs:Run.text_funs -> plan -> bool
+(** Whether the predicate accepts the empty string — if so, nodes
+    without texts qualify and the bottom-up strategy is unsound. *)
+
+val run : ?funs:Run.text_funs -> Sxsi_xml.Document.t -> plan -> int list
+(** Selected node positions, sorted (document order). *)
+
+val run_with_text_time :
+  ?funs:Run.text_funs -> Sxsi_xml.Document.t -> plan -> float * int list
+(** Like {!run}, also reporting the seconds spent in the text-index
+    phase (for the Figure 15 time split). *)

@@ -1,0 +1,144 @@
+open Sxsi_xml
+open Sxsi_tree
+open Sxsi_auto
+
+type one = {
+  doc : Document.t;
+  path : Sxsi_xpath.Ast.path;
+  auto : Automaton.t Lazy.t;
+  bu : Bottom_up.plan option;
+}
+
+type compiled = one list   (* a union of absolute paths; never empty *)
+
+type strategy = Auto | Top_down | Bottom_up
+
+let prepare_path doc path =
+  [
+    {
+      doc;
+      path;
+      auto = lazy (Compile.compile doc path);
+      bu = Bottom_up.plan doc path;
+    };
+  ]
+
+let prepare doc src =
+  List.concat_map (prepare_path doc) (Sxsi_xpath.Xpath_parser.parse_union src)
+
+let one c = List.hd c
+let automaton c = Lazy.force (one c).auto
+let bottom_up_plan c = (one c).bu
+
+(* Cheap selectivity estimate for the predicate of a bottom-up plan. *)
+let estimate_matches doc plan =
+  let tc = Document.text doc in
+  let open Sxsi_xpath.Ast in
+  match Bottom_up.pred_of plan with
+  | Automaton.Text_pred (op, lit) -> begin
+    match op with
+    | Contains -> Sxsi_text.Text_collection.global_count tc lit
+    | Eq -> Sxsi_text.Text_collection.equals_count tc lit
+    | Starts_with -> Sxsi_text.Text_collection.starts_with_count tc lit
+    | Ends_with -> Sxsi_text.Text_collection.ends_with_count tc lit
+    | Lt | Le -> Sxsi_text.Text_collection.less_equal_count tc lit
+    | Gt | Ge ->
+      Sxsi_text.Text_collection.doc_count tc
+      - Sxsi_text.Text_collection.less_than_count tc lit
+  end
+  | Automaton.Custom_pred _ ->
+    (* custom predicates have no index estimate; treat as selective
+       (the §6.7 behaviour: scan texts once, verify upward) *)
+    0
+
+let min_step_tag_count (c : one) =
+  let ti = Document.tag_index c.doc in
+  let open Sxsi_xpath.Ast in
+  List.fold_left
+    (fun acc step ->
+      match step.test with
+      | Name n -> begin
+        match Document.tag_id c.doc n with
+        | Some tg -> min acc (Tag_index.count ti tg)
+        | None -> 0
+      end
+      | Star | Text | Node -> acc)
+    (Document.node_count c.doc)
+    c.path.steps
+
+let chosen_strategy_one ~funs ~strategy (c : one) =
+  match strategy with
+  | Top_down -> `Top_down
+  | Bottom_up -> begin
+    match c.bu with
+    | Some _ -> `Bottom_up
+    | None -> invalid_arg "Engine: query has no bottom-up shape"
+  end
+  | Auto -> begin
+    match c.bu with
+    | Some plan when not (Bottom_up.matches_empty_value ~funs plan) ->
+      if estimate_matches c.doc plan < min_step_tag_count c then `Bottom_up
+      else `Top_down
+    | Some _ | None -> `Top_down
+  end
+
+let chosen_strategy ?(funs = fun _ -> None) ?(strategy = Auto) c =
+  chosen_strategy_one ~funs ~strategy (one c)
+
+let select_one ?config ~funs ~strategy (c : one) =
+  match chosen_strategy_one ~funs ~strategy c with
+  | `Bottom_up -> begin
+    match c.bu with
+    | Some plan -> Array.of_list (Bottom_up.run ~funs c.doc plan)
+    | None -> assert false
+  end
+  | `Top_down ->
+    let auto = Lazy.force c.auto in
+    let marks = Run.run ?config ~funs Run.marks_sem auto in
+    let pos = Marks.positions (Document.tag_index c.doc) marks in
+    if auto.Automaton.needs_dedup then
+      Array.of_list (List.sort_uniq compare (Array.to_list pos))
+    else begin
+      (* marks are duplicate-free but the interleaving of a match
+         formula with its scan continuation is not ordered *)
+      Array.sort compare pos;
+      pos
+    end
+
+let select ?config ?(funs = fun _ -> None) ?(strategy = Auto) c =
+  match c with
+  | [ single ] -> select_one ?config ~funs ~strategy single
+  | branches ->
+    (* union: evaluate each branch and merge, removing duplicates *)
+    List.concat_map
+      (fun b -> Array.to_list (select_one ?config ~funs ~strategy b))
+      branches
+    |> List.sort_uniq compare |> Array.of_list
+
+let count ?config ?(funs = fun _ -> None) ?(strategy = Auto) c =
+  match c with
+  | [ single ] -> begin
+    match chosen_strategy_one ~funs ~strategy single with
+    | `Bottom_up -> begin
+      match single.bu with
+      | Some plan -> List.length (Bottom_up.run ~funs single.doc plan)
+      | None -> assert false
+    end
+    | `Top_down ->
+      let auto = Lazy.force single.auto in
+      if auto.Automaton.needs_dedup then
+        Array.length (select_one ?config ~funs ~strategy:Top_down single)
+      else
+        Run.run ?config ~funs (Run.count_sem (Document.tag_index single.doc)) auto
+  end
+  | branches -> Array.length (select ?config ~funs ~strategy branches)
+
+let select_preorders ?config ?funs ?strategy c =
+  Array.map (Document.preorder (one c).doc) (select ?config ?funs ?strategy c)
+
+let serialize_to ?config ?funs ?strategy buf c =
+  let nodes = select ?config ?funs ?strategy c in
+  Array.iter
+    (fun x -> Buffer.add_string buf (Document.serialize (one c).doc x))
+    nodes;
+  Array.length nodes

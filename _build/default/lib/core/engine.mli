@@ -1,0 +1,46 @@
+(** Public query interface of SXSI: parse/compile once, then count,
+    materialize or serialize, with the evaluation strategy of §6.6:
+    selective single-text predicates of the right shape run bottom-up
+    from the text index; everything else runs the top-down automaton.
+
+    Custom predicates (the [PSSM(...)] hook of §6.7) are supplied
+    through a {!Run.text_funs} registry. *)
+
+type compiled
+
+type strategy = Auto | Top_down | Bottom_up
+
+val prepare : Sxsi_xml.Document.t -> string -> compiled
+(** Parse and compile a Core+ query against a document.
+    @raise Sxsi_xpath.Xpath_parser.Parse_error on syntax errors.
+    @raise Sxsi_auto.Compile.Unsupported on unsupported constructs. *)
+
+val prepare_path : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> compiled
+
+val automaton : compiled -> Sxsi_auto.Automaton.t
+val bottom_up_plan : compiled -> Bottom_up.plan option
+
+val chosen_strategy :
+  ?funs:Run.text_funs -> ?strategy:strategy -> compiled -> [ `Top_down | `Bottom_up ]
+(** The strategy [Auto] resolves to, following the paper's rule: a
+    bottom-up-shaped query runs bottom-up when the text predicate
+    selects fewer texts than the rarest step tag occurs. *)
+
+val count :
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy -> compiled -> int
+
+val select :
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy -> compiled ->
+  int array
+(** Selected node positions in document order. *)
+
+val select_preorders :
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy -> compiled ->
+  int array
+(** Global identifiers (preorders) of the selected nodes. *)
+
+val serialize_to :
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
+  Buffer.t -> compiled -> int
+(** Materialize and serialize every result into the buffer; returns the
+    number of results. *)

@@ -1,0 +1,48 @@
+open Sxsi_tree
+
+type t =
+  | Empty
+  | One of int
+  | Cat of t * t
+  | Tagged_range of int list * int * int
+
+let range_count ti tags lo hi =
+  List.fold_left
+    (fun acc tag -> acc + Tag_index.rank_tag ti tag hi - Tag_index.rank_tag ti tag lo)
+    0 tags
+
+let rec count ti = function
+  | Empty -> 0
+  | One _ -> 1
+  | Cat (a, b) -> count ti a + count ti b
+  | Tagged_range (tags, lo, hi) -> range_count ti tags lo hi
+
+let iter ti f m =
+  let rec go = function
+    | Empty -> ()
+    | One x -> f x
+    | Cat (a, b) ->
+      go a;
+      go b
+    | Tagged_range (tags, lo, hi) ->
+      List.iter
+        (fun tag ->
+          let jlo = Tag_index.rank_tag ti tag lo
+          and jhi = Tag_index.rank_tag ti tag hi in
+          for j = jlo to jhi - 1 do
+            f (Tag_index.select_tag ti tag j)
+          done)
+        tags
+  in
+  go m
+
+let positions ti m =
+  let n = count ti m in
+  let a = Array.make n 0 in
+  let i = ref 0 in
+  iter ti
+    (fun x ->
+      a.(!i) <- x;
+      incr i)
+    m;
+  a

@@ -1,0 +1,28 @@
+(** Result sets of the marking automaton (§5.5.3-4): sequences of
+    marked nodes with O(1) concatenation, plus lazy "every [tag] in a
+    position range" leaves so that whole-subtree collections cost O(1)
+    during the run and are expanded only at serialization time.
+
+    The engine's evaluation discipline guarantees marks are produced in
+    document order without duplicates, so [count] and [positions] never
+    need to sort or deduplicate. *)
+
+type t =
+  | Empty
+  | One of int                                   (* a node position *)
+  | Cat of t * t
+  | Tagged_range of int list * int * int         (* tags, lo, hi: all
+                                                    nodes in [lo, hi)
+                                                    carrying one of the
+                                                    tags *)
+
+val range_count : Sxsi_tree.Tag_index.t -> int list -> int -> int -> int
+(** Number of nodes in a position range carrying one of the tags. *)
+
+val count : Sxsi_tree.Tag_index.t -> t -> int
+val positions : Sxsi_tree.Tag_index.t -> t -> int array
+(** Marked node positions.  Single-tag runs come out in document
+    order; multi-tag ranges are grouped by tag, so callers sort when
+    order matters (the engine does). *)
+
+val iter : Sxsi_tree.Tag_index.t -> (int -> unit) -> t -> unit

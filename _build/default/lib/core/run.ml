@@ -1,0 +1,437 @@
+open Sxsi_xml
+open Sxsi_tree
+open Sxsi_auto
+
+type stats = {
+  mutable visited : int;
+  mutable marked : int;
+  mutable jumps : int;
+  mutable memo_hits : int;
+}
+
+let fresh_stats () = { visited = 0; marked = 0; jumps = 0; memo_hits = 0 }
+
+type config = {
+  enable_jump : bool;
+  enable_memo : bool;
+  enable_early : bool;
+  stats : stats;
+}
+
+let default_config () =
+  { enable_jump = true; enable_memo = true; enable_early = false; stats = fresh_stats () }
+
+type 'r sem = {
+  empty : 'r;
+  mark : int -> 'r;
+  cat : 'r -> 'r -> 'r;
+  range : int list -> int -> int -> 'r;
+}
+
+let count_sem ti =
+  {
+    empty = 0;
+    mark = (fun _ -> 1);
+    cat = ( + );
+    range = (fun tags lo hi -> Marks.range_count ti tags lo hi);
+  }
+
+let marks_sem =
+  {
+    empty = Marks.Empty;
+    mark = (fun x -> Marks.One x);
+    cat =
+      (fun a b ->
+        match (a, b) with
+        | Marks.Empty, m | m, Marks.Empty -> m
+        | _ -> Marks.Cat (a, b));
+    range = (fun tags lo hi -> Marks.Tagged_range (tags, lo, hi));
+  }
+
+type custom_impl = {
+  cp_match : string -> bool;
+  cp_texts : (unit -> int list) option;
+}
+
+let simple_fun f = { cp_match = f; cp_texts = None }
+
+type text_funs = string -> custom_impl option
+
+(* ------------------------------------------------------------------ *)
+(* Built-in and custom predicate evaluation (§6.6 step 2): when the    *)
+(* candidate node's value is a single text, one global index query     *)
+(* answers every node-level test by membership; otherwise fall back    *)
+(* to comparing the string-value.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let value_matches op value lit =
+  let open Sxsi_xpath.Ast in
+  match op with
+  | Eq -> value = lit
+  | Contains ->
+    let n = String.length value and m = String.length lit in
+    if m = 0 then true
+    else begin
+      let found = ref false in
+      for i = 0 to n - m do
+        if not !found && String.sub value i m = lit then found := true
+      done;
+      !found
+    end
+  | Starts_with ->
+    String.length lit <= String.length value
+    && String.sub value 0 (String.length lit) = lit
+  | Ends_with ->
+    String.length lit <= String.length value
+    && String.sub value (String.length value - String.length lit) (String.length lit)
+       = lit
+  | Lt -> value < lit
+  | Le -> value <= lit
+  | Gt -> value > lit
+  | Ge -> value >= lit
+
+let rec text_set_of_pred doc funs = function
+  | Automaton.Text_pred (op, lit) ->
+    let tc = Document.text doc in
+    let open Sxsi_xpath.Ast in
+    let ids =
+      match op with
+      | Eq -> Sxsi_text.Text_collection.equals tc lit
+      | Contains -> Sxsi_text.Text_collection.contains tc lit
+      | Starts_with -> Sxsi_text.Text_collection.starts_with tc lit
+      | Ends_with -> Sxsi_text.Text_collection.ends_with tc lit
+      | Lt -> Sxsi_text.Text_collection.less_than tc lit
+      | Le -> Sxsi_text.Text_collection.less_equal tc lit
+      | Gt -> Sxsi_text.Text_collection.greater_than tc lit
+      | Ge -> Sxsi_text.Text_collection.greater_equal tc lit
+    in
+    Array.of_list ids
+  | Automaton.Custom_pred (name, arg) -> begin
+    let impl = custom_fn funs name arg in
+    match impl.cp_texts with
+    | Some indexed -> Array.of_list (indexed ())
+    | None ->
+      let acc = ref [] in
+      for d = Document.text_count doc - 1 downto 0 do
+        if impl.cp_match (Document.get_text doc d) then acc := d :: !acc
+      done;
+      Array.of_list !acc
+  end
+
+and custom_fn funs name arg =
+  match funs (name ^ ":" ^ arg) with
+  | Some f -> f
+  | None -> begin
+    match funs name with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Run: unknown predicate %s" name)
+  end
+
+(* any element of the sorted array in [lo, hi)? *)
+let mem_range arr lo hi =
+  let n = Array.length arr in
+  let l = ref 0 and r = ref n in
+  while !l < !r do
+    let m = (!l + !r) / 2 in
+    if arr.(m) < lo then l := m + 1 else r := m
+  done;
+  !l < n && arr.(!l) < hi
+
+let make_pred_eval doc (auto : Automaton.t) funs =
+  let n = Array.length auto.Automaton.preds in
+  let sets : int array option array = Array.make n None in
+  let get_set i =
+    match sets.(i) with
+    | Some s -> s
+    | None ->
+      let s = text_set_of_pred doc funs auto.Automaton.preds.(i) in
+      sets.(i) <- Some s;
+      s
+  in
+  fun i x ->
+    let descr = auto.Automaton.preds.(i) in
+    if Document.pcdata_only doc x then begin
+      let lo, hi = Document.text_range doc x in
+      if hi <= lo then begin
+        match descr with
+        | Automaton.Text_pred (op, lit) -> value_matches op "" lit
+        | Automaton.Custom_pred (name, arg) -> (custom_fn funs name arg).cp_match ""
+      end
+      else begin
+        (* an empty literal matches every non-empty text for the
+           substring-family operators, but the index query returns
+           nothing: answer directly *)
+        match descr with
+        | Automaton.Text_pred ((Contains | Starts_with | Ends_with), "") -> true
+        | Automaton.Text_pred _ | Automaton.Custom_pred _ ->
+          mem_range (get_set i) lo hi
+      end
+    end
+    else begin
+      match descr with
+      | Automaton.Text_pred (op, lit) ->
+        value_matches op (Document.string_value doc x) lit
+      | Automaton.Custom_pred (name, arg) ->
+        (custom_fn funs name arg).cp_match (Document.string_value doc x)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The run function                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  a_phis : (int * Formula.t) array;   (* surviving state, combined formula *)
+  a_q1 : Stateset.t;
+  a_q2 : Stateset.t;
+}
+
+let run ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
+  let config = match config with Some c -> c | None -> default_config () in
+  let doc = auto.Automaton.doc in
+  let bp = Document.bp doc in
+  let ti = Document.tag_index doc in
+  let pred_eval = make_pred_eval doc auto funs in
+  let stats = config.stats in
+  let tag_count = Document.tag_count doc in
+  (* per-state-set arrays indexed by tag: one pointer chase per visit
+     once warm (the "just-in-time compilation" tables of §5.5.2) *)
+  let memo : (int, analysis option array) Hashtbl.t = Hashtbl.create 16 in
+  let compute_analysis qtd tag =
+    let phis =
+      List.filter_map
+        (fun q ->
+          let phi = Automaton.matching_phi auto q tag in
+          if phi == Formula.fls then None else Some (q, phi))
+        (Stateset.to_list qtd)
+    in
+    {
+      a_phis = Array.of_list phis;
+      a_q1 = Stateset.of_list (List.concat_map (fun (_, p) -> p.Formula.down1) phis);
+      a_q2 = Stateset.of_list (List.concat_map (fun (_, p) -> p.Formula.down2) phis);
+    }
+  in
+  let analyse qtd tag =
+    if not config.enable_memo then compute_analysis qtd tag
+    else begin
+      let arr =
+        match Hashtbl.find_opt memo qtd.Stateset.id with
+        | Some arr -> arr
+        | None ->
+          let arr = Array.make tag_count None in
+          Hashtbl.add memo qtd.Stateset.id arr;
+          arr
+      in
+      match Array.unsafe_get arr tag with
+      | Some a ->
+        stats.memo_hits <- stats.memo_hits + 1;
+        a
+      | None ->
+        let a = compute_analysis qtd tag in
+        arr.(tag) <- Some a;
+        a
+    end
+  in
+  let bottom_cache : (int, (int * 'a) list) Hashtbl.t = Hashtbl.create 16 in
+  let bottom qtd =
+    match Hashtbl.find_opt bottom_cache qtd.Stateset.id with
+    | Some r -> r
+    | None ->
+      let r =
+        List.filter_map
+          (fun q -> if Automaton.is_bottom auto q then Some (q, sem.empty) else None)
+          (Stateset.to_list qtd)
+      in
+      Hashtbl.add bottom_cache qtd.Stateset.id r;
+      r
+  in
+  let lookup res q =
+    match List.assoc_opt q res with
+    | Some m -> (true, m)
+    | None -> (false, sem.empty)
+  in
+  let rec eval x qtd limit =
+    if Stateset.is_empty qtd then []
+    else if x < 0 || x >= limit then bottom qtd
+    else begin
+      let shortcut =
+        if not config.enable_jump then None
+        else
+          match Stateset.singleton qtd with
+          | None -> None
+          | Some q -> begin
+            match Automaton.scan_info auto q with
+            | Some ({ Automaton.scan_recursive = true; scan_collect = true; _ } as si) ->
+              Some (`Collect (q, si))
+            | Some ({ Automaton.scan_guard = Formula.Tag tag; scan_recursive = true; _ } as si) ->
+              Some (`Scan (q, tag, si))
+            | Some _ | None -> None
+          end
+      in
+      match shortcut with
+      | Some (`Collect (q, si)) ->
+        stats.jumps <- stats.jumps + 1;
+        [ (q, sem.range si.Automaton.scan_tags x limit) ]
+      | Some (`Scan (q, tag, si)) -> scan_region q tag si x limit
+      | None -> visit x qtd limit
+    end
+  (* A single recursive scanning state over the region [x, limit):
+     instead of simulating the first-child/next-sibling recursion, jump
+     from one [tag] occurrence to the next (§5.4.1).  The matches in
+     preorder are exactly the region's matches, so marks concatenate in
+     document order; for drop-down1 scans a successful match skips its
+     whole subtree, and existence scans stop at the first success. *)
+  and scan_region q tag si x limit =
+    stats.jumps <- stats.jumps + 1;
+    begin
+      let mp = si.Automaton.scan_match in
+      let rec loop p acc found =
+        let p = Tag_index.tagged_next ti p tag in
+        if p < 0 || p >= limit then (acc, found)
+        else begin
+          stats.visited <- stats.visited + 1;
+          let r1 =
+            if mp.Formula.down1 = [] then []
+            else
+              eval (Bp.first_child bp p)
+                (Stateset.of_list mp.Formula.down1)
+                (Bp.close bp p)
+          in
+          let r2 =
+            if mp.Formula.down2 = [] then []
+            else eval (Bp.next_sibling bp p) (Stateset.of_list mp.Formula.down2) limit
+          in
+          let b, m = eval_phi r1 r2 p tag mp in
+          if si.Automaton.scan_marking then begin
+            let acc = if b then sem.cat acc m else acc in
+            let next = if b && si.Automaton.scan_drop then Bp.close bp p else p + 1 in
+            loop next acc true
+          end
+          else if b then (acc, true)
+          else loop (p + 1) acc found
+        end
+      in
+      let marks, found = loop x sem.empty false in
+      if si.Automaton.scan_marking then [ (q, marks) ]
+      else if found then [ (q, sem.empty) ]
+      else []
+    end
+  and visit x qtd limit =
+    stats.visited <- stats.visited + 1;
+    let tag = Tag_index.tag ti x in
+    let an = analyse qtd tag in
+    if an.a_phis = [||] then []
+    else begin
+      let r1 =
+        if Stateset.is_empty an.a_q1 then []
+        else eval (Bp.first_child bp x) an.a_q1 (Bp.close bp x)
+      in
+      if Stateset.is_empty an.a_q2 then
+        Array.to_list an.a_phis
+        |> List.filter_map (fun (q, phi) ->
+               let b, m = eval_phi r1 [] x tag phi in
+               if b then Some (q, m) else None)
+      else if not config.enable_early then begin
+        let r2 = eval (Bp.next_sibling bp x) an.a_q2 limit in
+        Array.to_list an.a_phis
+        |> List.filter_map (fun (q, phi) ->
+               let b, m = eval_phi r1 r2 x tag phi in
+               if b then Some (q, m) else None)
+      end
+      else begin
+        (* §5.5.5: decide truth with the left results alone where
+           possible; only undecided formulas force the next-sibling
+           recursion.  A formula decided true here stays true under the
+           empty right results (its accepted branch contains no Down2
+           atom), so marks are built once, by eval_phi. *)
+        let partial =
+          Array.map (fun (q, phi) -> (q, phi, eval3 r1 x tag phi)) an.a_phis
+        in
+        let q2 =
+          Array.fold_left
+            (fun acc (_, phi, v) ->
+              match v with `Unknown -> phi.Formula.down2 @ acc | `True | `False -> acc)
+            [] partial
+        in
+        let r2 =
+          if q2 = [] then [] else eval (Bp.next_sibling bp x) (Stateset.of_list q2) limit
+        in
+        Array.to_list partial
+        |> List.filter_map (fun (q, phi, v) ->
+               match v with
+               | `False -> None
+               | `True ->
+                 let _, m = eval_phi r1 [] x tag phi in
+                 Some (q, m)
+               | `Unknown ->
+                 let b, m = eval_phi r1 r2 x tag phi in
+                 if b then Some (q, m) else None)
+      end
+    end
+  (* Truth-only three-valued evaluation with the first-child results:
+     Down2 atoms are unknown. *)
+  and eval3 r1 x tag (phi : Formula.t) =
+    match phi.Formula.node with
+    | Formula.True -> `True
+    | Formula.False -> `False
+    | Formula.Mark -> `True
+    | Formula.Down1 q ->
+      if List.mem_assoc q r1 then `True else `False
+    | Formula.Down2 _ -> `Unknown
+    | Formula.Is_label g ->
+      if Automaton.guard_matches auto g tag then `True else `False
+    | Formula.Pred i -> if pred_eval i x then `True else `False
+    | Formula.And (p1, p2) -> begin
+      match eval3 r1 x tag p1 with
+      | `False -> `False
+      | `True -> eval3 r1 x tag p2
+      | `Unknown -> begin
+        (* still short-circuit on a definitely-false right arm *)
+        match eval3 r1 x tag p2 with `False -> `False | `True | `Unknown -> `Unknown
+      end
+    end
+    | Formula.Or (p1, p2) -> begin
+      match eval3 r1 x tag p1 with
+      | `True -> `True
+      | `False -> eval3 r1 x tag p2
+      | `Unknown -> `Unknown
+    end
+    | Formula.Not p -> begin
+      match eval3 r1 x tag p with
+      | `True -> `False
+      | `False -> `True
+      | `Unknown -> `Unknown
+    end
+  and eval_phi r1 r2 x tag (phi : Formula.t) =
+    match phi.Formula.node with
+    | Formula.True -> (true, sem.empty)
+    | Formula.False -> (false, sem.empty)
+    | Formula.Mark ->
+      stats.marked <- stats.marked + 1;
+      (true, sem.mark x)
+    | Formula.Down1 q -> lookup r1 q
+    | Formula.Down2 q -> lookup r2 q
+    | Formula.Is_label g -> (Automaton.guard_matches auto g tag, sem.empty)
+    | Formula.Pred i -> (pred_eval i x, sem.empty)
+    | Formula.And (p1, p2) ->
+      let b1, m1 = eval_phi r1 r2 x tag p1 in
+      if not b1 then (false, sem.empty)
+      else begin
+        let b2, m2 = eval_phi r1 r2 x tag p2 in
+        if b2 then (true, sem.cat m1 m2) else (false, sem.empty)
+      end
+    | Formula.Or (p1, p2) ->
+      (* left-biased: marks of the first accepting disjunct only,
+         which is a superset of the generic continuation's by
+         construction *)
+      let b1, m1 = eval_phi r1 r2 x tag p1 in
+      if b1 then (true, m1) else eval_phi r1 r2 x tag p2
+    | Formula.Not p -> (not (fst (eval_phi r1 r2 x tag p)), sem.empty)
+  in
+  let res =
+    eval (Document.root doc)
+      (Stateset.of_list [ auto.Automaton.start ])
+      (Bp.length bp)
+  in
+  match List.assoc_opt auto.Automaton.start res with
+  | Some m -> m
+  | None -> sem.empty

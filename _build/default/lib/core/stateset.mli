@@ -1,0 +1,18 @@
+(** Hash-consed sets of automaton states (§5.5.1): structurally equal
+    sets share one value, and the set [id] keys the engine's
+    per-(state-set, label) memo tables (§5.5.2). *)
+
+type t = private {
+  id : int;
+  states : int array;   (* sorted, duplicate-free *)
+}
+
+val of_list : int list -> t
+val empty : t
+val is_empty : t -> bool
+val mem : t -> int -> bool
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val singleton : t -> int option
+(** The only element, when [cardinal t = 1]. *)

@@ -1,0 +1,1 @@
+lib/datagen/bio.ml: Array Buffer List Printf Random String Words

@@ -1,0 +1,1 @@
+lib/datagen/medline.ml: Array Buffer Char Random String Words

@@ -1,0 +1,1 @@
+lib/datagen/wiki.ml: Array Buffer Printf Random Words

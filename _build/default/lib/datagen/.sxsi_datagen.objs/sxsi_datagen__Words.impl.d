@@ -1,0 +1,1 @@
+lib/datagen/words.ml: Array Buffer Random String

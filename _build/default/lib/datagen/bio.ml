@@ -1,0 +1,69 @@
+let biotypes = [| "protein_coding"; "pseudogene"; "lincRNA"; "miRNA" |]
+let statuses = [| "KNOWN"; "NOVEL"; "PUTATIVE" |]
+
+let generate ?(seed = 5) ~genes () =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create (genes * 4000) in
+  let tag name f =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>';
+    f ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  in
+  let text s = Buffer.add_string buf s in
+  (* exon pools are shared across gene families (every 8 genes) and
+     each transcript reuses most pool exons, so the same long DNA
+     strings recur many times: the repetitiveness the run-length index
+     exploits (§6.7) *)
+  let family_pool = ref [||] in
+  tag "chromosome" (fun () ->
+      tag "name" (fun () -> text "5");
+      for g = 0 to genes - 1 do
+        if g mod 8 = 0 then
+          family_pool :=
+            Array.init
+              (3 + Random.State.int st 3)
+              (fun _ -> Words.dna st (200 + Random.State.int st 400));
+        let exon_pool = !family_pool in
+        tag "gene" (fun () ->
+            tag "name" (fun () -> text (Printf.sprintf "ENSG%011d" g));
+            tag "strand" (fun () -> text (if Random.State.bool st then "+" else "-"));
+            tag "biotype" (fun () -> text biotypes.(Random.State.int st (Array.length biotypes)));
+            tag "status" (fun () -> text statuses.(Random.State.int st (Array.length statuses)));
+            if Random.State.bool st then
+              tag "description" (fun () -> text (Words.sentence st 8));
+            tag "promoter" (fun () ->
+                (* promoters within a family share a common core too *)
+                text exon_pool.(0);
+                text (Words.dna st 200));
+            tag "sequence" (fun () -> text (String.concat "" (Array.to_list exon_pool)));
+            for t = 0 to 2 + Random.State.int st 6 do
+              tag "transcript" (fun () ->
+                  tag "name" (fun () -> text (Printf.sprintf "ENST%011d" ((g * 10) + t)));
+                  tag "start" (fun () -> text (string_of_int (g * 10_000)));
+                  tag "end" (fun () -> text (string_of_int ((g * 10_000) + 5_000)));
+                  let used =
+                    Array.of_list
+                      (List.filter
+                         (fun _ -> Random.State.int st 4 > 0)
+                         (Array.to_list exon_pool))
+                  in
+                  let used = if Array.length used = 0 then [| exon_pool.(0) |] else used in
+                  Array.iteri
+                    (fun e seq ->
+                      tag "exon" (fun () ->
+                          tag "name" (fun () ->
+                              text (Printf.sprintf "ENSE%011d" ((g * 100) + e)));
+                          tag "start" (fun () -> text (string_of_int e));
+                          tag "end" (fun () -> text (string_of_int (e + 1)));
+                          tag "sequence" (fun () -> text seq)))
+                    used;
+                  tag "sequence" (fun () -> text (String.concat "" (Array.to_list used)));
+                  if Random.State.bool st then
+                    tag "protein" (fun () -> text (Words.sentence st 3)))
+            done)
+      done);
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Synthetic gene-annotation documents following the Figure 17 DTD:
+    chromosomes with genes carrying promoter and full sequences, and
+    transcripts assembled from a shared exon pool — so the textual
+    content is highly repetitive, the property the run-length
+    compressed text index of §6.7 exploits. *)
+
+val generate : ?seed:int -> genes:int -> unit -> string

@@ -1,0 +1,63 @@
+let countries =
+  [| "USA"; "ENGLAND"; "AUSTRALIA"; "GERMANY"; "JAPAN"; "FRANCE"; "CANADA" |]
+
+let stock_phrases =
+  [|
+    "various types of immune cells";
+    "of the bone marrow";
+    "a blood sample was taken";
+    "the results suggest that";
+  |]
+
+let publication_types =
+  [| "Journal Article"; "Review Article"; "Letter"; "Comparative Study"; "Editorial" |]
+
+let generate ?(seed = 7) ~citations () =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create (citations * 1000) in
+  let tag name f =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>';
+    f ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  in
+  let text s = Buffer.add_string buf s in
+  tag "MedlineCitationSet" (fun () ->
+      for i = 0 to citations - 1 do
+        tag "MedlineCitation" (fun () ->
+            tag "PMID" (fun () -> text (string_of_int (10_000_000 + i)));
+            tag "DateCreated" (fun () ->
+                tag "Year" (fun () -> text (string_of_int (1990 + Random.State.int st 20)));
+                tag "Month" (fun () -> text (string_of_int (1 + Random.State.int st 12)));
+                tag "Day" (fun () -> text (string_of_int (1 + Random.State.int st 28))));
+            tag "Article" (fun () ->
+                tag "ArticleTitle" (fun () -> text (Words.sentence st (5 + Random.State.int st 8)));
+                tag "Abstract" (fun () ->
+                    tag "AbstractText" (fun () ->
+                        text (Words.sentence st (20 + Random.State.int st 60));
+                        if Random.State.int st 4 = 0 then begin
+                          text " ";
+                          text stock_phrases.(Random.State.int st (Array.length stock_phrases));
+                          text " "
+                        end;
+                        text (Words.sentence st (20 + Random.State.int st 60))));
+                tag "AuthorList" (fun () ->
+                    for _ = 1 to 1 + Random.State.int st 5 do
+                      tag "Author" (fun () ->
+                          tag "LastName" (fun () -> text (Words.name st));
+                          tag "ForeName" (fun () -> text (Words.name st));
+                          tag "Initials" (fun () ->
+                              text (String.make 1 (Char.chr (65 + Random.State.int st 26)))))
+                    done);
+                tag "PublicationTypeList" (fun () ->
+                    tag "PublicationType" (fun () ->
+                        text publication_types.(Random.State.int st (Array.length publication_types)))));
+            tag "MedlineJournalInfo" (fun () ->
+                tag "Country" (fun () ->
+                    text countries.(Random.State.int st (Array.length countries)));
+                tag "MedlineTA" (fun () -> text (Words.sentence st 2))))
+      done);
+  Buffer.contents buf

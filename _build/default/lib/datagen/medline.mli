@@ -1,0 +1,6 @@
+(** Synthetic Medline-like bibliographic documents: flat citation
+    records with Zipf-distributed abstract vocabulary, the workload of
+    the Table II/III text-search sweeps and the M01-M11 queries. *)
+
+val generate : ?seed:int -> citations:int -> unit -> string
+(** [generate ~citations ()] — roughly 1 KB of XML per citation. *)

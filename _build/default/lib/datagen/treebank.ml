@@ -1,0 +1,68 @@
+(* A tiny probabilistic grammar over Penn-Treebank-style labels.  The
+   exact distribution is unimportant; what matters for the benchmark is
+   depth, label recursion and label variety. *)
+
+let nouns = [| "NN"; "NNS"; "NNP" |]
+let verbs = [| "VBZ"; "VBD"; "VBN"; "VB" |]
+
+let generate ?(seed = 13) ~sentences () =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create (sentences * 700) in
+  let tag name f =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>';
+    f ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  in
+  let word () = Buffer.add_string buf (Words.zipf_word st) in
+  let pick a = a.(Random.State.int st (Array.length a)) in
+  let rec np depth =
+    tag "NP" (fun () ->
+        if Random.State.int st 4 = 0 then tag "DT" word;
+        if Random.State.int st 3 = 0 then tag "JJ" word;
+        tag (pick nouns) word;
+        if depth < 5 && Random.State.int st 4 = 0 then pp (depth + 1);
+        if depth < 5 && Random.State.int st 6 = 0 then begin
+          tag "CC" word;
+          np (depth + 1)
+        end;
+        if Random.State.int st 12 = 0 then tag "_QUOTE_" word)
+  and pp depth =
+    tag "PP" (fun () ->
+        tag "IN" word;
+        np (depth + 1))
+  and vp depth =
+    tag "VP" (fun () ->
+        tag (pick verbs) word;
+        if depth < 5 then begin
+          match Random.State.int st 4 with
+          | 0 -> np (depth + 1)
+          | 1 -> pp (depth + 1)
+          | 2 ->
+            np (depth + 1);
+            pp (depth + 1)
+          | _ -> sbar (depth + 1)
+        end)
+  and sbar depth =
+    if depth < 6 && Random.State.int st 3 = 0 then
+      tag "SBAR" (fun () ->
+          tag "IN" word;
+          s (depth + 1))
+    else np depth
+  and s depth =
+    tag "S" (fun () ->
+        np (depth + 1);
+        vp (depth + 1);
+        if Random.State.int st 8 = 0 then begin
+          tag "CC" word;
+          s (depth + 1)
+        end)
+  in
+  tag "FILE" (fun () ->
+      for _ = 1 to sentences do
+        tag "EMPTY" (fun () -> s 0)
+      done);
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Synthetic Treebank-like parse-tree documents: deep recursive
+    structure with many distinct grammatical labels, the workload of
+    the T01-T05 queries.  Unlike XMark, almost every label is recursive
+    and paths are highly varied, which is what makes these queries
+    harder for every engine (§6.5). *)
+
+val generate : ?seed:int -> sentences:int -> unit -> string

@@ -1,0 +1,44 @@
+let stock_phrases =
+  [|
+    "a dark horse candidate";
+    "played on a board of squares";
+    "whether accidentally or purposefully";
+    "the price of crude oil";
+  |]
+
+let generate ?(seed = 99) ~pages () =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create (pages * 900) in
+  let tag name f =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>';
+    f ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  in
+  tag "mediawiki" (fun () ->
+      for i = 0 to pages - 1 do
+        tag "page" (fun () ->
+            tag "title" (fun () -> Buffer.add_string buf (Words.sentence st 2));
+            tag "id" (fun () -> Buffer.add_string buf (string_of_int i));
+            tag "revision" (fun () ->
+                tag "timestamp" (fun () ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "2010-%02d-%02dT00:00:00Z"
+                         (1 + Random.State.int st 12)
+                         (1 + Random.State.int st 28)));
+                tag "text" (fun () ->
+                    Buffer.add_string buf
+                      (Words.sentence st (25 + Random.State.int st 100));
+                    if Random.State.int st 5 = 0 then begin
+                      Buffer.add_char buf ' ';
+                      Buffer.add_string buf
+                        stock_phrases.(Random.State.int st (Array.length stock_phrases));
+                      Buffer.add_char buf ' '
+                    end;
+                    Buffer.add_string buf
+                      (Words.sentence st (25 + Random.State.int st 100)))))
+      done);
+  Buffer.contents buf

@@ -1,0 +1,4 @@
+(** Synthetic wiki-like documents ([page]/[title]/[text]) for the
+    word-based-index experiments of §6.6.2 (queries W06-W10). *)
+
+val generate : ?seed:int -> pages:int -> unit -> string

@@ -1,0 +1,66 @@
+(* The first ranks mirror the frequency ladder probed by Tables II/III:
+   function words first (huge counts), then common nouns, then rarer
+   domain words, down to hapax-like tokens ("Bakst").  The tail is
+   filled with generated filler so the Zipf distribution has mass to
+   spread over. *)
+let head_words =
+  [|
+    "a"; "in"; "with"; "from"; "the"; "of"; "and"; "for"; "was"; "were";
+    "blood"; "human"; "brain"; "cell"; "cells"; "plus"; "study"; "results";
+    "molecule"; "patients"; "levels"; "protein"; "effect"; "treatment";
+    "AUSTRALIA"; "morphine"; "immune"; "types"; "various"; "bone"; "marrow";
+    "sample"; "foot"; "feet"; "ruminants"; "epididymis"; "clinical"; "dose";
+    "response"; "growth"; "tissue"; "liver"; "kidney"; "heart"; "lung";
+    "gene"; "expression"; "acid"; "serum"; "plasma"; "rats"; "mice";
+    "horse"; "princess"; "board"; "played"; "crude"; "oil"; "dark";
+    "gold"; "unique"; "Bakst";
+  |]
+
+let vocabulary =
+  Array.append head_words
+    (Array.init 1500 (fun i ->
+         (* pronounceable filler: consonant-vowel syllables *)
+         let cons = "bcdfglmnprstv" and vow = "aeiou" in
+         let n = 2 + (i mod 3) in
+         let buf = Buffer.create 8 in
+         let x = ref ((i * 2654435761) land 0x3fffffff) in
+         for _ = 1 to n do
+           Buffer.add_char buf cons.[!x mod String.length cons];
+           x := !x / 13;
+           Buffer.add_char buf vow.[!x mod String.length vow];
+           x := !x / 7;
+           if !x < 100 then x := !x + (i * 31) + 7919
+         done;
+         Buffer.contents buf))
+
+(* Zipf over ranks via the inverse-power trick: rank ~ u^{-1/(s-1)}
+   style; we use the simple rejection-free approximation
+   rank = floor(N^u) which gives a log-uniform (Zipf-1-like) skew. *)
+let zipf_word st =
+  let n = Array.length vocabulary in
+  let u = Random.State.float st 1.0 in
+  let rank = int_of_float (float_of_int n ** u) - 1 in
+  vocabulary.(min (n - 1) (max 0 rank))
+
+let sentence st n =
+  let buf = Buffer.create (n * 6) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (zipf_word st)
+  done;
+  Buffer.contents buf
+
+let surnames =
+  [|
+    "Barton"; "Barnes"; "Barker"; "Nguyen"; "Smith"; "Jones"; "Garcia";
+    "Miller"; "Davis"; "Martinez"; "Lopez"; "Wilson"; "Anderson"; "Thomas";
+    "Taylor"; "Moore"; "Jackson"; "Martin"; "Lee"; "Thompson"; "White";
+    "Harris"; "Clark"; "Lewis"; "Young"; "Walker"; "Hall"; "Allen"; "King";
+    "Wright"; "Scott"; "Green"; "Baker"; "Adams"; "Nelson"; "Hill"; "Campbell";
+  |]
+
+let name st = surnames.(Random.State.int st (Array.length surnames))
+
+let number st bound = string_of_int (Random.State.int st bound)
+
+let dna st n = String.init n (fun _ -> "ACGT".[Random.State.int st 4])

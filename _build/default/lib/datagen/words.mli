@@ -1,0 +1,24 @@
+(** Shared vocabulary and sampling utilities for the synthetic
+    document generators.  Deterministic given the random state. *)
+
+val vocabulary : string array
+(** English-looking word pool; the words the paper's text queries probe
+    ("plus", "foot", "blood", "human", ...) are placed at controlled
+    Zipf ranks so that pattern frequencies sweep several orders of
+    magnitude, as in Tables II/III. *)
+
+val zipf_word : Random.State.t -> string
+(** Sample a vocabulary word with a Zipf(1.0) distribution over
+    ranks. *)
+
+val sentence : Random.State.t -> int -> string
+(** [sentence st n] is [n] Zipf-sampled words joined by spaces. *)
+
+val name : Random.State.t -> string
+(** A capitalized surname-like token ("Barton", "Nguyen", ...). *)
+
+val number : Random.State.t -> int -> string
+(** A random decimal string below the bound. *)
+
+val dna : Random.State.t -> int -> string
+(** A uniform random DNA sequence (A/C/G/T). *)

@@ -1,0 +1,150 @@
+let regions =
+  [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let generate ?(seed = 42) ~scale () =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create (scale * 1500) in
+  let tag name f =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>';
+    f ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  in
+  let tag_attr name attrs f =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (a, v) -> Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" a v))
+      attrs;
+    Buffer.add_char buf '>';
+    f ();
+    Buffer.add_string buf "</";
+    Buffer.add_string buf name;
+    Buffer.add_char buf '>'
+  in
+  let text s = Buffer.add_string buf s in
+  let words n = text (Words.sentence st n) in
+  (* the recursive description structure driving X04/X10/X11 *)
+  let rec parlist depth =
+    tag "parlist" (fun () ->
+        for _ = 1 to 1 + Random.State.int st 3 do
+          listitem depth
+        done)
+  and listitem depth =
+    tag "listitem" (fun () ->
+        match Random.State.int st 10 with
+        | 0 | 1 when depth < 3 -> parlist (depth + 1)
+        | 2 | 3 | 4 ->
+          tag "text" (fun () ->
+              words 4;
+              if Random.State.bool st then tag "keyword" (fun () ->
+                  words 1;
+                  if Random.State.int st 3 = 0 then tag "emph" (fun () -> words 1);
+                  if Random.State.int st 4 = 0 then tag "bold" (fun () -> words 1));
+              words 3)
+        | _ ->
+          tag "text" (fun () ->
+              words 3;
+              if Random.State.int st 3 = 0 then tag "emph" (fun () -> words 1);
+              if Random.State.int st 4 = 0 then tag "bold" (fun () -> words 1)))
+  in
+  let description () =
+    tag "description" (fun () ->
+        if Random.State.int st 3 = 0 then parlist 0
+        else
+          tag "text" (fun () ->
+              words (3 + Random.State.int st 5);
+              if Random.State.int st 3 = 0 then tag "keyword" (fun () -> words 1);
+              words 2))
+  in
+  let item id =
+    tag_attr "item" [ ("id", Printf.sprintf "item%d" id) ] (fun () ->
+        tag "location" (fun () -> words 1);
+        tag "quantity" (fun () -> text (Words.number st 10));
+        tag "name" (fun () -> words 2);
+        tag "payment" (fun () -> words 2);
+        description ();
+        tag "shipping" (fun () -> words 3);
+        tag "incategory" (fun () -> ());
+        tag "mailbox" (fun () ->
+            for _ = 1 to Random.State.int st 3 do
+              tag "mail" (fun () ->
+                  tag "from" (fun () -> words 2);
+                  tag "to" (fun () -> words 2);
+                  tag "date" (fun () -> text (Words.number st 28));
+                  tag "text" (fun () -> words 6))
+            done))
+  in
+  let person id =
+    tag_attr "person" [ ("id", Printf.sprintf "person%d" id) ] (fun () ->
+        tag "name" (fun () -> text (Words.name st ^ " " ^ Words.name st));
+        tag "emailaddress" (fun () -> text (Printf.sprintf "mailto:p%d@example.org" id));
+        if Random.State.int st 3 > 0 then tag "phone" (fun () -> text ("+" ^ Words.number st 999999));
+        if Random.State.int st 2 = 0 then
+          tag "address" (fun () ->
+              tag "street" (fun () -> words 2);
+              tag "city" (fun () -> words 1);
+              tag "country" (fun () -> words 1);
+              tag "zipcode" (fun () -> text (Words.number st 99999)));
+        if Random.State.int st 3 = 0 then tag "homepage" (fun () -> text "http://example.org");
+        if Random.State.int st 3 > 0 then tag "creditcard" (fun () -> text (Words.number st 9999));
+        if Random.State.int st 2 = 0 then
+          tag_attr "profile" [ ("income", Words.number st 99999) ] (fun () ->
+              if Random.State.bool st then tag "gender" (fun () -> text (if Random.State.bool st then "male" else "female"));
+              if Random.State.bool st then tag "age" (fun () -> text (Words.number st 80));
+              tag "education" (fun () -> words 1);
+              tag "interest" (fun () -> ()));
+        if Random.State.int st 4 = 0 then
+          tag "watches" (fun () ->
+              tag "watch" (fun () -> ())))
+  in
+  let closed_auction id =
+    tag "closed_auction" (fun () ->
+        tag_attr "seller" [ ("person", Printf.sprintf "person%d" (Random.State.int st scale)) ] (fun () -> ());
+        tag_attr "buyer" [ ("person", Printf.sprintf "person%d" (Random.State.int st scale)) ] (fun () -> ());
+        tag_attr "itemref" [ ("item", Printf.sprintf "item%d" (Random.State.int st scale)) ] (fun () -> ());
+        tag "price" (fun () -> text (Words.number st 1000));
+        tag "date" (fun () -> text (Printf.sprintf "%02d/%02d/%d" (1 + Random.State.int st 12) (1 + Random.State.int st 28) (1998 + Random.State.int st 4)));
+        tag "quantity" (fun () -> text (Words.number st 5));
+        tag "type" (fun () -> text "Regular");
+        tag "annotation" (fun () ->
+            tag "author" (fun () -> ());
+            description ();
+            tag "happiness" (fun () -> text (Words.number st 10)));
+        ignore id)
+  in
+  tag "site" (fun () ->
+      tag "regions" (fun () ->
+          Array.iteri
+            (fun r rname ->
+              tag rname (fun () ->
+                  let per_region = max 1 (scale / Array.length regions) in
+                  for i = 0 to per_region - 1 do
+                    item ((r * per_region) + i)
+                  done))
+            regions);
+      tag "categories" (fun () ->
+          for _ = 1 to max 1 (scale / 20) do
+            tag "category" (fun () ->
+                tag "name" (fun () -> words 1);
+                description ())
+          done);
+      tag "people" (fun () ->
+          for i = 0 to scale - 1 do
+            person i
+          done);
+      tag "open_auctions" (fun () ->
+          for _ = 1 to scale / 4 do
+            tag "open_auction" (fun () ->
+                tag "initial" (fun () -> text (Words.number st 100));
+                tag "current" (fun () -> text (Words.number st 500));
+                tag "annotation" (fun () -> description ()))
+          done);
+      tag "closed_auctions" (fun () ->
+          for i = 0 to (scale / 2) - 1 do
+            closed_auction i
+          done));
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Synthetic XMark-like auction documents [62]: the tag inventory and
+    structural statistics needed by the XPathMark queries X01-X17 —
+    regions with items, recursive [parlist]/[listitem] descriptions
+    holding [keyword]/[emph]/[bold] runs, people with optional contact
+    sub-elements, and closed auctions with annotations. *)
+
+val generate : ?seed:int -> scale:int -> unit -> string
+(** [generate ~scale ()] builds a document with [scale] items (plus
+    [scale] people and [scale/2] closed auctions); [scale = 1000] gives
+    roughly 1.5 MB of XML. *)

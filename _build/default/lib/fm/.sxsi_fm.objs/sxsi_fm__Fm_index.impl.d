@@ -1,0 +1,1 @@
+lib/fm/fm_index.ml: Array Bitvec Buffer Bytes Char Intvec List Sais Sparse String Sxsi_bits Wavelet

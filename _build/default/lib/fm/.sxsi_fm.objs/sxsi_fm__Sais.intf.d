@@ -1,0 +1,1 @@
+lib/fm/sais.mli:

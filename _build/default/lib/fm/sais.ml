@@ -1,0 +1,136 @@
+(* SA-IS (Nong, Zhang, Chan 2009).  Suffixes are classified S/L; LMS
+   suffixes are sorted by induced sorting, renamed, and the problem
+   recurses on the reduced string when LMS substrings are not yet
+   pairwise distinct.  Everything below works on plain int arrays so the
+   recursion can reuse the same code at every level. *)
+
+let rec sais (s : int array) (sa : int array) n sigma =
+  if n = 0 then ()
+  else if n = 1 then sa.(0) <- 0
+  else begin
+    (* suffix types: true = S, false = L *)
+    let t = Array.make n true in
+    for i = n - 2 downto 0 do
+      t.(i) <- s.(i) < s.(i + 1) || (s.(i) = s.(i + 1) && t.(i + 1))
+    done;
+    let is_lms i = i > 0 && t.(i) && not t.(i - 1) in
+    let bucket = Array.make sigma 0 in
+    Array.iter (fun c -> bucket.(c) <- bucket.(c) + 1) (Array.sub s 0 n);
+    let ends = Array.make sigma 0 and starts = Array.make sigma 0 in
+    let reset_ptrs () =
+      let acc = ref 0 in
+      for c = 0 to sigma - 1 do
+        starts.(c) <- !acc;
+        acc := !acc + bucket.(c);
+        ends.(c) <- !acc
+      done
+    in
+    let induce () =
+      (* L-type: left to right, from bucket starts *)
+      reset_ptrs ();
+      for i = 0 to n - 1 do
+        let j = sa.(i) in
+        if j > 0 && not t.(j - 1) then begin
+          let c = s.(j - 1) in
+          sa.(starts.(c)) <- j - 1;
+          starts.(c) <- starts.(c) + 1
+        end
+      done;
+      (* S-type: right to left, from bucket ends *)
+      for i = n - 1 downto 0 do
+        let j = sa.(i) in
+        if j > 0 && t.(j - 1) then begin
+          let c = s.(j - 1) in
+          ends.(c) <- ends.(c) - 1;
+          sa.(ends.(c)) <- j - 1
+        end
+      done
+    in
+    (* Stage 1: sort LMS substrings by one induced sorting pass. *)
+    Array.fill sa 0 n (-1);
+    reset_ptrs ();
+    for i = n - 1 downto 1 do
+      if is_lms i then begin
+        let c = s.(i) in
+        ends.(c) <- ends.(c) - 1;
+        sa.(ends.(c)) <- i
+      end
+    done;
+    induce ();
+    (* Compact the now-sorted LMS suffixes into sa[0..m). *)
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      let j = sa.(i) in
+      if j >= 0 && is_lms j then begin
+        sa.(!m) <- j;
+        incr m
+      end
+    done;
+    let m = !m in
+    (* Name LMS substrings into sa[m..n) indexed by position/2. *)
+    Array.fill sa m (n - m) (-1);
+    let names = ref 0 and prev = ref (-1) in
+    for i = 0 to m - 1 do
+      let pos = sa.(i) in
+      let diff =
+        if !prev < 0 then true
+        else begin
+          let p = !prev in
+          let rec go d =
+            if d > 0 && is_lms (pos + d) && is_lms (p + d) then false
+            else if pos + d >= n || p + d >= n then true
+            else if s.(pos + d) <> s.(p + d) then true
+            else if d > 0 && is_lms (pos + d) <> is_lms (p + d) then true
+            else go (d + 1)
+          in
+          go 0
+        end
+      in
+      if diff then begin
+        incr names;
+        prev := pos
+      end;
+      sa.(m + (pos / 2)) <- !names - 1
+    done;
+    (* Gather the reduced string (LMS names in position order). *)
+    let s1 = Array.make m 0 and pos1 = Array.make m 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if sa.(m + (i / 2)) >= 0 && is_lms i then begin
+        s1.(!k) <- sa.(m + (i / 2));
+        pos1.(!k) <- i;
+        incr k
+      end
+    done;
+    let sa1 = Array.make (max 1 m) 0 in
+    if !names < m then sais s1 sa1 m !names
+    else
+      (* names are already unique: direct bucket placement *)
+      for i = 0 to m - 1 do
+        sa1.(s1.(i)) <- i
+      done;
+    (* Stage 2: place LMS suffixes in their final sorted order, induce. *)
+    Array.fill sa 0 n (-1);
+    reset_ptrs ();
+    for i = m - 1 downto 0 do
+      let j = pos1.(sa1.(i)) in
+      let c = s.(j) in
+      ends.(c) <- ends.(c) - 1;
+      sa.(ends.(c)) <- j
+    done;
+    induce ()
+  end
+
+let suffix_array s sigma =
+  let n = Array.length s in
+  if n = 0 then [||]
+  else begin
+    if s.(n - 1) <> 0 then invalid_arg "Sais.suffix_array: missing sentinel";
+    for i = 0 to n - 2 do
+      if s.(i) <= 0 || s.(i) >= sigma then
+        invalid_arg "Sais.suffix_array: symbol out of range"
+    done;
+    let sa = Array.make n 0 in
+    sais s sa n sigma;
+    sa
+  end

@@ -1,0 +1,9 @@
+(** Linear-time suffix-array construction (the SA-IS algorithm of Nong,
+    Zhang and Chan), used to build the Burrows-Wheeler transform of the
+    text collection. *)
+
+val suffix_array : int array -> int -> int array
+(** [suffix_array s sigma] is the suffix array of [s], whose symbols
+    must lie in [\[0, sigma)] and whose last symbol must be [0],
+    occurring there and nowhere else (the sentinel).
+    @raise Invalid_argument if the sentinel condition is violated. *)

@@ -1,0 +1,1 @@
+lib/text/lz78.ml: Array Bitvec Buffer Bytes Hashtbl Intvec List String Sxsi_bits

@@ -1,0 +1,1 @@
+lib/text/lz78.mli:

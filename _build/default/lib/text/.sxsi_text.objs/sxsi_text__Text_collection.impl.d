@@ -1,0 +1,1 @@
+lib/text/text_collection.ml: Array Char Fm_index List Lz78 String Sxsi_bits Sxsi_fm

@@ -1,0 +1,1 @@
+lib/text/text_collection.mli:

@@ -1,0 +1,98 @@
+open Sxsi_bits
+
+(* Token stream: token k extends dictionary phrase [parent.(k)] (0 =
+   the empty phrase; dictionary ids are token index + 1) with one
+   character — except at a forced text boundary, where a token may
+   reference a phrase without extending it ([has_char] unset). *)
+type t = {
+  d : int;
+  parent : Intvec.t;
+  chars : Bytes.t;          (* only meaningful where has_char *)
+  has_char : Bitvec.t;
+  text_first : Intvec.t;    (* first token of each text *)
+  token_count : int;
+}
+
+let of_texts texts =
+  let d = Array.length texts in
+  let dict : (int * char, int) Hashtbl.t = Hashtbl.create 1024 in
+  let parents = ref [] and chars = ref [] and flags = ref [] in
+  let ntok = ref 0 in
+  let starts = Array.make (max 1 d) 0 in
+  let emit parent ch flag =
+    parents := parent :: !parents;
+    chars := ch :: !chars;
+    flags := flag :: !flags;
+    incr ntok
+  in
+  Array.iteri
+    (fun i s ->
+      starts.(i) <- !ntok;
+      let w = ref 0 in
+      String.iter
+        (fun ch ->
+          match Hashtbl.find_opt dict (!w, ch) with
+          | Some id -> w := id
+          | None ->
+            (* every token owns the dictionary id (token index + 1) *)
+            Hashtbl.add dict (!w, ch) (!ntok + 1);
+            emit !w ch true;
+            w := 0)
+        s;
+      (* forced boundary: flush the pending (possibly known) phrase *)
+      if !w <> 0 then emit !w '\000' false)
+    texts;
+  let n = !ntok in
+  let bits_for v =
+    let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in
+    go v 0
+  in
+  let parent = Intvec.make (max 1 n) (bits_for (max 1 n)) in
+  let cbytes = Bytes.make (max 1 n) '\000' in
+  let fb = Bitvec.Builder.create ~hint:n () in
+  List.iteri
+    (fun k p -> Intvec.set parent (n - 1 - k) p)
+    !parents;
+  List.iteri (fun k c -> Bytes.set cbytes (n - 1 - k) c) !chars;
+  let flag_arr = Array.of_list (List.rev !flags) in
+  Array.iter (fun f -> Bitvec.Builder.push fb f) flag_arr;
+  {
+    d;
+    parent;
+    chars = cbytes;
+    has_char = Bitvec.Builder.finish fb;
+    text_first = Intvec.of_array ~width:(bits_for (max 1 n)) starts;
+    token_count = n;
+  }
+
+let doc_count t = t.d
+let phrase_count t = t.token_count
+
+(* The dictionary phrase with id [id] (1-based) was created by token
+   [id - 1]; decode by walking parents. *)
+let rec decode_phrase t buf id =
+  if id > 0 then begin
+    let k = id - 1 in
+    decode_phrase t buf (Intvec.get t.parent k);
+    if Bitvec.get t.has_char k then Buffer.add_char buf (Bytes.get t.chars k)
+  end
+
+let get t i =
+  if i < 0 || i >= t.d then invalid_arg "Lz78.get";
+  let first = Intvec.get t.text_first i in
+  let last =
+    if i + 1 < t.d then Intvec.get t.text_first (i + 1) else t.token_count
+  in
+  let buf = Buffer.create 64 in
+  for k = first to last - 1 do
+    decode_phrase t buf (Intvec.get t.parent k);
+    if Bitvec.get t.has_char k then Buffer.add_char buf (Bytes.get t.chars k)
+  done;
+  Buffer.contents buf
+
+let space_bits t =
+  Intvec.space_bits t.parent
+  + (8 * Bytes.length t.chars)
+  + Bitvec.space_bits t.has_char
+  + Intvec.space_bits t.text_first
+  + 192

@@ -1,0 +1,19 @@
+(** LZ78-compressed storage for a text collection (the "enhanced
+    LZ78-compressed format" alternative of §3.4, after the LZ-index
+    [5]): a secondary representation that extracts any text in time
+    linear in its length, in compressed space.
+
+    Phrases are shared across the whole collection, but phrase
+    boundaries are forced at text boundaries so each text decodes
+    independently. *)
+
+type t
+
+val of_texts : string array -> t
+val doc_count : t -> int
+val phrase_count : t -> int
+
+val get : t -> int -> string
+(** Decode one text. *)
+
+val space_bits : t -> int

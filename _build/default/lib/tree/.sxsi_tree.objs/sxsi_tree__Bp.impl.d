@@ -1,0 +1,1 @@
+lib/tree/bp.ml: Array Bitvec Bytes Char Sxsi_bits

@@ -1,0 +1,1 @@
+lib/tree/tag_index.ml: Array Bp Intvec Sparse Sxsi_bits

@@ -1,0 +1,1 @@
+lib/tree/tag_rel.ml: Bytes Char

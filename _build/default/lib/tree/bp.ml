@@ -1,0 +1,328 @@
+open Sxsi_bits
+
+(* Range-min-max tree over blocks of [block_bits] parentheses.  For
+   every block we know the absolute excess reached at any point inside
+   it (min/max); fwd/bwd searches scan the local block and otherwise
+   climb the implicit binary heap to the nearest block whose
+   [min, max] interval contains the target, which must hold the target
+   because excess moves in ±1 steps.
+
+   Scans proceed byte-wise over a parallel byte-packed copy of the
+   parentheses, with 256-entry lookup tables answering "does this byte
+   reach relative excess r, and where" — the practical acceleration of
+   Arroyuelo et al. [3]. *)
+
+let block_bits = 256
+
+type t = {
+  bits : Bitvec.t;          (* for rank/select (preorders) *)
+  bytes : Bytes.t;          (* same sequence, 8 parens per byte, LSB first *)
+  n : int;
+  nblocks : int;
+  leaves : int;             (* heap leaf count: power of two >= nblocks *)
+  hmin : int array;         (* heap node -> min absolute excess in range *)
+  hmax : int array;
+  bstart : int array;       (* absolute excess before each block *)
+}
+
+let delta bit = if bit then 1 else -1
+
+(* ------------------------------------------------------------------ *)
+(* Byte tables                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* tdelta.(b): excess contribution of the 8 parens in byte b.
+   fwd_reach.(b*17 + r + 8): smallest o in 0..7 such that the prefix
+   b[0..o] reaches relative excess r (in -8..8), or 8 if none.
+   bwd_reach.(b*17 + r + 8): largest k in 1..8 such that the suffix
+   b[k..7] has excess sum r, or 0 if none (so position k-1 has
+   "excess before suffix" = e_end - r). *)
+let tdelta = Array.make 256 0
+let fwd_reach = Bytes.make (256 * 17) '\008'
+let bwd_reach = Bytes.make (256 * 17) '\255'
+
+let () =
+  for b = 0 to 255 do
+    let e = ref 0 in
+    for o = 0 to 7 do
+      e := !e + delta ((b lsr o) land 1 = 1);
+      let idx = (b * 17) + !e + 8 in
+      if Bytes.get fwd_reach idx = '\008' then
+        Bytes.set fwd_reach idx (Char.chr o)
+    done;
+    tdelta.(b) <- !e;
+    (* suffix sums: d(k) = excess of bits k..7, k in 1..8 (d(8) = 0) *)
+    let d = ref 0 in
+    Bytes.set bwd_reach ((b * 17) + 8) '\008';   (* k = 8, r = 0 *)
+    for k = 7 downto 1 do
+      d := !d + delta ((b lsr k) land 1 = 1);
+      let idx = (b * 17) + !d + 8 in
+      if Bytes.get bwd_reach idx = '\255' then Bytes.set bwd_reach idx (Char.chr k)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build bits =
+  let n = Bitvec.length bits in
+  let nbytes = (n + 7) / 8 in
+  let bytes = Bytes.make (max 1 nbytes) '\000' in
+  for i = 0 to n - 1 do
+    if Bitvec.get bits i then begin
+      let b = i / 8 in
+      Bytes.unsafe_set bytes b
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get bytes b) lor (1 lsl (i mod 8))))
+    end
+  done;
+  let nblocks = max 1 ((n + block_bits - 1) / block_bits) in
+  let leaves =
+    let rec go l = if l >= nblocks then l else go (2 * l) in
+    go 1
+  in
+  let hmin = Array.make (2 * leaves) max_int in
+  let hmax = Array.make (2 * leaves) min_int in
+  let bstart = Array.make (nblocks + 1) 0 in
+  let e = ref 0 in
+  for b = 0 to nblocks - 1 do
+    bstart.(b) <- !e;
+    let lo = b * block_bits and hi = min n ((b + 1) * block_bits) in
+    let mn = ref max_int and mx = ref min_int in
+    for i = lo to hi - 1 do
+      e := !e + delta (Bitvec.get bits i);
+      if !e < !mn then mn := !e;
+      if !e > !mx then mx := !e
+    done;
+    hmin.(leaves + b) <- !mn;
+    hmax.(leaves + b) <- !mx
+  done;
+  bstart.(nblocks) <- !e;
+  for node = leaves - 1 downto 1 do
+    hmin.(node) <- min hmin.(2 * node) hmin.(2 * node + 1);
+    hmax.(node) <- max hmax.(2 * node) hmax.(2 * node + 1)
+  done;
+  { bits; bytes; n; nblocks; leaves; hmin; hmax; bstart }
+
+module Builder = struct
+  type bp = t
+
+  type t = {
+    b : Bitvec.Builder.t;
+    mutable excess : int;
+  }
+
+  let create ?hint () = { b = Bitvec.Builder.create ?hint (); excess = 0 }
+
+  let open_node t =
+    Bitvec.Builder.push t.b true;
+    t.excess <- t.excess + 1
+
+  let close_node t =
+    if t.excess <= 0 then invalid_arg "Bp.Builder.close_node: unbalanced";
+    Bitvec.Builder.push t.b false;
+    t.excess <- t.excess - 1
+
+  let finish t : bp =
+    if t.excess <> 0 then invalid_arg "Bp.Builder.finish: unbalanced";
+    build (Bitvec.Builder.finish t.b)
+end
+
+let of_bools a =
+  let b = Builder.create ~hint:(Array.length a) () in
+  Array.iter (fun bit -> if bit then Builder.open_node b else Builder.close_node b) a;
+  Builder.finish b
+
+let length t = t.n
+let node_count t = Bitvec.count t.bits
+
+let is_open t i =
+  Char.code (Bytes.unsafe_get t.bytes (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let excess t i = (2 * Bitvec.rank1 t.bits (i + 1)) - (i + 1)
+
+let contains t node v = t.hmin.(node) <= v && v <= t.hmax.(node)
+
+(* Forward scan of positions [j0, j1) for absolute excess [v];
+   [e] = excess before j0.  Returns the position or -1, and leaves the
+   running excess in [eref]. *)
+let scan_fwd t j0 j1 e v =
+  let eref = ref e and res = ref (-1) in
+  let j = ref j0 in
+  (try
+     while !j < j1 do
+       let byte_i = !j lsr 3 and off = !j land 7 in
+       if off = 0 && !j + 8 <= j1 then begin
+         (* whole byte *)
+         let b = Char.code (Bytes.unsafe_get t.bytes byte_i) in
+         let r = v - !eref in
+         if r >= -8 && r <= 8 then begin
+           let hit = Char.code (Bytes.unsafe_get fwd_reach ((b * 17) + r + 8)) in
+           if hit < 8 then begin
+             res := !j + hit;
+             raise Exit
+           end
+         end;
+         eref := !eref + tdelta.(b);
+         j := !j + 8
+       end
+       else begin
+         let b = Char.code (Bytes.unsafe_get t.bytes byte_i) in
+         eref := !eref + delta ((b lsr off) land 1 = 1);
+         if !eref = v then begin
+           res := !j;
+           raise Exit
+         end;
+         incr j
+       end
+     done
+   with Exit -> ());
+  (!res, !eref)
+
+(* Backward scan of positions (j1, j0] going down (j0 >= j1), looking
+   for the largest position with absolute excess [v]; [e] = excess at
+   position j0.  Position j1 - 1 is not examined. *)
+let scan_bwd t j0 j1 e v =
+  let eref = ref e and res = ref min_int in
+  let j = ref j0 in
+  (try
+     while !j >= j1 do
+       let off = !j land 7 in
+       if off = 7 && !j - 8 >= j1 - 1 then begin
+         (* whole byte: positions j-7 .. j; excess at j is !eref *)
+         let b = Char.code (Bytes.unsafe_get t.bytes (!j lsr 3)) in
+         let r = !eref - v in
+         if r >= -8 && r <= 8 then begin
+           let k = Char.code (Bytes.unsafe_get bwd_reach ((b * 17) + r + 8)) in
+           if k <> 255 then begin
+             (* position within byte = k - 1; byte base = j - 7 *)
+             res := !j - 7 + k - 1;
+             raise Exit
+           end
+         end;
+         eref := !eref - tdelta.(b);
+         j := !j - 8
+       end
+       else begin
+         if !eref = v then begin
+           res := !j;
+           raise Exit
+         end;
+         let b = Char.code (Bytes.unsafe_get t.bytes (!j lsr 3)) in
+         eref := !eref - delta ((b lsr off) land 1 = 1);
+         decr j
+       end
+     done
+   with Exit -> ());
+  (!res, !eref)
+
+(* Smallest j > i with excess(j) = v, or -1. *)
+let fwd t i v =
+  let e = if i < 0 then 0 else excess t i in
+  let blk = (i + 1) / block_bits in
+  let hi = min t.n ((blk + 1) * block_bits) in
+  let local, _ = scan_fwd t (i + 1) hi e v in
+  if local >= 0 then local
+  else begin
+    (* climb: find the nearest block to the right containing v *)
+    let node = ref (t.leaves + blk) in
+    let found = ref (-1) in
+    while !found < 0 && !node > 1 do
+      if !node land 1 = 0 && contains t (!node + 1) v then found := !node + 1
+      else node := !node / 2
+    done;
+    if !found < 0 then -1
+    else begin
+      (* descend to the leftmost leaf containing v *)
+      let node = ref !found in
+      while !node < t.leaves do
+        if contains t (2 * !node) v then node := 2 * !node else node := (2 * !node) + 1
+      done;
+      let b = !node - t.leaves in
+      let lo = b * block_bits and hi = min t.n ((b + 1) * block_bits) in
+      let res, _ = scan_fwd t lo hi t.bstart.(b) v in
+      res
+    end
+  end
+
+(* Largest j < i with excess(j) = v; the answer can be the virtual
+   position -1 (excess 0), or [min_int] for "none". *)
+let bwd t i v =
+  let blk = if i <= 0 then 0 else (i - 1) / block_bits in
+  let lo = blk * block_bits in
+  let e = excess t (i - 1) in
+  let local, _ = scan_bwd t (i - 1) lo e v in
+  if local > min_int then local
+  else if lo = 0 && v = 0 then -1
+  else begin
+    (* climb: nearest block to the left containing v *)
+    let node = ref (t.leaves + blk) in
+    let found = ref (-1) in
+    while !found < 0 && !node > 1 do
+      if !node land 1 = 1 && contains t (!node - 1) v then found := !node - 1
+      else node := !node / 2
+    done;
+    if !found < 0 then (if v = 0 then -1 else min_int)
+    else begin
+      (* descend to the rightmost leaf containing v *)
+      let node = ref !found in
+      while !node < t.leaves do
+        if contains t ((2 * !node) + 1) v then node := (2 * !node) + 1
+        else node := 2 * !node
+      done;
+      let b = !node - t.leaves in
+      let lo = b * block_bits and hi = min t.n ((b + 1) * block_bits) in
+      (* excess at position hi-1 = bstart of next block when the block is
+         full; recompute by scanning forward once (cheap, happens only on
+         the final block of the search) *)
+      let e_end =
+        if hi = (b + 1) * block_bits && b + 1 <= t.nblocks then t.bstart.(b + 1)
+        else begin
+          let e = ref t.bstart.(b) in
+          for j = lo to hi - 1 do
+            e := !e + delta (is_open t j)
+          done;
+          !e
+        end
+      in
+      let res, _ = scan_bwd t (hi - 1) lo e_end v in
+      res
+    end
+  end
+
+let close t i =
+  if not (is_open t i) then invalid_arg "Bp.close: not an opening parenthesis";
+  fwd t i (excess t i - 1)
+
+let open_ t i =
+  if is_open t i then invalid_arg "Bp.open_: not a closing parenthesis";
+  let p = bwd t i (excess t i) in
+  if p = min_int then invalid_arg "Bp.open_: unbalanced" else p + 1
+
+let enclose t i =
+  if i = 0 then -1
+  else begin
+    let p = bwd t i (excess t i - 2) in
+    if p = min_int then -1 else p + 1
+  end
+
+let root _ = 0
+let preorder t i = Bitvec.rank1 t.bits i
+let node_of_preorder t p = Bitvec.select1 t.bits p
+let subtree_size t i = (close t i - i + 1) / 2
+let is_ancestor t x y = x <= y && y <= close t x
+let is_leaf t i = i + 1 >= t.n || not (is_open t (i + 1))
+let first_child t i = if is_leaf t i then -1 else i + 1
+
+let next_sibling t i =
+  let c = close t i in
+  if c + 1 < t.n && is_open t (c + 1) then c + 1 else -1
+
+let parent t i = enclose t i
+let depth t i = excess t i
+
+let space_bits t =
+  Bitvec.space_bits t.bits
+  + (8 * Bytes.length t.bytes)
+  + ((Array.length t.hmin + Array.length t.hmax + Array.length t.bstart) * 64)
+  + 256

@@ -1,0 +1,68 @@
+(** Balanced-parentheses representation of an ordered tree (§4.1.1 of
+    the paper, after Sadakane and Navarro).  The sequence is produced by
+    a DFS: "(" on arrival, ")" on leaving; a node is identified by the
+    position of its opening parenthesis.
+
+    Navigation relies on a range-min-max tree over the excess sequence,
+    giving logarithmic worst-case [close]/[open]/[enclose] that behave
+    like constant time on real documents (matches are almost always in
+    the same 256-bit block). *)
+
+type t
+
+module Builder : sig
+  type bp = t
+  type t
+
+  val create : ?hint:int -> unit -> t
+  val open_node : t -> unit
+  val close_node : t -> unit
+  val finish : t -> bp
+  (** @raise Invalid_argument if the sequence is not balanced. *)
+end
+
+val of_bools : bool array -> t
+(** [true] is "(" — mostly for tests. *)
+
+val length : t -> int
+(** Number of parentheses ([2 n] for [n] nodes). *)
+
+val node_count : t -> int
+
+val is_open : t -> int -> bool
+val excess : t -> int -> int
+(** Excess after position [i] (depth of the node opened at [i]). *)
+
+val close : t -> int -> int
+(** Matching closing parenthesis of the "(" at [i]. *)
+
+val open_ : t -> int -> int
+(** Matching opening parenthesis of the ")" at [i]. *)
+
+val enclose : t -> int -> int
+(** Opening parenthesis of the parent of the node at [i]; [-1] for the
+    root. *)
+
+(** {1 Tree operations (§4.2.1)} *)
+
+val root : t -> int
+val preorder : t -> int -> int
+(** 0-based preorder (= rank of opening parentheses before [i]). *)
+
+val node_of_preorder : t -> int -> int
+val subtree_size : t -> int -> int
+val is_ancestor : t -> int -> int -> bool
+val is_leaf : t -> int -> bool
+
+val first_child : t -> int -> int
+(** [-1] when the node is a leaf. *)
+
+val next_sibling : t -> int -> int
+(** [-1] when there is none. *)
+
+val parent : t -> int -> int
+(** [-1] for the root. *)
+
+val depth : t -> int -> int
+
+val space_bits : t -> int

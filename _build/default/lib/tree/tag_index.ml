@@ -1,0 +1,62 @@
+open Sxsi_bits
+
+type t = {
+  bp : Bp.t;
+  tcount : int;
+  tags : Intvec.t;            (* tag id at every parenthesis position *)
+  rows : Sparse.t array;      (* per tag: opening positions carrying it *)
+}
+
+let build bp ~tag_count ~tags =
+  let n = Bp.length bp in
+  if Array.length tags <> n then invalid_arg "Tag_index.build: length mismatch";
+  let buckets = Array.make tag_count [] in
+  for i = n - 1 downto 0 do
+    let tg = tags.(i) in
+    if tg < 0 || tg >= tag_count then invalid_arg "Tag_index.build: tag out of range";
+    if Bp.is_open bp i then buckets.(tg) <- i :: buckets.(tg)
+  done;
+  let rows =
+    Array.map (fun l -> Sparse.of_sorted ~universe:(max 1 n) (Array.of_list l)) buckets
+  in
+  let width =
+    let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in
+    go (max 1 (tag_count - 1)) 0
+  in
+  let iv = Intvec.make n width in
+  Array.iteri (fun i tg -> Intvec.set iv i tg) tags;
+  { bp; tcount = tag_count; tags = iv; rows }
+
+let tag_count t = t.tcount
+let tag t i = Intvec.get t.tags i
+let count t tg = Sparse.length t.rows.(tg)
+let rank_tag t tg i = Sparse.rank t.rows.(tg) i
+let select_tag t tg j = Sparse.get t.rows.(tg) j
+
+let subtree_tags t x tg =
+  let c = Bp.close t.bp x in
+  Sparse.rank t.rows.(tg) (c + 1) - Sparse.rank t.rows.(tg) x
+
+let tagged_desc t x tg =
+  let c = Bp.close t.bp x in
+  let p = Sparse.next t.rows.(tg) (x + 1) in
+  if p >= 0 && p < c then p else -1
+
+let tagged_foll t x tg =
+  let c = Bp.close t.bp x in
+  Sparse.next t.rows.(tg) (c + 1)
+
+let tagged_next t i tg = Sparse.next t.rows.(tg) i
+
+let tagged_prec t x tg =
+  let rec go p =
+    match Sparse.prev t.rows.(tg) p with
+    | -1 -> -1
+    | q -> if Bp.is_ancestor t.bp q x then go q else q
+  in
+  go x
+
+let space_bits t =
+  Intvec.space_bits t.tags
+  + Array.fold_left (fun acc r -> acc + Sparse.space_bits r) 0 t.rows
+  + 192

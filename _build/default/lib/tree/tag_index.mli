@@ -1,0 +1,53 @@
+(** Tag structure of the tree (§4.1.2): a packed array giving the tag
+    of every parenthesis position, plus one sparse-bitmap row per tag
+    over the opening positions (the paper's sarray matrix R), supporting
+    the jump operations of §4.2.2.
+
+    Tags are small integer identifiers; the name table lives with the
+    document.  Node arguments are opening-parenthesis positions of the
+    accompanying {!Bp.t}. *)
+
+type t
+
+val build : Bp.t -> tag_count:int -> tags:int array -> t
+(** [build bp ~tag_count ~tags] takes the tag identifier of every
+    parenthesis position ([tags.(i)] for both the opening and closing
+    parenthesis of a node).
+    @raise Invalid_argument on length mismatch or out-of-range tag. *)
+
+val tag_count : t -> int
+
+val tag : t -> int -> int
+(** Tag of the node at position [i] ([Tag(x)]). *)
+
+val count : t -> int -> int
+(** Total number of nodes carrying a tag. *)
+
+val subtree_tags : t -> int -> int -> int
+(** [subtree_tags t x tag]: number of [tag]-labeled nodes in the
+    subtree rooted at [x], including [x] itself ([SubtreeTags]). *)
+
+val tagged_desc : t -> int -> int -> int
+(** [tagged_desc t x tag]: first node in preorder labeled [tag]
+    strictly inside the subtree of [x]; [-1] if none ([TaggedDesc]). *)
+
+val tagged_foll : t -> int -> int -> int
+(** [tagged_foll t x tag]: first node labeled [tag] after the subtree
+    of [x] in preorder; [-1] if none ([TaggedFoll]). *)
+
+val tagged_prec : t -> int -> int -> int
+(** [tagged_prec t x tag]: last node labeled [tag] before [x] in
+    preorder that is not an ancestor of [x]; [-1] if none
+    ([TaggedPrec]). *)
+
+val tagged_next : t -> int -> int -> int
+(** First node labeled [tag] at a position [>= i] (whole-document jump,
+    used to iterate all nodes with a tag); [-1] if none. *)
+
+val rank_tag : t -> int -> int -> int
+(** Number of [tag]-labeled nodes at opening positions [< i]. *)
+
+val select_tag : t -> int -> int -> int
+(** Position of the [j]-th [tag]-labeled node (0-based). *)
+
+val space_bits : t -> int

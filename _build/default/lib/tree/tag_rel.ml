@@ -1,0 +1,46 @@
+type relation = Child | Descendant | Following_sibling | Following
+
+type t = {
+  tcount : int;
+  child : Bytes.t;
+  desc : Bytes.t;
+  fsib : Bytes.t;
+  foll : Bytes.t;
+}
+
+let make ~tag_count =
+  let sz = max 1 ((tag_count * tag_count + 7) / 8) in
+  {
+    tcount = tag_count;
+    child = Bytes.make sz '\000';
+    desc = Bytes.make sz '\000';
+    fsib = Bytes.make sz '\000';
+    foll = Bytes.make sz '\000';
+  }
+
+let table t = function
+  | Child -> t.child
+  | Descendant -> t.desc
+  | Following_sibling -> t.fsib
+  | Following -> t.foll
+
+let add t rel ~parent ~child =
+  if parent < 0 || parent >= t.tcount || child < 0 || child >= t.tcount then
+    invalid_arg "Tag_rel.add";
+  let bit = (parent * t.tcount) + child in
+  let tb = table t rel in
+  Bytes.set tb (bit / 8)
+    (Char.chr (Char.code (Bytes.get tb (bit / 8)) lor (1 lsl (bit mod 8))))
+
+let mem t rel a b =
+  if a < 0 || a >= t.tcount || b < 0 || b >= t.tcount then false
+  else begin
+    let bit = (a * t.tcount) + b in
+    Char.code (Bytes.get (table t rel) (bit / 8)) land (1 lsl (bit mod 8)) <> 0
+  end
+
+let can_occur t rel a f =
+  let rec go b = b < t.tcount && ((f b && mem t rel a b) || go (b + 1)) in
+  go 0
+
+let space_bits t = 4 * 8 * Bytes.length t.child

@@ -1,0 +1,25 @@
+(** Relative tag position tables (§5.5.6): for every tag, which tags
+    occur in child, descendant, following-sibling and following
+    position.  The engine consults them before emitting a jump: a
+    [TaggedDesc] towards a tag that never occurs below the current one
+    is replaced by an immediate failure. *)
+
+type t
+
+type relation = Child | Descendant | Following_sibling | Following
+
+val make : tag_count:int -> t
+
+val add : t -> relation -> parent:int -> child:int -> unit
+(** Record that [child] occurs in the given relation to [parent]
+    (builder side, called while parsing). *)
+
+val mem : t -> relation -> int -> int -> bool
+(** [mem t rel a b]: can a [b]-tagged node occur in relation [rel] to
+    an [a]-tagged node? *)
+
+val can_occur : t -> relation -> int -> (int -> bool) -> bool
+(** [can_occur t rel a f]: does some tag [b] with [f b] occur in
+    relation [rel] to [a]? *)
+
+val space_bits : t -> int

@@ -1,0 +1,1 @@
+lib/wordindex/word_index.ml: Array Hashtbl List Sais String Sxsi_fm

@@ -1,0 +1,1 @@
+lib/wordindex/word_index.mli:

@@ -1,0 +1,35 @@
+(** Word-based text index (§6.6.2, after Fariña et al. [20]): the text
+    collection is tokenized and viewed as a sequence over the (large)
+    alphabet of distinct words; a suffix array over that sequence
+    answers word and phrase queries at word granularity, much faster
+    and smaller than the character-level FM-index — at the price of
+    matching only on word boundaries.
+
+    Tokens are maximal runs of letters and digits; matching is exact
+    (case-sensitive). *)
+
+type t
+
+val build : string array -> t
+(** Index a collection of texts (the texts of a document, in id
+    order). *)
+
+val doc_count : t -> int
+val distinct_words : t -> int
+val token_count : t -> int
+
+val contains_phrase : t -> string -> int list
+(** Identifiers of the texts containing the query as a contiguous
+    word sequence, sorted and duplicate-free.  An empty or
+    unknown-word query matches nothing. *)
+
+val contains_phrase_count : t -> string -> int
+val phrase_occurrences : t -> string -> int
+(** Total number of occurrences across the collection. *)
+
+val matches_text : t -> string -> string -> bool
+(** [matches_text t phrase s]: does the plain string [s] contain the
+    phrase at word granularity?  (The engine's fallback for nodes whose
+    value spans several texts.) *)
+
+val space_bits : t -> int

@@ -1,0 +1,1 @@
+lib/xml/document.ml: Array Bitvec Bp Buffer Fun Hashtbl List Marshal String Sxsi_bits Sxsi_text Sxsi_tree Tag_index Tag_rel Text_collection Xml_parser

@@ -1,0 +1,28 @@
+(** Event-based (SAX-style) XML parser.
+
+    Supports the subset of XML the paper's documents need: elements,
+    attributes, character data, CDATA sections, comments, processing
+    instructions, a DOCTYPE declaration, and the predefined and numeric
+    character references.  Namespaces are not interpreted (prefixed
+    names are plain names). *)
+
+exception Parse_error of int * string
+(** Byte position and message. *)
+
+val parse :
+  on_open:(string -> (string * string) list -> unit) ->
+  on_close:(string -> unit) ->
+  on_text:(string -> unit) ->
+  string ->
+  unit
+(** Parse a complete document.  [on_text] receives maximal runs of
+    character data with entities decoded (never empty, possibly
+    whitespace-only); attribute values are entity-decoded too.
+    @raise Parse_error on malformed input. *)
+
+val escape_text : string -> string
+(** Escape ["&<>"] for serialization as character data. *)
+
+val escape_attr : string -> string
+(** Escape ["&<>\""] for serialization inside a double-quoted
+    attribute value. *)

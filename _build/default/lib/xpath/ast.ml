@@ -1,0 +1,90 @@
+(* Abstract syntax of the XPath fragment Core+ (§5.1 of the paper):
+   forward Core XPath plus the text predicates =, contains, starts-with
+   and ends-with, extended with the lexicographic comparisons of §3.2
+   and named custom predicates (the PSSM hook of §6.7). *)
+
+type axis =
+  | Self
+  | Child
+  | Descendant
+  | Attribute
+  | Following_sibling
+
+type node_test =
+  | Star            (* "*": any element *)
+  | Name of string  (* a tag or attribute name *)
+  | Text            (* text() *)
+  | Node            (* node() *)
+
+type value_op =
+  | Eq
+  | Contains
+  | Starts_with
+  | Ends_with
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type path = {
+  absolute : bool;      (* starts at the document root *)
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : node_test;
+  preds : pred list;    (* conjunction of filters *)
+}
+
+and pred =
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Exists of path                       (* path as boolean filter *)
+  | Value of path * value_op * string    (* value expression op literal *)
+  | Fun of string * path * string        (* name(path, argument) *)
+
+let axis_to_string = function
+  | Self -> "self"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Attribute -> "attribute"
+  | Following_sibling -> "following-sibling"
+
+let node_test_to_string = function
+  | Star -> "*"
+  | Name s -> s
+  | Text -> "text()"
+  | Node -> "node()"
+
+let op_to_string = function
+  | Eq -> "="
+  | Contains -> "contains"
+  | Starts_with -> "starts-with"
+  | Ends_with -> "ends-with"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec path_to_string p =
+  match p.steps with
+  | [] -> if p.absolute then "/" else "."
+  | steps -> (if p.absolute then "/" else "") ^ String.concat "/" (List.map step_to_string steps)
+
+and step_to_string s =
+  Printf.sprintf "%s::%s%s" (axis_to_string s.axis) (node_test_to_string s.test)
+    (String.concat "" (List.map (fun p -> "[" ^ pred_to_string p ^ "]") s.preds))
+
+and pred_to_string = function
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (pred_to_string a) (pred_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (pred_to_string a) (pred_to_string b)
+  | Not p -> Printf.sprintf "not(%s)" (pred_to_string p)
+  | Exists p -> path_to_string p
+  | Value (p, Eq, lit) -> Printf.sprintf "%s = %S" (path_to_string p) lit
+  | Value (p, ((Lt | Le | Gt | Ge) as op), lit) ->
+    Printf.sprintf "%s %s %S" (path_to_string p) (op_to_string op) lit
+  | Value (p, ((Contains | Starts_with | Ends_with) as op), lit) ->
+    Printf.sprintf "%s(%s, %S)" (op_to_string op) (path_to_string p) lit
+  | Fun (name, p, arg) -> Printf.sprintf "%s(%s, %s)" name (path_to_string p) arg

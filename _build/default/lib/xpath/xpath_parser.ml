@@ -1,0 +1,351 @@
+exception Parse_error of int * string
+
+let error pos msg = raise (Parse_error (pos, msg))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | SLASH
+  | DSLASH
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | STAR
+  | DOT
+  | AT
+  | DCOLON
+  | PIPE
+  | EQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | NAME of string
+  | LITERAL of string
+  | EOF
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let push t p = toks := (t, p) :: !toks in
+  while !pos < n do
+    let p = !pos in
+    let c = src.[p] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '/' then
+      if p + 1 < n && src.[p + 1] = '/' then begin
+        push DSLASH p;
+        pos := p + 2
+      end
+      else begin
+        push SLASH p;
+        incr pos
+      end
+    else if c = ':' && p + 1 < n && src.[p + 1] = ':' then begin
+      push DCOLON p;
+      pos := p + 2
+    end
+    else if c = '[' then (push LBRACK p; incr pos)
+    else if c = ']' then (push RBRACK p; incr pos)
+    else if c = '(' then (push LPAREN p; incr pos)
+    else if c = ')' then (push RPAREN p; incr pos)
+    else if c = ',' then (push COMMA p; incr pos)
+    else if c = '*' then (push STAR p; incr pos)
+    else if c = '.' then (push DOT p; incr pos)
+    else if c = '@' then (push AT p; incr pos)
+    else if c = '|' then (push PIPE p; incr pos)
+    else if c = '=' then (push EQ p; incr pos)
+    else if c = '<' then
+      if p + 1 < n && src.[p + 1] = '=' then (push LE p; pos := p + 2)
+      else (push LT p; incr pos)
+    else if c = '>' then
+      if p + 1 < n && src.[p + 1] = '=' then (push GE p; pos := p + 2)
+      else (push GT p; incr pos)
+    else if c = '"' || c = '\'' then begin
+      match String.index_from_opt src (p + 1) c with
+      | None -> error p "unterminated string literal"
+      | Some q ->
+        push (LITERAL (String.sub src (p + 1) (q - p - 1))) p;
+        pos := q + 1
+    end
+    else if is_name_start c then begin
+      let e = ref (p + 1) in
+      while !e < n && is_name_char src.[!e] do
+        incr e
+      done;
+      (* names may not end with '.' or '-': back off so "self::node()."
+         style boundaries survive, and "a ." lexes as NAME DOT *)
+      while !e > p + 1 && (src.[!e - 1] = '.' || src.[!e - 1] = '-') do
+        decr e
+      done;
+      push (NAME (String.sub src p (!e - p))) p;
+      pos := !e
+    end
+    else error p (Printf.sprintf "unexpected character %C" c)
+  done;
+  push EOF n;
+  Array.of_list (List.rev !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : (token * int) array; mutable i : int }
+
+let peek st = fst st.toks.(st.i)
+let pos st = snd st.toks.(st.i)
+let advance st = st.i <- st.i + 1
+
+let expect st tok what =
+  if peek st = tok then advance st else error (pos st) ("expected " ^ what)
+
+let axis_of_name = function
+  | "self" -> Some Ast.Self
+  | "child" -> Some Ast.Child
+  | "descendant" -> Some Ast.Descendant
+  | "attribute" -> Some Ast.Attribute
+  | "following-sibling" -> Some Ast.Following_sibling
+  | _ -> None
+
+let rec parse_node_test st =
+  match peek st with
+  | STAR ->
+    advance st;
+    Ast.Star
+  | NAME "text" when fst st.toks.(st.i + 1) = LPAREN ->
+    advance st;
+    advance st;
+    expect st RPAREN ")";
+    Ast.Text
+  | NAME "node" when fst st.toks.(st.i + 1) = LPAREN ->
+    advance st;
+    advance st;
+    expect st RPAREN ")";
+    Ast.Node
+  | NAME n ->
+    advance st;
+    Ast.Name n
+  | _ -> error (pos st) "expected a node test"
+
+(* One location step.  [desc] is true when the step was introduced by
+   "//": a child step then becomes a descendant step; an attribute step
+   gets a descendant::node() step in front (this loses the
+   "or-self" part of .//@x, which no Core+ query in the paper uses). *)
+and parse_step st ~desc : Ast.step list =
+  match peek st with
+  | DOT ->
+    advance st;
+    let preds = parse_predicates st in
+    if desc then [ { Ast.axis = Ast.Descendant; test = Ast.Node; preds } ]
+    else [ { Ast.axis = Ast.Self; test = Ast.Node; preds } ]
+  | AT ->
+    advance st;
+    let test = parse_node_test st in
+    let preds = parse_predicates st in
+    let attr = { Ast.axis = Ast.Attribute; test; preds } in
+    if desc then
+      [ { Ast.axis = Ast.Descendant; test = Ast.Node; preds = [] }; attr ]
+    else [ attr ]
+  | NAME n when fst st.toks.(st.i + 1) = DCOLON -> begin
+    match axis_of_name n with
+    | None -> error (pos st) (Printf.sprintf "unknown axis %s" n)
+    | Some axis ->
+      advance st;
+      advance st;
+      let test = parse_node_test st in
+      let preds = parse_predicates st in
+      let axis =
+        if not desc then axis
+        else begin
+          match axis with
+          | Ast.Child | Ast.Descendant -> Ast.Descendant
+          | Ast.Self | Ast.Attribute | Ast.Following_sibling ->
+            error (pos st) "'//' must be followed by a child or descendant step"
+        end
+      in
+      [ { Ast.axis; test; preds } ]
+  end
+  | STAR | NAME _ ->
+    let test = parse_node_test st in
+    let preds = parse_predicates st in
+    let axis = if desc then Ast.Descendant else Ast.Child in
+    [ { Ast.axis; test; preds } ]
+  | _ -> error (pos st) "expected a location step"
+
+and parse_relative st ~desc : Ast.step list =
+  let first = parse_step st ~desc in
+  let rec more acc =
+    match peek st with
+    | SLASH ->
+      advance st;
+      more (acc @ parse_step st ~desc:false)
+    | DSLASH ->
+      advance st;
+      more (acc @ parse_step st ~desc:true)
+    | _ -> acc
+  in
+  (* normalize: a filter-less self::node() step is the identity
+     (".//b" becomes plain "descendant::b", the empty path is the
+     context node) *)
+  List.filter
+    (fun s -> not (s.Ast.axis = Ast.Self && s.Ast.test = Ast.Node && s.Ast.preds = []))
+    (more first)
+
+and parse_path st : Ast.path =
+  match peek st with
+  | SLASH ->
+    advance st;
+    (match peek st with
+    | EOF | RBRACK | RPAREN | COMMA | EQ | LT | LE | GT | GE ->
+      { Ast.absolute = true; steps = [] }
+    | _ -> { Ast.absolute = true; steps = parse_relative st ~desc:false })
+  | DSLASH ->
+    advance st;
+    { Ast.absolute = true; steps = parse_relative st ~desc:true }
+  | _ -> { Ast.absolute = false; steps = parse_relative st ~desc:false }
+
+and parse_predicates st =
+  let rec go acc =
+    match peek st with
+    | LBRACK ->
+      advance st;
+      let p = parse_or st in
+      expect st RBRACK "]";
+      go (p :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+and parse_or st =
+  let left = parse_and st in
+  match peek st with
+  | NAME "or" ->
+    advance st;
+    Ast.Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_unary st in
+  match peek st with
+  | NAME "and" ->
+    advance st;
+    Ast.And (left, parse_and st)
+  | _ -> left
+
+and parse_unary st =
+  match peek st with
+  | NAME "not" when fst st.toks.(st.i + 1) = LPAREN ->
+    advance st;
+    advance st;
+    let p = parse_or st in
+    expect st RPAREN ")";
+    Ast.Not p
+  | LPAREN ->
+    advance st;
+    let p = parse_or st in
+    expect st RPAREN ")";
+    p
+  | _ -> parse_atom st
+
+and parse_builtin_value_fun st op =
+  advance st;
+  expect st LPAREN "(";
+  let path = parse_path st in
+  expect st COMMA ",";
+  let lit =
+    match peek st with
+    | LITERAL s ->
+      advance st;
+      s
+    | _ -> error (pos st) "expected a string literal"
+  in
+  expect st RPAREN ")";
+  Ast.Value (path, op, lit)
+
+and parse_atom st =
+  match peek st with
+  | NAME "contains" when fst st.toks.(st.i + 1) = LPAREN ->
+    parse_builtin_value_fun st Ast.Contains
+  | NAME "starts-with" when fst st.toks.(st.i + 1) = LPAREN ->
+    parse_builtin_value_fun st Ast.Starts_with
+  | NAME "ends-with" when fst st.toks.(st.i + 1) = LPAREN ->
+    parse_builtin_value_fun st Ast.Ends_with
+  | NAME fname
+    when fst st.toks.(st.i + 1) = LPAREN
+         && axis_of_name fname = None
+         && fname <> "text" && fname <> "node" && fname <> "not" ->
+    (* custom predicate: name(path, argument) *)
+    advance st;
+    advance st;
+    let path = parse_path st in
+    expect st COMMA ",";
+    let arg =
+      match peek st with
+      | LITERAL s ->
+        advance st;
+        s
+      | NAME s ->
+        advance st;
+        s
+      | _ -> error (pos st) "expected an argument"
+    in
+    expect st RPAREN ")";
+    Ast.Fun (fname, path, arg)
+  | _ ->
+    let path = parse_path st in
+    (match peek st with
+    | EQ ->
+      advance st;
+      (match peek st with
+      | LITERAL s ->
+        advance st;
+        Ast.Value (path, Ast.Eq, s)
+      | _ -> error (pos st) "expected a string literal after '='")
+    | LT | LE | GT | GE ->
+      let op =
+        match peek st with
+        | LT -> Ast.Lt
+        | LE -> Ast.Le
+        | GT -> Ast.Gt
+        | GE -> Ast.Ge
+        | _ -> assert false
+      in
+      advance st;
+      (match peek st with
+      | LITERAL s ->
+        advance st;
+        Ast.Value (path, op, s)
+      | _ -> error (pos st) "expected a string literal after comparison")
+    | _ -> Ast.Exists path)
+
+let parse_union src =
+  let st = { toks = tokenize src; i = 0 } in
+  let rec go acc =
+    let path = parse_path st in
+    if not path.Ast.absolute then
+      error 0 "query must be absolute (start with '/' or '//')";
+    match peek st with
+    | PIPE ->
+      advance st;
+      go (path :: acc)
+    | EOF -> List.rev (path :: acc)
+    | _ -> error (pos st) "trailing input"
+  in
+  go []
+
+let parse src =
+  match parse_union src with
+  | [ path ] -> path
+  | _ :: _ :: _ -> error 0 "union query: use parse_union"
+  | [] -> assert false

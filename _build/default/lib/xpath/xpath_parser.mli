@@ -1,0 +1,15 @@
+(** Parser for the XPath fragment Core+ (§5.1), accepting both the
+    verbose syntax ([/descendant::a/child::b\[child::c\]]) and the
+    common abbreviations ([//a/b\[c\]], [.], [@x], [*], [text()]). *)
+
+exception Parse_error of int * string
+(** Character position and message. *)
+
+val parse : string -> Ast.path
+(** A single absolute path.
+    @raise Parse_error on syntax errors or on a union query. *)
+
+val parse_union : string -> Ast.path list
+(** A query as a union of absolute paths ([p1 | p2 | ...]); a plain
+    query yields a one-element list.
+    @raise Parse_error on syntax errors. *)

@@ -1,0 +1,1 @@
+test/test_auto.ml: Alcotest Array Automaton Compile Document Formula List String Sxsi_auto Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Document Dom List Naive_eval QCheck2 QCheck_alcotest Stream_eval String Sxsi_baseline Sxsi_tree Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+test/test_bio.ml: Alcotest Array List Printf Pssm QCheck2 QCheck_alcotest Random Rle_fm String Sxsi_baseline Sxsi_bio Sxsi_core Sxsi_datagen Sxsi_fm Sxsi_xml Sxsi_xpath

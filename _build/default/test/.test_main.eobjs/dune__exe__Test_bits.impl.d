@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Array Bitvec Char Int_wavelet Intvec List Popcnt QCheck2 QCheck_alcotest Sparse String Sxsi_bits Wavelet

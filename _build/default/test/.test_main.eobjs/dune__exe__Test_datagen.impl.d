@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Bio Document Engine List Medline Sxsi_baseline Sxsi_core Sxsi_datagen Sxsi_text Sxsi_xml Treebank Wiki Xmark

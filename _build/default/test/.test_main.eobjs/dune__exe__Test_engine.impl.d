@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Buffer Document Dom Engine List Naive_eval Printf QCheck2 QCheck_alcotest Run String Sxsi_baseline Sxsi_core Sxsi_xml Sxsi_xpath

@@ -1,0 +1,1 @@
+test/test_fm.ml: Alcotest Array Char Fm_index List QCheck2 QCheck_alcotest Sais String Sxsi_fm

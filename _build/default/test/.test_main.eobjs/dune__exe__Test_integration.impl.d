@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Document Dom Engine List Naive_eval Run String Sxsi_baseline Sxsi_bio Sxsi_core Sxsi_datagen Sxsi_wordindex Sxsi_xml Sxsi_xpath

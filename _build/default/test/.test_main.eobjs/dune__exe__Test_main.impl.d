@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_auto Test_baseline Test_bio Test_bits Test_datagen Test_engine Test_fm Test_integration Test_text Test_tree Test_units Test_wordindex Test_xml Test_xpath

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Char List Lz78 QCheck2 QCheck_alcotest String Sxsi_text Text_collection

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Bp List QCheck2 QCheck_alcotest Seq String Sxsi_tree Tag_index Tag_rel

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Array Bp Buffer Document Engine Filename Fun List Marks Option Run Stateset String Sxsi_core Sxsi_datagen Sxsi_text Sxsi_tree Sxsi_xml Sys Tag_index

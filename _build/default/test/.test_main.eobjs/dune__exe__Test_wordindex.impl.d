@@ -1,0 +1,1 @@
+test/test_wordindex.ml: Alcotest Array List QCheck2 QCheck_alcotest String Sxsi_core Sxsi_wordindex Sxsi_xml Word_index

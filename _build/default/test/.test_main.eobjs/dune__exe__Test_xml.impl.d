@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Bp Buffer Char Document List Option Printf QCheck2 QCheck_alcotest String Sxsi_core Sxsi_tree Sxsi_xml Tag_index Tag_rel Xml_parser

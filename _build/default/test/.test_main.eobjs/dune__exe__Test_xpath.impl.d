@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Ast List Printf String Sxsi_xpath Xpath_parser

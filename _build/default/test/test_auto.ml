@@ -1,0 +1,133 @@
+(* Formula hash-consing and automaton compilation sanity tests. *)
+
+open Sxsi_auto
+open Sxsi_xml
+
+let test_hash_consing () =
+  let f1 = Formula.conj (Formula.down1 1) (Formula.down2 2) in
+  let f2 = Formula.conj (Formula.down1 1) (Formula.down2 2) in
+  Alcotest.(check bool) "physically equal" true (f1 == f2);
+  Alcotest.(check bool) "ids equal" true (f1.Formula.id = f2.Formula.id);
+  let f3 = Formula.conj (Formula.down2 2) (Formula.down1 1) in
+  Alcotest.(check bool) "order matters structurally" false (f1 == f3)
+
+let test_constant_folding () =
+  Alcotest.(check bool) "T and x = x" true
+    (Formula.conj Formula.tru (Formula.down1 1) == Formula.down1 1);
+  Alcotest.(check bool) "F and x = F" true
+    (Formula.conj Formula.fls (Formula.down1 1) == Formula.fls);
+  Alcotest.(check bool) "T or x = T" true
+    (Formula.disj Formula.tru (Formula.down1 1) == Formula.tru);
+  Alcotest.(check bool) "not not via neg" true
+    (Formula.neg Formula.tru == Formula.fls);
+  Alcotest.(check bool) "x and x = x" true
+    (Formula.conj (Formula.down1 3) (Formula.down1 3) == Formula.down1 3)
+
+let test_atom_sets () =
+  let f =
+    Formula.conj
+      (Formula.disj (Formula.down1 5) (Formula.down2 7))
+      (Formula.conj (Formula.down1 3) Formula.mark)
+  in
+  Alcotest.(check (list int)) "down1" [ 3; 5 ] f.Formula.down1;
+  Alcotest.(check (list int)) "down2" [ 7 ] f.Formula.down2;
+  Alcotest.(check bool) "has_mark" true f.Formula.has_mark
+
+let doc () =
+  Document.of_xml
+    "<site><listitem><keyword>k1<emph>e</emph></keyword></listitem>\
+     <listitem><keyword>k2</keyword></listitem></site>"
+
+let test_compile_shapes () =
+  let d = doc () in
+  let q = Sxsi_xpath.Xpath_parser.parse "//listitem//keyword[emph]" in
+  let a = Compile.compile d q in
+  (* start state has exactly one transition, guarded by the root tag *)
+  let trs = Automaton.transitions a a.Automaton.start in
+  Alcotest.(check int) "one start transition" 1 (List.length trs);
+  (match trs with
+  | [ { Automaton.guard = Formula.Tag t; _ } ] ->
+    Alcotest.(check int) "guarded by &" Document.root_tag t
+  | _ -> Alcotest.fail "unexpected start guard");
+  (* scanning states registered with scan_info *)
+  let scans =
+    List.filter (fun q -> Automaton.scan_info a q <> None) a.Automaton.states
+  in
+  Alcotest.(check bool) "at least 3 scan states" true (List.length scans >= 3)
+
+let test_compile_collect_flag () =
+  let d = doc () in
+  let a = Compile.compile d (Sxsi_xpath.Xpath_parser.parse "//keyword") in
+  let collects =
+    List.filter
+      (fun q ->
+        match Automaton.scan_info a q with
+        | Some { Automaton.scan_collect = true; _ } -> true
+        | _ -> false)
+      a.Automaton.states
+  in
+  Alcotest.(check int) "one collect state" 1 (List.length collects);
+  (* with a filter the state is not a pure collector *)
+  let a2 = Compile.compile d (Sxsi_xpath.Xpath_parser.parse "//keyword[emph]") in
+  let collects2 =
+    List.filter
+      (fun q ->
+        match Automaton.scan_info a2 q with
+        | Some { Automaton.scan_collect = true; _ } -> true
+        | _ -> false)
+      a2.Automaton.states
+  in
+  Alcotest.(check int) "no collect state" 0 (List.length collects2)
+
+let test_compile_unknown_tag () =
+  let d = doc () in
+  let a = Compile.compile d (Sxsi_xpath.Xpath_parser.parse "//nonexistent") in
+  (* the start transition formula collapses to true: no results, accept *)
+  match Automaton.transitions a a.Automaton.start with
+  | [ { Automaton.phi; _ } ] ->
+    Alcotest.(check bool) "trivial formula" true (phi == Formula.tru)
+  | _ -> Alcotest.fail "unexpected transitions"
+
+let test_compile_pred_dedup () =
+  let d = doc () in
+  let a =
+    Compile.compile d
+      (Sxsi_xpath.Xpath_parser.parse
+         "//keyword[contains(., \"x\") or contains(., \"x\")]")
+  in
+  Alcotest.(check int) "one predicate" 1 (Array.length a.Automaton.preds)
+
+let test_compile_rejects_absolute_pred () =
+  let d = doc () in
+  match
+    Compile.compile d (Sxsi_xpath.Xpath_parser.parse "//keyword[/site/listitem]")
+  with
+  | exception Compile.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_to_string_smoke () =
+  let d = doc () in
+  let a = Compile.compile d (Sxsi_xpath.Xpath_parser.parse "//listitem[keyword]") in
+  let s = Automaton.to_string a in
+  Alcotest.(check bool) "mentions listitem" true
+    (String.length s > 0
+    &&
+    let rec find i =
+      i + 8 <= String.length s && (String.sub s i 8 = "listitem" || find (i + 1))
+    in
+    find 0)
+
+let suite =
+  ( "auto",
+    [
+      Alcotest.test_case "hash consing" `Quick test_hash_consing;
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "atom sets" `Quick test_atom_sets;
+      Alcotest.test_case "compile shapes" `Quick test_compile_shapes;
+      Alcotest.test_case "collect flag" `Quick test_compile_collect_flag;
+      Alcotest.test_case "unknown tag" `Quick test_compile_unknown_tag;
+      Alcotest.test_case "predicate dedup" `Quick test_compile_pred_dedup;
+      Alcotest.test_case "absolute pred rejected" `Quick
+        test_compile_rejects_absolute_pred;
+      Alcotest.test_case "to_string" `Quick test_to_string_smoke;
+    ] )

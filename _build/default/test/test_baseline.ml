@@ -1,0 +1,196 @@
+(* Pointer DOM + naive evaluator tests, including id-alignment with the
+   succinct document. *)
+
+open Sxsi_baseline
+open Sxsi_xml
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let xml =
+  "<site><people><person id=\"p1\"><name>Alice</name><phone>123</phone></person>\
+   <person id=\"p2\"><name>Bob</name><homepage>hp</homepage></person></people>\
+   <regions><item>x</item><item>y<keyword>k</keyword></item></regions></site>"
+
+let dom () = Dom.of_xml xml
+
+let q s = Sxsi_xpath.Xpath_parser.parse s
+
+let names nodes =
+  List.map
+    (fun n ->
+      match n.Dom.kind with
+      | Dom.Element e -> e
+      | Dom.Text_leaf s -> "#" ^ s
+      | Dom.Attribute a -> "@" ^ a
+      | Dom.Root -> "&"
+      | Dom.Attlist -> "@"
+      | Dom.Attval_leaf s -> "%" ^ s)
+    nodes
+
+let test_eval_child_chain () =
+  let d = dom () in
+  Alcotest.(check (list string)) "names" [ "name"; "name" ]
+    (names (Naive_eval.eval d (q "/site/people/person/name")));
+  Alcotest.(check int) "count" 2 (Naive_eval.eval_count d (q "/site/people/person"))
+
+let test_eval_descendant () =
+  let d = dom () in
+  Alcotest.(check int) "//item" 2 (Naive_eval.eval_count d (q "//item"));
+  Alcotest.(check int) "//keyword" 1 (Naive_eval.eval_count d (q "//keyword"));
+  Alcotest.(check int) "//item//keyword" 1 (Naive_eval.eval_count d (q "//item//keyword"));
+  Alcotest.(check int) "//*" 12 (Naive_eval.eval_count d (q "//*"));
+  Alcotest.(check int) "//text()" 7 (Naive_eval.eval_count d (q "//text()"))
+
+let test_eval_filters () =
+  let d = dom () in
+  Alcotest.(check int) "person[phone]" 1
+    (Naive_eval.eval_count d (q "/site/people/person[phone]/name"));
+  Alcotest.(check int) "person[phone or homepage]" 2
+    (Naive_eval.eval_count d (q "/site/people/person[phone or homepage]/name"));
+  Alcotest.(check int) "person[not(phone)]" 1
+    (Naive_eval.eval_count d (q "/site/people/person[not(phone)]"));
+  Alcotest.(check int) "item[keyword]" 1 (Naive_eval.eval_count d (q "//item[keyword]"))
+
+let test_eval_text_predicates () =
+  let d = dom () in
+  Alcotest.(check int) "name='Bob'" 1
+    (Naive_eval.eval_count d (q "//person[name = 'Bob']"));
+  Alcotest.(check int) "contains Ali" 1
+    (Naive_eval.eval_count d (q "//person[contains(name, 'lic')]"));
+  Alcotest.(check int) "starts-with" 1
+    (Naive_eval.eval_count d (q "//name[starts-with(., 'Al')]"));
+  Alcotest.(check int) "ends-with" 1
+    (Naive_eval.eval_count d (q "//name[ends-with(., 'ob')]"));
+  Alcotest.(check int) "mixed content contains" 1
+    (Naive_eval.eval_count d (q "//item[contains(., 'yk')]"))
+
+let test_eval_attributes () =
+  let d = dom () in
+  Alcotest.(check int) "//@id" 2 (Naive_eval.eval_count d (q "//@id"));
+  Alcotest.(check int) "person[@id='p2']" 1
+    (Naive_eval.eval_count d (q "//person[@id = 'p2']"));
+  Alcotest.(check (list string)) "attr names" [ "@id"; "@id" ]
+    (names (Naive_eval.eval d (q "//person/attribute::id")))
+
+let test_eval_following_sibling () =
+  let d = dom () in
+  Alcotest.(check int) "person/following-sibling::person" 1
+    (Naive_eval.eval_count d (q "/site/people/person/following-sibling::person"));
+  Alcotest.(check (list string)) "name/following-sibling::*" [ "phone"; "homepage" ]
+    (names (Naive_eval.eval d (q "//name/following-sibling::*")))
+
+let test_eval_custom_fun () =
+  let d = dom () in
+  let funs = function
+    | "LONG" -> Some (fun n -> String.length (Dom.string_value n) > 2)
+    | _ -> None
+  in
+  Alcotest.(check int) "LONG names" 2
+    (Naive_eval.eval_count ~funs d (q "//name[LONG(., x)]"));
+  Alcotest.check_raises "unknown fun"
+    (Invalid_argument "Naive_eval: unknown predicate NOPE") (fun () ->
+      ignore (Naive_eval.eval d (q "//name[NOPE(., x)]")))
+
+let test_string_value_excludes_attrs () =
+  let d = Dom.of_xml "<a x=\"hidden\">vis<b>ible</b></a>" in
+  let a = List.hd (Naive_eval.eval d (q "/a")) in
+  Alcotest.(check string) "string value" "visible" (Dom.string_value a);
+  let attr = List.hd (Naive_eval.eval d (q "/a/@x")) in
+  Alcotest.(check string) "attr string value" "hidden" (Dom.string_value attr)
+
+let test_serialize_agrees_with_document () =
+  let doc = Document.of_xml xml in
+  let d = dom () in
+  Alcotest.(check string) "serializations agree"
+    (Document.serialize doc (Document.root doc))
+    (Dom.serialize (Dom.root d))
+
+(* ids must line up with the succinct document's preorders *)
+let gen_xml =
+  QCheck2.Gen.oneofl
+    [
+      xml;
+      "<a/>";
+      "<a x=\"1\" y=\"2\"><b/>t<c><d>z</d></c></a>";
+      "<r><x><x><x>deep</x></x></x></r>";
+    ]
+
+let prop_id_alignment =
+  qtest ~count:20 "DOM ids = Document preorders" gen_xml (fun src ->
+      let doc = Document.of_xml src in
+      let d = Dom.of_xml src in
+      if Dom.node_count d <> Document.node_count doc then false
+      else begin
+        (* walk both trees in preorder and compare tags *)
+        let bp = Document.bp doc in
+        let ok = ref true in
+        let rec go (n : Dom.node) x =
+          if x = Document.nil then ok := false
+          else begin
+            if n.Dom.id <> Document.preorder doc x then ok := false;
+            let dom_kids = n.Dom.children in
+            let rec kids x acc =
+              if x = Document.nil then List.rev acc
+              else kids (Sxsi_tree.Bp.next_sibling bp x) (x :: acc)
+            in
+            let doc_kids = kids (Sxsi_tree.Bp.first_child bp x) [] in
+            if List.length dom_kids <> List.length doc_kids then ok := false
+            else List.iter2 go dom_kids doc_kids
+          end
+        in
+        go (Dom.root d) (Document.root doc);
+        !ok
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming evaluator                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_streaming_basic () =
+  let q s = Sxsi_xpath.Xpath_parser.parse s in
+  Alcotest.(check int) "//item" 2 (Stream_eval.count xml (q "//item"));
+  Alcotest.(check int) "//person/name" 2 (Stream_eval.count xml (q "/site/people/person/name"));
+  Alcotest.(check int) "//*" 12 (Stream_eval.count xml (q "//*"));
+  Alcotest.(check int) "//text()" 7 (Stream_eval.count xml (q "//text()"));
+  Alcotest.(check int) "//item//keyword" 1 (Stream_eval.count xml (q "//item//keyword"));
+  Alcotest.(check int) "//@id" 2 (Stream_eval.count xml (q "//@id"));
+  Alcotest.(check int) "//person/@id" 2 (Stream_eval.count xml (q "//person/@id"));
+  Alcotest.(check int) "absent" 0 (Stream_eval.count xml (q "//nope"));
+  Alcotest.(check bool) "rejects predicates" true
+    (match Stream_eval.count xml (q "//person[phone]") with
+    | exception Stream_eval.Unsupported _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "rejects fsib" true
+    (not (Stream_eval.supported (q "//a/following-sibling::b")))
+
+let prop_streaming_vs_oracle =
+  qtest ~count:150 "streaming = oracle on simple paths"
+    QCheck2.Gen.(
+      pair gen_xml
+        (oneofl
+           [ "//a"; "//b"; "//a/b"; "//a//b"; "//*"; "//text()"; "//a/text()";
+             "/a/b/c"; "//a//b//c"; "//node()"; "//a/@k"; "//@k" ]))
+    (fun (xml, query) ->
+      let path = Sxsi_xpath.Xpath_parser.parse query in
+      let dom = Dom.of_xml xml in
+      Stream_eval.count xml path = Naive_eval.eval_count dom path)
+
+let suite =
+  ( "baseline",
+    [
+      Alcotest.test_case "child chain" `Quick test_eval_child_chain;
+      Alcotest.test_case "descendant" `Quick test_eval_descendant;
+      Alcotest.test_case "filters" `Quick test_eval_filters;
+      Alcotest.test_case "text predicates" `Quick test_eval_text_predicates;
+      Alcotest.test_case "attributes" `Quick test_eval_attributes;
+      Alcotest.test_case "following-sibling" `Quick test_eval_following_sibling;
+      Alcotest.test_case "custom predicate" `Quick test_eval_custom_fun;
+      Alcotest.test_case "string-value vs attributes" `Quick
+        test_string_value_excludes_attrs;
+      Alcotest.test_case "serialize agrees with Document" `Quick
+        test_serialize_agrees_with_document;
+      Alcotest.test_case "streaming evaluator" `Quick test_streaming_basic;
+      prop_id_alignment;
+      prop_streaming_vs_oracle;
+    ] )

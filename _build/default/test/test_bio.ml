@@ -1,0 +1,143 @@
+(* Run-length FM-index vs the plain FM-index, and PSSM scoring. *)
+
+open Sxsi_bio
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Rle_fm                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let texts_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 8)
+      (string_size ~gen:(map (fun i -> "ACGT".[i]) (int_bound 3)) (int_range 0 40))
+    |> map Array.of_list)
+
+let naive_count texts p =
+  if String.length p = 0 then 0
+  else
+    Array.fold_left
+      (fun acc t ->
+        let m = String.length p and n = String.length t in
+        let c = ref 0 in
+        for i = 0 to n - m do
+          if String.sub t i m = p then incr c
+        done;
+        acc + !c)
+      0 texts
+
+let test_rle_basic () =
+  let texts = [| "AAAABBBB"; "AAAABBBB"; "AAAABBBB" |] in
+  let t = Rle_fm.build texts in
+  Alcotest.(check int) "doc_count" 3 (Rle_fm.doc_count t);
+  Alcotest.(check int) "count AB" 3 (Rle_fm.count t "AB");
+  Alcotest.(check int) "count AAAA" 3 (Rle_fm.count t "AAAA");
+  Alcotest.(check int) "count AAA" 6 (Rle_fm.count t "AAA");
+  Alcotest.(check int) "count absent" 0 (Rle_fm.count t "BA BA");
+  (* repetitive collection => far fewer runs than symbols *)
+  Alcotest.(check bool) "few runs" true (Rle_fm.run_count t < Rle_fm.length t / 2)
+
+let test_rle_compression_on_repetitive () =
+  let st = Random.State.make [| 3 |] in
+  let base = String.init 400 (fun _ -> "ACGT".[Random.State.int st 4]) in
+  let repetitive = Array.make 20 base in
+  let unique =
+    Array.init 20 (fun _ ->
+        String.init 400 (fun _ -> "ACGT".[Random.State.int st 4]))
+  in
+  let r = Rle_fm.build repetitive and u = Rle_fm.build unique in
+  Alcotest.(check bool) "repetitive has fewer runs" true
+    (Rle_fm.run_count r < Rle_fm.run_count u);
+  Alcotest.(check bool) "repetitive smaller" true
+    (Rle_fm.space_bits r < Rle_fm.space_bits u)
+
+let prop_rle_count =
+  qtest "Rle_fm.count = Fm_index.count = naive" texts_gen (fun texts ->
+      let r = Rle_fm.build texts in
+      let fm = Sxsi_fm.Fm_index.build texts in
+      List.for_all
+        (fun p ->
+          let c = Rle_fm.count r p in
+          c = Sxsi_fm.Fm_index.count fm p && c = naive_count texts p)
+        [ "A"; "C"; "AC"; "CA"; "AAA"; "ACGT"; "TTTT"; "GATTACA" ])
+
+(* ------------------------------------------------------------------ *)
+(* Pssm                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let uniform_counts width v = Array.init 4 (fun _ -> Array.make width v)
+
+let test_pssm_scoring () =
+  (* consensus ACGT: strong counts on the diagonal *)
+  let counts = uniform_counts 4 1 in
+  counts.(0).(0) <- 50;
+  counts.(1).(1) <- 50;
+  counts.(2).(2) <- 50;
+  counts.(3).(3) <- 50;
+  let m = Pssm.of_counts ~name:"TEST" counts in
+  Alcotest.(check int) "width" 4 (Pssm.width m);
+  Alcotest.(check bool) "consensus scores high" true (Pssm.score m "ACGT" 0 > 5.0);
+  Alcotest.(check bool) "anti-consensus low" true (Pssm.score m "TGCA" 0 < 0.0);
+  Alcotest.(check bool) "invalid base = -inf" true
+    (Pssm.score m "ANGT" 0 = neg_infinity);
+  Alcotest.(check bool) "matches inside" true
+    (Pssm.matches m ~threshold:5.0 "TTTACGTTT");
+  Alcotest.(check bool) "no match" false (Pssm.matches m ~threshold:5.0 "TTTTTTT");
+  Alcotest.(check int) "two matches" 2
+    (Pssm.count_matches m ~threshold:5.0 "ACGTACGT")
+
+let test_pssm_rejects () =
+  Alcotest.check_raises "3 rows" (Invalid_argument "Pssm.of_counts: need 4 rows")
+    (fun () -> ignore (Pssm.of_counts ~name:"X" (Array.make 3 [| 1 |])));
+  Alcotest.check_raises "ragged" (Invalid_argument "Pssm.of_counts: ragged rows")
+    (fun () ->
+      ignore (Pssm.of_counts ~name:"X" [| [| 1; 2 |]; [| 1 |]; [| 1; 2 |]; [| 1; 2 |] |]))
+
+let test_pssm_engine_queries () =
+  let xml = Sxsi_datagen.Bio.generate ~genes:15 () in
+  let doc = Sxsi_xml.Document.of_xml xml in
+  let funs = Pssm.registry Pssm.sample_matrices in
+  List.iter
+    (fun (m, _thr) ->
+      let q = Printf.sprintf "//promoter[PSSM(., %s)]" (Pssm.name m) in
+      let c = Sxsi_core.Engine.prepare doc q in
+      let n = Sxsi_core.Engine.count ~funs c in
+      let total = Sxsi_core.Engine.count (Sxsi_core.Engine.prepare doc "//promoter") in
+      Alcotest.(check bool) "within bounds" true (n >= 0 && n <= total);
+      (* consistency with the oracle *)
+      let dom = Sxsi_baseline.Dom.of_xml xml in
+      let thr = List.assoc m Pssm.sample_matrices in
+      let dom_funs key =
+        if key = "PSSM:" ^ Pssm.name m then
+          Some
+            (fun node ->
+              Pssm.matches m ~threshold:thr (Sxsi_baseline.Dom.string_value node))
+        else None
+      in
+      let expected =
+        Sxsi_baseline.Naive_eval.eval_count ~funs:dom_funs dom
+          (Sxsi_xpath.Xpath_parser.parse q)
+      in
+      Alcotest.(check int) (Pssm.name m) expected n)
+    Pssm.sample_matrices;
+  (* sample matrices have increasing selectivity M1 >= M2 >= M3 on //* *)
+  let count_for nm =
+    Sxsi_core.Engine.count ~funs
+      (Sxsi_core.Engine.prepare doc (Printf.sprintf "//exon[.//sequence[PSSM(., %s)]]" nm))
+  in
+  Alcotest.(check bool) "ladder" true (count_for "M1" >= count_for "M3")
+
+let suite =
+  ( "bio",
+    [
+      Alcotest.test_case "rle basic" `Quick test_rle_basic;
+      Alcotest.test_case "rle compresses repetition" `Quick
+        test_rle_compression_on_repetitive;
+      Alcotest.test_case "pssm scoring" `Quick test_pssm_scoring;
+      Alcotest.test_case "pssm rejects bad input" `Quick test_pssm_rejects;
+      Alcotest.test_case "pssm engine queries vs oracle" `Quick
+        test_pssm_engine_queries;
+      prop_rle_count;
+    ] )

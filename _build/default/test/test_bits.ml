@@ -1,0 +1,437 @@
+(* Unit and property tests for the succinct bit-level substrates. *)
+
+open Sxsi_bits
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementations                                           *)
+(* ------------------------------------------------------------------ *)
+
+let naive_rank1 bits i =
+  let r = ref 0 in
+  for k = 0 to i - 1 do
+    if bits.(k) then incr r
+  done;
+  !r
+
+let naive_select1 bits j =
+  let seen = ref (-1) and res = ref (-1) in
+  Array.iteri
+    (fun p b ->
+      if b then begin
+        incr seen;
+        if !seen = j then res := p
+      end)
+    bits;
+  !res
+
+(* ------------------------------------------------------------------ *)
+(* Popcnt                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_popcount_small () =
+  Alcotest.(check int) "0" 0 (Popcnt.popcount 0);
+  Alcotest.(check int) "1" 1 (Popcnt.popcount 1);
+  Alcotest.(check int) "0xff" 8 (Popcnt.popcount 0xff);
+  Alcotest.(check int) "max_int" 62 (Popcnt.popcount max_int)
+
+let test_select_in_word () =
+  (* word = bits 1, 5, 17, 40 *)
+  let w = (1 lsl 1) lor (1 lsl 5) lor (1 lsl 17) lor (1 lsl 40) in
+  Alcotest.(check int) "j=0" 1 (Popcnt.select_in_word w 0);
+  Alcotest.(check int) "j=1" 5 (Popcnt.select_in_word w 1);
+  Alcotest.(check int) "j=2" 17 (Popcnt.select_in_word w 2);
+  Alcotest.(check int) "j=3" 40 (Popcnt.select_in_word w 3)
+
+let prop_popcount =
+  qtest "popcount matches naive" QCheck2.Gen.(int_bound max_int) (fun x ->
+      let rec naive v = if v = 0 then 0 else (v land 1) + naive (v lsr 1) in
+      Popcnt.popcount x = naive x)
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bits_gen =
+  QCheck2.Gen.(list_size (int_range 0 700) bool |> map Array.of_list)
+
+let build_bv bits = Bitvec.of_fun (Array.length bits) (fun i -> bits.(i))
+
+let test_bitvec_basic () =
+  let bits = Array.init 200 (fun i -> i mod 3 = 0) in
+  let bv = build_bv bits in
+  Alcotest.(check int) "length" 200 (Bitvec.length bv);
+  Alcotest.(check int) "count" 67 (Bitvec.count bv);
+  Alcotest.(check bool) "get 0" true (Bitvec.get bv 0);
+  Alcotest.(check bool) "get 1" false (Bitvec.get bv 1);
+  Alcotest.(check int) "rank1 200" 67 (Bitvec.rank1 bv 200);
+  Alcotest.(check int) "rank0 200" 133 (Bitvec.rank0 bv 200);
+  Alcotest.(check int) "select1 0" 0 (Bitvec.select1 bv 0);
+  Alcotest.(check int) "select1 66" 198 (Bitvec.select1 bv 66)
+
+let test_bitvec_empty () =
+  let bv = Bitvec.of_fun 0 (fun _ -> false) in
+  Alcotest.(check int) "length" 0 (Bitvec.length bv);
+  Alcotest.(check int) "rank1" 0 (Bitvec.rank1 bv 0);
+  Alcotest.(check int) "count" 0 (Bitvec.count bv)
+
+let test_bitvec_all_ones () =
+  let bv = Bitvec.of_fun 313 (fun _ -> true) in
+  Alcotest.(check int) "count" 313 (Bitvec.count bv);
+  for j = 0 to 312 do
+    Alcotest.(check int) "select1" j (Bitvec.select1 bv j)
+  done
+
+let test_bitvec_push_run () =
+  let b = Bitvec.Builder.create () in
+  Bitvec.Builder.push_run b false 100;
+  Bitvec.Builder.push_run b true 3;
+  Bitvec.Builder.push_run b false 500;
+  Bitvec.Builder.push b true;
+  let bv = Bitvec.Builder.finish b in
+  Alcotest.(check int) "length" 604 (Bitvec.length bv);
+  Alcotest.(check int) "count" 4 (Bitvec.count bv);
+  Alcotest.(check int) "select1 0" 100 (Bitvec.select1 bv 0);
+  Alcotest.(check int) "select1 3" 603 (Bitvec.select1 bv 3)
+
+let prop_rank1 =
+  qtest "rank1 matches naive" bits_gen (fun bits ->
+      let bv = build_bv bits in
+      let ok = ref true in
+      for i = 0 to Array.length bits do
+        if Bitvec.rank1 bv i <> naive_rank1 bits i then ok := false
+      done;
+      !ok)
+
+let prop_select1 =
+  qtest "select1 matches naive" bits_gen (fun bits ->
+      let bv = build_bv bits in
+      let ones = Bitvec.count bv in
+      let ok = ref true in
+      for j = 0 to ones - 1 do
+        if Bitvec.select1 bv j <> naive_select1 bits j then ok := false
+      done;
+      !ok)
+
+let prop_select0 =
+  qtest "select0 matches naive" bits_gen (fun bits ->
+      let bv = build_bv bits in
+      let zeros = Array.length bits - Bitvec.count bv in
+      let inv = Array.map not bits in
+      let ok = ref true in
+      for j = 0 to zeros - 1 do
+        if Bitvec.select0 bv j <> naive_select1 inv j then ok := false
+      done;
+      !ok)
+
+let prop_rank_select_inverse =
+  qtest "rank1 (select1 j) = j" bits_gen (fun bits ->
+      let bv = build_bv bits in
+      let ok = ref true in
+      for j = 0 to Bitvec.count bv - 1 do
+        let p = Bitvec.select1 bv j in
+        if Bitvec.rank1 bv p <> j || not (Bitvec.get bv p) then ok := false
+      done;
+      !ok)
+
+let prop_next1 =
+  qtest "next1 matches scan" bits_gen (fun bits ->
+      let bv = build_bv bits in
+      let n = Array.length bits in
+      let naive i =
+        let rec go p = if p >= n then -1 else if bits.(p) then p else go (p + 1) in
+        go i
+      in
+      let ok = ref true in
+      for i = 0 to n do
+        if Bitvec.next1 bv i <> naive i then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Intvec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_intvec_basic () =
+  let iv = Intvec.make 100 7 in
+  for i = 0 to 99 do
+    Intvec.set iv i (i mod 128)
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" (i mod 128) (Intvec.get iv i)
+  done
+
+let test_intvec_straddle () =
+  (* width 40 guarantees word straddling *)
+  let iv = Intvec.make 20 40 in
+  let v i = (i * 123456789) land ((1 lsl 40) - 1) in
+  for i = 0 to 19 do
+    Intvec.set iv i (v i)
+  done;
+  for i = 0 to 19 do
+    Alcotest.(check int) "get" (v i) (Intvec.get iv i)
+  done
+
+let test_intvec_overwrite () =
+  let iv = Intvec.make 10 9 in
+  Intvec.set iv 3 511;
+  Intvec.set iv 3 17;
+  Alcotest.(check int) "after overwrite" 17 (Intvec.get iv 3);
+  Alcotest.(check int) "neighbour untouched" 0 (Intvec.get iv 2);
+  Alcotest.(check int) "neighbour untouched" 0 (Intvec.get iv 4)
+
+let prop_intvec =
+  qtest "of_array round-trips"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_bound 100000) |> map Array.of_list)
+    (fun a ->
+      if Array.length a = 0 then true
+      else begin
+        let iv = Intvec.of_array a in
+        let ok = ref true in
+        Array.iteri (fun i v -> if Intvec.get iv i <> v then ok := false) a;
+        !ok
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_gen =
+  (* random subset of [0, 2000) *)
+  QCheck2.Gen.(
+    list_size (int_range 0 200) (int_bound 1999)
+    |> map (fun l ->
+           List.sort_uniq compare l |> Array.of_list))
+
+let test_sparse_basic () =
+  let a = [| 3; 17; 100; 101; 999 |] in
+  let s = Sparse.of_sorted ~universe:1000 a in
+  Alcotest.(check int) "length" 5 (Sparse.length s);
+  Array.iteri (fun i v -> Alcotest.(check int) "get" v (Sparse.get s i)) a;
+  Alcotest.(check int) "rank 0" 0 (Sparse.rank s 0);
+  Alcotest.(check int) "rank 4" 1 (Sparse.rank s 4);
+  Alcotest.(check int) "rank 101" 3 (Sparse.rank s 101);
+  Alcotest.(check int) "rank 1000" 5 (Sparse.rank s 1000);
+  Alcotest.(check bool) "mem 100" true (Sparse.mem s 100);
+  Alcotest.(check bool) "mem 102" false (Sparse.mem s 102);
+  Alcotest.(check int) "next 102" 999 (Sparse.next s 102);
+  Alcotest.(check int) "next 1000" (-1) (Sparse.next s 1000);
+  Alcotest.(check int) "prev 100" 17 (Sparse.prev s 100);
+  Alcotest.(check int) "prev 3" (-1) (Sparse.prev s 3)
+
+let test_sparse_empty () =
+  let s = Sparse.of_sorted ~universe:100 [||] in
+  Alcotest.(check int) "length" 0 (Sparse.length s);
+  Alcotest.(check int) "rank" 0 (Sparse.rank s 50);
+  Alcotest.(check int) "next" (-1) (Sparse.next s 0)
+
+let test_sparse_dense () =
+  let a = Array.init 500 (fun i -> i) in
+  let s = Sparse.of_sorted ~universe:500 a in
+  for i = 0 to 499 do
+    Alcotest.(check int) "get" i (Sparse.get s i);
+    Alcotest.(check int) "rank" i (Sparse.rank s i)
+  done
+
+let prop_sparse_get =
+  qtest "get matches source array" sorted_gen (fun a ->
+      let s = Sparse.of_sorted ~universe:2000 a in
+      let ok = ref true in
+      Array.iteri (fun i v -> if Sparse.get s i <> v then ok := false) a;
+      !ok)
+
+let prop_sparse_rank =
+  qtest "rank matches naive" sorted_gen (fun a ->
+      let s = Sparse.of_sorted ~universe:2000 a in
+      let naive i = Array.fold_left (fun acc v -> if v < i then acc + 1 else acc) 0 a in
+      let ok = ref true in
+      for i = 0 to 2000 do
+        if Sparse.rank s i <> naive i then ok := false
+      done;
+      !ok)
+
+let prop_sparse_next =
+  qtest "next matches naive" sorted_gen (fun a ->
+      let s = Sparse.of_sorted ~universe:2000 a in
+      let naive i =
+        match Array.to_list a |> List.filter (fun v -> v >= i) with
+        | [] -> -1
+        | v :: _ -> v
+      in
+      let ok = ref true in
+      for i = 0 to 2000 do
+        if Sparse.next s i <> naive i then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Wavelet                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let string_gen =
+  QCheck2.Gen.(
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 500))
+
+let naive_count s c =
+  String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 s
+
+let test_wavelet_basic () =
+  let s = "abracadabra" in
+  let w = Wavelet.of_string s in
+  Alcotest.(check int) "length" 11 (Wavelet.length w);
+  Alcotest.(check int) "count a" 5 (Wavelet.count w 'a');
+  Alcotest.(check int) "count b" 2 (Wavelet.count w 'b');
+  Alcotest.(check int) "count z" 0 (Wavelet.count w 'z');
+  String.iteri
+    (fun i c -> Alcotest.(check char) "access" c (Wavelet.access w i))
+    s;
+  Alcotest.(check int) "rank a 5" 2 (Wavelet.rank w 'a' 5);
+  Alcotest.(check int) "select a 2" 5 (Wavelet.select w 'a' 2);
+  Alcotest.(check int) "rank z 11" 0 (Wavelet.rank w 'z' 11)
+
+let test_wavelet_single_symbol () =
+  let w = Wavelet.of_string "aaaa" in
+  Alcotest.(check int) "count" 4 (Wavelet.count w 'a');
+  Alcotest.(check char) "access" 'a' (Wavelet.access w 2);
+  Alcotest.(check int) "rank" 3 (Wavelet.rank w 'a' 3);
+  Alcotest.(check int) "select" 2 (Wavelet.select w 'a' 2)
+
+let test_wavelet_empty () =
+  let w = Wavelet.of_string "" in
+  Alcotest.(check int) "length" 0 (Wavelet.length w);
+  Alcotest.(check int) "rank" 0 (Wavelet.rank w 'x' 0)
+
+let prop_wavelet_access =
+  qtest "access reproduces string" string_gen (fun s ->
+      let w = Wavelet.of_string s in
+      let ok = ref true in
+      String.iteri (fun i c -> if Wavelet.access w i <> c then ok := false) s;
+      !ok)
+
+let prop_wavelet_rank =
+  qtest "rank matches naive" string_gen (fun s ->
+      let w = Wavelet.of_string s in
+      let ok = ref true in
+      List.iter
+        (fun c ->
+          for i = 0 to String.length s do
+            let naive = naive_count (String.sub s 0 i) c in
+            if Wavelet.rank w c i <> naive then ok := false
+          done)
+        [ 'a'; '\000'; '\255'; 'Z' ];
+      (* also check ranks of characters actually present *)
+      if String.length s > 0 then begin
+        let c = s.[String.length s / 2] in
+        for i = 0 to String.length s do
+          if Wavelet.rank w c i <> naive_count (String.sub s 0 i) c then ok := false
+        done
+      end;
+      !ok)
+
+let prop_wavelet_select =
+  qtest "rank/select inverse" string_gen (fun s ->
+      let w = Wavelet.of_string s in
+      let ok = ref true in
+      String.iter
+        (fun c ->
+          for j = 0 to Wavelet.count w c - 1 do
+            let p = Wavelet.select w c j in
+            if Wavelet.rank w c p <> j || Wavelet.access w p <> c then ok := false
+          done)
+        "ab\000\255";
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Int_wavelet                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let iw_gen =
+  QCheck2.Gen.(list_size (int_range 0 200) (int_bound 20) |> map Array.of_list)
+
+let test_int_wavelet_basic () =
+  let a = [| 3; 1; 4; 1; 5; 9; 2; 6; 5; 3 |] in
+  let w = Int_wavelet.of_array ~sigma:10 a in
+  Alcotest.(check int) "length" 10 (Int_wavelet.length w);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "access" v (Int_wavelet.access w i))
+    a;
+  Alcotest.(check int) "rank 1 at 4" 2 (Int_wavelet.rank_value w 1 4);
+  Alcotest.(check int) "range_count" 3
+    (Int_wavelet.range_count w ~lo:2 ~hi:8 ~vlo:2 ~vhi:6);
+  Alcotest.(check (list int)) "range_report" [ 2; 4; 5 ]
+    (Int_wavelet.range_report w ~lo:2 ~hi:8 ~vlo:2 ~vhi:6);
+  Alcotest.(check (list int)) "empty ranges" []
+    (Int_wavelet.range_report w ~lo:5 ~hi:5 ~vlo:0 ~vhi:10)
+
+let prop_int_wavelet_access =
+  qtest "int wavelet access" iw_gen (fun a ->
+      let w = Int_wavelet.of_array ~sigma:21 a in
+      let ok = ref true in
+      Array.iteri (fun i v -> if Int_wavelet.access w i <> v then ok := false) a;
+      !ok)
+
+let prop_int_wavelet_range =
+  qtest ~count:100 "int wavelet range queries" iw_gen (fun a ->
+      let w = Int_wavelet.of_array ~sigma:21 a in
+      let naive_count lo hi vlo vhi =
+        let c = ref 0 in
+        for i = max 0 lo to min (Array.length a) hi - 1 do
+          if a.(i) >= vlo && a.(i) < vhi then incr c
+        done;
+        !c
+      in
+      let naive_report lo hi vlo vhi =
+        let s = ref [] in
+        for i = max 0 lo to min (Array.length a) hi - 1 do
+          if a.(i) >= vlo && a.(i) < vhi then s := a.(i) :: !s
+        done;
+        List.sort_uniq compare !s
+      in
+      let ok = ref true in
+      List.iter
+        (fun (lo, hi, vlo, vhi) ->
+          if Int_wavelet.range_count w ~lo ~hi ~vlo ~vhi <> naive_count lo hi vlo vhi
+          then ok := false;
+          if Int_wavelet.range_report w ~lo ~hi ~vlo ~vhi <> naive_report lo hi vlo vhi
+          then ok := false)
+        [ (0, Array.length a, 0, 21); (1, 7, 3, 9); (0, 3, 0, 1); (2, 100, 10, 21);
+          (5, 2, 0, 21); (0, Array.length a, 20, 21) ];
+      !ok)
+
+let suite =
+  ( "bits",
+    [
+      Alcotest.test_case "popcount small" `Quick test_popcount_small;
+      Alcotest.test_case "select_in_word" `Quick test_select_in_word;
+      Alcotest.test_case "bitvec basic" `Quick test_bitvec_basic;
+      Alcotest.test_case "bitvec empty" `Quick test_bitvec_empty;
+      Alcotest.test_case "bitvec all ones" `Quick test_bitvec_all_ones;
+      Alcotest.test_case "bitvec push_run" `Quick test_bitvec_push_run;
+      Alcotest.test_case "intvec basic" `Quick test_intvec_basic;
+      Alcotest.test_case "intvec straddle" `Quick test_intvec_straddle;
+      Alcotest.test_case "intvec overwrite" `Quick test_intvec_overwrite;
+      Alcotest.test_case "sparse basic" `Quick test_sparse_basic;
+      Alcotest.test_case "sparse empty" `Quick test_sparse_empty;
+      Alcotest.test_case "sparse dense" `Quick test_sparse_dense;
+      Alcotest.test_case "wavelet basic" `Quick test_wavelet_basic;
+      Alcotest.test_case "wavelet single symbol" `Quick test_wavelet_single_symbol;
+      Alcotest.test_case "wavelet empty" `Quick test_wavelet_empty;
+      prop_popcount;
+      prop_rank1;
+      prop_select1;
+      prop_select0;
+      prop_rank_select_inverse;
+      prop_next1;
+      prop_intvec;
+      prop_sparse_get;
+      prop_sparse_rank;
+      prop_sparse_next;
+      prop_wavelet_access;
+      prop_wavelet_rank;
+      prop_wavelet_select;
+      Alcotest.test_case "int wavelet basic" `Quick test_int_wavelet_basic;
+      prop_int_wavelet_access;
+      prop_int_wavelet_range;
+    ] )

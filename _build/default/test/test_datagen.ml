@@ -1,0 +1,94 @@
+(* The generators must emit well-formed XML with the structural
+   properties the benchmark queries rely on. *)
+
+open Sxsi_datagen
+open Sxsi_xml
+open Sxsi_core
+
+let count doc q = Engine.count (Engine.prepare doc q)
+
+let test_xmark () =
+  let xml = Xmark.generate ~scale:60 () in
+  let doc = Document.of_xml xml in
+  Alcotest.(check bool) "items" true (count doc "//item" >= 50);
+  Alcotest.(check bool) "keywords exist" true (count doc "//keyword" > 0);
+  Alcotest.(check bool) "recursive listitems" true
+    (count doc "//listitem//listitem" > 0);
+  Alcotest.(check bool) "closed auction path" true
+    (count doc "/site/closed_auctions/closed_auction/annotation/description/text/keyword"
+     > 0);
+  Alcotest.(check bool) "people with phone" true
+    (count doc "/site/people/person[phone]" > 0);
+  Alcotest.(check bool) "emph under keyword" true (count doc "//keyword/emph" > 0);
+  Alcotest.(check int) "persons" 60 (count doc "/site/people/person");
+  (* determinism *)
+  Alcotest.(check string) "deterministic" xml (Xmark.generate ~scale:60 ())
+
+let test_medline () =
+  let xml = Medline.generate ~citations:40 () in
+  let doc = Document.of_xml xml in
+  Alcotest.(check int) "citations" 40 (count doc "//MedlineCitation");
+  Alcotest.(check int) "abstracts" 40 (count doc "//AbstractText");
+  Alcotest.(check bool) "authors" true (count doc "//Author/LastName" >= 40);
+  Alcotest.(check bool) "zipf: 'a' frequent" true
+    (Sxsi_text.Text_collection.global_count (Document.text doc) " a " > 10);
+  Alcotest.(check string) "deterministic" xml (Medline.generate ~citations:40 ())
+
+let test_treebank () =
+  let xml = Treebank.generate ~sentences:30 () in
+  let doc = Document.of_xml xml in
+  Alcotest.(check int) "sentences" 30 (count doc "/FILE/EMPTY");
+  Alcotest.(check bool) "NP nodes" true (count doc "//NP" >= 30);
+  Alcotest.(check bool) "recursive S" true (count doc "//S//S" > 0);
+  Alcotest.(check bool) "PP/IN" true (count doc "//PP[IN]" > 0);
+  Alcotest.(check bool) "some depth" true
+    (count doc "//*//*//*//*//*//*" > 0)
+
+let test_wiki () =
+  let xml = Wiki.generate ~pages:20 () in
+  let doc = Document.of_xml xml in
+  Alcotest.(check int) "pages" 20 (count doc "//page");
+  Alcotest.(check int) "titles" 20 (count doc "//page/title");
+  Alcotest.(check int) "texts" 20 (count doc "//page/revision/text")
+
+let test_bio () =
+  let xml = Bio.generate ~genes:10 () in
+  let doc = Document.of_xml xml in
+  Alcotest.(check int) "genes" 10 (count doc "//gene");
+  Alcotest.(check int) "promoters" 10 (count doc "//gene/promoter");
+  Alcotest.(check bool) "exons" true (count doc "//exon/sequence" > 0);
+  (* repetitiveness: an exon sequence reappears in transcript sequences *)
+  let c = Engine.prepare doc "//exon/sequence" in
+  let nodes = Engine.select c in
+  Alcotest.(check bool) "exon shared" true
+    (Array.length nodes > 0
+    &&
+    let v = Document.string_value doc nodes.(0) in
+    Sxsi_text.Text_collection.global_count (Document.text doc) v >= 2)
+
+let test_all_parse_and_roundtrip () =
+  List.iter
+    (fun xml ->
+      let doc = Document.of_xml xml in
+      let dom = Sxsi_baseline.Dom.of_xml xml in
+      Alcotest.(check int) "node counts agree" (Document.node_count doc)
+        (Sxsi_baseline.Dom.node_count dom))
+    [
+      Xmark.generate ~scale:30 ();
+      Medline.generate ~citations:20 ();
+      Treebank.generate ~sentences:15 ();
+      Wiki.generate ~pages:10 ();
+      Bio.generate ~genes:5 ();
+    ]
+
+let suite =
+  ( "datagen",
+    [
+      Alcotest.test_case "xmark" `Quick test_xmark;
+      Alcotest.test_case "medline" `Quick test_medline;
+      Alcotest.test_case "treebank" `Quick test_treebank;
+      Alcotest.test_case "wiki" `Quick test_wiki;
+      Alcotest.test_case "bio" `Quick test_bio;
+      Alcotest.test_case "all parse; engines agree on size" `Quick
+        test_all_parse_and_roundtrip;
+    ] )

@@ -1,0 +1,174 @@
+(* End-to-end integration: every query battery from the paper's
+   evaluation section, run over small instances of the synthetic
+   corpora, must agree with the naive DOM oracle in every strategy. *)
+
+open Sxsi_core
+open Sxsi_xml
+open Sxsi_baseline
+
+let parse = Sxsi_xpath.Xpath_parser.parse
+
+let check_corpus name xml queries ?funs ?dom_funs () =
+  let doc = Document.of_xml xml in
+  let dom = Dom.of_xml xml in
+  List.iter
+    (fun (id, q) ->
+      let expected = Naive_eval.eval_ids ?funs:dom_funs dom (parse q) in
+      let c = Engine.prepare doc q in
+      let got = Array.to_list (Engine.select_preorders ?funs c) in
+      if got <> expected then
+        Alcotest.failf "%s/%s: engine %d results, oracle %d (first diff at %s)" name id
+          (List.length got) (List.length expected)
+          (match
+             List.find_opt (fun x -> not (List.mem x expected)) got
+           with
+          | Some x -> string_of_int x
+          | None -> "missing elements");
+      let td =
+        Array.to_list (Engine.select_preorders ?funs ~strategy:Engine.Top_down c)
+      in
+      if td <> expected then Alcotest.failf "%s/%s: top-down differs" name id;
+      let n = Engine.count ?funs c in
+      if n <> List.length expected then
+        Alcotest.failf "%s/%s: count %d <> %d" name id n (List.length expected))
+    queries
+
+let xmark_queries =
+  [
+    ("X01", "/site/regions");
+    ("X02", "/site/regions/*/item");
+    ("X03", "/site/closed_auctions/closed_auction/annotation/description/text/keyword");
+    ("X04", "//listitem//keyword");
+    ("X05", "/site/closed_auctions/closed_auction[annotation/description/text/keyword]/date");
+    ("X06", "/site/closed_auctions/closed_auction[.//keyword]/date");
+    ("X07", "/site/people/person[profile/gender and profile/age]/name");
+    ("X08", "/site/people/person[phone or homepage]/name");
+    ("X09", "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name");
+    ("X10", "//listitem[not(.//keyword/emph)]//parlist");
+    ("X11", "//listitem[(.//keyword or .//emph) and (.//emph or .//bold)]/parlist");
+    ("X12", "//people[.//person[not(address)] and .//person[not(watches)]]/person[watches]");
+    ("X13", "/*[.//*]");
+    ("X14", "//*");
+    ("X15", "//*//*");
+    ("X16", "//*//*//*");
+    ("X17", "//*//*//*//*");
+    ("A1", "/descendant::*/attribute::*");
+    ("A2", "//person[@id = 'person3']/name");
+    ("A3", "//seller/@person");
+  ]
+
+let treebank_queries =
+  [
+    ("T01", "//NP");
+    ("T02", "//S[.//VP and .//NP]/VP/PP[IN]/NP/VBN");
+    ("T03", "//NP[.//JJ or .//CC]");
+    ("T04", "//CC[not(.//JJ)]");
+    ("T05", "//NN[.//VBZ or .//IN]/*[.//NN or .//_QUOTE_]");
+  ]
+
+let medline_queries =
+  [
+    ("M01", "//Article[.//AbstractText[contains(., \"foot\") or contains(., \"feet\")]]");
+    ("M02", "//Article[.//AbstractText[contains(., \"plus\")]]");
+    ("M03", "//Article[.//AbstractText[contains(., \"plus\") or contains(., \"for\")]]");
+    ("M04", "//Article[.//AbstractText[contains(., \"plus\") and not(contains(., \"for\"))]]");
+    ("M05", "//MedlineCitation/Article/AuthorList/Author[./LastName[starts-with(., \"Bar\")]]");
+    ("M06", "//*[.//LastName[contains(., \"Nguyen\")]]");
+    ("M07", "//*//AbstractText[contains(., \"epididymis\")]");
+    ("M08", "//*[.//PublicationType[ends-with(., \"Article\")]]");
+    ("M09", "//MedlineCitation[.//Country[contains(., \"AUSTRALIA\")]]");
+    ("M10", "//MedlineCitation[contains(., \"blood\")]");
+    ("M11", "//*/*[contains(., \"1999\")]");
+  ]
+
+let test_xmark () =
+  check_corpus "xmark" (Sxsi_datagen.Xmark.generate ~scale:80 ()) xmark_queries ()
+
+let test_treebank () =
+  check_corpus "treebank" (Sxsi_datagen.Treebank.generate ~sentences:60 ())
+    treebank_queries ()
+
+let test_medline () =
+  check_corpus "medline" (Sxsi_datagen.Medline.generate ~citations:80 ())
+    medline_queries ()
+
+let test_word_queries () =
+  let xml = Sxsi_datagen.Wiki.generate ~pages:60 () in
+  let doc = Document.of_xml xml in
+  let widx = Sxsi_wordindex.Word_index.build (Document.texts doc) in
+  let funs key =
+    match String.index_opt key ':' with
+    | Some i when String.sub key 0 i = "ftcontains" ->
+      let phrase = String.sub key (i + 1) (String.length key - i - 1) in
+      Some
+        {
+          Run.cp_match = (fun s -> Sxsi_wordindex.Word_index.matches_text widx phrase s);
+          cp_texts = Some (fun () -> Sxsi_wordindex.Word_index.contains_phrase widx phrase);
+        }
+    | _ -> None
+  in
+  let dom_funs key =
+    match String.index_opt key ':' with
+    | Some i when String.sub key 0 i = "ftcontains" ->
+      let phrase = String.sub key (i + 1) (String.length key - i - 1) in
+      Some
+        (fun node ->
+          Sxsi_wordindex.Word_index.matches_text widx phrase (Dom.string_value node))
+    | _ -> None
+  in
+  check_corpus "wiki" xml
+    [
+      ("W06", "//text[ftcontains(., 'dark horse')]");
+      ("W07", "//text[ftcontains(., 'horse') and ftcontains(., 'princess')]");
+      ("W08", "//page/child::title[ftcontains(., 'crude oil')]");
+      ("W09", "//page[.//text[ftcontains(., 'played on a board')]]/title");
+      ("W10", "//page[.//text[ftcontains(., 'dark') and ftcontains(., 'gold')]]/title");
+    ]
+    ~funs ~dom_funs ()
+
+let test_pssm_queries () =
+  let xml = Sxsi_datagen.Bio.generate ~genes:12 () in
+  let funs = Sxsi_bio.Pssm.registry Sxsi_bio.Pssm.sample_matrices in
+  let dom_funs key =
+    List.find_map
+      (fun (m, threshold) ->
+        if key = "PSSM:" ^ Sxsi_bio.Pssm.name m then
+          Some
+            (fun node ->
+              Sxsi_bio.Pssm.matches m ~threshold (Dom.string_value node))
+        else None)
+      Sxsi_bio.Pssm.sample_matrices
+  in
+  check_corpus "bio" xml
+    [
+      ("P1", "//promoter[PSSM(., M1)]");
+      ("P2", "//exon[.//sequence[PSSM(., M1)]]");
+      ("P3", "//*[PSSM(., M1)]");
+      ("P4", "//gene[.//promoter[PSSM(., M2)]]/name");
+    ]
+    ~funs ~dom_funs ()
+
+(* serialization equivalence across engines on a whole corpus *)
+let test_serialize_equivalence () =
+  let xml = Sxsi_datagen.Xmark.generate ~scale:25 () in
+  let doc = Document.of_xml xml in
+  let dom = Dom.of_xml xml in
+  List.iter
+    (fun q ->
+      let nodes = Engine.select (Engine.prepare doc q) in
+      let dom_nodes = Naive_eval.eval dom (parse q) in
+      let a = Array.to_list (Array.map (Document.serialize doc) nodes) in
+      let b = List.map Dom.serialize dom_nodes in
+      if a <> b then Alcotest.failf "serializations differ for %s" q)
+    [ "//keyword"; "/site/people/person[phone]"; "//item/name"; "//listitem" ]
+
+let suite =
+  ( "integration",
+    [
+      Alcotest.test_case "xmark X01-X17 + attributes" `Quick test_xmark;
+      Alcotest.test_case "treebank T01-T05" `Quick test_treebank;
+      Alcotest.test_case "medline M01-M11" `Quick test_medline;
+      Alcotest.test_case "wiki word queries" `Quick test_word_queries;
+      Alcotest.test_case "bio PSSM queries" `Quick test_pssm_queries;
+      Alcotest.test_case "serialization equivalence" `Quick test_serialize_equivalence;
+    ] )

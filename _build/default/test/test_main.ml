@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "sxsi"
+    [
+      Test_bits.suite;
+      Test_fm.suite;
+      Test_text.suite;
+      Test_tree.suite;
+      Test_xml.suite;
+      Test_xpath.suite;
+      Test_auto.suite;
+      Test_engine.suite;
+      Test_baseline.suite;
+      Test_wordindex.suite;
+      Test_bio.suite;
+      Test_datagen.suite;
+      Test_integration.suite;
+      Test_units.suite;
+    ]

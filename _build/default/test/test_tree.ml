@@ -1,0 +1,366 @@
+(* Balanced-parentheses tree and tag index vs a naive pointer tree. *)
+
+open Sxsi_tree
+
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Random tree generator: a tree as nested lists, rendered both to a   *)
+(* parenthesis sequence and to a naive structure.                      *)
+(* ------------------------------------------------------------------ *)
+
+type ntree = Node of int * ntree list   (* tag, children *)
+
+let rec ntree_gen depth =
+  QCheck2.Gen.(
+    if depth = 0 then map (fun tg -> Node (tg, [])) (int_bound 3)
+    else
+      let* tg = int_bound 3 in
+      let* kids = list_size (int_range 0 3) (ntree_gen (depth - 1)) in
+      return (Node (tg, kids)))
+
+let tree_gen = ntree_gen 4
+
+let render root =
+  (* parenthesis bools + aligned tags + preorder list of (pos, tag) *)
+  let parens = ref [] and tags = ref [] in
+  let rec go (Node (tg, kids)) =
+    parens := true :: !parens;
+    tags := tg :: !tags;
+    List.iter go kids;
+    parens := false :: !parens;
+    tags := tg :: !tags
+  in
+  go root;
+  ( Array.of_list (List.rev !parens),
+    Array.of_list (List.rev !tags) )
+
+let build root =
+  let parens, tags = render root in
+  let bp = Bp.of_bools parens in
+  let ti = Tag_index.build bp ~tag_count:4 ~tags in
+  (bp, ti)
+
+(* Naive mirrors over the bool array. *)
+let naive_close parens i =
+  let d = ref 0 and res = ref (-1) in
+  (try
+     for j = i to Array.length parens - 1 do
+       d := !d + (if parens.(j) then 1 else -1);
+       if !d = 0 then begin
+         res := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res
+
+let naive_parent parens i =
+  let rec up j depth =
+    if j < 0 then -1
+    else begin
+      let depth = depth + (if parens.(j) then -1 else 1) in
+      if depth < 0 then j else up (j - 1) depth
+    end
+  in
+  up (i - 1) 0
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests on the paper's running example                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1 tree shape: & ( parts ( part ( @ ( name ( % ) ) ) (#) (color (#))
+   (stock (#)) ) ( part ( @ ( name ( % ) ) ) (stock (#)) ) ) *)
+let fig1_parens =
+  "((((((  ))) ( ) (( )) (( )) ) ((((  ))) (( )) ) ))"
+  |> String.to_seq
+  |> Seq.filter (fun c -> c = '(' || c = ')')
+  |> Seq.map (fun c -> c = '(')
+  |> Array.of_seq
+
+let test_fig1_shape () =
+  let bp = Bp.of_bools fig1_parens in
+  Alcotest.(check int) "17 nodes" 17 (Bp.node_count bp);
+  Alcotest.(check int) "root" 0 (Bp.root bp);
+  Alcotest.(check int) "root close" (Bp.length bp - 1) (Bp.close bp 0);
+  Alcotest.(check int) "root subtree" 17 (Bp.subtree_size bp 0);
+  let parts = Bp.first_child bp 0 in
+  Alcotest.(check int) "parts subtree" 16 (Bp.subtree_size bp parts);
+  let part1 = Bp.first_child bp parts in
+  Alcotest.(check int) "part1 subtree" 9 (Bp.subtree_size bp part1);
+  let part2 = Bp.next_sibling bp part1 in
+  Alcotest.(check int) "part2 subtree" 6 (Bp.subtree_size bp part2);
+  Alcotest.(check int) "no third sibling" (-1) (Bp.next_sibling bp part2);
+  Alcotest.(check int) "parent of part2" parts (Bp.parent bp part2);
+  Alcotest.(check bool) "ancestor" true (Bp.is_ancestor bp parts part2);
+  Alcotest.(check bool) "not ancestor" false (Bp.is_ancestor bp part1 part2);
+  Alcotest.(check int) "depth part1" 3 (Bp.depth bp part1)
+
+let test_preorder_roundtrip () =
+  let bp = Bp.of_bools fig1_parens in
+  for p = 0 to Bp.node_count bp - 1 do
+    let x = Bp.node_of_preorder bp p in
+    Alcotest.(check int) "preorder" p (Bp.preorder bp x)
+  done
+
+let test_builder_unbalanced () =
+  Alcotest.check_raises "close on empty"
+    (Invalid_argument "Bp.Builder.close_node: unbalanced") (fun () ->
+      let b = Bp.Builder.create () in
+      Bp.Builder.close_node b);
+  Alcotest.check_raises "unclosed node"
+    (Invalid_argument "Bp.Builder.finish: unbalanced") (fun () ->
+      let b = Bp.Builder.create () in
+      Bp.Builder.open_node b;
+      ignore (Bp.Builder.finish b))
+
+let test_single_node () =
+  let bp = Bp.of_bools [| true; false |] in
+  Alcotest.(check int) "nodes" 1 (Bp.node_count bp);
+  Alcotest.(check bool) "leaf" true (Bp.is_leaf bp 0);
+  Alcotest.(check int) "close" 1 (Bp.close bp 0);
+  Alcotest.(check int) "parent" (-1) (Bp.parent bp 0);
+  Alcotest.(check int) "first_child" (-1) (Bp.first_child bp 0)
+
+(* Deep chain exercises the inter-block heap search. *)
+let test_deep_chain () =
+  let n = 2000 in
+  let parens = Array.init (2 * n) (fun i -> i < n) in
+  let bp = Bp.of_bools parens in
+  Alcotest.(check int) "close of root" (2 * n - 1) (Bp.close bp 0);
+  Alcotest.(check int) "close of deepest" n (Bp.close bp (n - 1));
+  Alcotest.(check int) "parent of deepest" (n - 2) (Bp.parent bp (n - 1));
+  Alcotest.(check int) "open of last" 0 (Bp.open_ bp (2 * n - 1));
+  Alcotest.(check int) "depth" n (Bp.depth bp (n - 1))
+
+let test_wide_tree () =
+  let n = 3000 in
+  let b = Bp.Builder.create () in
+  Bp.Builder.open_node b;
+  for _ = 1 to n do
+    Bp.Builder.open_node b;
+    Bp.Builder.close_node b
+  done;
+  Bp.Builder.close_node b;
+  let bp = Bp.Builder.finish b in
+  (* walk all siblings *)
+  let count = ref 0 and x = ref (Bp.first_child bp 0) in
+  while !x >= 0 do
+    incr count;
+    x := Bp.next_sibling bp !x
+  done;
+  Alcotest.(check int) "sibling walk" n !count
+
+(* ------------------------------------------------------------------ *)
+(* Properties: Bp navigation vs naive scans                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_close =
+  qtest "close matches naive" tree_gen (fun t ->
+      let parens, _ = render t in
+      let bp = Bp.of_bools parens in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen && Bp.close bp i <> naive_close parens i then ok := false)
+        parens;
+      !ok)
+
+let prop_open =
+  qtest "open_ inverts close" tree_gen (fun t ->
+      let parens, _ = render t in
+      let bp = Bp.of_bools parens in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen -> if isopen && Bp.open_ bp (Bp.close bp i) <> i then ok := false)
+        parens;
+      !ok)
+
+let prop_parent =
+  qtest "parent matches naive" tree_gen (fun t ->
+      let parens, _ = render t in
+      let bp = Bp.of_bools parens in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen && Bp.parent bp i <> naive_parent parens i then ok := false)
+        parens;
+      !ok)
+
+let prop_children_partition =
+  qtest "children partition the subtree" tree_gen (fun t ->
+      let parens, _ = render t in
+      let bp = Bp.of_bools parens in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen then begin
+            let sum = ref 1 and c = ref (Bp.first_child bp i) in
+            while !c >= 0 do
+              sum := !sum + Bp.subtree_size bp !c;
+              c := Bp.next_sibling bp !c
+            done;
+            if !sum <> Bp.subtree_size bp i then ok := false
+          end)
+        parens;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Tag index                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let naive_tagged_desc parens tags i tg =
+  let c = naive_close parens i in
+  let res = ref (-1) in
+  (try
+     for j = i + 1 to c - 1 do
+       if parens.(j) && tags.(j) = tg then begin
+         res := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res
+
+let naive_tagged_foll parens tags i tg =
+  let c = naive_close parens i in
+  let res = ref (-1) in
+  (try
+     for j = c + 1 to Array.length parens - 1 do
+       if parens.(j) && tags.(j) = tg then begin
+         res := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res
+
+let naive_subtree_tags parens tags i tg =
+  let c = naive_close parens i in
+  let count = ref 0 in
+  for j = i to c do
+    if parens.(j) && tags.(j) = tg then incr count
+  done;
+  !count
+
+let naive_tagged_prec parens tags i tg =
+  let res = ref (-1) in
+  for j = 0 to i - 1 do
+    if parens.(j) && tags.(j) = tg && not (naive_close parens j > i) then res := j
+  done;
+  !res
+
+let prop_tagged_desc =
+  qtest "tagged_desc matches naive" tree_gen (fun t ->
+      let parens, tags = render t in
+      let bp, ti = build t in
+      ignore bp;
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen then
+            for tg = 0 to 3 do
+              if Tag_index.tagged_desc ti i tg <> naive_tagged_desc parens tags i tg
+              then ok := false
+            done)
+        parens;
+      !ok)
+
+let prop_tagged_foll =
+  qtest "tagged_foll matches naive" tree_gen (fun t ->
+      let parens, tags = render t in
+      let _, ti = build t in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen then
+            for tg = 0 to 3 do
+              if Tag_index.tagged_foll ti i tg <> naive_tagged_foll parens tags i tg
+              then ok := false
+            done)
+        parens;
+      !ok)
+
+let prop_tagged_prec =
+  qtest "tagged_prec matches naive" tree_gen (fun t ->
+      let parens, tags = render t in
+      let _, ti = build t in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen then
+            for tg = 0 to 3 do
+              if Tag_index.tagged_prec ti i tg <> naive_tagged_prec parens tags i tg
+              then ok := false
+            done)
+        parens;
+      !ok)
+
+let prop_subtree_tags =
+  qtest "subtree_tags matches naive" tree_gen (fun t ->
+      let parens, tags = render t in
+      let _, ti = build t in
+      let ok = ref true in
+      Array.iteri
+        (fun i isopen ->
+          if isopen then
+            for tg = 0 to 3 do
+              if Tag_index.subtree_tags ti i tg <> naive_subtree_tags parens tags i tg
+              then ok := false
+            done)
+        parens;
+      !ok)
+
+let test_tag_basic () =
+  (* (a (b) (c (b)) ) with tags a=0 b=1 c=2 *)
+  let parens = [| true; true; false; true; true; false; false; false |] in
+  let tags = [| 0; 1; 1; 2; 1; 1; 2; 0 |] in
+  let bp = Bp.of_bools parens in
+  let ti = Tag_index.build bp ~tag_count:3 ~tags in
+  Alcotest.(check int) "count b" 2 (Tag_index.count ti 1);
+  Alcotest.(check int) "tag of root" 0 (Tag_index.tag ti 0);
+  Alcotest.(check int) "tagged_desc b from root" 1 (Tag_index.tagged_desc ti 0 1);
+  Alcotest.(check int) "tagged_desc b from c" 4 (Tag_index.tagged_desc ti 3 1);
+  Alcotest.(check int) "tagged_foll b from first b" 4 (Tag_index.tagged_foll ti 1 1);
+  Alcotest.(check int) "subtree_tags b at root" 2 (Tag_index.subtree_tags ti 0 1);
+  Alcotest.(check int) "tagged_next" 3 (Tag_index.tagged_next ti 2 2)
+
+(* ------------------------------------------------------------------ *)
+(* Tag_rel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tag_rel () =
+  let r = Tag_rel.make ~tag_count:5 in
+  Tag_rel.add r Tag_rel.Child ~parent:0 ~child:3;
+  Tag_rel.add r Tag_rel.Descendant ~parent:0 ~child:3;
+  Tag_rel.add r Tag_rel.Descendant ~parent:0 ~child:4;
+  Alcotest.(check bool) "child 0->3" true (Tag_rel.mem r Tag_rel.Child 0 3);
+  Alcotest.(check bool) "child 0->4" false (Tag_rel.mem r Tag_rel.Child 0 4);
+  Alcotest.(check bool) "desc 0->4" true (Tag_rel.mem r Tag_rel.Descendant 0 4);
+  Alcotest.(check bool) "foll empty" false (Tag_rel.mem r Tag_rel.Following 0 3);
+  Alcotest.(check bool) "can_occur" true
+    (Tag_rel.can_occur r Tag_rel.Descendant 0 (fun b -> b = 4));
+  Alcotest.(check bool) "can_occur false" false
+    (Tag_rel.can_occur r Tag_rel.Descendant 0 (fun b -> b = 2))
+
+let suite =
+  ( "tree",
+    [
+      Alcotest.test_case "fig1 shape" `Quick test_fig1_shape;
+      Alcotest.test_case "preorder roundtrip" `Quick test_preorder_roundtrip;
+      Alcotest.test_case "builder rejects unbalanced" `Quick test_builder_unbalanced;
+      Alcotest.test_case "single node" `Quick test_single_node;
+      Alcotest.test_case "deep chain" `Quick test_deep_chain;
+      Alcotest.test_case "wide tree" `Quick test_wide_tree;
+      Alcotest.test_case "tag index basic" `Quick test_tag_basic;
+      Alcotest.test_case "tag_rel" `Quick test_tag_rel;
+      prop_close;
+      prop_open;
+      prop_parent;
+      prop_children_partition;
+      prop_tagged_desc;
+      prop_tagged_foll;
+      prop_tagged_prec;
+      prop_subtree_tags;
+    ] )

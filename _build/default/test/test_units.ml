@@ -1,0 +1,172 @@
+(* Direct unit tests for the engine's small core structures (state
+   sets, result ropes) and document-level odds and ends. *)
+
+open Sxsi_core
+open Sxsi_xml
+open Sxsi_tree
+
+(* ------------------------------------------------------------------ *)
+(* Stateset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_stateset () =
+  let a = Stateset.of_list [ 3; 1; 2; 3 ] in
+  let b = Stateset.of_list [ 1; 2; 3 ] in
+  Alcotest.(check bool) "hash-consed" true (a == b);
+  Alcotest.(check int) "cardinal" 3 (Stateset.cardinal a);
+  Alcotest.(check bool) "mem" true (Stateset.mem a 2);
+  Alcotest.(check bool) "not mem" false (Stateset.mem a 4);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Stateset.to_list a);
+  Alcotest.(check bool) "empty" true (Stateset.is_empty Stateset.empty);
+  Alcotest.(check (option int)) "singleton none" None (Stateset.singleton a);
+  Alcotest.(check (option int)) "singleton" (Some 7)
+    (Stateset.singleton (Stateset.of_list [ 7 ]));
+  Alcotest.(check bool) "distinct ids" true
+    (a.Stateset.id <> (Stateset.of_list [ 1; 2 ]).Stateset.id)
+
+(* ------------------------------------------------------------------ *)
+(* Marks                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_marks () =
+  (* tree: (a (b) (a) (b)) tags a=0 b=1 *)
+  let parens = [| true; true; false; true; false; true; false; false |] in
+  let tags = [| 0; 1; 1; 0; 0; 1; 1; 0 |] in
+  let bp = Bp.of_bools parens in
+  let ti = Tag_index.build bp ~tag_count:2 ~tags in
+  let m =
+    Marks.Cat (Marks.One 0, Marks.Cat (Marks.Tagged_range ([ 1 ], 1, 8), Marks.Empty))
+  in
+  Alcotest.(check int) "count" 3 (Marks.count ti m);
+  Alcotest.(check (array int)) "positions" [| 0; 1; 5 |] (Marks.positions ti m);
+  (* multi-tag class range *)
+  let cls = Marks.Tagged_range ([ 0; 1 ], 0, 8) in
+  Alcotest.(check int) "class count" 4 (Marks.count ti cls);
+  Alcotest.(check (list int)) "class positions (sorted)" [ 0; 1; 3; 5 ]
+    (List.sort compare (Array.to_list (Marks.positions ti cls)));
+  Alcotest.(check int) "empty" 0 (Marks.count ti Marks.Empty)
+
+(* ------------------------------------------------------------------ *)
+(* Engine result invariants                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_select_sorted_unique () =
+  let xml = Sxsi_datagen.Xmark.generate ~scale:30 () in
+  let doc = Document.of_xml xml in
+  List.iter
+    (fun q ->
+      let nodes = Engine.select (Engine.prepare doc q) in
+      let ok = ref true in
+      for i = 1 to Array.length nodes - 1 do
+        if nodes.(i - 1) >= nodes.(i) then ok := false
+      done;
+      Alcotest.(check bool) (q ^ " sorted+unique") true !ok)
+    [
+      "//keyword"; "//listitem//keyword"; "//*"; "//*//*";
+      "//item/following-sibling::item"; "//person[phone or homepage]";
+      "/site/people/person/name"; "//@id";
+    ]
+
+let test_count_equals_select_length () =
+  let xml = Sxsi_datagen.Treebank.generate ~sentences:40 () in
+  let doc = Document.of_xml xml in
+  List.iter
+    (fun q ->
+      let c = Engine.prepare doc q in
+      Alcotest.(check int) q (Array.length (Engine.select c)) (Engine.count c))
+    [ "//NP"; "//NP//NP"; "//S[.//VP]/NP"; "//*"; "//NP/following-sibling::VP" ]
+
+(* ------------------------------------------------------------------ *)
+(* Document extras                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_texts_override () =
+  let doc = Document.of_xml "<a><b>one</b><b>two</b></a>" in
+  (* replace the text collection with one built over uppercased texts *)
+  let upper =
+    Sxsi_text.Text_collection.build
+      (Array.map String.uppercase_ascii (Document.texts doc))
+  in
+  let doc2 = Document.of_texts_override doc upper in
+  Alcotest.(check string) "overridden" "ONE" (Document.get_text doc2 0);
+  Alcotest.(check int) "queries see the new index" 1
+    (Engine.count (Engine.prepare doc2 "//b[. = 'TWO']"));
+  Alcotest.(check int) "original untouched" 1
+    (Engine.count (Engine.prepare doc "//b[. = 'two']"))
+
+let test_tag_is_pcdata () =
+  let doc =
+    Document.of_xml "<r><p>text</p><p>more</p><q>x<em>y</em></q><e/></r>"
+  in
+  let id n = Option.get (Document.tag_id doc n) in
+  Alcotest.(check bool) "p pcdata" true (Document.tag_is_pcdata doc (id "p"));
+  Alcotest.(check bool) "q mixed" false (Document.tag_is_pcdata doc (id "q"));
+  Alcotest.(check bool) "empty element pcdata" true
+    (Document.tag_is_pcdata doc (id "e"))
+
+let test_run_stats_consistency () =
+  let xml = Sxsi_datagen.Xmark.generate ~scale:20 () in
+  let doc = Document.of_xml xml in
+  let stats = Run.fresh_stats () in
+  let config = { (Run.default_config ()) with Run.enable_jump = false; stats } in
+  let n = Engine.count ~config ~strategy:Engine.Top_down (Engine.prepare doc "//keyword") in
+  Alcotest.(check bool) "visited at least results" true (stats.Run.visited >= n);
+  Alcotest.(check bool) "marked = results (no filters)" true (stats.Run.marked = n)
+
+let test_save_load () =
+  let xml = Sxsi_datagen.Xmark.generate ~scale:25 () in
+  let doc = Document.of_xml xml in
+  let path = Filename.temp_file "sxsi" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Document.save doc path;
+      let doc2 = Document.load path in
+      Alcotest.(check int) "nodes" (Document.node_count doc) (Document.node_count doc2);
+      List.iter
+        (fun q ->
+          Alcotest.(check int) q
+            (Engine.count (Engine.prepare doc q))
+            (Engine.count (Engine.prepare doc2 q)))
+        [ "//keyword"; "//person[phone]/name"; "//name[contains(., 'Bar')]" ];
+      Alcotest.(check string) "serialization equal"
+        (Document.serialize doc (Document.root doc))
+        (Document.serialize doc2 (Document.root doc2)));
+  (* bad magic *)
+  let bogus = Filename.temp_file "sxsi" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bogus)
+    (fun () ->
+      let oc = open_out bogus in
+      output_string oc "not an index at all.....";
+      close_out oc;
+      match Document.load bogus with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure on bad magic")
+
+let test_wide_document () =
+  (* 100k siblings: sibling recursion must not blow the stack *)
+  let buf = Buffer.create 900_000 in
+  Buffer.add_string buf "<r>";
+  for i = 0 to 99_999 do
+    Buffer.add_string buf (if i mod 100 = 0 then "<a><b/></a>" else "<a/>")
+  done;
+  Buffer.add_string buf "</r>";
+  let doc = Document.of_xml (Buffer.contents buf) in
+  Alcotest.(check int) "a[b] count" 1000
+    (Engine.count ~strategy:Engine.Top_down (Engine.prepare doc "/r/a[b]"));
+  Alcotest.(check int) "//a" 100_000 (Engine.count (Engine.prepare doc "//a"))
+
+let suite =
+  ( "units",
+    [
+      Alcotest.test_case "stateset" `Quick test_stateset;
+      Alcotest.test_case "marks" `Quick test_marks;
+      Alcotest.test_case "select sorted+unique" `Quick test_select_sorted_unique;
+      Alcotest.test_case "count = |select|" `Quick test_count_equals_select_length;
+      Alcotest.test_case "texts override" `Quick test_texts_override;
+      Alcotest.test_case "tag_is_pcdata" `Quick test_tag_is_pcdata;
+      Alcotest.test_case "run stats" `Quick test_run_stats_consistency;
+      Alcotest.test_case "index save/load" `Quick test_save_load;
+      Alcotest.test_case "wide document (100k siblings)" `Slow test_wide_document;
+    ] )

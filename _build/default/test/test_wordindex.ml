@@ -1,0 +1,130 @@
+(* Word-based index vs a naive word-level scanner. *)
+
+open Sxsi_wordindex
+
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let texts =
+  [|
+    "the dark horse won the race";
+    "a dark and stormy night";
+    "the princess rode a horse";
+    "crude oil prices";
+    "oil and gas; crude oil again";
+    "darkhorse is one word";
+    "";
+  |]
+
+let idx () = Word_index.build texts
+
+let test_basic () =
+  let t = idx () in
+  Alcotest.(check int) "doc_count" 7 (Word_index.doc_count t);
+  Alcotest.(check (list int)) "dark horse" [ 0 ] (Word_index.contains_phrase t "dark horse");
+  Alcotest.(check (list int)) "horse" [ 0; 2 ] (Word_index.contains_phrase t "horse");
+  Alcotest.(check (list int)) "crude oil" [ 3; 4 ]
+    (Word_index.contains_phrase t "crude oil");
+  Alcotest.(check (list int)) "oil" [ 3; 4 ] (Word_index.contains_phrase t "oil");
+  Alcotest.(check (list int)) "unknown" [] (Word_index.contains_phrase t "unicorn");
+  Alcotest.(check (list int)) "empty" [] (Word_index.contains_phrase t "");
+  Alcotest.(check int) "occurrences of oil" 3 (Word_index.phrase_occurrences t "oil");
+  (* word boundaries: "darkhorse" must not match the phrase *)
+  Alcotest.(check bool) "no partial word" true
+    (not (List.mem 5 (Word_index.contains_phrase t "dark horse")))
+
+let test_phrase_across_punctuation () =
+  let t = idx () in
+  (* "gas; crude" tokenizes to adjacent words *)
+  Alcotest.(check (list int)) "across punctuation" [ 4 ]
+    (Word_index.contains_phrase t "gas crude")
+
+let test_matches_text () =
+  let t = idx () in
+  Alcotest.(check bool) "positive" true
+    (Word_index.matches_text t "dark horse" "a very dark horse indeed");
+  Alcotest.(check bool) "negative" false
+    (Word_index.matches_text t "dark horse" "darkhorse");
+  Alcotest.(check bool) "single" true (Word_index.matches_text t "oil" "crude oil!")
+
+(* naive oracle *)
+let naive_contains texts phrase =
+  let toks s =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '.')
+    |> List.filter (fun w -> w <> "")
+  in
+  let p = toks phrase in
+  if p = [] then []
+  else
+    List.filteri (fun _ _ -> true) (Array.to_list texts)
+    |> List.mapi (fun i s -> (i, toks s))
+    |> List.filter_map (fun (i, ws) ->
+           let pa = Array.of_list p and wa = Array.of_list ws in
+           let m = Array.length pa and n = Array.length wa in
+           let rec at k off = k = m || (wa.(off + k) = pa.(k) && at (k + 1) off) in
+           let rec go off = off + m <= n && (at 0 off || go (off + 1)) in
+           if go 0 then Some i else None)
+
+let gen_texts =
+  QCheck2.Gen.(
+    list_size (int_range 1 10)
+      (list_size (int_range 0 12) (oneofl [ "aa"; "bb"; "cc"; "dd" ])
+      |> map (String.concat " "))
+    |> map Array.of_list)
+
+let gen_phrase =
+  QCheck2.Gen.(
+    list_size (int_range 1 3) (oneofl [ "aa"; "bb"; "cc"; "dd"; "zz" ])
+    |> map (String.concat " "))
+
+let prop_vs_naive =
+  qtest "contains_phrase matches naive word scan"
+    QCheck2.Gen.(pair gen_texts gen_phrase)
+    (fun (texts, phrase) ->
+      let t = Word_index.build texts in
+      Word_index.contains_phrase t phrase = naive_contains texts phrase)
+
+let prop_occurrence_counts =
+  qtest "phrase_occurrences >= matching texts" gen_texts (fun texts ->
+      let t = Word_index.build texts in
+      List.for_all
+        (fun p ->
+          Word_index.phrase_occurrences t p
+          >= Word_index.contains_phrase_count t p)
+        [ "aa"; "bb"; "aa bb"; "cc dd" ])
+
+let test_engine_integration () =
+  (* plug the word index into the engine as an indexed custom pred *)
+  let xml =
+    "<w><page><title>one</title><text>the dark horse</text></page>\
+     <page><title>two</title><text>a pale horse</text></page></w>"
+  in
+  let doc = Sxsi_xml.Document.of_xml xml in
+  let widx = Word_index.build (Sxsi_xml.Document.texts doc) in
+  let funs key =
+    match String.index_opt key ':' with
+    | Some i when String.sub key 0 i = "ftcontains" ->
+      let phrase = String.sub key (i + 1) (String.length key - i - 1) in
+      Some
+        {
+          Sxsi_core.Run.cp_match = (fun s -> Word_index.matches_text widx phrase s);
+          cp_texts = Some (fun () -> Word_index.contains_phrase widx phrase);
+        }
+    | _ -> None
+  in
+  let c = Sxsi_core.Engine.prepare doc "//page[.//text[ftcontains(., 'dark horse')]]/title" in
+  Alcotest.(check int) "one page" 1 (Sxsi_core.Engine.count ~funs c);
+  let c2 = Sxsi_core.Engine.prepare doc "//text[ftcontains(., 'horse')]" in
+  Alcotest.(check int) "two texts" 2 (Sxsi_core.Engine.count ~funs c2)
+
+let suite =
+  ( "wordindex",
+    [
+      Alcotest.test_case "basic phrases" `Quick test_basic;
+      Alcotest.test_case "across punctuation" `Quick test_phrase_across_punctuation;
+      Alcotest.test_case "matches_text" `Quick test_matches_text;
+      Alcotest.test_case "engine integration" `Quick test_engine_integration;
+      prop_vs_naive;
+      prop_occurrence_counts;
+    ] )

@@ -1,0 +1,225 @@
+(* XPath Core+ parser tests: every query family used in the paper's
+   evaluation section must parse, plus precise AST checks and error
+   cases. *)
+
+open Sxsi_xpath
+open Ast
+
+let step ?(preds = []) axis test = { axis; test; preds }
+let path steps = { absolute = true; steps }
+
+let check_ast name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = Xpath_parser.parse src in
+      if got <> expected then
+        Alcotest.failf "parsed %s as %s, expected %s" src (path_to_string got)
+          (path_to_string expected))
+
+let check_parses name src =
+  Alcotest.test_case name `Quick (fun () ->
+      ignore (Xpath_parser.parse src))
+
+let check_rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Xpath_parser.parse src with
+      | exception Xpath_parser.Parse_error _ -> ()
+      | p -> Alcotest.failf "expected failure, parsed %s" (path_to_string p))
+
+let ast_cases =
+  [
+    check_ast "child chain" "/site/regions"
+      (path [ step Child (Name "site"); step Child (Name "regions") ]);
+    check_ast "double slash" "//listitem//keyword"
+      (path [ step Descendant (Name "listitem"); step Descendant (Name "keyword") ]);
+    check_ast "star step" "/site/regions/*/item"
+      (path
+         [
+           step Child (Name "site");
+           step Child (Name "regions");
+           step Child Star;
+           step Child (Name "item");
+         ]);
+    check_ast "verbose axes" "/descendant::listitem/child::keyword"
+      (path [ step Descendant (Name "listitem"); step Child (Name "keyword") ]);
+    check_ast "descendant after //" "//descendant::a"
+      (path [ step Descendant (Name "a") ]);
+    check_ast "attribute abbreviation" "/a/@href"
+      (path [ step Child (Name "a"); step Attribute (Name "href") ]);
+    check_ast "// before attribute" "//@id"
+      (path [ step Descendant Node; step Attribute (Name "id") ]);
+    check_ast "text node test" "//text()" (path [ step Descendant Text ]);
+    check_ast "attribute star" "/descendant::*/attribute::*"
+      (path [ step Descendant Star; step Attribute Star ]);
+    check_ast "simple filter" "//a[b]"
+      (path
+         [
+           step Descendant (Name "a")
+             ~preds:[ Exists { absolute = false; steps = [ step Child (Name "b") ] } ];
+         ]);
+    check_ast "dot-descendant filter" "//a[.//b]"
+      (path
+         [
+           step Descendant (Name "a")
+             ~preds:
+               [ Exists { absolute = false; steps = [ step Descendant (Name "b") ] } ];
+         ]);
+    check_ast "boolean filter" "//a[b and (c or not(d))]"
+      (path
+         [
+           step Descendant (Name "a")
+             ~preds:
+               [
+                 And
+                   ( Exists { absolute = false; steps = [ step Child (Name "b") ] },
+                     Or
+                       ( Exists { absolute = false; steps = [ step Child (Name "c") ] },
+                         Not
+                           (Exists
+                              { absolute = false; steps = [ step Child (Name "d") ] })
+                       ) );
+               ];
+         ]);
+    check_ast "contains on dot" "//a[contains(., \"xy\")]"
+      (path
+         [
+           step Descendant (Name "a")
+             ~preds:[ Value ({ absolute = false; steps = [] }, Contains, "xy") ];
+         ]);
+    check_ast "equality" "//a[b = 'v']"
+      (path
+         [
+           step Descendant (Name "a")
+             ~preds:
+               [
+                 Value
+                   ({ absolute = false; steps = [ step Child (Name "b") ] }, Eq, "v");
+               ];
+         ]);
+    check_ast "custom function" "//promoter[PSSM(., M1)]"
+      (path
+         [
+           step Descendant (Name "promoter")
+             ~preds:[ Fun ("PSSM", { absolute = false; steps = [] }, "M1") ];
+         ]);
+    check_ast "root only" "/" (path []);
+    check_ast "lexicographic" "//a[. <= 'm']"
+      (path
+         [
+           step Descendant (Name "a")
+             ~preds:
+               [ Value ({ absolute = false; steps = [] }, Le, "m") ];
+         ]);
+  ]
+
+(* Every query from the paper's Figures 9, 14, 16 and 18 must parse. *)
+let paper_queries =
+  [
+    (* XMark X01-X17 *)
+    "/site/regions";
+    "/site/regions/*/item";
+    "/site/closed_auctions/closed_auction/annotation/description/text/keyword";
+    "//listitem//keyword";
+    "/site/closed_auctions/closed_auction[annotation/description/text/keyword]/date";
+    "/site/closed_auctions/closed_auction[.//keyword]/date";
+    "/site/people/person[profile/gender and profile/age]/name";
+    "/site/people/person[phone or homepage]/name";
+    "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name";
+    "//listitem[not(.//keyword/emph)]//parlist";
+    "//listitem[(.//keyword or .//emph) and (.//emph or .//bold)]/parlist";
+    "//people[.//person[not(address)] and .//person[not(watches)]]/person[watches]";
+    "/*[.//*]";
+    "//*";
+    "//*//*";
+    "//*//*//*";
+    "//*//*//*//*";
+    (* Treebank T01-T05 *)
+    "//NP";
+    "//S[.//VP and .//NP]/VP/PP[IN]/NP/VBN";
+    "//NP[.//JJ or .//CC]";
+    "//CC[not(.//JJ)]";
+    "//NN[.//VBZ or .//IN]/*[.//NN or .//_QUOTE_]";
+    (* Medline M01-M11 *)
+    "//Article[.//AbstractText[contains(., \"foot\") or contains(., \"feet\")]]";
+    "//Article[.//AbstractText[contains(., \"plus\")]]";
+    "//Article[.//AbstractText[contains(., \"plus\") or contains(., \"for\")]]";
+    "//Article[.//AbstractText[contains(., \"plus\") and not(contains(., \"for\"))]]";
+    "//MedlineCitation/Article/AuthorList/Author[./LastName[starts-with(., \"Bar\")]]";
+    "//*[.//LastName[contains(., \"Nguyen\")]]";
+    "//*//AbstractText[contains(., \"epididymis\")]";
+    "//*[.//PublicationType[ends-with(., \"Article\")]]";
+    "//MedlineCitation[.//Country[contains(., \"AUSTRALIA\")]]";
+    "//MedlineCitation[contains(., \"blood cell\")]";
+    "//*/*[contains(., \"1999\")]";
+    (* Word queries W01-W10 *)
+    "//Article[.//AbstractText[contains(., \"blood sample\")]]";
+    "//text[contains(., \"dark horse\")]";
+    "//text[contains(., \"horse\") and contains(., \"princess\")]";
+    "//page/child::title[contains(., \"crude oil\")]";
+    "//page[.//text[contains(., \"played on a board\")]]/title";
+    (* Bio queries *)
+    "//promoter[PSSM(., M1)]";
+    "//exon[.//sequence[PSSM(., M2)]]";
+    "//*[PSSM(., M3)]";
+  ]
+
+let paper_cases =
+  List.mapi (fun i q -> check_parses (Printf.sprintf "paper query %d" i) q) paper_queries
+
+let reject_cases =
+  [
+    check_rejects "empty" "";
+    check_rejects "relative at top" "a/b";
+    check_rejects "unknown axis" "/ancestor::a";
+    check_rejects "backward axis" "/preceding-sibling::a";
+    check_rejects "unclosed bracket" "//a[b";
+    check_rejects "unclosed paren" "//a[not(b]";
+    check_rejects "unterminated literal" "//a[contains(., \"x)]";
+    check_rejects "missing literal" "//a[b = c]";
+    check_rejects "trailing input" "//a]";
+    check_rejects "// before self" "/a//self::b";
+    check_rejects "lone at" "/@";
+  ]
+
+let test_union_parse () =
+  let paths = Xpath_parser.parse_union "//a | //b/c | /d" in
+  Alcotest.(check int) "three branches" 3 (List.length paths);
+  Alcotest.(check int) "single branch" 1
+    (List.length (Xpath_parser.parse_union "//a"));
+  (match Xpath_parser.parse "//a | //b" with
+  | exception Xpath_parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "parse must reject unions");
+  (match Xpath_parser.parse_union "//a |" with
+  | exception Xpath_parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "trailing pipe rejected");
+  (match Xpath_parser.parse_union "//a[b | c]" with
+  | exception Xpath_parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "union inside predicate rejected")
+
+let test_roundtrip_print () =
+  (* path_to_string output reparses to the same AST *)
+  List.iter
+    (fun q ->
+      let ast = Xpath_parser.parse q in
+      let printed = "/" ^ path_to_string ast in
+      (* printed form is verbose; strip the doubled leading slash *)
+      let printed =
+        if String.length printed > 1 && printed.[1] = '/' then
+          String.sub printed 1 (String.length printed - 1)
+        else printed
+      in
+      let reparsed = Xpath_parser.parse printed in
+      if reparsed <> ast then Alcotest.failf "round-trip failed for %s (%s)" q printed)
+    [
+      "/site/regions";
+      "//listitem//keyword";
+      "/site/people/person[phone or homepage]/name";
+      "//a[contains(., \"x\")]";
+    ]
+
+let suite =
+  ( "xpath",
+    ast_cases @ paper_cases @ reject_cases
+    @ [
+        Alcotest.test_case "union parsing" `Quick test_union_parse;
+        Alcotest.test_case "print/reparse round-trip" `Quick test_roundtrip_print;
+      ] )
