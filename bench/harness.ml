@@ -30,6 +30,41 @@ let time_with_result f =
   done;
   (r, !acc /. float_of_int !runs)
 
+(* Throughput mode: run the operation back-to-back for a wall-clock
+   window and report completed operations per second (the serving view
+   of performance, vs the latency-averaging [time]). *)
+let throughput ?(window = 0.5) f =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. window in
+  let ops = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    ignore (f ());
+    incr ops
+  done;
+  float_of_int !ops /. (Unix.gettimeofday () -. t0)
+
+(* Aggregate ops/sec across [domains] concurrent workers hammering [f]
+   for the same window; [f] receives the worker index. *)
+let throughput_domains ?(window = 0.5) ~domains f =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. window in
+  let worker i () =
+    let ops = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      ignore (f i);
+      incr ops
+    done;
+    !ops
+  in
+  let handles = List.init domains (fun i -> Domain.spawn (worker i)) in
+  let total = List.fold_left (fun acc h -> acc + Domain.join h) 0 handles in
+  float_of_int total /. (Unix.gettimeofday () -. t0)
+
+let pp_rate r =
+  if r >= 1e6 then Printf.sprintf "%.2fM/s" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk/s" (r /. 1e3)
+  else Printf.sprintf "%.0f/s" r
+
 let ms t = t *. 1000.0
 
 let pp_ms t =

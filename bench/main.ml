@@ -537,6 +537,71 @@ let streaming () =
   H.table [ "query"; "results"; "SXSI (indexed)"; "streaming"; "speedup" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* Service throughput: N client domains x M cached queries              *)
+(* ------------------------------------------------------------------ *)
+
+let service () =
+  H.section
+    "Service throughput: N client domains x M queries (COUNT via the protocol layer)";
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  let lines =
+    Array.of_list (List.map (fun (_, q) -> "COUNT bench " ^ q) xmark_queries)
+  in
+  let m = Array.length lines in
+  let mk_service ~cache =
+    let options =
+      {
+        Sxsi_service.Service.default_options with
+        Sxsi_service.Service.compiled_cache = (if cache then 256 else 0);
+        count_cache = (if cache then 4096 else 0);
+      }
+    in
+    let svc = Sxsi_service.Service.create ~options () in
+    Sxsi_service.Service.add_document svc "bench" doc;
+    svc
+  in
+  let run ~domains ~cache =
+    let svc = mk_service ~cache in
+    (* warm the caches so the window measures steady-state serving *)
+    Array.iter (fun l -> ignore (Sxsi_service.Service.handle_line svc l)) lines;
+    let cursors = Array.make domains 0 in
+    let qps =
+      H.throughput_domains ~domains (fun i ->
+          let j = cursors.(i) in
+          cursors.(i) <- j + 1;
+          Sxsi_service.Service.handle_line svc lines.((j + i) mod m))
+    in
+    let stat key =
+      match List.assoc_opt key (Sxsi_service.Service.stats svc) with
+      | Some v -> float_of_string v
+      | None -> 0.0
+    in
+    let hits = stat "compiled_hits" and misses = stat "compiled_misses" in
+    let hit_rate = if hits +. misses > 0.0 then 100.0 *. hits /. (hits +. misses) else 0.0 in
+    (qps, hit_rate)
+  in
+  Printf.printf "corpus %s: %d queries, window 0.5s per cell\n" c.name m;
+  let rows =
+    List.map
+      (fun domains ->
+        let qps_on, hits_on = run ~domains ~cache:true in
+        let qps_off, hits_off = run ~domains ~cache:false in
+        [
+          string_of_int domains;
+          H.pp_rate qps_on;
+          Printf.sprintf "%.0f%%" hits_on;
+          H.pp_rate qps_off;
+          Printf.sprintf "%.0f%%" hits_off;
+          Printf.sprintf "%.1fx" (qps_on /. qps_off);
+        ])
+      [ 1; 2; 4 ]
+  in
+  H.table
+    [ "clients"; "cache on"; "hit rate"; "cache off"; "hit rate"; "cached gain" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make group per table             *)
 (* ------------------------------------------------------------------ *)
 
@@ -608,6 +673,7 @@ let sections =
     ("table7", table7);
     ("fig18", fig18);
     ("streaming", streaming);
+    ("service", service);
     ("bechamel", bechamel);
   ]
 

@@ -153,56 +153,108 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Print the compiled tree automaton for a query")
     Term.(const run $ file_arg $ query_only)
 
+(* ------------------------------------------------------------------ *)
+(* Service front ends: the LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/   *)
+(* QUIT protocol over stdin/stdout (repl) or TCP (serve)               *)
+(* ------------------------------------------------------------------ *)
+
+let service_options max_doc_mb compiled_cache count_cache no_jump no_memo =
+  {
+    Sxsi_service.Service.default_options with
+    Sxsi_service.Service.max_doc_bytes =
+      (match max_doc_mb with None -> max_int | Some mb -> mb * 1_000_000);
+    compiled_cache;
+    count_cache;
+    enable_jump = not no_jump;
+    enable_memo = not no_memo;
+  }
+
+let max_doc_mb_arg =
+  Arg.(value & opt (some int) None & info [ "max-doc-mb" ] ~docv:"MB"
+         ~doc:"Registry byte budget: evict least-recently-used documents beyond this")
+
+let compiled_cache_arg =
+  Arg.(value & opt int 256 & info [ "compiled-cache" ] ~docv:"N"
+         ~doc:"Compiled-query LRU capacity (0 disables)")
+
+let count_cache_arg =
+  Arg.(value & opt int 4096 & info [ "count-cache" ] ~docv:"N"
+         ~doc:"Result-count LRU capacity (0 disables)")
+
+let preload_arg =
+  Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=FILE"
+         ~doc:"Load FILE (.xml or .sxsi) as document NAME before serving (repeatable)")
+
+(* Service front ends can die on setup errors (bad --load spec, port in
+   use) after cmdliner validation is over; report them as CLI errors
+   rather than uncaught exceptions. *)
+let guarded f =
+  try f () with
+  | Failure msg ->
+    Printf.eprintf "sxsi: %s\n%!" msg;
+    exit 1
+  | Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "sxsi: %s%s: %s\n%!" fn
+      (if arg = "" then "" else " " ^ arg)
+      (Unix.error_message e);
+    exit 1
+
+let preload svc specs =
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | None -> failwith (Printf.sprintf "--load %s: expected NAME=FILE" spec)
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+        (match
+           Sxsi_service.Service.handle svc
+             (Sxsi_service.Protocol.Load { name; path })
+         with
+        | Sxsi_service.Protocol.Err msg -> failwith (spec ^ ": " ^ msg)
+        | _ -> Printf.eprintf "loaded %s as %s\n%!" path name))
+    specs
+
 let repl_cmd =
-  let run file dw =
-    let t0 = Unix.gettimeofday () in
-    let doc = load_document ~keep_whitespace:(not dw) file in
-    Printf.printf "loaded %d nodes, %d texts in %.2fs\n"
-      (Document.node_count doc) (Document.text_count doc)
-      (Unix.gettimeofday () -. t0);
-    print_endline
-      "enter Core+ queries; prefix with 'count ' for counting only; ctrl-D quits";
-    let rec loop () =
-      print_string "sxsi> ";
-      match read_line () with
-      | exception End_of_file -> print_newline ()
-      | "" -> loop ()
-      | line ->
-        let counting, query =
-          if String.length line > 6 && String.sub line 0 6 = "count " then
-            (true, String.sub line 6 (String.length line - 6))
-          else (false, line)
+  let run max_mb cc kc nj nm specs =
+    guarded (fun () ->
+        let svc =
+          Sxsi_service.Service.create ~options:(service_options max_mb cc kc nj nm) ()
         in
-        (match Engine.prepare doc query with
-        | exception Sxsi_xpath.Xpath_parser.Parse_error (pos, msg) ->
-          Printf.printf "parse error at %d: %s\n" pos msg
-        | exception Sxsi_auto.Compile.Unsupported msg ->
-          Printf.printf "unsupported: %s\n" msg
-        | c ->
-          let t0 = Unix.gettimeofday () in
-          if counting then begin
-            let n = Engine.count c in
-            Printf.printf "%d result(s) in %.2fms\n" n
-              ((Unix.gettimeofday () -. t0) *. 1000.0)
-          end
-          else begin
-            let nodes = Engine.select c in
-            let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
-            Array.iteri
-              (fun i x ->
-                if i < 10 then print_endline (Document.serialize doc x))
-              nodes;
-            if Array.length nodes > 10 then
-              Printf.printf "... (%d more)\n" (Array.length nodes - 10);
-            Printf.printf "%d result(s) in %.2fms\n" (Array.length nodes) dt
-          end);
-        loop ()
-    in
-    loop ()
+        preload svc specs;
+        Sxsi_service.Server.session stdin stdout svc)
   in
   Cmd.v
-    (Cmd.info "repl" ~doc:"Load a document once and run queries interactively")
-    Term.(const run $ file_arg $ drop_ws)
+    (Cmd.info "repl"
+       ~doc:"Speak the service protocol (LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/QUIT) \
+             on stdin/stdout")
+    Term.(const run $ max_doc_mb_arg $ compiled_cache_arg $ count_cache_arg $ no_jump
+          $ no_memo $ preload_arg)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt int 7333 & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"TCP port to listen on (0 picks an ephemeral port)")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind")
+  in
+  let run host port max_mb cc kc nj nm specs =
+    guarded (fun () ->
+        let svc =
+          Sxsi_service.Service.create ~options:(service_options max_mb cc kc nj nm) ()
+        in
+        preload svc specs;
+        Sxsi_service.Server.serve ~host
+          ~on_listen:(fun p -> Printf.eprintf "sxsi: listening on %s:%d\n%!" host p)
+          ~port svc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the protocol over TCP, one worker domain per connection; documents \
+             and compiled queries are cached and shared across connections")
+    Term.(const run $ host_arg $ port_arg $ max_doc_mb_arg $ compiled_cache_arg
+          $ count_cache_arg $ no_jump $ no_memo $ preload_arg)
 
 let gen_cmd =
   let kind =
@@ -242,4 +294,8 @@ let () =
     Cmd.info "sxsi" ~version:"1.0.0"
       ~doc:"Succinct XML Self-Index: in-memory XPath search over compressed indexes"
   in
-  exit (Cmd.eval (Cmd.group info [ count_cmd; select_cmd; stats_cmd; gen_cmd; index_cmd; explain_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ count_cmd; select_cmd; stats_cmd; gen_cmd; index_cmd; explain_cmd; repl_cmd;
+            serve_cmd ]))

@@ -40,8 +40,12 @@ type key =
   | KOr of int * int
   | KNot of int
 
+(* The hash-consing table is process-global and compilation can happen
+   lazily at query time, so concurrent domains (the serve front end)
+   must serialize access to it. *)
 let table : (key, t) Hashtbl.t = Hashtbl.create 256
 let counter = ref 0
+let lock = Mutex.create ()
 
 let union_sorted a b =
   let rec go a b =
@@ -68,25 +72,26 @@ let key_of = function
 
 let cons node =
   let key = key_of node in
-  match Hashtbl.find_opt table key with
-  | Some f -> f
-  | None ->
-    let down1, down2, has_mark =
-      match node with
-      | True | False | Is_label _ | Pred _ -> ([], [], false)
-      | Mark -> ([], [], true)
-      | Down1 q -> ([ q ], [], false)
-      | Down2 q -> ([], [ q ], false)
-      | And (a, b) | Or (a, b) ->
-        ( union_sorted a.down1 b.down1,
-          union_sorted a.down2 b.down2,
-          a.has_mark || b.has_mark )
-      | Not a -> (a.down1, a.down2, a.has_mark)
-    in
-    let f = { id = !counter; node; down1; down2; has_mark } in
-    incr counter;
-    Hashtbl.add table key f;
-    f
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some f -> f
+      | None ->
+        let down1, down2, has_mark =
+          match node with
+          | True | False | Is_label _ | Pred _ -> ([], [], false)
+          | Mark -> ([], [], true)
+          | Down1 q -> ([ q ], [], false)
+          | Down2 q -> ([], [ q ], false)
+          | And (a, b) | Or (a, b) ->
+            ( union_sorted a.down1 b.down1,
+              union_sorted a.down2 b.down2,
+              a.has_mark || b.has_mark )
+          | Not a -> (a.down1, a.down2, a.has_mark)
+        in
+        let f = { id = !counter; node; down1; down2; has_mark } in
+        incr counter;
+        Hashtbl.add table key f;
+        f)
 
 let tru = cons True
 let fls = cons False

@@ -30,6 +30,8 @@ let one c = List.hd c
 let automaton c = Lazy.force (one c).auto
 let bottom_up_plan c = (one c).bu
 
+let precompile c = List.iter (fun b -> ignore (Lazy.force b.auto)) c
+
 (* Cheap selectivity estimate for the predicate of a bottom-up plan. *)
 let estimate_matches doc plan =
   let tc = Document.text doc in

@@ -17,6 +17,12 @@ val prepare : Sxsi_xml.Document.t -> string -> compiled
 
 val prepare_path : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> compiled
 
+val precompile : compiled -> unit
+(** Force the automaton of every union branch now.  Compilation is
+    otherwise lazy and not safe to trigger from several domains at
+    once; a compiled value shared across domains (the service layer's
+    query cache) must be precompiled first. *)
+
 val automaton : compiled -> Sxsi_auto.Automaton.t
 val bottom_up_plan : compiled -> Bottom_up.plan option
 

@@ -3,18 +3,23 @@ type t = {
   states : int array;
 }
 
+(* The hash-consing table is process-global and statesets are created
+   while queries run, so concurrent domains (the serve front end) must
+   serialize access to it. *)
 let table : (int list, t) Hashtbl.t = Hashtbl.create 64
 let counter = ref 0
+let lock = Mutex.create ()
 
 let of_list l =
   let key = List.sort_uniq compare l in
-  match Hashtbl.find_opt table key with
-  | Some s -> s
-  | None ->
-    let s = { id = !counter; states = Array.of_list key } in
-    incr counter;
-    Hashtbl.add table key s;
-    s
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some s -> s
+      | None ->
+        let s = { id = !counter; states = Array.of_list key } in
+        incr counter;
+        Hashtbl.add table key s;
+        s)
 
 let empty = of_list []
 let is_empty s = Array.length s.states = 0

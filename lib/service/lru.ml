@@ -1,0 +1,92 @@
+(* Classic hash table + doubly-linked recency list.  The list is
+   intrusive: each table entry is a list node, so promotion and
+   eviction are pointer splices. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards most recent *)
+  mutable next : ('k, 'v) node option;  (* towards least recent *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable evicted : int;
+}
+
+let create ~cap =
+  if cap < 0 then invalid_arg "Lru.create: negative capacity";
+  { cap; tbl = Hashtbl.create (max 16 cap); head = None; tail = None; evicted = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    (match t.head with
+    | Some h when h == n -> ()
+    | _ ->
+      unlink t n;
+      push_front t n);
+    Some n.value
+
+let evict_over_cap t =
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | None -> assert false
+    | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      t.evicted <- t.evicted + 1
+  done
+
+let add t k v =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_front t n
+    | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.tbl k n;
+      push_front t n);
+    evict_over_cap t
+  end
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,32 @@
+(** Bounded least-recently-used cache: O(1) find / add / remove via a
+    hash table over an intrusive doubly-linked recency list.
+
+    Not thread-safe on its own — the service serializes access behind
+    its lock. *)
+
+type ('k, 'v) t
+
+val create : cap:int -> ('k, 'v) t
+(** A cache holding at most [cap] entries; [cap = 0] disables caching
+    ([add] is a no-op, [find] always misses). *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup, promoting the entry to most-recently-used on a hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (or replace) as most-recently-used, evicting the
+    least-recently-used entries while over capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry (does not count as eviction). *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries dropped by capacity pressure since [create]. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries from most- to least-recently-used (for tests/stats). *)

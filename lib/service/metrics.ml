@@ -1,0 +1,34 @@
+type t = {
+  mutable requests : int;
+  mutable errors : int;
+  mutable compiled_hits : int;
+  mutable compiled_misses : int;
+  mutable count_hits : int;
+  mutable count_misses : int;
+  mutable doc_evictions : int;
+  mutable latency : float;
+}
+
+let create () =
+  {
+    requests = 0;
+    errors = 0;
+    compiled_hits = 0;
+    compiled_misses = 0;
+    count_hits = 0;
+    count_misses = 0;
+    doc_evictions = 0;
+    latency = 0.0;
+  }
+
+let to_assoc t =
+  [
+    ("requests", string_of_int t.requests);
+    ("errors", string_of_int t.errors);
+    ("compiled_hits", string_of_int t.compiled_hits);
+    ("compiled_misses", string_of_int t.compiled_misses);
+    ("count_hits", string_of_int t.count_hits);
+    ("count_misses", string_of_int t.count_misses);
+    ("doc_evictions", string_of_int t.doc_evictions);
+    ("latency_ms_total", Printf.sprintf "%.3f" (t.latency *. 1000.0));
+  ]

@@ -1,0 +1,18 @@
+(** Per-service monotonic counters, reported by the [STATS] request.
+    Mutated only under the service lock. *)
+
+type t = {
+  mutable requests : int;         (* requests handled, including errors *)
+  mutable errors : int;           (* requests answered with ERR *)
+  mutable compiled_hits : int;    (* compiled-query cache hits *)
+  mutable compiled_misses : int;
+  mutable count_hits : int;       (* result-count cache hits *)
+  mutable count_misses : int;
+  mutable doc_evictions : int;    (* documents dropped by byte pressure *)
+  mutable latency : float;        (* cumulative request latency, seconds *)
+}
+
+val create : unit -> t
+
+val to_assoc : t -> (string * string) list
+(** Stable key/value rendering for the [STATS] response. *)

@@ -1,0 +1,60 @@
+(** The line-oriented request/response protocol spoken by [sxsi serve]
+    and [sxsi repl].  Pure parser and printer, unit-testable without
+    sockets.
+
+    Request grammar (one request per line):
+    {v
+    LOAD <name> <path>          register the document in <path>
+                                (.xml or .sxsi) under <name>
+    QUERY <name> <query...>     preorder ids of the selected nodes
+    COUNT <name> <query...>     number of selected nodes
+    MATERIALIZE <name> <query...>  serialized XML of the selected nodes
+    STATS                       service counters as key=value lines
+    EVICT <name>                drop a document (and its cached queries)
+    QUIT                        close the session
+    v}
+    Verbs are case-insensitive; [<name>] and [<path>] contain no
+    whitespace; [<query...>] is the rest of the line.
+
+    Response grammar:
+    {v
+    OK [tok ...]                single-line success
+    ERR <message>               single-line failure
+    DATA                        multi-line payload: payload lines with a
+    <payload lines>             leading '.' doubled (SMTP-style
+    .                           dot-stuffing), terminated by "." alone
+    v} *)
+
+type request =
+  | Load of { name : string; path : string }
+  | Query of { doc : string; query : string }
+  | Count of { doc : string; query : string }
+  | Materialize of { doc : string; query : string }
+  | Stats
+  | Evict of string
+  | Quit
+
+type response =
+  | Ok of string list       (* OK tok1 tok2 ... *)
+  | Data of string list     (* payload lines, unstuffed, newline-free *)
+  | Err of string
+
+val parse_request : string -> (request, string) result
+(** Parse one request line (no trailing newline). *)
+
+val print_request : request -> string
+(** Canonical one-line rendering; [parse_request (print_request r) = Ok r]
+    whenever names/paths are whitespace-free and the query is non-empty
+    and trimmed. *)
+
+val print_response : response -> string
+(** Wire rendering, dot-stuffed, every line ["\n"]-terminated. *)
+
+val parse_response : string list -> (response * string list, string) result
+(** Consume one response from a list of received lines (no trailing
+    newlines); returns the remaining lines.
+    [parse_response (lines (print_response r)) = Ok (r, [])]. *)
+
+val read_response : (unit -> string option) -> (response, string) result
+(** Incremental client-side reader: pull lines until one full response
+    is consumed.  [None] from the reader means EOF. *)

@@ -1,0 +1,89 @@
+open Sxsi_xml
+
+type entry = {
+  doc : Document.t;
+  bytes : int;
+  generation : int;
+}
+
+(* Recency is tracked with a logical clock per entry; documents are few
+   (the byte budget bounds them), so min-scan eviction is fine and
+   avoids duplicating the intrusive-list machinery of [Lru]. *)
+type t = {
+  max_bytes : int;
+  tbl : (string, entry * int ref) Hashtbl.t;   (* entry, last-use tick *)
+  mutable clock : int;
+  mutable bytes : int;
+  mutable evicted : int;
+  mutable next_generation : int;
+}
+
+let create ?(max_bytes = max_int) () =
+  if max_bytes <= 0 then invalid_arg "Registry.create: non-positive byte budget";
+  {
+    max_bytes;
+    tbl = Hashtbl.create 16;
+    clock = 0;
+    bytes = 0;
+    evicted = 0;
+    next_generation = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let count t = Hashtbl.length t.tbl
+let total_bytes t = t.bytes
+let evictions t = t.evicted
+
+let drop t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> false
+  | Some (e, _) ->
+    Hashtbl.remove t.tbl name;
+    t.bytes <- t.bytes - e.bytes;
+    true
+
+let evict = drop
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun name (_, last) acc ->
+        match acc with
+        | Some (_, best) when best <= !last -> acc
+        | _ -> Some (name, !last))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (name, _) ->
+    ignore (drop t name);
+    t.evicted <- t.evicted + 1
+
+let doc_bytes doc = Document.space_bits doc / 8
+
+let add t name doc =
+  ignore (drop t name);
+  let entry = { doc; bytes = doc_bytes doc; generation = t.next_generation } in
+  t.next_generation <- t.next_generation + 1;
+  (* keep at least the newcomer, even when it alone busts the budget *)
+  while Hashtbl.length t.tbl > 0 && t.bytes + entry.bytes > t.max_bytes do
+    evict_lru t
+  done;
+  Hashtbl.replace t.tbl name (entry, ref (tick t));
+  t.bytes <- t.bytes + entry.bytes;
+  entry
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> None
+  | Some (e, last) ->
+    last := tick t;
+    Some e
+
+let names t =
+  Hashtbl.fold (fun name (_, last) acc -> (name, !last) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

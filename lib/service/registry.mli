@@ -1,0 +1,42 @@
+(** Named in-memory documents with byte-size accounting and
+    least-recently-used eviction under a byte budget.
+
+    Each registration gets a process-unique [generation] number; cache
+    keys downstream include it, so reloading a document under the same
+    name silently invalidates cached compiled queries and counts.
+
+    Not thread-safe on its own — the service serializes access behind
+    its lock. *)
+
+type t
+
+type entry = {
+  doc : Sxsi_xml.Document.t;
+  bytes : int;          (* estimated in-memory index size *)
+  generation : int;
+}
+
+val create : ?max_bytes:int -> unit -> t
+(** [max_bytes] (default: unlimited) caps the summed index sizes;
+    adding past the cap evicts least-recently-used documents first.
+    A single document larger than the cap is still admitted (alone). *)
+
+val add : t -> string -> Sxsi_xml.Document.t -> entry
+(** Register (or replace) a document under a name, evicting as needed.
+    Returns the new entry. *)
+
+val find : t -> string -> entry option
+(** Lookup, promoting the document to most-recently-used. *)
+
+val evict : t -> string -> bool
+(** Explicitly drop a document; [false] when unknown.  Does not count
+    towards {!evictions}. *)
+
+val names : t -> string list
+(** Registered names, most-recently-used first. *)
+
+val count : t -> int
+val total_bytes : t -> int
+
+val evictions : t -> int
+(** Documents dropped by byte pressure since [create]. *)

@@ -1,0 +1,64 @@
+let session ic oc svc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      let resp = Service.handle_line svc line in
+      output_string oc (Protocol.print_response resp);
+      flush oc;
+      let quit = match Protocol.parse_request line with Ok Protocol.Quit -> true | _ -> false in
+      if not quit then loop ()
+  in
+  loop ()
+
+(* Domain-per-connection with opportunistic reaping: finished workers
+   flag themselves and are joined on later accepts, so handles do not
+   accumulate over a long-lived server. *)
+type worker = { handle : unit Domain.t; done_flag : bool Atomic.t }
+
+let reap workers = List.filter (fun w ->
+    if Atomic.get w.done_flag then begin
+      Domain.join w.handle;
+      false
+    end
+    else true)
+  workers
+
+let handle_connection svc fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try session ic oc svc with Sys_error _ | Unix.Unix_error _ -> ())
+
+let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(on_listen = fun _ -> ())
+    ?(stop = fun () -> false) ~port svc =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      Unix.listen sock backlog;
+      (match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> on_listen p
+      | _ -> ());
+      (* a short accept timeout so [stop] is polled even when idle *)
+      Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.2;
+      let workers = ref [] in
+      while not (stop ()) do
+        match Unix.accept sock with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          workers := reap !workers
+        | fd, _ ->
+          workers := reap !workers;
+          let done_flag = Atomic.make false in
+          let handle =
+            Domain.spawn (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Atomic.set done_flag true)
+                  (fun () -> handle_connection svc fd))
+          in
+          workers := { handle; done_flag } :: !workers
+      done;
+      List.iter (fun w -> Domain.join w.handle) !workers)

@@ -1,0 +1,21 @@
+(** TCP front end: a blocking accept loop that hands each connection to
+    its own OCaml 5 domain running the {!Protocol} line protocol over
+    the shared {!Service.t}. *)
+
+val serve :
+  ?host:string ->
+  ?backlog:int ->
+  ?on_listen:(int -> unit) ->
+  ?stop:(unit -> bool) ->
+  port:int ->
+  Service.t ->
+  unit
+(** [serve ~port svc] binds [host] (default ["127.0.0.1"]) on [port]
+    ([0] picks an ephemeral port, reported through [on_listen]) and
+    serves until [stop ()] (polled between accepts, default: never)
+    returns [true].  Each connection reads one request per line and
+    gets the rendered response; [QUIT] or EOF ends the connection. *)
+
+val session : in_channel -> out_channel -> Service.t -> unit
+(** One protocol session over arbitrary channels: the per-connection
+    loop of {!serve}, also usable for an stdin/stdout REPL. *)

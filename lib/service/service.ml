@@ -1,0 +1,230 @@
+open Sxsi_xml
+open Sxsi_core
+
+type options = {
+  max_doc_bytes : int;
+  compiled_cache : int;
+  count_cache : int;
+  enable_jump : bool;
+  enable_memo : bool;
+  enable_early : bool;
+}
+
+let default_options =
+  {
+    max_doc_bytes = max_int;
+    compiled_cache = 256;
+    count_cache = 4096;
+    enable_jump = true;
+    enable_memo = true;
+    enable_early = false;
+  }
+
+(* Cache key: document name + registration generation (so a reload
+   under the same name invalidates everything), the query text, and the
+   engine-configuration fingerprint. *)
+type key = { kdoc : string; kgen : int; kquery : string; kconfig : string }
+
+type t = {
+  opts : options;
+  config_fp : string;
+  lock : Mutex.t;
+  registry : Registry.t;
+  compiled : (key, Engine.compiled) Lru.t;
+  counts : (key, int) Lru.t;
+  metrics : Metrics.t;
+}
+
+let config_fingerprint o =
+  Printf.sprintf "j%bm%be%b" o.enable_jump o.enable_memo o.enable_early
+
+let create ?(options = default_options) () =
+  {
+    opts = options;
+    config_fp = config_fingerprint options;
+    lock = Mutex.create ();
+    registry = Registry.create ~max_bytes:options.max_doc_bytes ();
+    compiled = Lru.create ~cap:options.compiled_cache;
+    counts = Lru.create ~cap:options.count_cache;
+    metrics = Metrics.create ();
+  }
+
+let locked t f = Mutex.protect t.lock f
+
+let run_config t =
+  {
+    Run.enable_jump = t.opts.enable_jump;
+    enable_memo = t.opts.enable_memo;
+    enable_early = t.opts.enable_early;
+    stats = Run.fresh_stats ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_document t name doc = locked t (fun () -> ignore (Registry.add t.registry name doc))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_document path =
+  if Filename.check_suffix path ".sxsi" then Document.load path
+  else Document.of_xml (read_file path)
+
+(* Drop the cached queries of an evicted/replaced document right away
+   rather than letting generation-stale entries age out: they pin the
+   whole document in memory. *)
+let purge_caches_of t name =
+  let purge : 'v. (key, 'v) Lru.t -> unit =
+   fun cache ->
+    List.iter
+      (fun (k, _) -> if k.kdoc = name then Lru.remove cache k)
+      (Lru.to_list cache)
+  in
+  purge t.compiled;
+  purge t.counts
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_request of string
+
+let find_doc t doc =
+  match Registry.find t.registry doc with
+  | Some e -> e
+  | None -> raise (Bad_request ("unknown document: " ^ doc))
+
+(* Resolve a (doc, query) pair to a ready-to-run compiled query,
+   compiling and caching on miss.  Compilation happens under the lock:
+   it is query-sized work, and publishing only precompiled values keeps
+   concurrent evaluation safe. *)
+let compiled_for t doc query =
+  locked t (fun () ->
+      let e = find_doc t doc in
+      let k = { kdoc = doc; kgen = e.Registry.generation; kquery = query; kconfig = t.config_fp } in
+      match Lru.find t.compiled k with
+      | Some c ->
+        t.metrics.Metrics.compiled_hits <- t.metrics.Metrics.compiled_hits + 1;
+        (k, c)
+      | None ->
+        t.metrics.Metrics.compiled_misses <- t.metrics.Metrics.compiled_misses + 1;
+        let c =
+          try Engine.prepare e.Registry.doc query with
+          | Sxsi_xpath.Xpath_parser.Parse_error (pos, msg) ->
+            raise (Bad_request (Printf.sprintf "query parse error at %d: %s" pos msg))
+          | Sxsi_auto.Compile.Unsupported msg -> raise (Bad_request ("unsupported query: " ^ msg))
+        in
+        Engine.precompile c;
+        Lru.add t.compiled k c;
+        (k, c))
+
+let count t doc query =
+  let k, c = compiled_for t doc query in
+  let cached =
+    locked t (fun () ->
+        match Lru.find t.counts k with
+        | Some n ->
+          t.metrics.Metrics.count_hits <- t.metrics.Metrics.count_hits + 1;
+          Some n
+        | None ->
+          t.metrics.Metrics.count_misses <- t.metrics.Metrics.count_misses + 1;
+          None)
+  in
+  match cached with
+  | Some n -> n
+  | None ->
+    let n = Engine.count ~config:(run_config t) c in
+    locked t (fun () -> Lru.add t.counts k n);
+    n
+
+let select_preorders t doc query =
+  let _, c = compiled_for t doc query in
+  Engine.select_preorders ~config:(run_config t) c
+
+let materialize t doc query =
+  let _, c = compiled_for t doc query in
+  let d = locked t (fun () -> (find_doc t doc).Registry.doc) in
+  let nodes = Engine.select ~config:(run_config t) c in
+  Array.to_list (Array.map (Document.serialize d) nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  locked t (fun () ->
+      t.metrics.Metrics.doc_evictions <- Registry.evictions t.registry;
+      Metrics.to_assoc t.metrics
+      @ [
+          ("documents", string_of_int (Registry.count t.registry));
+          ("document_bytes", string_of_int (Registry.total_bytes t.registry));
+          ("document_names", String.concat "," (Registry.names t.registry));
+          ("compiled_entries", string_of_int (Lru.length t.compiled));
+          ("compiled_evictions", string_of_int (Lru.evictions t.compiled));
+          ("count_entries", string_of_int (Lru.length t.counts));
+          ("count_evictions", string_of_int (Lru.evictions t.counts));
+        ])
+
+let dispatch t (req : Protocol.request) : Protocol.response =
+  match req with
+  | Load { name; path } -> begin
+    (* parse/load outside the lock: it is the expensive part *)
+    match load_document path with
+    | doc ->
+      let e =
+        locked t (fun () ->
+            purge_caches_of t name;
+            Registry.add t.registry name doc)
+      in
+      Protocol.Ok
+        [
+          "loaded"; name;
+          Printf.sprintf "nodes=%d" (Document.node_count doc);
+          Printf.sprintf "bytes=%d" e.Registry.bytes;
+        ]
+    | exception Sys_error msg -> Protocol.Err msg
+    | exception Failure msg -> Protocol.Err msg
+    | exception Xml_parser.Parse_error (pos, msg) ->
+      Protocol.Err (Printf.sprintf "XML parse error at %d: %s" pos msg)
+  end
+  | Count { doc; query } -> Protocol.Ok [ string_of_int (count t doc query) ]
+  | Query { doc; query } ->
+    Protocol.Data (Array.to_list (Array.map string_of_int (select_preorders t doc query)))
+  | Materialize { doc; query } ->
+    (* payload lines must be newline-free; serialized XML may not be *)
+    Protocol.Data (List.concat_map (String.split_on_char '\n') (materialize t doc query))
+  | Stats -> Protocol.Data (List.map (fun (k, v) -> k ^ "=" ^ v) (stats t))
+  | Evict name ->
+    locked t (fun () ->
+        if Registry.evict t.registry name then begin
+          purge_caches_of t name;
+          Protocol.Ok [ "evicted"; name ]
+        end
+        else Protocol.Err ("unknown document: " ^ name))
+  | Quit -> Protocol.Ok [ "bye" ]
+
+let handle t req =
+  let t0 = Unix.gettimeofday () in
+  let resp = try dispatch t req with Bad_request msg -> Protocol.Err msg in
+  let dt = Unix.gettimeofday () -. t0 in
+  locked t (fun () ->
+      t.metrics.Metrics.requests <- t.metrics.Metrics.requests + 1;
+      (match resp with
+      | Protocol.Err _ -> t.metrics.Metrics.errors <- t.metrics.Metrics.errors + 1
+      | _ -> ());
+      t.metrics.Metrics.latency <- t.metrics.Metrics.latency +. dt);
+  resp
+
+let handle_line t line =
+  match Protocol.parse_request line with
+  | Result.Ok req -> handle t req
+  | Error msg ->
+    locked t (fun () ->
+        t.metrics.Metrics.requests <- t.metrics.Metrics.requests + 1;
+        t.metrics.Metrics.errors <- t.metrics.Metrics.errors + 1);
+    Protocol.Err msg

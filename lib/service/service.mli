@@ -1,0 +1,41 @@
+(** The query service: a document registry plus compiled-query and
+    result-count caches behind one lock, driven by {!Protocol}
+    requests.
+
+    Threading model: every handler is safe to call from any domain.
+    Registry and cache bookkeeping happen under the service lock;
+    document parsing/loading and query evaluation run outside it, so
+    requests against warm caches execute concurrently (the engine's
+    shared hash-consing tables are internally synchronized and cached
+    compiled queries are {!Sxsi_core.Engine.precompile}d before they
+    are published). *)
+
+type t
+
+type options = {
+  max_doc_bytes : int;      (* registry byte budget *)
+  compiled_cache : int;     (* compiled-query LRU capacity; 0 disables *)
+  count_cache : int;        (* result-count LRU capacity; 0 disables *)
+  enable_jump : bool;       (* engine knobs, part of the cache key *)
+  enable_memo : bool;
+  enable_early : bool;
+}
+
+val default_options : options
+
+val create : ?options:options -> unit -> t
+
+val add_document : t -> string -> Sxsi_xml.Document.t -> unit
+(** Register an already-built document (bench and test entry point;
+    the [LOAD] request is this plus file IO). *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Execute one request, updating metrics (requests, errors,
+    cumulative latency, cache counters). *)
+
+val handle_line : t -> string -> Protocol.response
+(** Parse and execute one request line; parse errors become [ERR]
+    responses and count as errored requests. *)
+
+val stats : t -> (string * string) list
+(** The same key=value pairs the [STATS] request reports. *)

@@ -236,24 +236,49 @@ let of_xml ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) s
           | None -> false);
   }
 
-let magic = "SXSI-INDEX-v1\n"
+(* Container format v2: magic, 8-byte big-endian payload length, MD5
+   digest of the payload, payload (the marshalled [t]).  The length and
+   digest let [load] reject truncated or corrupt files with a clean
+   [Failure] instead of handing garbage to [Marshal.from_channel],
+   which would crash the process. *)
+let magic = "SXSI-INDEX-v2\n"
 
 let save t path =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      let payload = Marshal.to_string t [] in
       output_string oc magic;
-      Marshal.to_channel oc t [])
+      let len = Bytes.create 8 in
+      Bytes.set_int64_be len 0 (Int64.of_int (String.length payload));
+      output_bytes oc len;
+      output_string oc (Digest.string payload);
+      output_string oc payload)
 
 let load path =
   let ic = open_in_bin path in
+  let corrupt msg = failwith ("Document.load: " ^ msg ^ ": " ^ path) in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
+      let header_len = String.length magic + 8 + 16 in
+      let avail = in_channel_length ic in
+      if avail < header_len then corrupt "truncated header (not an SXSI index)";
       let m = really_input_string ic (String.length magic) in
-      if m <> magic then failwith "Document.load: not an SXSI v1 index";
-      (Marshal.from_channel ic : t))
+      if m <> magic then corrupt "bad magic (not an SXSI v2 index)";
+      let len = Int64.to_int (Bytes.get_int64_be (Bytes.of_string (really_input_string ic 8)) 0) in
+      if len < 0 || len > avail - header_len then corrupt "truncated payload";
+      let digest = really_input_string ic 16 in
+      let payload =
+        match really_input_string ic len with
+        | s -> s
+        | exception End_of_file -> corrupt "truncated payload"
+      in
+      if Digest.string payload <> digest then corrupt "checksum mismatch (corrupt index)";
+      match (Marshal.from_string payload 0 : t) with
+      | t -> t
+      | exception _ -> corrupt "undecodable payload")
 
 let of_texts_override t text = { t with text }
 

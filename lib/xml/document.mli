@@ -28,12 +28,14 @@ val of_xml : ?keep_whitespace:bool -> ?sample_rate:int -> ?store_plain:bool ->
 
 val save : t -> string -> unit
 (** Write the whole self-index to a file (versioned container around
-    the runtime representation), so later sessions pay the §6.2
-    "loading time" instead of reconstruction. *)
+    the runtime representation: magic, payload length, MD5 digest,
+    payload), so later sessions pay the §6.2 "loading time" instead of
+    reconstruction. *)
 
 val load : string -> t
 (** Read an index written by {!save}.
-    @raise Failure on a bad magic number or version mismatch. *)
+    @raise Failure on a bad magic number, version mismatch, truncated
+    file, or checksum failure — never crashes on corrupt input. *)
 
 val of_texts_override : t -> Sxsi_text.Text_collection.t -> t
 (** Replace the text collection (the modularity hook of §6.6-6.7: plug

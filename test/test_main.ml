@@ -14,5 +14,6 @@ let () =
       Test_bio.suite;
       Test_datagen.suite;
       Test_integration.suite;
+      Test_service.suite;
       Test_units.suite;
     ]

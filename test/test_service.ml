@@ -1,0 +1,415 @@
+(* Service-layer tests: LRU cache behaviour, registry eviction,
+   protocol round trips (qcheck), the end-to-end protocol session
+   (with cache-hit accounting via STATS), and the TCP front end. *)
+
+open Sxsi_service
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basic () =
+  let c = Lru.create ~cap:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  (* "b" is now least recently used: adding "c" evicts it *)
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check int) "length" 2 (Lru.length c)
+
+let test_lru_replace_and_remove () =
+  let c = Lru.create ~cap:3 in
+  Lru.add c 1 "x";
+  Lru.add c 1 "y";
+  Alcotest.(check int) "replace keeps one entry" 1 (Lru.length c);
+  Alcotest.(check (option string)) "replaced" (Some "y") (Lru.find c 1);
+  Lru.remove c 1;
+  Alcotest.(check (option string)) "removed" None (Lru.find c 1);
+  Lru.remove c 1;
+  Alcotest.(check int) "remove is idempotent" 0 (Lru.length c)
+
+let test_lru_zero_cap () =
+  let c = Lru.create ~cap:0 in
+  Lru.add c "a" 1;
+  Alcotest.(check (option int)) "cap 0 stores nothing" None (Lru.find c "a");
+  Alcotest.(check int) "cap 0 is empty" 0 (Lru.length c)
+
+let prop_lru_order =
+  (* after arbitrary adds/finds, to_list is duplicate-free, bounded by
+     cap, and the most recently touched key is first *)
+  qtest "lru invariants" QCheck2.Gen.(list (pair (int_range 0 9) bool))
+    (fun ops ->
+      let cap = 4 in
+      let c = Lru.create ~cap in
+      let last_touch = ref None in
+      List.iter
+        (fun (k, is_add) ->
+          if is_add then begin
+            Lru.add c k k;
+            last_touch := Some k
+          end
+          else begin
+            match Lru.find c k with
+            | Some _ -> last_touch := Some k
+            | None -> ()
+          end)
+        ops;
+      let l = Lru.to_list c in
+      let keys = List.map fst l in
+      List.length l <= cap
+      && List.sort_uniq compare keys = List.sort compare keys
+      && (match (!last_touch, keys) with
+         | Some k, first :: _ -> k = first
+         | Some _, [] -> false
+         | None, _ -> keys = []))
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_doc tag n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("<" ^ tag ^ ">");
+  for i = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "<item n=\"%d\">payload %d</item>" i i)
+  done;
+  Buffer.add_string buf ("</" ^ tag ^ ">");
+  Sxsi_xml.Document.of_xml (Buffer.contents buf)
+
+let test_registry_eviction () =
+  let d1 = small_doc "a" 50 and d2 = small_doc "b" 50 and d3 = small_doc "c" 50 in
+  let b1 = Sxsi_xml.Document.space_bits d1 / 8 in
+  let b2 = Sxsi_xml.Document.space_bits d2 / 8 in
+  (* room for two of the three *)
+  let r = Registry.create ~max_bytes:(b1 + b2 + 16) () in
+  ignore (Registry.add r "d1" d1);
+  ignore (Registry.add r "d2" d2);
+  Alcotest.(check int) "two registered" 2 (Registry.count r);
+  (* touch d1 so d2 is the LRU victim *)
+  Alcotest.(check bool) "find d1" true (Registry.find r "d1" <> None);
+  ignore (Registry.add r "d3" d3);
+  Alcotest.(check bool) "d2 evicted" true (Registry.find r "d2" = None);
+  Alcotest.(check bool) "d1 kept" true (Registry.find r "d1" <> None);
+  Alcotest.(check int) "eviction counted" 1 (Registry.evictions r);
+  (* generations are unique across registrations *)
+  let g1 = (Option.get (Registry.find r "d1")).Registry.generation in
+  let g3 = (Option.get (Registry.find r "d3")).Registry.generation in
+  Alcotest.(check bool) "distinct generations" true (g1 <> g3)
+
+let test_registry_replace_changes_generation () =
+  let r = Registry.create () in
+  let e1 = Registry.add r "x" (small_doc "a" 5) in
+  let e2 = Registry.add r "x" (small_doc "a" 7) in
+  Alcotest.(check bool) "generation bumped" true
+    (e1.Registry.generation <> e2.Registry.generation);
+  Alcotest.(check int) "still one document" 1 (Registry.count r)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips (qcheck)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_word =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; '0'; '9'; '-'; '_'; '.'; '/'; '['; ']';
+                               '('; ')'; '@'; '*'; '"'; '='; ',' ])
+      (int_range 1 8))
+
+let gen_name =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; 'x'; '0'; '1'; '-'; '_'; '.' ])
+      (int_range 1 10))
+
+let gen_query =
+  QCheck2.Gen.(map (String.concat " ") (list_size (int_range 1 4) gen_word))
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun name path -> Protocol.Load { name; path }) gen_name gen_name;
+        map2 (fun doc query -> Protocol.Query { doc; query }) gen_name gen_query;
+        map2 (fun doc query -> Protocol.Count { doc; query }) gen_name gen_query;
+        map2 (fun doc query -> Protocol.Materialize { doc; query }) gen_name gen_query;
+        return Protocol.Stats;
+        map (fun name -> Protocol.Evict name) gen_name;
+        return Protocol.Quit;
+      ])
+
+(* payload/message lines: printable, newline-free (the printer's only
+   requirement; dot-stuffing must make "." and ".x" safe) *)
+let gen_line =
+  QCheck2.Gen.(
+    map (String.concat "")
+      (list_size (int_range 0 6) (oneofl [ "."; ".."; "a"; "xyz"; " "; "<a>"; "&"; "=" ])))
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun toks -> Protocol.Ok toks) (list_size (int_range 0 4) gen_word);
+        map (fun lines -> Protocol.Data lines) (list_size (int_range 0 8) gen_line);
+        map (fun m -> Protocol.Err m) (map2 (fun w rest -> w ^ rest) gen_word gen_line);
+      ])
+
+let prop_request_roundtrip =
+  qtest "request print -> parse round trip" gen_request (fun r ->
+      Protocol.parse_request (Protocol.print_request r) = Ok r)
+
+let split_wire s =
+  (* the wire form ends with '\n'; drop the final empty fragment *)
+  match List.rev (String.split_on_char '\n' s) with
+  | "" :: rev -> List.rev rev
+  | _ -> Alcotest.fail "response not newline-terminated"
+
+let prop_response_roundtrip =
+  qtest "response print -> parse round trip" gen_response (fun r ->
+      Protocol.parse_response (split_wire (Protocol.print_response r)) = Ok (r, []))
+
+let prop_response_stream_roundtrip =
+  qtest "response print -> incremental read round trip" gen_response (fun r ->
+      let lines = ref (split_wire (Protocol.print_response r)) in
+      let next () =
+        match !lines with
+        | [] -> None
+        | l :: tl ->
+          lines := tl;
+          Some l
+      in
+      Protocol.read_response next = Ok r && !lines = [])
+
+let test_parse_request_errors () =
+  let bad s =
+    match Protocol.parse_request s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "unknown verb" true (bad "FROB x");
+  Alcotest.(check bool) "LOAD missing path" true (bad "LOAD x");
+  Alcotest.(check bool) "COUNT missing query" true (bad "COUNT x");
+  Alcotest.(check bool) "STATS with argument" true (bad "STATS now");
+  Alcotest.(check bool) "case-insensitive verb" true
+    (Protocol.parse_request "count d //a" = Ok (Protocol.Count { doc = "d"; query = "//a" }))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: drive the service through the protocol layer             *)
+(* ------------------------------------------------------------------ *)
+
+let stat_of_lines lines key =
+  let prefix = key ^ "=" in
+  let n = String.length prefix in
+  List.find_map
+    (fun l ->
+      if String.length l > n && String.sub l 0 n = prefix then
+        Some (String.sub l n (String.length l - n))
+      else None)
+    lines
+
+let expect_ok = function
+  | Protocol.Ok toks -> toks
+  | Protocol.Err msg -> Alcotest.fail ("unexpected ERR: " ^ msg)
+  | Protocol.Data _ -> Alcotest.fail "unexpected DATA"
+
+let expect_data = function
+  | Protocol.Data lines -> lines
+  | Protocol.Err msg -> Alcotest.fail ("unexpected ERR: " ^ msg)
+  | Protocol.Ok _ -> Alcotest.fail "unexpected OK"
+
+let stats_value svc key =
+  match stat_of_lines (expect_data (Service.handle svc Protocol.Stats)) key with
+  | Some v -> v
+  | None -> Alcotest.fail ("STATS missing key " ^ key)
+
+let with_xmark_file f =
+  let path = Filename.temp_file "sxsi_service" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Sxsi_datagen.Xmark.generate ~scale:120 ()));
+      f path)
+
+let test_end_to_end () =
+  with_xmark_file (fun path ->
+      let svc = Service.create () in
+      let line l = Service.handle_line svc l in
+      (* LOAD through the protocol *)
+      (match line (Printf.sprintf "LOAD bench %s" path) with
+      | Protocol.Ok ("loaded" :: "bench" :: _) -> ()
+      | r -> Alcotest.fail ("LOAD failed: " ^ Protocol.print_response r));
+      (* the same COUNT twice: second one must hit the compiled cache *)
+      let c1 = expect_ok (line "COUNT bench //listitem//keyword") in
+      let c2 = expect_ok (line "COUNT bench //listitem//keyword") in
+      Alcotest.(check (list string)) "counts agree" c1 c2;
+      Alcotest.(check string) "second request hit the compiled cache" "1"
+        (stats_value svc "compiled_hits");
+      Alcotest.(check string) "first request was the only miss" "1"
+        (stats_value svc "compiled_misses");
+      Alcotest.(check string) "count cache hit too" "1" (stats_value svc "count_hits");
+      (* QUERY returns as many preorder ids as COUNT reported *)
+      let ids = expect_data (line "QUERY bench //listitem//keyword") in
+      Alcotest.(check int) "QUERY cardinality" (int_of_string (List.hd c1))
+        (List.length ids);
+      Alcotest.(check bool) "ids are numeric" true
+        (List.for_all (fun s -> match int_of_string_opt s with Some _ -> true | None -> false) ids);
+      (* MATERIALIZE round-trips through the document serializer *)
+      let xml = expect_data (line "MATERIALIZE bench /site/regions") in
+      Alcotest.(check bool) "materialized XML" true
+        (match xml with l :: _ -> String.length l > 0 && l.[0] = '<' | [] -> false);
+      (* errors are ERR, not exceptions *)
+      (match line "COUNT nosuch //a" with
+      | Protocol.Err _ -> ()
+      | _ -> Alcotest.fail "unknown document must ERR");
+      (match line "COUNT bench //a[" with
+      | Protocol.Err _ -> ()
+      | _ -> Alcotest.fail "bad query must ERR");
+      (match line "NONSENSE" with
+      | Protocol.Err _ -> ()
+      | _ -> Alcotest.fail "bad request must ERR");
+      (* EVICT drops the document and its cached queries *)
+      ignore (expect_ok (line "EVICT bench"));
+      (match line "COUNT bench //listitem//keyword" with
+      | Protocol.Err _ -> ()
+      | _ -> Alcotest.fail "evicted document must ERR");
+      Alcotest.(check string) "registry empty" "0" (stats_value svc "documents");
+      Alcotest.(check string) "compiled cache purged" "0"
+        (stats_value svc "compiled_entries"))
+
+let test_load_reload_invalidates () =
+  (* reloading under the same name must not serve stale cached counts *)
+  let svc = Service.create () in
+  Service.add_document svc "d" (small_doc "a" 10);
+  let n1 = expect_ok (Service.handle_line svc "COUNT d //item") in
+  Alcotest.(check (list string)) "10 items" [ "10" ] n1;
+  Service.add_document svc "d" (small_doc "a" 25);
+  let n2 = expect_ok (Service.handle_line svc "COUNT d //item") in
+  Alcotest.(check (list string)) "25 items after reload" [ "25" ] n2
+
+let test_corrupt_load_is_err () =
+  let path = Filename.temp_file "sxsi_service" ".sxsi" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc "junk");
+      let svc = Service.create () in
+      match Service.handle_line svc (Printf.sprintf "LOAD d %s" path) with
+      | Protocol.Err _ -> ()
+      | _ -> Alcotest.fail "corrupt .sxsi must ERR")
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency: many domains against one service                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_counts () =
+  let svc = Service.create () in
+  Service.add_document svc "d"
+    (Sxsi_xml.Document.of_xml (Sxsi_datagen.Xmark.generate ~scale:120 ()));
+  let queries =
+    [| "//listitem//keyword"; "//keyword"; "/site/regions"; "//item"; "//emph" |]
+  in
+  let expected = Array.map (fun q -> expect_ok (Service.handle_line svc ("COUNT d " ^ q))) queries in
+  let worker i () =
+    let ok = ref true in
+    for r = 0 to 40 do
+      let j = (i + r) mod Array.length queries in
+      let got = Service.handle svc (Protocol.Count { doc = "d"; query = queries.(j) }) in
+      if got <> Protocol.Ok expected.(j) then ok := false
+    done;
+    !ok
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  let all_ok = List.for_all Domain.join domains in
+  Alcotest.(check bool) "all domains saw consistent counts" true all_ok
+
+(* ------------------------------------------------------------------ *)
+(* TCP front end                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_tcp_server () =
+  let svc = Service.create () in
+  Service.add_document svc "d" (small_doc "root" 20);
+  let stop = Atomic.make false in
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Server.serve ~port:0
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stop)
+          svc)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check bool) "server came up" true (Atomic.get port <> 0);
+      let run_session lines =
+        let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Atomic.get port) in
+        let ic, oc = Unix.open_connection addr in
+        Fun.protect
+          ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+          (fun () ->
+            List.map
+              (fun l ->
+                output_string oc (l ^ "\n");
+                flush oc;
+                match
+                  Protocol.read_response (fun () ->
+                      match input_line ic with
+                      | line -> Some line
+                      | exception End_of_file -> None)
+                with
+                | Ok r -> r
+                | Error e -> Alcotest.fail ("client read: " ^ e))
+              lines)
+      in
+      (match run_session [ "COUNT d //item"; "QUIT" ] with
+      | [ Protocol.Ok [ "20" ]; Protocol.Ok [ "bye" ] ] -> ()
+      | rs ->
+        Alcotest.fail
+          ("unexpected responses: "
+          ^ String.concat " | " (List.map Protocol.print_response rs)));
+      (* a second connection shares the warm cache *)
+      (match run_session [ "COUNT d //item"; "STATS"; "QUIT" ] with
+      | [ Protocol.Ok [ "20" ]; Protocol.Data lines; Protocol.Ok [ "bye" ] ] ->
+        Alcotest.(check bool) "cache shared across connections" true
+          (match stat_of_lines lines "compiled_hits" with
+          | Some v -> int_of_string v >= 1
+          | None -> false)
+      | rs ->
+        Alcotest.fail
+          ("unexpected responses: "
+          ^ String.concat " | " (List.map Protocol.print_response rs))))
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "lru basic" `Quick test_lru_basic;
+      Alcotest.test_case "lru replace/remove" `Quick test_lru_replace_and_remove;
+      Alcotest.test_case "lru zero capacity" `Quick test_lru_zero_cap;
+      prop_lru_order;
+      Alcotest.test_case "registry eviction" `Quick test_registry_eviction;
+      Alcotest.test_case "registry reload generation" `Quick
+        test_registry_replace_changes_generation;
+      prop_request_roundtrip;
+      prop_response_roundtrip;
+      prop_response_stream_roundtrip;
+      Alcotest.test_case "request parse errors" `Quick test_parse_request_errors;
+      Alcotest.test_case "end-to-end protocol session" `Quick test_end_to_end;
+      Alcotest.test_case "reload invalidates caches" `Quick test_load_reload_invalidates;
+      Alcotest.test_case "corrupt LOAD is ERR" `Quick test_corrupt_load_is_err;
+      Alcotest.test_case "concurrent counts" `Quick test_concurrent_counts;
+      Alcotest.test_case "tcp server" `Quick test_tcp_server;
+    ] )

@@ -288,6 +288,77 @@ let prop_preorder_global_ids =
       go (Document.root d);
       Array.for_all (fun b -> b) seen)
 
+(* ------------------------------------------------------------------ *)
+(* Index container: save/load round trip and corruption rejection       *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "sxsi_test" ".sxsi" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let queries_of = [ "//*"; "//item"; "//a[contains(., 't')]"; "//*[@k]"; "//text()" ]
+
+let query_results doc =
+  List.map
+    (fun q ->
+      Sxsi_core.Engine.select_preorders (Sxsi_core.Engine.prepare doc q) |> Array.to_list)
+    queries_of
+
+let prop_save_load_roundtrip =
+  qtest ~count:30 "save -> load preserves query results" gen_xml (fun src ->
+      let d = Document.of_xml src in
+      with_temp_file (fun path ->
+          Document.save d path;
+          let d2 = Document.load path in
+          query_results d = query_results d2
+          && Document.node_count d = Document.node_count d2
+          && Document.texts d = Document.texts d2
+          && Document.serialize d (Document.root d)
+             = Document.serialize d2 (Document.root d2)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let load_fails path =
+  match Document.load path with
+  | _ -> false
+  | exception Failure _ -> true
+
+let test_load_rejects_corruption () =
+  let d = fig1 () in
+  with_temp_file (fun path ->
+      Document.save d path;
+      let good = read_file path in
+      (* sanity: the pristine file loads *)
+      Alcotest.(check bool) "pristine loads" true
+        (match Document.load path with _ -> true | exception _ -> false);
+      (* truncated at every interesting boundary *)
+      List.iter
+        (fun k ->
+          write_file path (String.sub good 0 k);
+          Alcotest.(check bool)
+            (Printf.sprintf "truncated to %d bytes rejected" k)
+            true (load_fails path))
+        [ 0; 5; 14; 22; 38; String.length good / 2; String.length good - 1 ];
+      (* one flipped byte in the payload breaks the checksum *)
+      let flipped = Bytes.of_string good in
+      let mid = 38 + ((Bytes.length flipped - 38) / 2) in
+      Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0xff));
+      write_file path (Bytes.to_string flipped);
+      Alcotest.(check bool) "bit flip rejected" true (load_fails path);
+      (* wrong magic / plain garbage *)
+      write_file path ("GARBAGE" ^ good);
+      Alcotest.(check bool) "bad magic rejected" true (load_fails path);
+      write_file path (String.make 4096 '\x42');
+      Alcotest.(check bool) "garbage rejected" true (load_fails path))
+
 let test_utf8 () =
   (* multibyte content passes through byte-transparently; numeric
      references decode to UTF-8 *)
@@ -336,6 +407,8 @@ let suite =
       Alcotest.test_case "empty attribute" `Quick test_attr_without_value;
       Alcotest.test_case "tag_rel recorded" `Quick test_tag_rel_recorded;
       Alcotest.test_case "utf-8" `Quick test_utf8;
+      Alcotest.test_case "load rejects corruption" `Quick test_load_rejects_corruption;
+      prop_save_load_roundtrip;
       prop_roundtrip;
       prop_text_leaf_maps;
       prop_preorder_global_ids;
