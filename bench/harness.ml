@@ -81,6 +81,65 @@ let pp_bytes b =
   else if f >= 1e3 then Printf.sprintf "%.1fKB" (f /. 1e3)
   else Printf.sprintf "%dB" b
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: with --json, every section accumulates its
+   printed tables plus any structured measurements and lands in
+   BENCH_<section>.json next to the human-readable stdout.  The files
+   carry no timestamps or host names so consecutive runs diff cleanly. *)
+
+module J = Sxsi_obs.Json
+
+let json_enabled = ref false
+
+type json_acc = {
+  key : string;
+  mutable tables : J.t list;        (* reversed *)
+  mutable measurements : J.t list;  (* reversed *)
+}
+
+let json_acc : json_acc option ref = ref None
+
+let json_begin key =
+  if !json_enabled then json_acc := Some { key; tables = []; measurements = [] }
+
+let json_table header rows =
+  match !json_acc with
+  | None -> ()
+  | Some acc ->
+    let strings l = J.List (List.map (fun s -> J.String s) l) in
+    acc.tables <-
+      J.Obj [ ("header", strings header); ("rows", J.List (List.map strings rows)) ]
+      :: acc.tables
+
+let measure fields =
+  match !json_acc with
+  | None -> ()
+  | Some acc -> acc.measurements <- J.Obj fields :: acc.measurements
+
+(* Returns the path written, if JSON output is on. *)
+let json_finish ~scale () =
+  match !json_acc with
+  | None -> None
+  | Some acc ->
+    json_acc := None;
+    let path = "BENCH_" ^ acc.key ^ ".json" in
+    let doc =
+      J.Obj
+        [
+          ("schema", J.String "sxsi-bench-v1");
+          ("section", J.String acc.key);
+          ("runs", J.Int !runs);
+          ("scale", J.Float scale);
+          ("tables", J.List (List.rev acc.tables));
+          ("measurements", J.List (List.rev acc.measurements));
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (J.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Some path
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -102,7 +161,8 @@ let table header rows =
   print_row header;
   print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
   List.iter print_row rows;
-  flush stdout
+  flush stdout;
+  json_table header rows
 
 (* Serialization sink: reused buffer, returns total bytes produced. *)
 let sink = Buffer.create 65536

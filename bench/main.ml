@@ -3,9 +3,12 @@
 
    Usage:  dune exec bench/main.exe -- [section ...] [options]
    Sections: fig8 table2 table3 table4 table5 table6 fig10 fig11 fig12
-             fig13 fig15 table7 fig18 bechamel   (default: all except
-             bechamel)
+             fig13 fig15 table7 fig18 streaming service xmark bechamel
+             (default: all except bechamel)
    Options:  --fast (single timed run)  --runs N  --scale F
+             --json (also write BENCH_<section>.json per section)
+             --probe (xmark: keep index probes installed while timing,
+             to measure the instrumentation overhead)
 
    Absolute numbers are machine- and substrate-dependent; the paper's
    reproduction targets are the SHAPES: which engine/strategy wins,
@@ -17,6 +20,7 @@ open Sxsi_core
 open Sxsi_baseline
 open Workloads
 module H = Harness
+module J = Sxsi_obs.Json
 
 let parse_query = Sxsi_xpath.Xpath_parser.parse
 
@@ -587,6 +591,15 @@ let service () =
       (fun domains ->
         let qps_on, hits_on = run ~domains ~cache:true in
         let qps_off, hits_off = run ~domains ~cache:false in
+        H.measure
+          [
+            ("clients", J.Int domains);
+            ("queries", J.Int m);
+            ("qps_cache_on", J.Float qps_on);
+            ("hit_rate_cache_on", J.Float hits_on);
+            ("qps_cache_off", J.Float qps_off);
+            ("hit_rate_cache_off", J.Float hits_off);
+          ];
         [
           string_of_int domains;
           H.pp_rate qps_on;
@@ -600,6 +613,79 @@ let service () =
   H.table
     [ "clients"; "cache on"; "hit rate"; "cache off"; "hit rate"; "cached gain" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* XMark per-query latency with trace-derived phase breakdown           *)
+(* ------------------------------------------------------------------ *)
+
+let probe_flag = ref false
+
+let xmark () =
+  H.section
+    (Printf.sprintf "XMark per-query latency and phase breakdown (X01-X17, probes %s)"
+       (if !probe_flag then "on" else "off"));
+  let c = Lazy.force xmark_small in
+  let doc = Lazy.force c.doc in
+  (* --probe: keep live index probes installed during the timed loops,
+     the worst case for instrumentation overhead (every FM and tag-jump
+     call feeds the counters).  Default: the probes stay disabled, as
+     in production, and the timed loops only pay the atomic-load
+     check. *)
+  if !probe_flag then begin
+    Sxsi_fm.Fm_index.set_probe (Some (Sxsi_fm.Fm_index.create_probe ()));
+    Sxsi_tree.Tag_index.set_probe (Some (Sxsi_tree.Tag_index.create_probe ()))
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      Sxsi_fm.Fm_index.set_probe None;
+      Sxsi_tree.Tag_index.set_probe None)
+    (fun () ->
+      let rows =
+        List.map
+          (fun (id, q) ->
+            let cq = Engine.prepare doc q in
+            let n, t_count = H.time_with_result (fun () -> Engine.count cq) in
+            let t_sel = H.time (fun () -> Engine.select cq) in
+            (* One traced evaluation through the full pipeline (fresh
+               parse + compile) for the phase breakdown. *)
+            let tr = Sxsi_obs.Trace.create ~label:id () in
+            let cq2 = Engine.prepare ~trace:tr doc q in
+            ignore (Engine.select_preorders ~trace:tr cq2);
+            let phase p = Sxsi_obs.Trace.phase_ns tr p in
+            let counter name =
+              match List.assoc_opt name (Sxsi_obs.Trace.counters tr) with
+              | Some v -> v
+              | None -> 0
+            in
+            H.measure
+              [
+                ("id", J.String id);
+                ("query", J.String q);
+                ("results", J.Int n);
+                ("count_ns", J.Int (int_of_float (t_count *. 1e9)));
+                ("select_ns", J.Int (int_of_float (t_sel *. 1e9)));
+                ("probes_during_timing", J.Bool !probe_flag);
+                ("trace", Sxsi_obs.Trace.to_json tr);
+              ];
+            [
+              id;
+              string_of_int n;
+              H.pp_ms t_count;
+              H.pp_ms t_sel;
+              H.pp_ms (float_of_int (phase Sxsi_obs.Trace.Run) /. 1e9);
+              H.pp_ms (float_of_int (phase Sxsi_obs.Trace.Materialize) /. 1e9);
+              string_of_int (counter "visited");
+              string_of_int (counter "tag_jumps");
+              string_of_int (counter "fm_search_calls");
+            ])
+          xmark_queries
+      in
+      H.table
+        [
+          "query"; "results"; "count"; "select"; "run phase"; "mat phase"; "visited";
+          "tag jumps"; "fm searches";
+        ]
+        rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make group per table             *)
@@ -674,6 +760,7 @@ let sections =
     ("fig18", fig18);
     ("streaming", streaming);
     ("service", service);
+    ("xmark", xmark);
     ("bechamel", bechamel);
   ]
 
@@ -691,6 +778,12 @@ let () =
     | "--scale" :: f :: rest ->
       Workloads.scale_factor := float_of_string f;
       parse rest
+    | "--json" :: rest ->
+      H.json_enabled := true;
+      parse rest
+    | "--probe" :: rest ->
+      probe_flag := true;
+      parse rest
     | name :: rest ->
       if List.mem_assoc name sections then selected := name :: !selected
       else begin
@@ -705,6 +798,15 @@ let () =
     | [] -> List.filter (fun (n, _) -> n <> "bechamel") sections
     | l -> List.filter (fun (n, _) -> List.mem n l) sections
   in
+  (* trace/phase timings use the same monotonic clock bechamel does *)
+  Sxsi_obs.Clock.set_source (fun () -> Int64.to_int (Monotonic_clock.now ()));
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ()) to_run;
+  List.iter
+    (fun (name, f) ->
+      H.json_begin name;
+      f ();
+      match H.json_finish ~scale:!Workloads.scale_factor () with
+      | Some path -> Printf.printf "[json] wrote %s\n" path
+      | None -> ())
+    to_run;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -47,17 +47,23 @@ let strategy_arg =
 let show_stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics (visited/marked/jumps)")
 
+let show_trace =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Emit a one-line JSON trace record (phase timings in nanoseconds, engine \
+               and index counters) on stderr")
+
 let load_document ~keep_whitespace file =
   if Filename.check_suffix file ".sxsi" then Document.load file
   else Document.of_xml ~keep_whitespace (read_file file)
 
-let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag k =
+let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag trace_flag k =
   let doc = load_document ~keep_whitespace:(not drop_whitespace) file in
-  let compiled = Engine.prepare doc query in
+  let trace = if trace_flag then Some (Sxsi_obs.Trace.create ~label:query ()) else None in
+  let compiled = Engine.prepare ?trace doc query in
   let stats = Run.fresh_stats () in
   let config = { (Run.default_config ()) with Run.enable_jump = not no_jump; enable_memo = not no_memo; stats } in
   let t0 = Unix.gettimeofday () in
-  k doc compiled config strategy;
+  k doc compiled config strategy trace;
   let dt = Unix.gettimeofday () -. t0 in
   if stats_flag then
     Printf.eprintf
@@ -66,29 +72,32 @@ let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag k
       (match Engine.chosen_strategy ~strategy compiled with
       | `Top_down -> "top-down"
       | `Bottom_up -> "bottom-up")
-      stats.Run.visited stats.Run.marked stats.Run.jumps stats.Run.memo_hits
+      stats.Run.visited stats.Run.marked stats.Run.jumps stats.Run.memo_hits;
+  match trace with
+  | Some tr -> Printf.eprintf "%s\n" (Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json tr))
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run file query dw nj nm strategy st =
-    with_engine file query dw nj nm strategy st (fun _doc c config strategy ->
-        Printf.printf "%d\n" (Engine.count ~config ~strategy c))
+  let run file query dw nj nm strategy st tf =
+    with_engine file query dw nj nm strategy st tf (fun _doc c config strategy trace ->
+        Printf.printf "%d\n" (Engine.count ~config ~strategy ?trace c))
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats)
+          $ show_stats $ show_trace)
 
 let select_cmd =
   let ids =
     Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
   in
-  let run file query dw nj nm strategy st ids =
-    with_engine file query dw nj nm strategy st (fun doc c config strategy ->
-        let nodes = Engine.select ~config ~strategy c in
+  let run file query dw nj nm strategy st tf ids =
+    with_engine file query dw nj nm strategy st tf (fun doc c config strategy trace ->
+        let nodes = Engine.select ~config ~strategy ?trace c in
         if ids then
           Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
         else
@@ -97,7 +106,7 @@ let select_cmd =
   Cmd.v
     (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ ids)
+          $ show_stats $ show_trace $ ids)
 
 let stats_cmd =
   let run file dw =

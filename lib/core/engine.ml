@@ -13,6 +13,11 @@ type compiled = one list   (* a union of absolute paths; never empty *)
 
 type strategy = Auto | Top_down | Bottom_up
 
+module Trace = Sxsi_obs.Trace
+
+let maybe_time trace phase f =
+  match trace with None -> f () | Some tr -> Trace.time tr phase f
+
 let prepare_path doc path =
   [
     {
@@ -23,14 +28,19 @@ let prepare_path doc path =
     };
   ]
 
-let prepare doc src =
-  List.concat_map (prepare_path doc) (Sxsi_xpath.Xpath_parser.parse_union src)
+let prepare ?trace doc src =
+  let paths =
+    maybe_time trace Trace.Parse (fun () -> Sxsi_xpath.Xpath_parser.parse_union src)
+  in
+  List.concat_map (prepare_path doc) paths
 
 let one c = List.hd c
 let automaton c = Lazy.force (one c).auto
 let bottom_up_plan c = (one c).bu
 
-let precompile c = List.iter (fun b -> ignore (Lazy.force b.auto)) c
+let precompile ?trace c =
+  maybe_time trace Trace.Compile (fun () ->
+      List.iter (fun b -> ignore (Lazy.force b.auto)) c)
 
 (* Cheap selectivity estimate for the predicate of a bottom-up plan. *)
 let estimate_matches doc plan =
@@ -107,7 +117,7 @@ let select_one ?config ~funs ~strategy (c : one) =
       pos
     end
 
-let select ?config ?(funs = fun _ -> None) ?(strategy = Auto) c =
+let select_impl ?config ~funs ~strategy c =
   match c with
   | [ single ] -> select_one ?config ~funs ~strategy single
   | branches ->
@@ -117,7 +127,7 @@ let select ?config ?(funs = fun _ -> None) ?(strategy = Auto) c =
       branches
     |> List.sort_uniq compare |> Array.of_list
 
-let count ?config ?(funs = fun _ -> None) ?(strategy = Auto) c =
+let count_impl ?config ~funs ~strategy c =
   match c with
   | [ single ] -> begin
     match chosen_strategy_one ~funs ~strategy single with
@@ -133,14 +143,90 @@ let count ?config ?(funs = fun _ -> None) ?(strategy = Auto) c =
       else
         Run.run ?config ~funs (Run.count_sem (Document.tag_index single.doc)) auto
   end
-  | branches -> Array.length (select ?config ~funs ~strategy branches)
+  | branches -> Array.length (select_impl ?config ~funs ~strategy branches)
 
-let select_preorders ?config ?funs ?strategy c =
-  Array.map (Document.preorder (one c).doc) (select ?config ?funs ?strategy c)
+(* Install fresh FM/tag probes for the duration of a traced evaluation
+   and fold their readings into the trace: call/step counts become
+   trace counters, the locate/extract wall time becomes the [Fm_locate]
+   and [Fm_extract] sub-phases.  The previous probes are restored on
+   exit; attribution is approximate when other domains evaluate
+   concurrently (they feed whichever probe is installed). *)
+let with_probes tr f =
+  let open Sxsi_fm.Fm_index in
+  let fm_prev = current_probe () in
+  let tag_prev = Tag_index.current_probe () in
+  let fm = create_probe () in
+  let tag = Tag_index.create_probe () in
+  set_probe (Some fm);
+  Tag_index.set_probe (Some tag);
+  Fun.protect
+    ~finally:(fun () ->
+      set_probe fm_prev;
+      Tag_index.set_probe tag_prev;
+      let get = Sxsi_obs.Counter.get in
+      Trace.add_counter tr "fm_search_calls" (get fm.search_calls);
+      Trace.add_counter tr "fm_search_steps" (get fm.search_steps);
+      Trace.add_counter tr "fm_locate_calls" (get fm.locate_calls);
+      Trace.add_counter tr "fm_locate_steps" (get fm.locate_steps);
+      Trace.add_counter tr "fm_extract_calls" (get fm.extract_calls);
+      Trace.add_counter tr "tag_jumps" (get tag.Tag_index.jump_calls);
+      Trace.add_counter tr "tag_reads" (get tag.Tag_index.tag_reads);
+      Trace.add_ns tr Trace.Fm_locate (get fm.locate_ns);
+      Trace.add_ns tr Trace.Fm_extract (get fm.extract_ns))
+    f
 
-let serialize_to ?config ?funs ?strategy buf c =
-  let nodes = select ?config ?funs ?strategy c in
-  Array.iter
-    (fun x -> Buffer.add_string buf (Document.serialize (one c).doc x))
-    nodes;
+(* Time the [Run] phase of a traced evaluation and publish the run
+   statistics (as deltas, so a reused caller-supplied config still
+   reports this query alone). *)
+let eval_traced trace config f =
+  match trace with
+  | None -> f config
+  | Some tr ->
+    let config = match config with Some c -> c | None -> Run.default_config () in
+    let before = Run.copy_stats config.Run.stats in
+    let result = with_probes tr (fun () -> Trace.time tr Trace.Run (fun () -> f (Some config))) in
+    List.iter2
+      (fun (k, a) (_, b) -> Trace.add_counter tr k (a - b))
+      (Run.stats_assoc config.Run.stats)
+      (Run.stats_assoc before);
+    result
+
+let finish_trace ~funs ~strategy trace c nresults =
+  match trace with
+  | None -> ()
+  | Some tr ->
+    Trace.set_counter tr "results" nresults;
+    (match c with
+    | [ single ] ->
+      let bu =
+        match chosen_strategy_one ~funs ~strategy single with
+        | `Bottom_up -> 1
+        | `Top_down -> 0
+      in
+      Trace.set_counter tr "bottom_up" bu
+    | _ -> ())
+
+let select ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =
+  if Option.is_some trace then precompile ?trace c;
+  let nodes = eval_traced trace config (fun config -> select_impl ?config ~funs ~strategy c) in
+  finish_trace ~funs ~strategy trace c (Array.length nodes);
+  nodes
+
+let count ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =
+  if Option.is_some trace then precompile ?trace c;
+  let n = eval_traced trace config (fun config -> count_impl ?config ~funs ~strategy c) in
+  finish_trace ~funs ~strategy trace c n;
+  n
+
+let select_preorders ?config ?funs ?strategy ?trace c =
+  let nodes = select ?config ?funs ?strategy ?trace c in
+  maybe_time trace Trace.Materialize (fun () ->
+      Array.map (Document.preorder (one c).doc) nodes)
+
+let serialize_to ?config ?funs ?strategy ?trace buf c =
+  let nodes = select ?config ?funs ?strategy ?trace c in
+  maybe_time trace Trace.Materialize (fun () ->
+      Array.iter
+        (fun x -> Buffer.add_string buf (Document.serialize (one c).doc x))
+        nodes);
   Array.length nodes

@@ -10,18 +10,21 @@ type compiled
 
 type strategy = Auto | Top_down | Bottom_up
 
-val prepare : Sxsi_xml.Document.t -> string -> compiled
-(** Parse and compile a Core+ query against a document.
+val prepare : ?trace:Sxsi_obs.Trace.t -> Sxsi_xml.Document.t -> string -> compiled
+(** Parse and compile a Core+ query against a document.  With [trace],
+    parsing time is recorded in its [Parse] phase.
     @raise Sxsi_xpath.Xpath_parser.Parse_error on syntax errors.
     @raise Sxsi_auto.Compile.Unsupported on unsupported constructs. *)
 
 val prepare_path : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> compiled
 
-val precompile : compiled -> unit
+val precompile : ?trace:Sxsi_obs.Trace.t -> compiled -> unit
 (** Force the automaton of every union branch now.  Compilation is
     otherwise lazy and not safe to trigger from several domains at
     once; a compiled value shared across domains (the service layer's
-    query cache) must be precompiled first. *)
+    query cache) must be precompiled first.  With [trace], the forcing
+    time lands in the [Compile] phase (near zero when already
+    forced). *)
 
 val automaton : compiled -> Sxsi_auto.Automaton.t
 val bottom_up_plan : compiled -> Bottom_up.plan option
@@ -32,21 +35,39 @@ val chosen_strategy :
     bottom-up-shaped query runs bottom-up when the text predicate
     selects fewer texts than the rarest step tag occurs. *)
 
+(** {1 Evaluation}
+
+    Every entry point takes an optional [trace].  When present, the
+    evaluation is instrumented: any pending compilation is forced under
+    the [Compile] phase, the evaluation itself is timed as [Run]
+    (materialization steps as [Materialize]), fresh FM-index and
+    tag-index probes are installed for the duration of the call, and
+    the trace gains the counters [visited], [marked], [jumps],
+    [memo_hits] (run statistics, reported as deltas even for a reused
+    [config]), [fm_search_calls], [fm_search_steps], [fm_locate_calls],
+    [fm_locate_steps], [fm_extract_calls], [tag_jumps], [tag_reads]
+    (probe readings), [results], and — for single-branch queries —
+    [bottom_up] (1 when the bottom-up strategy ran).  Probe readings
+    are approximate when other domains evaluate concurrently.  Without
+    [trace] the only cost left in the hot paths is a disabled probe
+    check: one atomic load and branch per FM or tag-jump call. *)
+
 val count :
-  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy -> compiled -> int
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
+  ?trace:Sxsi_obs.Trace.t -> compiled -> int
 
 val select :
-  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy -> compiled ->
-  int array
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
+  ?trace:Sxsi_obs.Trace.t -> compiled -> int array
 (** Selected node positions in document order. *)
 
 val select_preorders :
-  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy -> compiled ->
-  int array
+  ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
+  ?trace:Sxsi_obs.Trace.t -> compiled -> int array
 (** Global identifiers (preorders) of the selected nodes. *)
 
 val serialize_to :
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
-  Buffer.t -> compiled -> int
+  ?trace:Sxsi_obs.Trace.t -> Buffer.t -> compiled -> int
 (** Materialize and serialize every result into the buffer; returns the
     number of results. *)

@@ -11,6 +11,17 @@ type stats = {
 
 let fresh_stats () = { visited = 0; marked = 0; jumps = 0; memo_hits = 0 }
 
+let copy_stats s =
+  { visited = s.visited; marked = s.marked; jumps = s.jumps; memo_hits = s.memo_hits }
+
+let stats_assoc s =
+  [
+    ("visited", s.visited);
+    ("marked", s.marked);
+    ("jumps", s.jumps);
+    ("memo_hits", s.memo_hits);
+  ]
+
 type config = {
   enable_jump : bool;
   enable_memo : bool;

@@ -24,6 +24,13 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+val copy_stats : stats -> stats
+(** A snapshot, so a caller can diff counters across a run. *)
+
+val stats_assoc : stats -> (string * int) list
+(** Stable [(name, value)] view ([visited], [marked], [jumps],
+    [memo_hits]) for traces and reports. *)
+
 type config = {
   enable_jump : bool;   (* §5.4.1 jumping and §5.5.4 range collection *)
   enable_memo : bool;   (* §5.5.2 caching of the transition analysis *)

@@ -1,5 +1,39 @@
 open Sxsi_bits
 
+(* ------------------------------------------------------------------ *)
+(* Profiling probe: a handful of atomic counters, installed globally.  *)
+(* The disabled path costs one atomic load and branch per public call  *)
+(* (never per backward-search or locate step), so it can stay in the   *)
+(* hot functions permanently.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type probe = {
+  search_calls : Sxsi_obs.Counter.t;
+  search_steps : Sxsi_obs.Counter.t;
+  locate_calls : Sxsi_obs.Counter.t;
+  locate_steps : Sxsi_obs.Counter.t;
+  locate_ns : Sxsi_obs.Counter.t;
+  extract_calls : Sxsi_obs.Counter.t;
+  extract_ns : Sxsi_obs.Counter.t;
+}
+
+let create_probe () =
+  let c = Sxsi_obs.Counter.create in
+  {
+    search_calls = c ();
+    search_steps = c ();
+    locate_calls = c ();
+    locate_steps = c ();
+    locate_ns = c ();
+    extract_calls = c ();
+    extract_ns = c ();
+  }
+
+let active_probe : probe option Atomic.t = Atomic.make None
+
+let set_probe p = Atomic.set active_probe p
+let current_probe () = Atomic.get active_probe
+
 type t = {
   bwt : Wavelet.t;                (* BWT of T, '\000' for end-markers *)
   c : int array;                  (* c.(b) = symbols of T smaller than byte b *)
@@ -115,6 +149,11 @@ let search_within t p sp0 ep0 =
        if !ep <= !sp then raise Exit
      done
    with Exit -> ());
+  (match Atomic.get active_probe with
+  | None -> ()
+  | Some pr ->
+    Sxsi_obs.Counter.incr pr.search_calls;
+    Sxsi_obs.Counter.add pr.search_steps (String.length p));
   if !ep <= !sp then (0, 0) else (!sp, !ep)
 
 let search t p = search_within t p 0 t.n
@@ -203,6 +242,8 @@ let pos_to_text t pos =
   (id, pos - Sparse.get t.starts id)
 
 let locate t row0 =
+  let probe = Atomic.get active_probe in
+  let t0 = match probe with None -> 0 | Some _ -> Sxsi_obs.Clock.now_ns () in
   let row = ref row0 and steps = ref 0 and res = ref (-1) in
   while !res < 0 do
     if Bitvec.get t.sampled !row then
@@ -218,10 +259,18 @@ let locate t row0 =
       end
     end
   done;
+  (match probe with
+  | None -> ()
+  | Some pr ->
+    Sxsi_obs.Counter.incr pr.locate_calls;
+    Sxsi_obs.Counter.add pr.locate_steps !steps;
+    Sxsi_obs.Counter.add pr.locate_ns (Sxsi_obs.Clock.now_ns () - t0));
   !res
 
 let extract t i =
   if i < 0 || i >= t.d then invalid_arg "Fm_index.extract";
+  let probe = Atomic.get active_probe in
+  let t0 = match probe with None -> 0 | Some _ -> Sxsi_obs.Clock.now_ns () in
   let buf = Buffer.create 16 in
   (* Row i starts with the terminator of text i; its BWT symbol is the
      last character of text i.  Walk LF back to the text start. *)
@@ -236,6 +285,11 @@ let extract t i =
     end
   done;
   let s = Buffer.contents buf in
+  (match probe with
+  | None -> ()
+  | Some pr ->
+    Sxsi_obs.Counter.incr pr.extract_calls;
+    Sxsi_obs.Counter.add pr.extract_ns (Sxsi_obs.Clock.now_ns () - t0));
   String.init (String.length s) (fun k -> s.[String.length s - 1 - k])
 
 let space_bits t =

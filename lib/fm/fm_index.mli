@@ -109,3 +109,32 @@ val extract : t -> int -> string
 (** Recover the content of a text from the index alone. *)
 
 val space_bits : t -> int
+
+(** {1 Profiling probe}
+
+    A process-global set of counters fed by the hot operations when
+    installed.  The disabled path costs one atomic load and branch per
+    public call (never per search or locate step), so production
+    queries pay a few nanoseconds at most.  Counts are attributed to
+    whichever probe is installed when a call finishes, so concurrent
+    evaluations sharing the global slot see approximate per-query
+    attribution. *)
+
+type probe = {
+  search_calls : Sxsi_obs.Counter.t;  (** backward-search invocations *)
+  search_steps : Sxsi_obs.Counter.t;  (** pattern characters consumed *)
+  locate_calls : Sxsi_obs.Counter.t;  (** [locate] invocations *)
+  locate_steps : Sxsi_obs.Counter.t;  (** LF steps walked to a sample *)
+  locate_ns : Sxsi_obs.Counter.t;     (** wall time inside [locate] *)
+  extract_calls : Sxsi_obs.Counter.t; (** [extract] invocations *)
+  extract_ns : Sxsi_obs.Counter.t;    (** wall time inside [extract] *)
+}
+
+val create_probe : unit -> probe
+(** A probe with all counters at zero. *)
+
+val set_probe : probe option -> unit
+(** Install (or with [None] remove) the process-global probe. *)
+
+val current_probe : unit -> probe option
+(** The probe currently installed, if any. *)

@@ -1,0 +1,7 @@
+let default () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let source = ref default
+
+let now_ns () = !source ()
+
+let set_source f = source := f

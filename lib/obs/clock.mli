@@ -1,0 +1,17 @@
+(** Nanosecond timestamps for phase timing.
+
+    The default source derives timestamps from [Unix.gettimeofday],
+    which is precise enough for the millisecond-scale phases the
+    tracer measures but is not guaranteed monotonic across NTP steps.
+    A process that links a true monotonic clock (the benchmark harness
+    links bechamel's) can install it once at startup with
+    {!set_source}; every consumer of {!now_ns} picks it up. *)
+
+val now_ns : unit -> int
+(** Current timestamp in nanoseconds.  Only differences of two
+    [now_ns] readings are meaningful; the epoch is unspecified. *)
+
+val set_source : (unit -> int) -> unit
+(** Replace the timestamp source.  Call once, before any timers start:
+    mixing readings of two sources in one measurement yields garbage
+    deltas. *)

@@ -1,0 +1,23 @@
+(** Monotonic event counters.
+
+    Counters are atomic, so probe sites in the index hot paths (FM
+    locate steps, tagged jumps) can increment them from any domain
+    without taking a lock; reads are linearizable snapshots. *)
+
+type t
+
+val create : unit -> t
+(** A fresh counter at zero. *)
+
+val incr : t -> unit
+(** Add one. *)
+
+val add : t -> int -> unit
+(** Add an arbitrary (non-negative, by convention) delta. *)
+
+val get : t -> int
+(** Current value. *)
+
+val reset : t -> unit
+(** Set back to zero (tests and benchmark warm-up only; production
+    consumers treat counters as monotonic and diff readings). *)

@@ -1,0 +1,72 @@
+type metric =
+  | M_counter of Counter.t
+  | M_histogram of float * Histogram.t    (* scale, histogram *)
+  | M_fn of string * (unit -> float)      (* rendered TYPE, callback *)
+
+type entry = { name : string; help : string; metric : metric }
+
+type t = { mutable entries : entry list (* reversed *) }
+
+let create () = { entries = [] }
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let register t ~help ~name metric =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Exposition: invalid metric name %S" name);
+  if List.exists (fun e -> e.name = name) t.entries then
+    invalid_arg (Printf.sprintf "Exposition: duplicate metric %S" name);
+  t.entries <- { name; help; metric } :: t.entries
+
+let register_counter t ~help ~name c = register t ~help ~name (M_counter c)
+
+let register_histogram t ~help ?(scale = 1.0) ~name h =
+  register t ~help ~name (M_histogram (scale, h))
+
+let register_gauge t ~help ~name f = register t ~help ~name (M_fn ("gauge", f))
+
+let register_callback_counter t ~help ~name f = register t ~help ~name (M_fn ("counter", f))
+
+(* Prometheus floats: decimal or scientific notation; "%.17g" is exact
+   but noisy, so use the shortest round-tripping form. *)
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else begin
+    let short = Printf.sprintf "%g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+  end
+
+let escape_help s =
+  String.concat "\\n" (String.split_on_char '\n' (String.concat "\\\\" (String.split_on_char '\\' s)))
+
+let render_entry buf e =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let typ =
+    match e.metric with
+    | M_counter _ -> "counter"
+    | M_histogram _ -> "histogram"
+    | M_fn (typ, _) -> typ
+  in
+  line "# HELP %s %s" e.name (escape_help e.help);
+  line "# TYPE %s %s" e.name typ;
+  match e.metric with
+  | M_counter c -> line "%s %d" e.name (Counter.get c)
+  | M_fn (_, f) -> line "%s %s" e.name (number (f ()))
+  | M_histogram (scale, h) ->
+    List.iter
+      (fun (ub, cum) ->
+        line "%s_bucket{le=\"%s\"} %d" e.name (number (float_of_int ub *. scale)) cum)
+      (Histogram.cumulative h);
+    line "%s_bucket{le=\"+Inf\"} %d" e.name (Histogram.count h);
+    line "%s_sum %s" e.name (number (float_of_int (Histogram.sum h) *. scale));
+    line "%s_count %d" e.name (Histogram.count h)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  List.iter (render_entry buf) (List.rev t.entries);
+  Buffer.contents buf

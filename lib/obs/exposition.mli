@@ -1,0 +1,35 @@
+(** A registry of named metrics rendered in the Prometheus text
+    exposition format (version 0.0.4) — what the service's [METRICS]
+    request returns.
+
+    Metric names must match [[a-zA-Z_:][a-zA-Z0-9_:]*]; registration
+    rejects anything else, and duplicate names, with
+    [Invalid_argument].  Rendering walks the metrics in registration
+    order; gauge callbacks run at render time, so derived sizes
+    (documents registered, cache entries) are read fresh on every
+    scrape.  The registry itself is not synchronized — the service
+    registers at startup and renders under its lock. *)
+
+type t
+
+val create : unit -> t
+
+val register_counter : t -> help:string -> name:string -> Counter.t -> unit
+(** Expose a counter as metric [name] (conventionally suffixed
+    [_total]). *)
+
+val register_histogram : t -> help:string -> ?scale:float -> name:string -> Histogram.t -> unit
+(** Expose a histogram.  [scale] (default [1.0]) multiplies every
+    rendered value — pass [1e-9] to expose nanosecond recordings in
+    seconds, the Prometheus base unit. *)
+
+val register_gauge : t -> help:string -> name:string -> (unit -> float) -> unit
+(** Expose a value computed at render time as a gauge. *)
+
+val register_callback_counter : t -> help:string -> name:string -> (unit -> float) -> unit
+(** Like {!register_gauge} but typed [counter]: for values that are
+    monotonic but owned elsewhere (the registry's eviction count). *)
+
+val render : t -> string
+(** The full exposition: [# HELP]/[# TYPE] comments and one sample
+    line per value, ['\n']-separated with a trailing newline. *)

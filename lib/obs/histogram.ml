@@ -1,0 +1,118 @@
+let buckets = 63
+
+type t = {
+  counts : int array;           (* counts.(i): observations in bucket i *)
+  mutable total : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; total = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let bucket_index v =
+  if v < 2 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr i
+    done;
+    !i
+  end
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_index v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.total
+let sum t = t.sum
+let min_value t = if t.total = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+(* lower (inclusive) and upper (exclusive) bound of a bucket *)
+let lower i = if i = 0 then 0 else 1 lsl i
+let upper i = 1 lsl (i + 1)
+
+let quantile t q =
+  if t.total = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int t.total in
+    if rank <= 0.0 then float_of_int (min_value t)
+    else begin
+      let i = ref 0 and cum = ref 0 in
+      while
+        !i < buckets - 1 && float_of_int (!cum + t.counts.(!i)) < rank
+      do
+        cum := !cum + t.counts.(!i);
+        incr i
+      done;
+      let in_bucket = t.counts.(!i) in
+      let est =
+        if in_bucket = 0 then float_of_int (lower !i)
+        else begin
+          let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+          let lo = float_of_int (lower !i) and hi = float_of_int (upper !i) in
+          lo +. (frac *. (hi -. lo))
+        end
+      in
+      Float.min (Float.max est (float_of_int (min_value t))) (float_of_int t.max_v)
+    end
+  end
+
+let merge a b =
+  let m = create () in
+  for i = 0 to buckets - 1 do
+    m.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  m.total <- a.total + b.total;
+  m.sum <- a.sum + b.sum;
+  m.min_v <- min a.min_v b.min_v;
+  m.max_v <- max a.max_v b.max_v;
+  m
+
+let equal a b =
+  a.total = b.total && a.sum = b.sum
+  && min_value a = min_value b
+  && a.max_v = b.max_v
+  && a.counts = b.counts
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let bucket_count t i = t.counts.(i)
+
+let cumulative t =
+  let last = ref (-1) in
+  for i = 0 to buckets - 1 do
+    if t.counts.(i) > 0 then last := i
+  done;
+  let acc = ref 0 in
+  List.init (!last + 1) (fun i ->
+      acc := !acc + t.counts.(i);
+      (upper i, !acc))
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.total);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int t.max_v);
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Float (quantile t 0.50));
+      ("p90", Json.Float (quantile t 0.90));
+      ("p95", Json.Float (quantile t 0.95));
+      ("p99", Json.Float (quantile t 0.99));
+    ]

@@ -1,0 +1,68 @@
+(** Log-bucketed latency histograms.
+
+    Values (nanoseconds, by convention) land in power-of-two buckets:
+    bucket [0] covers [0, 2) and bucket [i >= 1] covers
+    [2{^i}, 2{^i+1}).  63 buckets cover every non-negative OCaml
+    [int], so recording never saturates; negative values clamp to 0.
+    Quantiles are estimated by linear interpolation inside the bucket
+    holding the requested rank, clamped to the exact observed
+    minimum/maximum, which bounds the relative error by the bucket
+    width (a factor of 2) and keeps estimates monotone in the
+    requested rank: [quantile h p <= quantile h q] whenever [p <= q].
+
+    Recording is a few array operations and is not synchronized —
+    callers that share a histogram across domains must serialize
+    access (the service records under its lock). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one observation. *)
+
+val count : t -> int
+(** Number of observations. *)
+
+val sum : t -> int
+(** Sum of all observations (exact, not bucket-approximated). *)
+
+val min_value : t -> int
+(** Smallest observation; [0] when empty. *)
+
+val max_value : t -> int
+(** Largest observation; [0] when empty. *)
+
+val mean : t -> float
+(** [sum / count]; [0.] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]: the estimated value below which
+    a [q] fraction of observations fall.  [0.] when empty. *)
+
+val merge : t -> t -> t
+(** Pointwise sum, as a fresh histogram.  Associative and commutative
+    up to {!equal}; neither argument is mutated. *)
+
+val equal : t -> t -> bool
+(** Same observation count, sum, extrema and per-bucket counts. *)
+
+val reset : t -> unit
+(** Forget every observation. *)
+
+val bucket_index : int -> int
+(** The bucket a value lands in (pure; exposed for tests and for
+    rendering bucket boundaries). *)
+
+val bucket_count : t -> int -> int
+(** Observations in one bucket. *)
+
+val cumulative : t -> (int * int) list
+(** [(upper_bound_exclusive, observations_at_or_below)] for every
+    bucket up to and including the last non-empty one, cumulative in
+    bucket order — the shape a Prometheus histogram exposition
+    needs. *)
+
+val to_json : t -> Json.t
+(** Object with [count], [sum], [min], [max], [mean], [p50], [p90],
+    [p95], [p99] (floats in the recorded unit). *)

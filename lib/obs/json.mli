@@ -1,0 +1,32 @@
+(** A minimal JSON tree, emitter and parser — just enough for trace
+    records and machine-readable benchmark output, with no external
+    dependency.
+
+    The emitter produces compact, single-line, standard-conforming
+    JSON (strings are escaped, non-finite floats degrade to [null]).
+    The parser accepts standard JSON with arbitrary whitespace; it
+    exists so tests can assert "this output parses" and so tooling can
+    read [BENCH_*.json] files back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering.  Object members keep their given
+    order.  [Float] values that are not finite render as [null]
+    (JSON has no spelling for them). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an
+    error.  Numbers without [.], [e] or [E] become [Int], all others
+    [Float].  The error string names the failing byte offset. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value of key [k] when [j] is an [Obj]
+    containing it. *)

@@ -1,0 +1,82 @@
+type phase = Parse | Compile | Run | Materialize | Fm_locate | Fm_extract
+
+let all_phases = [ Parse; Compile; Run; Materialize; Fm_locate; Fm_extract ]
+
+let phase_index = function
+  | Parse -> 0
+  | Compile -> 1
+  | Run -> 2
+  | Materialize -> 3
+  | Fm_locate -> 4
+  | Fm_extract -> 5
+
+let phase_label = function
+  | Parse -> "parse"
+  | Compile -> "compile"
+  | Run -> "run"
+  | Materialize -> "materialize"
+  | Fm_locate -> "fm_locate"
+  | Fm_extract -> "fm_extract"
+
+type t = {
+  tlabel : string;
+  phases : int array;                     (* ns per phase *)
+  values : (string, int) Hashtbl.t;
+  mutable order : string list;            (* counter names, reversed *)
+}
+
+let create ?(label = "") () =
+  { tlabel = label; phases = Array.make 6 0; values = Hashtbl.create 8; order = [] }
+
+let label t = t.tlabel
+
+let add_ns t p ns = if ns > 0 then t.phases.(phase_index p) <- t.phases.(phase_index p) + ns
+
+let time t p f =
+  let t0 = Clock.now_ns () in
+  Fun.protect ~finally:(fun () -> add_ns t p (Clock.now_ns () - t0)) f
+
+let phase_ns t p = t.phases.(phase_index p)
+
+let total_ns t = t.phases.(0) + t.phases.(1) + t.phases.(2) + t.phases.(3)
+
+let set_counter t name v =
+  if not (Hashtbl.mem t.values name) then t.order <- name :: t.order;
+  Hashtbl.replace t.values name v
+
+let add_counter t name d =
+  match Hashtbl.find_opt t.values name with
+  | Some v -> Hashtbl.replace t.values name (v + d)
+  | None ->
+    t.order <- name :: t.order;
+    Hashtbl.add t.values name d
+
+let counters t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.values name)) t.order
+
+let to_json t =
+  Json.Obj
+    [
+      ("label", Json.String t.tlabel);
+      ("total_ns", Json.Int (total_ns t));
+      ( "phases",
+        Json.Obj
+          (List.map (fun p -> (phase_label p, Json.Int (phase_ns t p))) all_phases) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+    ]
+
+let to_text t =
+  let buf = Buffer.create 128 in
+  if t.tlabel <> "" then Buffer.add_string buf (t.tlabel ^ ": ");
+  Buffer.add_string buf (Printf.sprintf "total %.3fms" (float_of_int (total_ns t) /. 1e6));
+  List.iter
+    (fun p ->
+      let ns = phase_ns t p in
+      if ns > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  %s %.3fms" (phase_label p) (float_of_int ns /. 1e6)))
+    all_phases;
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s=%d" k v))
+    (counters t);
+  Buffer.contents buf

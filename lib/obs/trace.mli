@@ -1,0 +1,64 @@
+(** Per-query trace records: where one evaluation spent its time.
+
+    A trace accumulates nanoseconds into a fixed set of {!phase}s —
+    the pipeline stages of the paper's evaluation section — plus named
+    counters (nodes visited, FM locate steps, cache hits...).  Phases
+    are not required to partition wall-clock time: [Fm_locate] and
+    [Fm_extract] happen {e inside} the [Run] and [Materialize] phases
+    and are reported separately to show where those phases went.
+
+    A trace is mutated by one evaluation at a time; it is not
+    synchronized. *)
+
+type phase =
+  | Parse         (** XPath text to AST *)
+  | Compile       (** AST to tree automaton *)
+  | Run           (** automaton evaluation over the index *)
+  | Materialize   (** marks to nodes, serialization *)
+  | Fm_locate     (** FM-index locate calls (inside [Run]) *)
+  | Fm_extract    (** FM-index text extraction (inside [Run]/[Materialize]) *)
+
+val all_phases : phase list
+(** In pipeline order. *)
+
+val phase_label : phase -> string
+(** Lower-case stable name ([Parse] is ["parse"], etc.), used as JSON
+    key and in the text rendering. *)
+
+type t
+
+val create : ?label:string -> unit -> t
+(** A fresh trace; [label] (default [""]) typically names the query. *)
+
+val label : t -> string
+
+val time : t -> phase -> (unit -> 'a) -> 'a
+(** Run a thunk and add its elapsed time to a phase (added even when
+    the thunk raises). *)
+
+val add_ns : t -> phase -> int -> unit
+(** Add externally measured nanoseconds to a phase. *)
+
+val phase_ns : t -> phase -> int
+
+val total_ns : t -> int
+(** Sum of [Parse], [Compile], [Run] and [Materialize] — the
+    contained FM phases are excluded so the total is not
+    double-counted. *)
+
+val set_counter : t -> string -> int -> unit
+(** Set a named counter (replacing any previous value). *)
+
+val add_counter : t -> string -> int -> unit
+(** Add to a named counter, creating it at the delta if absent. *)
+
+val counters : t -> (string * int) list
+(** Counters in first-set order. *)
+
+val to_json : t -> Json.t
+(** Object with [label], [total_ns], [phases] (every phase, even when
+    zero) and [counters]. *)
+
+val to_text : t -> string
+(** One-line human rendering: non-zero phases in milliseconds, then
+    counters. *)

@@ -11,7 +11,10 @@ val create : cap:int -> ('k, 'v) t
     ([add] is a no-op, [find] always misses). *)
 
 val capacity : ('k, 'v) t -> int
+(** The [cap] the cache was created with. *)
+
 val length : ('k, 'v) t -> int
+(** Number of entries currently cached. *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
 (** Lookup, promoting the entry to most-recently-used on a hit. *)
@@ -21,6 +24,7 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
     least-recently-used entries while over capacity. *)
 
 val remove : ('k, 'v) t -> 'k -> unit
+(** Drop one entry if present (does not count as eviction). *)
 
 val clear : ('k, 'v) t -> unit
 (** Drop every entry (does not count as eviction). *)

@@ -1,34 +1,42 @@
+open Sxsi_obs
+
 type t = {
-  mutable requests : int;
-  mutable errors : int;
-  mutable compiled_hits : int;
-  mutable compiled_misses : int;
-  mutable count_hits : int;
-  mutable count_misses : int;
-  mutable doc_evictions : int;
-  mutable latency : float;
+  requests : Counter.t;
+  errors : Counter.t;
+  compiled_hits : Counter.t;
+  compiled_misses : Counter.t;
+  count_hits : Counter.t;
+  count_misses : Counter.t;
+  latency : Histogram.t;
 }
 
 let create () =
   {
-    requests = 0;
-    errors = 0;
-    compiled_hits = 0;
-    compiled_misses = 0;
-    count_hits = 0;
-    count_misses = 0;
-    doc_evictions = 0;
-    latency = 0.0;
+    requests = Counter.create ();
+    errors = Counter.create ();
+    compiled_hits = Counter.create ();
+    compiled_misses = Counter.create ();
+    count_hits = Counter.create ();
+    count_misses = Counter.create ();
+    latency = Histogram.create ();
   }
 
-let to_assoc t =
+let record_latency t ns = Histogram.record t.latency ns
+
+let ms ns = float_of_int ns /. 1e6
+
+let to_assoc t ~doc_evictions =
+  let q p = Printf.sprintf "%.3f" (Histogram.quantile t.latency p /. 1e6) in
   [
-    ("requests", string_of_int t.requests);
-    ("errors", string_of_int t.errors);
-    ("compiled_hits", string_of_int t.compiled_hits);
-    ("compiled_misses", string_of_int t.compiled_misses);
-    ("count_hits", string_of_int t.count_hits);
-    ("count_misses", string_of_int t.count_misses);
-    ("doc_evictions", string_of_int t.doc_evictions);
-    ("latency_ms_total", Printf.sprintf "%.3f" (t.latency *. 1000.0));
+    ("requests", string_of_int (Counter.get t.requests));
+    ("errors", string_of_int (Counter.get t.errors));
+    ("compiled_hits", string_of_int (Counter.get t.compiled_hits));
+    ("compiled_misses", string_of_int (Counter.get t.compiled_misses));
+    ("count_hits", string_of_int (Counter.get t.count_hits));
+    ("count_misses", string_of_int (Counter.get t.count_misses));
+    ("doc_evictions", string_of_int doc_evictions);
+    ("latency_ms_total", Printf.sprintf "%.3f" (ms (Histogram.sum t.latency)));
+    ("latency_p50_ms", q 0.5);
+    ("latency_p95_ms", q 0.95);
+    ("latency_p99_ms", q 0.99);
   ]

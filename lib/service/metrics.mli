@@ -1,18 +1,33 @@
-(** Per-service monotonic counters, reported by the [STATS] request.
-    Mutated only under the service lock. *)
+(** Per-service monotonic counters and the request-latency histogram,
+    reported by the [STATS] and [METRICS] requests.
+
+    Counters are atomic and safe to bump from any domain; the latency
+    {!Sxsi_obs.Histogram.t} is not synchronized and must only be
+    touched under the service lock.  Latency is recorded in integer
+    nanoseconds, so the cumulative total no longer loses precision the
+    way summing small [float] seconds did. *)
 
 type t = {
-  mutable requests : int;         (* requests handled, including errors *)
-  mutable errors : int;           (* requests answered with ERR *)
-  mutable compiled_hits : int;    (* compiled-query cache hits *)
-  mutable compiled_misses : int;
-  mutable count_hits : int;       (* result-count cache hits *)
-  mutable count_misses : int;
-  mutable doc_evictions : int;    (* documents dropped by byte pressure *)
-  mutable latency : float;        (* cumulative request latency, seconds *)
+  requests : Sxsi_obs.Counter.t;        (** requests handled, including errors *)
+  errors : Sxsi_obs.Counter.t;          (** requests answered with ERR *)
+  compiled_hits : Sxsi_obs.Counter.t;   (** compiled-query cache hits *)
+  compiled_misses : Sxsi_obs.Counter.t;
+  count_hits : Sxsi_obs.Counter.t;      (** result-count cache hits *)
+  count_misses : Sxsi_obs.Counter.t;
+  latency : Sxsi_obs.Histogram.t;       (** per-request latency, nanoseconds *)
 }
 
 val create : unit -> t
+(** All counters at zero, empty histogram. *)
 
-val to_assoc : t -> (string * string) list
-(** Stable key/value rendering for the [STATS] response. *)
+val record_latency : t -> int -> unit
+(** Record one request's latency in nanoseconds (caller holds the
+    service lock). *)
+
+val to_assoc : t -> doc_evictions:int -> (string * string) list
+(** Stable key/value rendering for the [STATS] response.  The key set
+    of the pre-histogram implementation is preserved ([requests],
+    [errors], [compiled_hits], [compiled_misses], [count_hits],
+    [count_misses], [doc_evictions], [latency_ms_total] — the latter
+    now derived exactly from the histogram sum) and extended with
+    [latency_p50_ms], [latency_p95_ms] and [latency_p99_ms]. *)

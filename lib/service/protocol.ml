@@ -4,6 +4,8 @@ type request =
   | Count of { doc : string; query : string }
   | Materialize of { doc : string; query : string }
   | Stats
+  | Metrics
+  | Trace of { doc : string; query : string }
   | Evict of string
   | Quit
 
@@ -66,6 +68,9 @@ let parse_request line =
       two_args (fun doc query -> Result.Ok (Materialize { doc; query })) "MATERIALIZE"
     | "STATS" ->
       if rest line i <> "" then Error "STATS takes no argument" else Result.Ok Stats
+    | "METRICS" ->
+      if rest line i <> "" then Error "METRICS takes no argument" else Result.Ok Metrics
+    | "TRACE" -> two_args (fun doc query -> Result.Ok (Trace { doc; query })) "TRACE"
     | "EVICT" -> begin
       match next_word line i with
       | None -> Error "EVICT: missing name"
@@ -84,6 +89,8 @@ let print_request = function
   | Count { doc; query } -> Printf.sprintf "COUNT %s %s" doc query
   | Materialize { doc; query } -> Printf.sprintf "MATERIALIZE %s %s" doc query
   | Stats -> "STATS"
+  | Metrics -> "METRICS"
+  | Trace { doc; query } -> Printf.sprintf "TRACE %s %s" doc query
   | Evict name -> "EVICT " ^ name
   | Quit -> "QUIT"
 

@@ -10,6 +10,10 @@
     COUNT <name> <query...>     number of selected nodes
     MATERIALIZE <name> <query...>  serialized XML of the selected nodes
     STATS                       service counters as key=value lines
+    METRICS                     Prometheus text exposition of the
+                                service metrics
+    TRACE <name> <query...>     evaluate once with tracing on; one
+                                JSON trace record
     EVICT <name>                drop a document (and its cached queries)
     QUIT                        close the session
     v}
@@ -31,6 +35,8 @@ type request =
   | Count of { doc : string; query : string }
   | Materialize of { doc : string; query : string }
   | Stats
+  | Metrics
+  | Trace of { doc : string; query : string }
   | Evict of string
   | Quit
 

@@ -36,7 +36,10 @@ val names : t -> string list
 (** Registered names, most-recently-used first. *)
 
 val count : t -> int
+(** Number of registered documents. *)
+
 val total_bytes : t -> int
+(** Summed estimated index sizes of the registered documents. *)
 
 val evictions : t -> int
 (** Documents dropped by byte pressure since [create]. *)

@@ -33,20 +33,67 @@ type t = {
   compiled : (key, Engine.compiled) Lru.t;
   counts : (key, int) Lru.t;
   metrics : Metrics.t;
+  exposition : Sxsi_obs.Exposition.t;
 }
 
 let config_fingerprint o =
   Printf.sprintf "j%bm%be%b" o.enable_jump o.enable_memo o.enable_early
 
+(* Everything the service knows how to report, in the Prometheus text
+   format.  Gauges and callback counters read the live structures at
+   render time; [metrics_text] renders under the service lock. *)
+let build_exposition ~metrics ~registry ~compiled ~counts =
+  let e = Sxsi_obs.Exposition.create () in
+  let counter = Sxsi_obs.Exposition.register_counter e in
+  counter ~help:"Requests handled, including errors." ~name:"sxsi_requests_total"
+    metrics.Metrics.requests;
+  counter ~help:"Requests answered with ERR." ~name:"sxsi_errors_total"
+    metrics.Metrics.errors;
+  counter ~help:"Compiled-query cache hits." ~name:"sxsi_compiled_cache_hits_total"
+    metrics.Metrics.compiled_hits;
+  counter ~help:"Compiled-query cache misses." ~name:"sxsi_compiled_cache_misses_total"
+    metrics.Metrics.compiled_misses;
+  counter ~help:"Result-count cache hits." ~name:"sxsi_count_cache_hits_total"
+    metrics.Metrics.count_hits;
+  counter ~help:"Result-count cache misses." ~name:"sxsi_count_cache_misses_total"
+    metrics.Metrics.count_misses;
+  Sxsi_obs.Exposition.register_histogram e
+    ~help:"Request latency." ~scale:1e-9 ~name:"sxsi_request_duration_seconds"
+    metrics.Metrics.latency;
+  let gauge = Sxsi_obs.Exposition.register_gauge e in
+  gauge ~help:"Documents registered." ~name:"sxsi_documents" (fun () ->
+      float_of_int (Registry.count registry));
+  gauge ~help:"Estimated bytes of the registered document indexes."
+    ~name:"sxsi_document_bytes" (fun () -> float_of_int (Registry.total_bytes registry));
+  gauge ~help:"Compiled-query cache entries." ~name:"sxsi_compiled_cache_entries"
+    (fun () -> float_of_int (Lru.length compiled));
+  gauge ~help:"Result-count cache entries." ~name:"sxsi_count_cache_entries" (fun () ->
+      float_of_int (Lru.length counts));
+  let cb = Sxsi_obs.Exposition.register_callback_counter e in
+  cb ~help:"Documents dropped by byte pressure." ~name:"sxsi_document_evictions_total"
+    (fun () -> float_of_int (Registry.evictions registry));
+  cb ~help:"Compiled queries dropped by capacity pressure."
+    ~name:"sxsi_compiled_cache_evictions_total" (fun () ->
+      float_of_int (Lru.evictions compiled));
+  cb ~help:"Cached counts dropped by capacity pressure."
+    ~name:"sxsi_count_cache_evictions_total" (fun () ->
+      float_of_int (Lru.evictions counts));
+  e
+
 let create ?(options = default_options) () =
+  let metrics = Metrics.create () in
+  let registry = Registry.create ~max_bytes:options.max_doc_bytes () in
+  let compiled = Lru.create ~cap:options.compiled_cache in
+  let counts = Lru.create ~cap:options.count_cache in
   {
     opts = options;
     config_fp = config_fingerprint options;
     lock = Mutex.create ();
-    registry = Registry.create ~max_bytes:options.max_doc_bytes ();
-    compiled = Lru.create ~cap:options.compiled_cache;
-    counts = Lru.create ~cap:options.count_cache;
-    metrics = Metrics.create ();
+    registry;
+    compiled;
+    counts;
+    metrics;
+    exposition = build_exposition ~metrics ~registry ~compiled ~counts;
   }
 
 let locked t f = Mutex.protect t.lock f
@@ -103,23 +150,29 @@ let find_doc t doc =
    compiling and caching on miss.  Compilation happens under the lock:
    it is query-sized work, and publishing only precompiled values keeps
    concurrent evaluation safe. *)
-let compiled_for t doc query =
+let compiled_for ?trace t doc query =
   locked t (fun () ->
       let e = find_doc t doc in
       let k = { kdoc = doc; kgen = e.Registry.generation; kquery = query; kconfig = t.config_fp } in
       match Lru.find t.compiled k with
       | Some c ->
-        t.metrics.Metrics.compiled_hits <- t.metrics.Metrics.compiled_hits + 1;
+        Sxsi_obs.Counter.incr t.metrics.Metrics.compiled_hits;
+        (match trace with
+        | Some tr -> Sxsi_obs.Trace.set_counter tr "cache_hit" 1
+        | None -> ());
         (k, c)
       | None ->
-        t.metrics.Metrics.compiled_misses <- t.metrics.Metrics.compiled_misses + 1;
+        Sxsi_obs.Counter.incr t.metrics.Metrics.compiled_misses;
+        (match trace with
+        | Some tr -> Sxsi_obs.Trace.set_counter tr "cache_hit" 0
+        | None -> ());
         let c =
-          try Engine.prepare e.Registry.doc query with
+          try Engine.prepare ?trace e.Registry.doc query with
           | Sxsi_xpath.Xpath_parser.Parse_error (pos, msg) ->
             raise (Bad_request (Printf.sprintf "query parse error at %d: %s" pos msg))
           | Sxsi_auto.Compile.Unsupported msg -> raise (Bad_request ("unsupported query: " ^ msg))
         in
-        Engine.precompile c;
+        Engine.precompile ?trace c;
         Lru.add t.compiled k c;
         (k, c))
 
@@ -129,10 +182,10 @@ let count t doc query =
     locked t (fun () ->
         match Lru.find t.counts k with
         | Some n ->
-          t.metrics.Metrics.count_hits <- t.metrics.Metrics.count_hits + 1;
+          Sxsi_obs.Counter.incr t.metrics.Metrics.count_hits;
           Some n
         | None ->
-          t.metrics.Metrics.count_misses <- t.metrics.Metrics.count_misses + 1;
+          Sxsi_obs.Counter.incr t.metrics.Metrics.count_misses;
           None)
   in
   match cached with
@@ -152,14 +205,23 @@ let materialize t doc query =
   let nodes = Engine.select ~config:(run_config t) c in
   Array.to_list (Array.map (Document.serialize d) nodes)
 
+(* One-shot traced evaluation: resolve the compiled query (recording
+   parse/compile time and whether the cache hit), then run a traced
+   [select_preorders].  Deliberately bypasses the result-count cache —
+   the point is to watch the query execute. *)
+let trace t doc query =
+  let tr = Sxsi_obs.Trace.create ~label:query () in
+  let _, c = compiled_for ~trace:tr t doc query in
+  ignore (Engine.select_preorders ~config:(run_config t) ~trace:tr c);
+  tr
+
 (* ------------------------------------------------------------------ *)
 (* Request dispatch                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let stats t =
   locked t (fun () ->
-      t.metrics.Metrics.doc_evictions <- Registry.evictions t.registry;
-      Metrics.to_assoc t.metrics
+      Metrics.to_assoc t.metrics ~doc_evictions:(Registry.evictions t.registry)
       @ [
           ("documents", string_of_int (Registry.count t.registry));
           ("document_bytes", string_of_int (Registry.total_bytes t.registry));
@@ -169,6 +231,8 @@ let stats t =
           ("count_entries", string_of_int (Lru.length t.counts));
           ("count_evictions", string_of_int (Lru.evictions t.counts));
         ])
+
+let metrics_text t = locked t (fun () -> Sxsi_obs.Exposition.render t.exposition)
 
 let dispatch t (req : Protocol.request) : Protocol.response =
   match req with
@@ -199,6 +263,11 @@ let dispatch t (req : Protocol.request) : Protocol.response =
     (* payload lines must be newline-free; serialized XML may not be *)
     Protocol.Data (List.concat_map (String.split_on_char '\n') (materialize t doc query))
   | Stats -> Protocol.Data (List.map (fun (k, v) -> k ^ "=" ^ v) (stats t))
+  | Metrics ->
+    let text = metrics_text t in
+    Protocol.Data (List.filter (fun l -> l <> "") (String.split_on_char '\n' text))
+  | Trace { doc; query } ->
+    Protocol.Data [ Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json (trace t doc query)) ]
   | Evict name ->
     locked t (fun () ->
         if Registry.evict t.registry name then begin
@@ -209,22 +278,20 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   | Quit -> Protocol.Ok [ "bye" ]
 
 let handle t req =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sxsi_obs.Clock.now_ns () in
   let resp = try dispatch t req with Bad_request msg -> Protocol.Err msg in
-  let dt = Unix.gettimeofday () -. t0 in
-  locked t (fun () ->
-      t.metrics.Metrics.requests <- t.metrics.Metrics.requests + 1;
-      (match resp with
-      | Protocol.Err _ -> t.metrics.Metrics.errors <- t.metrics.Metrics.errors + 1
-      | _ -> ());
-      t.metrics.Metrics.latency <- t.metrics.Metrics.latency +. dt);
+  let dt = Sxsi_obs.Clock.now_ns () - t0 in
+  Sxsi_obs.Counter.incr t.metrics.Metrics.requests;
+  (match resp with
+  | Protocol.Err _ -> Sxsi_obs.Counter.incr t.metrics.Metrics.errors
+  | _ -> ());
+  locked t (fun () -> Metrics.record_latency t.metrics dt);
   resp
 
 let handle_line t line =
   match Protocol.parse_request line with
   | Result.Ok req -> handle t req
   | Error msg ->
-    locked t (fun () ->
-        t.metrics.Metrics.requests <- t.metrics.Metrics.requests + 1;
-        t.metrics.Metrics.errors <- t.metrics.Metrics.errors + 1);
+    Sxsi_obs.Counter.incr t.metrics.Metrics.requests;
+    Sxsi_obs.Counter.incr t.metrics.Metrics.errors;
     Protocol.Err msg

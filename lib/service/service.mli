@@ -30,8 +30,8 @@ val add_document : t -> string -> Sxsi_xml.Document.t -> unit
     the [LOAD] request is this plus file IO). *)
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Execute one request, updating metrics (requests, errors,
-    cumulative latency, cache counters). *)
+(** Execute one request, updating metrics (request and error counters,
+    the latency histogram, cache counters). *)
 
 val handle_line : t -> string -> Protocol.response
 (** Parse and execute one request line; parse errors become [ERR]
@@ -39,3 +39,17 @@ val handle_line : t -> string -> Protocol.response
 
 val stats : t -> (string * string) list
 (** The same key=value pairs the [STATS] request reports. *)
+
+val metrics_text : t -> string
+(** The service metrics in the Prometheus text exposition format — the
+    body of the [METRICS] response: request/error/cache counters, the
+    request-latency histogram, and live registry/cache gauges. *)
+
+val trace : t -> string -> string -> Sxsi_obs.Trace.t
+(** [trace t doc query] evaluates the query once with tracing on and
+    returns the trace (phase timings, engine and index counters, a
+    [cache_hit] flag).  The [TRACE] request renders this as one JSON
+    line.  Bypasses the result-count cache: the point is to watch the
+    query execute.  Unknown documents and malformed queries raise the
+    same internal exception the other query paths use, which {!handle}
+    turns into an [ERR] response. *)

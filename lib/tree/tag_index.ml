@@ -1,5 +1,26 @@
 open Sxsi_bits
 
+(* Profiling probe — same discipline as Fm_index: one atomic load and
+   branch per jump call when disabled, nothing per internal step. *)
+
+type probe = {
+  jump_calls : Sxsi_obs.Counter.t;
+  tag_reads : Sxsi_obs.Counter.t;
+}
+
+let create_probe () =
+  { jump_calls = Sxsi_obs.Counter.create (); tag_reads = Sxsi_obs.Counter.create () }
+
+let active_probe : probe option Atomic.t = Atomic.make None
+
+let set_probe p = Atomic.set active_probe p
+let current_probe () = Atomic.get active_probe
+
+let probe_jump () =
+  match Atomic.get active_probe with
+  | None -> ()
+  | Some pr -> Sxsi_obs.Counter.incr pr.jump_calls
+
 type t = {
   bp : Bp.t;
   tcount : int;
@@ -28,7 +49,11 @@ let build bp ~tag_count ~tags =
   { bp; tcount = tag_count; tags = iv; rows }
 
 let tag_count t = t.tcount
-let tag t i = Intvec.get t.tags i
+let tag t i =
+  (match Atomic.get active_probe with
+  | None -> ()
+  | Some pr -> Sxsi_obs.Counter.incr pr.tag_reads);
+  Intvec.get t.tags i
 let count t tg = Sparse.length t.rows.(tg)
 let rank_tag t tg i = Sparse.rank t.rows.(tg) i
 let select_tag t tg j = Sparse.get t.rows.(tg) j
@@ -38,17 +63,22 @@ let subtree_tags t x tg =
   Sparse.rank t.rows.(tg) (c + 1) - Sparse.rank t.rows.(tg) x
 
 let tagged_desc t x tg =
+  probe_jump ();
   let c = Bp.close t.bp x in
   let p = Sparse.next t.rows.(tg) (x + 1) in
   if p >= 0 && p < c then p else -1
 
 let tagged_foll t x tg =
+  probe_jump ();
   let c = Bp.close t.bp x in
   Sparse.next t.rows.(tg) (c + 1)
 
-let tagged_next t i tg = Sparse.next t.rows.(tg) i
+let tagged_next t i tg =
+  probe_jump ();
+  Sparse.next t.rows.(tg) i
 
 let tagged_prec t x tg =
+  probe_jump ();
   let rec go p =
     match Sparse.prev t.rows.(tg) p with
     | -1 -> -1

@@ -51,3 +51,24 @@ val select_tag : t -> int -> int -> int
 (** Position of the [j]-th [tag]-labeled node (0-based). *)
 
 val space_bits : t -> int
+
+(** {1 Profiling probe}
+
+    Process-global counters fed by the jump operations and [tag] when
+    installed; same cost discipline and approximate concurrent
+    attribution as the FM-index probe. *)
+
+type probe = {
+  jump_calls : Sxsi_obs.Counter.t;
+  (** [tagged_desc]/[tagged_foll]/[tagged_next]/[tagged_prec] calls *)
+  tag_reads : Sxsi_obs.Counter.t;  (** [tag] lookups *)
+}
+
+val create_probe : unit -> probe
+(** A probe with both counters at zero. *)
+
+val set_probe : probe option -> unit
+(** Install (or with [None] remove) the process-global probe. *)
+
+val current_probe : unit -> probe option
+(** The probe currently installed, if any. *)

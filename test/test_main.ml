@@ -15,5 +15,6 @@ let () =
       Test_datagen.suite;
       Test_integration.suite;
       Test_service.suite;
+      Test_obs.suite;
       Test_units.suite;
     ]

@@ -1,0 +1,422 @@
+(* The observability substrate: histogram bucket boundaries and
+   percentile math (in the units callers actually use), JSON
+   round-trips, trace accounting, the Prometheus exposition, and the
+   trace counters the engine publishes end to end. *)
+
+open Sxsi_obs
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Counter *)
+
+let test_counter_basics () =
+  let c = Counter.create () in
+  Alcotest.(check int) "fresh" 0 (Counter.get c);
+  Counter.incr c;
+  Counter.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Counter.get c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.get c)
+
+let test_counter_parallel () =
+  let c = Counter.create () in
+  let per_domain = 10_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Counter.incr c
+    done
+  in
+  let handles = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join handles;
+  Alcotest.(check int) "no lost increments" (4 * per_domain) (Counter.get c)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_bucket_boundaries () =
+  let check v expected =
+    Alcotest.(check int)
+      (Printf.sprintf "bucket_index %d" v)
+      expected (Histogram.bucket_index v)
+  in
+  (* bucket 0 is [0,2), bucket i>=1 is [2^i, 2^(i+1)) *)
+  check 0 0;
+  check 1 0;
+  check 2 1;
+  check 3 1;
+  check 4 2;
+  check 7 2;
+  check 8 3;
+  check ((1 lsl 20) - 1) 19;
+  check (1 lsl 20) 20;
+  check ((1 lsl 21) - 1) 20;
+  (* max_int = 2^62 - 1 on 64-bit OCaml: top bit 61 *)
+  check max_int 61
+
+let test_negative_clamps () =
+  let h = Histogram.create () in
+  Histogram.record h (-5);
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  Alcotest.(check int) "clamped to bucket 0" 1 (Histogram.bucket_count h 0);
+  Alcotest.(check int) "min clamped" 0 (Histogram.min_value h)
+
+let test_exact_stats () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1000; 2000; 3000 ];
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  Alcotest.(check int) "sum exact" 6000 (Histogram.sum h);
+  Alcotest.(check int) "min" 1000 (Histogram.min_value h);
+  Alcotest.(check int) "max" 3000 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 2000.0 (Histogram.mean h)
+
+(* Percentile math keeps the recorded unit: a histogram fed
+   nanoseconds answers quantiles in nanoseconds, so the millisecond
+   conversion is exactly [/. 1e6] — the STATS keys depend on this. *)
+let test_quantile_units () =
+  let h = Histogram.create () in
+  for _ = 1 to 1000 do
+    Histogram.record h 1_000_000 (* 1ms in ns *)
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f of constant 1ms" (q *. 100.))
+        1_000_000.0 (Histogram.quantile h q))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ]
+
+let test_quantile_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0.0 (Histogram.quantile h 0.5)
+
+let test_cumulative () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 4 ];
+  Alcotest.(check (list (pair int int)))
+    "cumulative pairs"
+    [ (2, 1); (4, 2); (8, 3) ]
+    (Histogram.cumulative h);
+  match List.rev (Histogram.cumulative h) with
+  | (_, last) :: _ -> Alcotest.(check int) "last = count" (Histogram.count h) last
+  | [] -> Alcotest.fail "cumulative empty"
+
+let test_reset_equal () =
+  let h = Histogram.create () in
+  Histogram.record h 7;
+  Alcotest.(check bool) "differs from fresh" false
+    (Histogram.equal h (Histogram.create ()));
+  Histogram.reset h;
+  Alcotest.(check bool) "reset = fresh" true (Histogram.equal h (Histogram.create ()))
+
+let gen_observations =
+  QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 1_000_000_000))
+
+let prop_histogram_stats values =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) values;
+  let mn = List.fold_left min (List.hd values) values in
+  let mx = List.fold_left max (List.hd values) values in
+  Histogram.count h = List.length values
+  && Histogram.sum h = List.fold_left ( + ) 0 values
+  && Histogram.min_value h = mn
+  && Histogram.max_value h = mx
+  &&
+  let p50 = Histogram.quantile h 0.50
+  and p95 = Histogram.quantile h 0.95
+  and p99 = Histogram.quantile h 0.99 in
+  p50 <= p95 && p95 <= p99
+  && p50 >= float_of_int mn
+  && p99 <= float_of_int mx
+
+let prop_merge_algebra (a, b, c) =
+  let fill values =
+    let h = Histogram.create () in
+    List.iter (Histogram.record h) values;
+    h
+  in
+  let ha = fill a and hb = fill b and hc = fill c in
+  Histogram.equal
+    (Histogram.merge ha (Histogram.merge hb hc))
+    (Histogram.merge (Histogram.merge ha hb) hc)
+  && Histogram.equal (Histogram.merge ha hb) (Histogram.merge hb ha)
+  && Histogram.count (Histogram.merge ha hb)
+     = Histogram.count ha + Histogram.count hb
+  && Histogram.sum (Histogram.merge ha hb) = Histogram.sum ha + Histogram.sum hb
+  && (* neither argument mutated *)
+  Histogram.count ha = List.length a
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+(* Whole floats print as "42" and deliberately re-parse as [Int], so
+   the generator keeps floats away from integral values. *)
+let gen_json =
+  let open QCheck2.Gen in
+  let gen_key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  let gen_leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun i -> Json.Float (float_of_int i +. 0.5)) (int_range (-1000) 1000);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then gen_leaf
+      else
+        oneof
+          [
+            gen_leaf;
+            map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair gen_key (self (n / 2))));
+          ])
+
+let prop_json_roundtrip j = Json.of_string (Json.to_string j) = Ok j
+
+let test_json_escapes () =
+  let s = "a\"b\\c\nd\te\r \x01" in
+  Alcotest.(check bool)
+    "escaped string round-trips" true
+    (Json.of_string (Json.to_string (Json.String s)) = Ok (Json.String s));
+  (* inputs built by concatenation: the JSON texts "A" and "é" *)
+  let u_escape hex = "\"" ^ String.make 1 '\\' ^ "u" ^ hex ^ "\"" in
+  Alcotest.(check bool)
+    "backslash-u ASCII escape" true
+    (Json.of_string (u_escape "0041") = Ok (Json.String "A"));
+  Alcotest.(check bool)
+    "backslash-u non-ASCII decodes to UTF-8" true
+    (Json.of_string (u_escape "00e9") = Ok (Json.String "\xc3\xa9"))
+
+let test_json_errors () =
+  let bad input =
+    match Json.of_string input with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parsed %S" input
+  in
+  bad "";
+  bad "1 2";
+  bad "{";
+  bad "[1,]";
+  bad {|{"a":}|};
+  bad "tru";
+  bad "\"unterminated"
+
+let test_json_member () =
+  let j = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" j = Some (Json.Int 1));
+  Alcotest.(check bool) "absent" true (Json.member "z" j = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_totals () =
+  let tr = Trace.create ~label:"q" () in
+  Trace.add_ns tr Trace.Parse 10;
+  Trace.add_ns tr Trace.Compile 20;
+  Trace.add_ns tr Trace.Run 30;
+  Trace.add_ns tr Trace.Materialize 40;
+  Trace.add_ns tr Trace.Fm_locate 500;
+  Trace.add_ns tr Trace.Fm_extract 600;
+  Alcotest.(check string) "label" "q" (Trace.label tr);
+  Alcotest.(check int) "phase" 30 (Trace.phase_ns tr Trace.Run);
+  (* FM phases happen inside Run/Materialize: excluded from the total *)
+  Alcotest.(check int) "total excludes contained phases" 100 (Trace.total_ns tr)
+
+let test_trace_time_on_raise () =
+  let tr = Trace.create () in
+  (try Trace.time tr Trace.Run (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "time recorded despite raise" true
+    (Trace.phase_ns tr Trace.Run >= 0);
+  Alcotest.(check int) "thunk result" 7 (Trace.time tr Trace.Parse (fun () -> 7))
+
+let test_trace_counters () =
+  let tr = Trace.create () in
+  Trace.set_counter tr "visited" 5;
+  Trace.set_counter tr "marked" 2;
+  Trace.add_counter tr "visited" 3;
+  Trace.add_counter tr "jumps" 1;
+  Alcotest.(check (list (pair string int)))
+    "insertion order, add accumulates"
+    [ ("visited", 8); ("marked", 2); ("jumps", 1) ]
+    (Trace.counters tr)
+
+let test_trace_json () =
+  let tr = Trace.create ~label:"//a" () in
+  Trace.add_ns tr Trace.Run 1234;
+  Trace.set_counter tr "results" 3;
+  let j = Trace.to_json tr in
+  (match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "serialized trace re-parses" true (j = j')
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e);
+  Alcotest.(check bool) "label member" true
+    (Json.member "label" j = Some (Json.String "//a"));
+  Alcotest.(check bool) "phases member" true (Json.member "phases" j <> None);
+  Alcotest.(check bool) "counters member" true (Json.member "counters" j <> None);
+  Alcotest.(check bool) "total_ns member" true
+    (Json.member "total_ns" j = Some (Json.Int 1234));
+  let text = Trace.to_text tr in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "text mentions counter" true (contains text "results")
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let contains_line text line = List.mem line (String.split_on_char '\n' text)
+
+let test_exposition_render () =
+  let e = Exposition.create () in
+  let c = Counter.create () in
+  Counter.add c 42;
+  Exposition.register_counter e ~help:"Requests." ~name:"t_requests_total" c;
+  Exposition.register_gauge e ~help:"Docs." ~name:"t_documents" (fun () -> 3.0);
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 4 ];
+  Exposition.register_histogram e ~help:"Latency." ~name:"t_latency_seconds" h;
+  let text = Exposition.render e in
+  Alcotest.(check bool) "trailing newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "has %S" line) true
+        (contains_line text line))
+    [
+      "# HELP t_requests_total Requests.";
+      "# TYPE t_requests_total counter";
+      "t_requests_total 42";
+      "# TYPE t_documents gauge";
+      "t_documents 3";
+      "# TYPE t_latency_seconds histogram";
+      "t_latency_seconds_bucket{le=\"+Inf\"} 3";
+      "t_latency_seconds_sum 7";
+      "t_latency_seconds_count 3";
+    ]
+
+let test_exposition_callback_counter () =
+  let e = Exposition.create () in
+  let v = ref 1.0 in
+  Exposition.register_callback_counter e ~help:"Evictions." ~name:"t_evictions_total"
+    (fun () -> !v);
+  Alcotest.(check bool) "first render" true
+    (contains_line (Exposition.render e) "t_evictions_total 1");
+  v := 5.0;
+  Alcotest.(check bool) "callback re-read at render time" true
+    (contains_line (Exposition.render e) "t_evictions_total 5");
+  Alcotest.(check bool) "typed counter" true
+    (contains_line (Exposition.render e) "# TYPE t_evictions_total counter")
+
+let test_exposition_rejects () =
+  let e = Exposition.create () in
+  Exposition.register_gauge e ~help:"x" ~name:"dup" (fun () -> 0.0);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Exposition: duplicate metric \"dup\"") (fun () ->
+      Exposition.register_gauge e ~help:"x" ~name:"dup" (fun () -> 0.0));
+  Alcotest.check_raises "invalid name"
+    (Invalid_argument "Exposition: invalid metric name \"9bad\"") (fun () ->
+      Exposition.register_gauge e ~help:"x" ~name:"9bad" (fun () -> 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_source () =
+  let restore = fun () -> int_of_float (Unix.gettimeofday () *. 1e9) in
+  Fun.protect
+    ~finally:(fun () -> Clock.set_source restore)
+    (fun () ->
+      Clock.set_source (fun () -> 123_456);
+      Alcotest.(check int) "installed source used" 123_456 (Clock.now_ns ()));
+  Alcotest.(check bool) "restored source ticks" true (Clock.now_ns () > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Service metrics rendering (the STATS key-compatibility contract) *)
+
+let test_metrics_assoc () =
+  let m = Sxsi_service.Metrics.create () in
+  Counter.add m.Sxsi_service.Metrics.requests 5;
+  Sxsi_service.Metrics.record_latency m 2_000_000;
+  (* 2ms *)
+  let assoc = Sxsi_service.Metrics.to_assoc m ~doc_evictions:1 in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "key %s present" key) true
+        (List.mem_assoc key assoc))
+    [
+      "requests"; "errors"; "compiled_hits"; "compiled_misses"; "count_hits";
+      "count_misses"; "doc_evictions"; "latency_ms_total"; "latency_p50_ms";
+      "latency_p95_ms"; "latency_p99_ms";
+    ];
+  Alcotest.(check string) "requests" "5" (List.assoc "requests" assoc);
+  Alcotest.(check string) "doc_evictions" "1" (List.assoc "doc_evictions" assoc);
+  Alcotest.(check string) "total exact in ms" "2.000"
+    (List.assoc "latency_ms_total" assoc);
+  Alcotest.(check string) "p50 in ms" "2.000" (List.assoc "latency_p50_ms" assoc)
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: a traced evaluation publishes the documented
+   counters and a parseable JSON record. *)
+
+let test_engine_trace () =
+  let xml = "<r><a><b/><b/></a><a><b/></a></r>" in
+  let doc = Sxsi_xml.Document.of_xml xml in
+  let tr = Trace.create ~label:"//b" () in
+  let c = Sxsi_core.Engine.prepare ~trace:tr doc "//b" in
+  let n = Sxsi_core.Engine.count ~trace:tr c in
+  Alcotest.(check int) "count" 3 n;
+  let counters = Trace.counters tr in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "counter %s present" key) true
+        (List.mem_assoc key counters))
+    [ "visited"; "marked"; "jumps"; "memo_hits"; "results" ];
+  Alcotest.(check int) "results counter" 3 (List.assoc "results" counters);
+  Alcotest.(check bool) "visited nodes" true (List.assoc "visited" counters > 0);
+  Alcotest.(check bool) "phases non-negative" true (Trace.total_ns tr >= 0);
+  match Json.of_string (Json.to_string (Trace.to_json tr)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "engine trace JSON does not parse: %s" e
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter basics" `Quick test_counter_basics;
+      Alcotest.test_case "counter parallel increments" `Quick test_counter_parallel;
+      Alcotest.test_case "histogram bucket boundaries" `Quick test_bucket_boundaries;
+      Alcotest.test_case "histogram clamps negatives" `Quick test_negative_clamps;
+      Alcotest.test_case "histogram exact stats" `Quick test_exact_stats;
+      Alcotest.test_case "quantiles keep the recorded unit" `Quick test_quantile_units;
+      Alcotest.test_case "quantile of empty histogram" `Quick test_quantile_empty;
+      Alcotest.test_case "cumulative buckets" `Quick test_cumulative;
+      Alcotest.test_case "reset and equal" `Quick test_reset_equal;
+      qtest "histogram: exact stats + monotone quantiles" gen_observations
+        prop_histogram_stats;
+      qtest ~count:100 "histogram: merge is associative and commutative"
+        QCheck2.Gen.(triple gen_observations gen_observations gen_observations)
+        prop_merge_algebra;
+      qtest "json: to_string/of_string round-trip" gen_json prop_json_roundtrip;
+      Alcotest.test_case "json escapes" `Quick test_json_escapes;
+      Alcotest.test_case "json parse errors" `Quick test_json_errors;
+      Alcotest.test_case "json member" `Quick test_json_member;
+      Alcotest.test_case "trace totals exclude contained phases" `Quick
+        test_trace_totals;
+      Alcotest.test_case "trace time survives raise" `Quick test_trace_time_on_raise;
+      Alcotest.test_case "trace counters keep insertion order" `Quick
+        test_trace_counters;
+      Alcotest.test_case "trace JSON parses" `Quick test_trace_json;
+      Alcotest.test_case "exposition render" `Quick test_exposition_render;
+      Alcotest.test_case "exposition callback counter" `Quick
+        test_exposition_callback_counter;
+      Alcotest.test_case "exposition rejects bad names" `Quick test_exposition_rejects;
+      Alcotest.test_case "clock source swap" `Quick test_clock_source;
+      Alcotest.test_case "service metrics assoc keys" `Quick test_metrics_assoc;
+      Alcotest.test_case "engine publishes trace counters" `Quick test_engine_trace;
+    ] )

@@ -138,6 +138,8 @@ let gen_request =
         map2 (fun doc query -> Protocol.Count { doc; query }) gen_name gen_query;
         map2 (fun doc query -> Protocol.Materialize { doc; query }) gen_name gen_query;
         return Protocol.Stats;
+        return Protocol.Metrics;
+        map2 (fun doc query -> Protocol.Trace { doc; query }) gen_name gen_query;
         map (fun name -> Protocol.Evict name) gen_name;
         return Protocol.Quit;
       ])
@@ -193,6 +195,8 @@ let test_parse_request_errors () =
   Alcotest.(check bool) "LOAD missing path" true (bad "LOAD x");
   Alcotest.(check bool) "COUNT missing query" true (bad "COUNT x");
   Alcotest.(check bool) "STATS with argument" true (bad "STATS now");
+  Alcotest.(check bool) "METRICS with argument" true (bad "METRICS all");
+  Alcotest.(check bool) "TRACE missing query" true (bad "TRACE d");
   Alcotest.(check bool) "case-insensitive verb" true
     (Protocol.parse_request "count d //a" = Ok (Protocol.Count { doc = "d"; query = "//a" }))
 
@@ -263,6 +267,45 @@ let test_end_to_end () =
       let xml = expect_data (line "MATERIALIZE bench /site/regions") in
       Alcotest.(check bool) "materialized XML" true
         (match xml with l :: _ -> String.length l > 0 && l.[0] = '<' | [] -> false);
+      (* METRICS returns a Prometheus exposition with our sample lines *)
+      let metrics = expect_data (line "METRICS") in
+      let has_sample name =
+        List.exists
+          (fun l ->
+            String.length l > String.length name
+            && String.sub l 0 (String.length name) = name
+            && (l.[String.length name] = ' ' || l.[String.length name] = '{'))
+          metrics
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("METRICS sample " ^ name) true (has_sample name))
+        [
+          "sxsi_requests_total"; "sxsi_documents";
+          "sxsi_request_duration_seconds_bucket"; "sxsi_request_duration_seconds_count";
+        ];
+      Alcotest.(check bool) "METRICS has TYPE comments" true
+        (List.exists
+           (fun l -> String.length l > 6 && String.sub l 0 6 = "# TYPE")
+           metrics);
+      (* TRACE answers one line that parses as JSON — the regression
+         guard for the --trace output format *)
+      (match expect_data (line "TRACE bench //listitem//keyword") with
+      | [ json_line ] -> (
+        match Sxsi_obs.Json.of_string json_line with
+        | Ok j ->
+          Alcotest.(check bool) "trace has phases" true
+            (Sxsi_obs.Json.member "phases" j <> None);
+          Alcotest.(check bool) "trace has counters" true
+            (Sxsi_obs.Json.member "counters" j <> None);
+          (match Sxsi_obs.Json.member "counters" j with
+          | Some counters ->
+            Alcotest.(check bool) "trace counts results" true
+              (Sxsi_obs.Json.member "results" counters
+              = Some (Sxsi_obs.Json.Int (int_of_string (List.hd c1))))
+          | None -> ())
+        | Error e -> Alcotest.failf "TRACE output is not JSON: %s" e)
+      | lines -> Alcotest.failf "TRACE returned %d lines" (List.length lines));
       (* errors are ERR, not exceptions *)
       (match line "COUNT nosuch //a" with
       | Protocol.Err _ -> ()
