@@ -3,8 +3,8 @@
 
    Usage:  dune exec bench/main.exe -- [section ...] [options]
    Sections: fig8 table2 table3 table4 table5 table6 fig10 fig11 fig12
-             fig13 fig15 table7 fig18 streaming service xmark bechamel
-             (default: all except bechamel)
+             fig13 fig15 table7 fig18 streaming service par xmark
+             bechamel (default: all except bechamel)
    Options:  --fast (single timed run)  --runs N  --scale F
              --json (also write BENCH_<section>.json per section)
              --probe (xmark: keep index probes installed while timing,
@@ -615,6 +615,64 @@ let service () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Parallel substrate: build time and query throughput vs pool size     *)
+(* ------------------------------------------------------------------ *)
+
+let par () =
+  H.section "Parallel substrate: index build and query throughput vs domain count";
+  let c = Lazy.force xmark_small in
+  let xml = c.xml in
+  Printf.printf "corpus %s: %s source, %d queries, window 0.5s per throughput cell\n"
+    c.name (H.pp_bytes (String.length xml)) (List.length xmark_queries);
+  let with_pool d f =
+    if d <= 1 then f None
+    else Sxsi_par.Pool.with_pool ~name:"bench" ~domains:d (fun p -> f (Some p))
+  in
+  let seq_build = ref 0.0 in
+  let seq_qps = ref 0.0 in
+  let rows =
+    List.map
+      (fun d ->
+        with_pool d @@ fun pool ->
+        let doc, t_build =
+          H.time_with_result (fun () -> Document.build ?pool xml)
+        in
+        let compiled =
+          Array.of_list (List.map (fun (_, q) -> Engine.prepare doc q) xmark_queries)
+        in
+        Array.iter (fun cq -> Engine.precompile cq) compiled;
+        let m = Array.length compiled in
+        let cursor = ref 0 in
+        let qps =
+          H.throughput (fun () ->
+              let j = !cursor in
+              cursor := j + 1;
+              Engine.count ?pool compiled.(j mod m))
+        in
+        if d = 1 then begin
+          seq_build := t_build;
+          seq_qps := qps
+        end;
+        H.measure
+          [
+            ("domains", J.Int d);
+            ("build_s", J.Float t_build);
+            ("build_speedup", J.Float (!seq_build /. t_build));
+            ("count_qps", J.Float qps);
+            ("query_speedup", J.Float (qps /. !seq_qps));
+          ];
+        [
+          string_of_int d;
+          H.pp_ms t_build;
+          Printf.sprintf "%.2fx" (!seq_build /. t_build);
+          H.pp_rate qps;
+          Printf.sprintf "%.2fx" (qps /. !seq_qps);
+        ])
+      [ 1; 2; 4 ]
+  in
+  H.table [ "domains"; "build"; "build speedup"; "count"; "count speedup" ] rows
+
+(* ------------------------------------------------------------------ *)
 (* XMark per-query latency with trace-derived phase breakdown           *)
 (* ------------------------------------------------------------------ *)
 
@@ -760,6 +818,7 @@ let sections =
     ("fig18", fig18);
     ("streaming", streaming);
     ("service", service);
+    ("par", par);
     ("xmark", xmark);
     ("bechamel", bechamel);
   ]

@@ -52,52 +52,75 @@ let show_trace =
          ~doc:"Emit a one-line JSON trace record (phase timings in nanoseconds, engine \
                and index counters) on stderr")
 
-let load_document ~keep_whitespace file =
-  if Filename.check_suffix file ".sxsi" then Document.load file
-  else Document.of_xml ~keep_whitespace (read_file file)
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Domain-pool size for index construction and query evaluation \
+               (default: the $(b,SXSI_DOMAINS) environment variable, else 1; \
+               1 means sequential)")
 
-let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag trace_flag k =
-  let doc = load_document ~keep_whitespace:(not drop_whitespace) file in
-  let trace = if trace_flag then Some (Sxsi_obs.Trace.create ~label:query ()) else None in
-  let compiled = Engine.prepare ?trace doc query in
-  let stats = Run.fresh_stats () in
-  let config = { (Run.default_config ()) with Run.enable_jump = not no_jump; enable_memo = not no_memo; stats } in
-  let t0 = Unix.gettimeofday () in
-  k doc compiled config strategy trace;
-  let dt = Unix.gettimeofday () -. t0 in
-  if stats_flag then
-    Printf.eprintf
-      "time: %.3fms  strategy: %s  visited: %d  marked: %d  jumps: %d  memo hits: %d\n"
-      (dt *. 1000.0)
-      (match Engine.chosen_strategy ~strategy compiled with
-      | `Top_down -> "top-down"
-      | `Bottom_up -> "bottom-up")
-      stats.Run.visited stats.Run.marked stats.Run.jumps stats.Run.memo_hits;
-  match trace with
-  | Some tr -> Printf.eprintf "%s\n" (Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json tr))
-  | None -> ()
+let resolve_domains = function
+  | Some d -> max 1 d
+  | None -> Sxsi_par.Pool.default_domains ()
+
+(* Run [f] with the pool the --domains/SXSI_DOMAINS setting asks for:
+   [None] (pure sequential paths) below 2 domains. *)
+let with_domains domains f =
+  match resolve_domains domains with
+  | 1 -> f None
+  | d -> Sxsi_par.Pool.with_pool ~name:"cli" ~domains:d (fun p -> f (Some p))
+
+let load_document ?pool ~keep_whitespace file =
+  if Filename.check_suffix file ".sxsi" then Document.load file
+  else Document.of_xml ?pool ~keep_whitespace (read_file file)
+
+let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag trace_flag
+    domains k =
+  with_domains domains (fun pool ->
+      let doc = load_document ?pool ~keep_whitespace:(not drop_whitespace) file in
+      let trace = if trace_flag then Some (Sxsi_obs.Trace.create ~label:query ()) else None in
+      let compiled = Engine.prepare ?trace doc query in
+      let stats = Run.fresh_stats () in
+      let config = { (Run.default_config ()) with Run.enable_jump = not no_jump; enable_memo = not no_memo; stats } in
+      let t0 = Unix.gettimeofday () in
+      k ?pool doc compiled config strategy trace;
+      let dt = Unix.gettimeofday () -. t0 in
+      if stats_flag then
+        Printf.eprintf
+          "time: %.3fms  strategy: %s  domains: %d  visited: %d  marked: %d  jumps: %d  \
+           memo hits: %d\n"
+          (dt *. 1000.0)
+          (match Engine.chosen_strategy ~strategy compiled with
+          | `Top_down -> "top-down"
+          | `Bottom_up -> "bottom-up")
+          (match pool with Some p -> Sxsi_par.Pool.size p | None -> 1)
+          stats.Run.visited stats.Run.marked stats.Run.jumps stats.Run.memo_hits;
+      match trace with
+      | Some tr -> Printf.eprintf "%s\n" (Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json tr))
+      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run file query dw nj nm strategy st tf =
-    with_engine file query dw nj nm strategy st tf (fun _doc c config strategy trace ->
-        Printf.printf "%d\n" (Engine.count ~config ~strategy ?trace c))
+  let run file query dw nj nm strategy st tf dom =
+    with_engine file query dw nj nm strategy st tf dom
+      (fun ?pool _doc c config strategy trace ->
+        Printf.printf "%d\n" (Engine.count ?pool ~config ~strategy ?trace c))
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace)
+          $ show_stats $ show_trace $ domains_arg)
 
 let select_cmd =
   let ids =
     Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
   in
-  let run file query dw nj nm strategy st tf ids =
-    with_engine file query dw nj nm strategy st tf (fun doc c config strategy trace ->
-        let nodes = Engine.select ~config ~strategy ?trace c in
+  let run file query dw nj nm strategy st tf dom ids =
+    with_engine file query dw nj nm strategy st tf dom
+      (fun ?pool doc c config strategy trace ->
+        let nodes = Engine.select ?pool ~config ~strategy ?trace c in
         if ids then
           Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
         else
@@ -106,13 +129,14 @@ let select_cmd =
   Cmd.v
     (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ ids)
+          $ show_stats $ show_trace $ domains_arg $ ids)
 
 let stats_cmd =
-  let run file dw =
+  let run file dw dom =
+    with_domains dom @@ fun pool ->
     let xml = read_file file in
     let t0 = Unix.gettimeofday () in
-    let doc = Document.of_xml ~keep_whitespace:(not dw) xml in
+    let doc = Document.of_xml ?pool ~keep_whitespace:(not dw) xml in
     let dt = Unix.gettimeofday () -. t0 in
     Printf.printf "document:        %s\n" (pp_bytes (String.length xml));
     Printf.printf "index time:      %.2fs\n" dt;
@@ -129,22 +153,23 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Index a document and report size statistics")
-    Term.(const run $ file_arg $ drop_ws)
+    Term.(const run $ file_arg $ drop_ws $ domains_arg)
 
 let index_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Index file to write (conventionally .sxsi)")
   in
-  let run file dw out =
-    let doc = Document.of_xml ~keep_whitespace:(not dw) (read_file file) in
+  let run file dw out dom =
+    with_domains dom @@ fun pool ->
+    let doc = Document.of_xml ?pool ~keep_whitespace:(not dw) (read_file file) in
     Document.save doc out;
     Printf.printf "indexed %d nodes, %d texts -> %s\n" (Document.node_count doc)
       (Document.text_count doc) out
   in
   Cmd.v
     (Cmd.info "index" ~doc:"Build the self-index and save it; count/select accept .sxsi files")
-    Term.(const run $ file_arg $ drop_ws $ out)
+    Term.(const run $ file_arg $ drop_ws $ out $ domains_arg)
 
 let explain_cmd =
   let query_only =
@@ -167,7 +192,7 @@ let explain_cmd =
 (* QUIT protocol over stdin/stdout (repl) or TCP (serve)               *)
 (* ------------------------------------------------------------------ *)
 
-let service_options max_doc_mb compiled_cache count_cache no_jump no_memo =
+let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains =
   {
     Sxsi_service.Service.default_options with
     Sxsi_service.Service.max_doc_bytes =
@@ -176,6 +201,7 @@ let service_options max_doc_mb compiled_cache count_cache no_jump no_memo =
     count_cache;
     enable_jump = not no_jump;
     enable_memo = not no_memo;
+    domains = resolve_domains domains;
   }
 
 let max_doc_mb_arg =
@@ -225,20 +251,24 @@ let preload svc specs =
     specs
 
 let repl_cmd =
-  let run max_mb cc kc nj nm specs =
+  let run max_mb cc kc nj nm dom specs =
     guarded (fun () ->
         let svc =
-          Sxsi_service.Service.create ~options:(service_options max_mb cc kc nj nm) ()
+          Sxsi_service.Service.create
+            ~options:(service_options max_mb cc kc nj nm dom) ()
         in
-        preload svc specs;
-        Sxsi_service.Server.session stdin stdout svc)
+        Fun.protect
+          ~finally:(fun () -> Sxsi_service.Service.shutdown svc)
+          (fun () ->
+            preload svc specs;
+            Sxsi_service.Server.session stdin stdout svc))
   in
   Cmd.v
     (Cmd.info "repl"
        ~doc:"Speak the service protocol (LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/QUIT) \
              on stdin/stdout")
     Term.(const run $ max_doc_mb_arg $ compiled_cache_arg $ count_cache_arg $ no_jump
-          $ no_memo $ preload_arg)
+          $ no_memo $ domains_arg $ preload_arg)
 
 let serve_cmd =
   let port_arg =
@@ -248,22 +278,37 @@ let serve_cmd =
   let host_arg =
     Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind")
   in
-  let run host port max_mb cc kc nj nm specs =
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Fixed number of session worker domains")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Accepted-connection queue bound; beyond it new connections are \
+                 refused with an ERR response")
+  in
+  let run host port workers queue max_mb cc kc nj nm dom specs =
     guarded (fun () ->
         let svc =
-          Sxsi_service.Service.create ~options:(service_options max_mb cc kc nj nm) ()
+          Sxsi_service.Service.create
+            ~options:(service_options max_mb cc kc nj nm dom) ()
         in
-        preload svc specs;
-        Sxsi_service.Server.serve ~host
-          ~on_listen:(fun p -> Printf.eprintf "sxsi: listening on %s:%d\n%!" host p)
-          ~port svc)
+        Fun.protect
+          ~finally:(fun () -> Sxsi_service.Service.shutdown svc)
+          (fun () ->
+            preload svc specs;
+            Sxsi_service.Server.serve ~host ~workers ~queue
+              ~on_listen:(fun p -> Printf.eprintf "sxsi: listening on %s:%d\n%!" host p)
+              ~port svc))
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve the protocol over TCP, one worker domain per connection; documents \
-             and compiled queries are cached and shared across connections")
-    Term.(const run $ host_arg $ port_arg $ max_doc_mb_arg $ compiled_cache_arg
-          $ count_cache_arg $ no_jump $ no_memo $ preload_arg)
+       ~doc:"Serve the protocol over TCP on a fixed pool of worker domains with a \
+             bounded accept queue (load shedding beyond it); documents and compiled \
+             queries are cached and shared across connections")
+    Term.(const run $ host_arg $ port_arg $ workers_arg $ queue_arg $ max_doc_mb_arg
+          $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ domains_arg
+          $ preload_arg)
 
 let gen_cmd =
   let kind =

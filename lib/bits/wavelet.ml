@@ -38,7 +38,12 @@ let build_huffman counts =
   in
   merge sorted
 
-let of_string s =
+(* Below this many routed symbols a subtree is built inline even when a
+   pool is available: the partition copy dominates and task overhead
+   would swamp the win. *)
+let par_cutoff = 1 lsl 15
+
+let of_string ?pool s =
   let len = String.length s in
   let counts = Array.make 256 0 in
   String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) s;
@@ -62,7 +67,10 @@ let of_string s =
     assign 0 0 hroot;
     (* Build each node's bitmap by recursively partitioning the symbol
        stream; [seq] holds the byte values routed to this node, in
-       order, and [depth] selects the code bit deciding the direction. *)
+       order, and [depth] selects the code bit deciding the direction.
+       The left and right subtrees partition disjoint copies of the
+       stream, so with a pool the two recursions run as a fork/join
+       (above a size cutoff that keeps task grain coarse). *)
     let rec build2 ht depth (seq : Bytes.t) n =
       match ht with
       | HLeaf (_, sym) -> Leaf sym
@@ -89,9 +97,18 @@ let of_string s =
             incr il
           end
         done;
-        let left = build2 hl (depth + 1) sl (n - !nr) in
-        let right = build2 hr (depth + 1) sr !nr in
-        Node { bits = Bitvec.Builder.finish b; left; right }
+        let bits = Bitvec.Builder.finish b in
+        let build_left () = build2 hl (depth + 1) sl (n - !nr) in
+        let build_right () = build2 hr (depth + 1) sr !nr in
+        let left, right =
+          match pool with
+          | Some p when Sxsi_par.Pool.size p > 1 && n >= par_cutoff ->
+            Sxsi_par.Pool.fork_join p build_left build_right
+          | _ ->
+            let l = build_left () in
+            (l, build_right ())
+        in
+        Node { bits; left; right }
     in
     let root = build2 hroot 0 (Bytes.of_string s) len in
     { root; len; code_len; code_path; counts }

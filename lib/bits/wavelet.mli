@@ -5,7 +5,11 @@
 
 type t
 
-val of_string : string -> t
+val of_string : ?pool:Sxsi_par.Pool.t -> string -> t
+(** [of_string ?pool s] builds the tree over the bytes of [s].  With a
+    [pool] of size [> 1], sibling subtrees (which partition disjoint
+    copies of the symbol stream) are built concurrently; the resulting
+    structure is identical to the sequential build. *)
 
 val length : t -> int
 

@@ -112,13 +112,22 @@ let test_ok doc (step : step) x =
       || tg = Document.text_tag || tg = Document.root_tag
   end
 
-let run_with_text_time ?(funs = fun _ -> None) doc p =
+(* Minimum matching texts before the candidate verification is chunked
+   across a pool. *)
+let par_cutoff = 64
+
+let run_with_text_time ?pool ?(funs = fun _ -> None) doc p =
   let bp = Document.bp doc in
   let k = Array.length p.steps in
   let r = p.result_idx in
   let t0 = Unix.gettimeofday () in
   let texts = Run.text_set_of_pred doc funs p.pred in
   let text_time = Unix.gettimeofday () -. t0 in
+  (* Verify the candidates of texts [lo, hi).  The upward-verification
+     memo is shared within a slice only; it caches a pure relation, so
+     chunked evaluation returns the same candidate set (the final
+     [sort_uniq] erases chunk order and duplicates). *)
+  let eval_slice lo hi =
   (* upward verification, shared across candidates: can [x] serve as
      the chain's step [i], with steps 0..i-1 assigned to ancestors? *)
   let memo : (int, bool) Hashtbl.t = Hashtbl.create 256 in
@@ -155,8 +164,8 @@ let run_with_text_time ?(funs = fun _ -> None) doc p =
       b
   in
   let results = ref [] in
-  Array.iter
-    (fun d ->
+  for ti = lo to hi - 1 do
+      let d = texts.(ti) in
       let leaf = Document.leaf_of_text doc d in
       let candidate =
         if p.steps.(k - 1).axis = Attribute then begin
@@ -216,11 +225,26 @@ let run_with_text_time ?(funs = fun _ -> None) doc p =
             Hashtbl.replace down_memo key b;
             b
         in
-        for idx = 0 to depth - 1 do
-          if down_ok r idx && up_ok r ancestors.(idx) then
-            results := ancestors.(idx) :: !results
-        done)
-    texts;
-  (text_time, List.sort_uniq compare !results)
+        (for idx = 0 to depth - 1 do
+           if down_ok r idx && up_ok r ancestors.(idx) then
+             results := ancestors.(idx) :: !results
+         done)
+  done;
+  !results
+  in
+  let n = Array.length texts in
+  let results =
+    match pool with
+    | Some pl when Sxsi_par.Pool.size pl > 1 && n >= par_cutoff ->
+      let nchunks = min (4 * Sxsi_par.Pool.size pl) n in
+      let ranges =
+        Array.init nchunks (fun j -> (n * j / nchunks, n * (j + 1) / nchunks))
+      in
+      List.concat
+        (Array.to_list
+           (Sxsi_par.Pool.map_array pl (fun (lo, hi) -> eval_slice lo hi) ranges))
+    | _ -> eval_slice 0 n
+  in
+  (text_time, List.sort_uniq compare results)
 
-let run ?funs doc p = snd (run_with_text_time ?funs doc p)
+let run ?pool ?funs doc p = snd (run_with_text_time ?pool ?funs doc p)

@@ -23,10 +23,16 @@ val matches_empty_value : ?funs:Run.text_funs -> plan -> bool
 (** Whether the predicate accepts the empty string — if so, nodes
     without texts qualify and the bottom-up strategy is unsound. *)
 
-val run : ?funs:Run.text_funs -> Sxsi_xml.Document.t -> plan -> int list
-(** Selected node positions, sorted (document order). *)
+val run :
+  ?pool:Sxsi_par.Pool.t -> ?funs:Run.text_funs -> Sxsi_xml.Document.t ->
+  plan -> int list
+(** Selected node positions, sorted (document order).  With a [pool] of
+    size [> 1] and enough matching texts, candidate verification is
+    chunked across the pool's domains; the sorted, deduplicated result
+    is identical to the sequential run. *)
 
 val run_with_text_time :
-  ?funs:Run.text_funs -> Sxsi_xml.Document.t -> plan -> float * int list
+  ?pool:Sxsi_par.Pool.t -> ?funs:Run.text_funs -> Sxsi_xml.Document.t ->
+  plan -> float * int list
 (** Like {!run}, also reporting the seconds spent in the text-index
     phase (for the Figure 15 time split). *)

@@ -97,16 +97,16 @@ let chosen_strategy_one ~funs ~strategy (c : one) =
 let chosen_strategy ?(funs = fun _ -> None) ?(strategy = Auto) c =
   chosen_strategy_one ~funs ~strategy (one c)
 
-let select_one ?config ~funs ~strategy (c : one) =
+let select_one ?pool ?config ~funs ~strategy (c : one) =
   match chosen_strategy_one ~funs ~strategy c with
   | `Bottom_up -> begin
     match c.bu with
-    | Some plan -> Array.of_list (Bottom_up.run ~funs c.doc plan)
+    | Some plan -> Array.of_list (Bottom_up.run ?pool ~funs c.doc plan)
     | None -> assert false
   end
   | `Top_down ->
     let auto = Lazy.force c.auto in
-    let marks = Run.run ?config ~funs Run.marks_sem auto in
+    let marks = Run.run ?pool ?config ~funs Run.marks_sem auto in
     let pos = Marks.positions (Document.tag_index c.doc) marks in
     if auto.Automaton.needs_dedup then
       Array.of_list (List.sort_uniq compare (Array.to_list pos))
@@ -117,33 +117,34 @@ let select_one ?config ~funs ~strategy (c : one) =
       pos
     end
 
-let select_impl ?config ~funs ~strategy c =
+let select_impl ?pool ?config ~funs ~strategy c =
   match c with
-  | [ single ] -> select_one ?config ~funs ~strategy single
+  | [ single ] -> select_one ?pool ?config ~funs ~strategy single
   | branches ->
-    (* union: evaluate each branch and merge, removing duplicates *)
+    (* union: evaluate each branch and merge, removing duplicates (each
+       branch fans out on the pool internally) *)
     List.concat_map
-      (fun b -> Array.to_list (select_one ?config ~funs ~strategy b))
+      (fun b -> Array.to_list (select_one ?pool ?config ~funs ~strategy b))
       branches
     |> List.sort_uniq compare |> Array.of_list
 
-let count_impl ?config ~funs ~strategy c =
+let count_impl ?pool ?config ~funs ~strategy c =
   match c with
   | [ single ] -> begin
     match chosen_strategy_one ~funs ~strategy single with
     | `Bottom_up -> begin
       match single.bu with
-      | Some plan -> List.length (Bottom_up.run ~funs single.doc plan)
+      | Some plan -> List.length (Bottom_up.run ?pool ~funs single.doc plan)
       | None -> assert false
     end
     | `Top_down ->
       let auto = Lazy.force single.auto in
       if auto.Automaton.needs_dedup then
-        Array.length (select_one ?config ~funs ~strategy:Top_down single)
+        Array.length (select_one ?pool ?config ~funs ~strategy:Top_down single)
       else
-        Run.run ?config ~funs (Run.count_sem (Document.tag_index single.doc)) auto
+        Run.run ?pool ?config ~funs (Run.count_sem (Document.tag_index single.doc)) auto
   end
-  | branches -> Array.length (select_impl ?config ~funs ~strategy branches)
+  | branches -> Array.length (select_impl ?pool ?config ~funs ~strategy branches)
 
 (* Install fresh FM/tag probes for the duration of a traced evaluation
    and fold their readings into the trace: call/step counts become
@@ -206,27 +207,39 @@ let finish_trace ~funs ~strategy trace c nresults =
       Trace.set_counter tr "bottom_up" bu
     | _ -> ())
 
-let select ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =
+let select ?pool ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =
   if Option.is_some trace then precompile ?trace c;
-  let nodes = eval_traced trace config (fun config -> select_impl ?config ~funs ~strategy c) in
+  let nodes =
+    eval_traced trace config (fun config -> select_impl ?pool ?config ~funs ~strategy c)
+  in
   finish_trace ~funs ~strategy trace c (Array.length nodes);
   nodes
 
-let count ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =
+let count ?pool ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =
   if Option.is_some trace then precompile ?trace c;
-  let n = eval_traced trace config (fun config -> count_impl ?config ~funs ~strategy c) in
+  let n =
+    eval_traced trace config (fun config -> count_impl ?pool ?config ~funs ~strategy c)
+  in
   finish_trace ~funs ~strategy trace c n;
   n
 
-let select_preorders ?config ?funs ?strategy ?trace c =
-  let nodes = select ?config ?funs ?strategy ?trace c in
+let select_preorders ?pool ?config ?funs ?strategy ?trace c =
+  let nodes = select ?pool ?config ?funs ?strategy ?trace c in
   maybe_time trace Trace.Materialize (fun () ->
       Array.map (Document.preorder (one c).doc) nodes)
 
-let serialize_to ?config ?funs ?strategy ?trace buf c =
-  let nodes = select ?config ?funs ?strategy ?trace c in
+(* Minimum result count before serialization fans out on a pool. *)
+let serialize_par_cutoff = 4
+
+let serialize_to ?pool ?config ?funs ?strategy ?trace buf c =
+  let nodes = select ?pool ?config ?funs ?strategy ?trace c in
+  let doc = (one c).doc in
   maybe_time trace Trace.Materialize (fun () ->
-      Array.iter
-        (fun x -> Buffer.add_string buf (Document.serialize (one c).doc x))
-        nodes);
+      match pool with
+      | Some p
+        when Sxsi_par.Pool.size p > 1 && Array.length nodes >= serialize_par_cutoff ->
+        (* subtrees serialize independently; append in document order *)
+        let parts = Sxsi_par.Pool.map_array p (fun x -> Document.serialize doc x) nodes in
+        Array.iter (Buffer.add_string buf) parts
+      | _ -> Array.iter (fun x -> Buffer.add_string buf (Document.serialize doc x)) nodes);
   Array.length nodes

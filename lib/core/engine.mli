@@ -53,20 +53,35 @@ val chosen_strategy :
     check: one atomic load and branch per FM or tag-jump call. *)
 
 val count :
+  ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> compiled -> int
 
 val select :
+  ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> compiled -> int array
-(** Selected node positions in document order. *)
+(** Selected node positions in document order.
+
+    Every evaluation entry point also takes an optional [pool]: with a
+    pool of size [> 1], top-down marking scans partition across subtree
+    chunks, bottom-up plans partition across text-hit ranges, and
+    serialization fans out per result — all with deterministic
+    document-order merging, so counts, positions and serialized bytes
+    are identical to the sequential run.  Small inputs fall back to the
+    sequential path.  The [compiled] value must be {!precompile}d
+    before it is shared across domains; passing a pool here is safe
+    because the evaluating domain forces compilation before fanning
+    out. *)
 
 val select_preorders :
+  ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> compiled -> int array
 (** Global identifiers (preorders) of the selected nodes. *)
 
 val serialize_to :
+  ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> Buffer.t -> compiled -> int
 (** Materialize and serialize every result into the buffer; returns the

@@ -148,9 +148,11 @@ let mem_range arr lo hi =
   done;
   !l < n && arr.(!l) < hi
 
-let make_pred_eval doc (auto : Automaton.t) funs =
+let make_pred_eval ?sets doc (auto : Automaton.t) funs =
   let n = Array.length auto.Automaton.preds in
-  let sets : int array option array = Array.make n None in
+  let sets : int array option array =
+    match sets with Some s -> s | None -> Array.make n None
+  in
   let get_set i =
     match sets.(i) with
     | Some s -> s
@@ -196,14 +198,65 @@ type analysis = {
   a_q2 : Stateset.t;
 }
 
-let run ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
+(* One domain's evaluation functions, closed over its own stats and
+   memo tables. *)
+type 'r context = {
+  c_eval : int -> Stateset.t -> int -> (int * 'r) list;
+  c_scan_chunk : int -> Formula.t -> int -> int array -> int -> int -> 'r;
+}
+
+(* Positions a non-dropping marking scan will visit in [x, limit): all
+   occurrences of the tag, independent of match results. *)
+let scan_positions ti tag x limit =
+  let acc = ref [] in
+  let p = ref (Tag_index.tagged_next ti x tag) in
+  while !p >= 0 && !p < limit do
+    acc := !p :: !acc;
+    p := Tag_index.tagged_next ti (!p + 1) tag
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Minimum scan positions before a region is chunked across a pool. *)
+let scan_par_cutoff = 64
+
+let merge_stats into from =
+  into.visited <- into.visited + from.visited;
+  into.marked <- into.marked + from.marked;
+  into.jumps <- into.jumps + from.jumps;
+  into.memo_hits <- into.memo_hits + from.memo_hits
+
+let run ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
   let config = match config with Some c -> c | None -> default_config () in
   let doc = auto.Automaton.doc in
   let bp = Document.bp doc in
   let ti = Document.tag_index doc in
-  let pred_eval = make_pred_eval doc auto funs in
-  let stats = config.stats in
   let tag_count = Document.tag_count doc in
+  let pool =
+    match pool with Some p when Sxsi_par.Pool.size p > 1 -> Some p | _ -> None
+  in
+  (* With a pool, predicate text-sets are computed once up front and
+     shared read-only by every evaluation context (the lazy per-context
+     initialization would race).  A predicate whose resolution fails
+     stays unresolved here and raises at its first evaluation, exactly
+     like the sequential lazy path. *)
+  let pred_sets =
+    match pool with
+    | None -> None
+    | Some _ ->
+      Some
+        (Array.init (Array.length auto.Automaton.preds) (fun i ->
+             match text_set_of_pred doc funs auto.Automaton.preds.(i) with
+             | s -> Some s
+             | exception _ -> None))
+  in
+  (* One evaluation context per domain: the §5.5.2 memo tables and the
+     mutable stats are context-local, and both are semantically
+     transparent (the memo caches pure analyses), so a chunk of a scan
+     evaluated in a fresh context yields exactly the sequential result.
+     [par] is the pool the context may fan out on; chunk contexts get
+     [None], so parallel scans do not nest. *)
+  let rec make_context ~par stats =
+  let pred_eval = make_pred_eval ?sets:pred_sets doc auto funs in
   (* per-state-set arrays indexed by tag: one pointer chase per visit
      once warm (the "just-in-time compilation" tables of §5.5.2) *)
   let memo : (int, analysis option array) Hashtbl.t = Hashtbl.create 16 in
@@ -293,8 +346,46 @@ let run ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
      whole subtree, and existence scans stop at the first success. *)
   and scan_region q tag si x limit =
     stats.jumps <- stats.jumps + 1;
-    begin
-      let mp = si.Automaton.scan_match in
+    let mp = si.Automaton.scan_match in
+    let parallel =
+      (* Only a marking, non-dropping scan visits a match-independent
+         position sequence (every tag occurrence in the region, each
+         advancing by one): those positions evaluate independently and
+         their marks concatenate in preorder.  Dropping scans skip
+         subtrees of successful matches and existence scans stop at the
+         first success, so both stay sequential. *)
+      match par with
+      | Some pl when si.Automaton.scan_marking && not si.Automaton.scan_drop -> Some pl
+      | _ -> None
+    in
+    match parallel with
+    | Some pl ->
+      let ps = scan_positions ti tag x limit in
+      let np = Array.length ps in
+      if np < scan_par_cutoff then [ (q, scan_chunk tag mp limit ps 0 np) ]
+      else begin
+        let nchunks = min (4 * Sxsi_par.Pool.size pl) np in
+        let ranges =
+          Array.init nchunks (fun j -> (np * j / nchunks, np * (j + 1) / nchunks))
+        in
+        let results =
+          Sxsi_par.Pool.map_array pl
+            (fun (lo, hi) ->
+              let cstats = fresh_stats () in
+              let ctx = make_context ~par:None cstats in
+              (ctx.c_scan_chunk tag mp limit ps lo hi, cstats))
+            ranges
+        in
+        let marks =
+          Array.fold_left
+            (fun acc (m, cstats) ->
+              merge_stats stats cstats;
+              sem.cat acc m)
+            sem.empty results
+        in
+        [ (q, marks) ]
+      end
+    | None ->
       let rec loop p acc found =
         let p = Tag_index.tagged_next ti p tag in
         if p < 0 || p >= limit then (acc, found)
@@ -325,7 +416,26 @@ let run ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
       if si.Automaton.scan_marking then [ (q, marks) ]
       else if found then [ (q, sem.empty) ]
       else []
-    end
+  (* One chunk of a parallel scan: evaluate the positions [lo, hi) of
+     [ps] in this context and concatenate their marks in order. *)
+  and scan_chunk tag mp limit ps lo hi =
+    let acc = ref sem.empty in
+    for k = lo to hi - 1 do
+      let p = ps.(k) in
+      stats.visited <- stats.visited + 1;
+      let r1 =
+        if mp.Formula.down1 = [] then []
+        else
+          eval (Bp.first_child bp p) (Stateset.of_list mp.Formula.down1) (Bp.close bp p)
+      in
+      let r2 =
+        if mp.Formula.down2 = [] then []
+        else eval (Bp.next_sibling bp p) (Stateset.of_list mp.Formula.down2) limit
+      in
+      let b, m = eval_phi r1 r2 p tag mp in
+      if b then acc := sem.cat !acc m
+    done;
+    !acc
   and visit x qtd limit =
     stats.visited <- stats.visited + 1;
     let tag = Tag_index.tag ti x in
@@ -438,8 +548,11 @@ let run ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
       if b1 then (true, m1) else eval_phi r1 r2 x tag p2
     | Formula.Not p -> (not (fst (eval_phi r1 r2 x tag p)), sem.empty)
   in
+  { c_eval = eval; c_scan_chunk = scan_chunk }
+  in
+  let ctx = make_context ~par:pool config.stats in
   let res =
-    eval (Document.root doc)
+    ctx.c_eval (Document.root doc)
       (Stateset.of_list [ auto.Automaton.start ])
       (Bp.length bp)
   in

@@ -84,6 +84,7 @@ val custom_fn : text_funs -> string -> string -> custom_impl
     @raise Invalid_argument when unregistered. *)
 
 val run :
+  ?pool:Sxsi_par.Pool.t ->
   ?config:config ->
   ?funs:text_funs ->
   'r sem ->
@@ -92,4 +93,15 @@ val run :
 (** Run the automaton from the document root; the result is the
     combined marks of the start state ([sem.empty] when the automaton
     has no accepting run).
+
+    With a [pool] of size [> 1], marking scan regions (§5.4.1) over
+    enough positions are partitioned across the pool's domains: chunk
+    marks concatenate in preorder, so [positions]/[count] over the
+    result — and therefore every {!Engine} answer — are identical to
+    the sequential run (only the associativity of the mark
+    concatenation differs).  Predicate text-sets are then computed
+    eagerly once and shared read-only.  Dropping and existence scans,
+    whose traversal depends on match results, always run sequentially.
+    Stats are aggregated across chunk contexts; [memo_hits] may differ
+    from a sequential run since each chunk warms its own tables.
     @raise Invalid_argument on an unregistered custom predicate. *)

@@ -46,7 +46,11 @@ type t = {
   starts : Sparse.t;              (* start position of each text in T *)
 }
 
-let build ?(sample_rate = 64) texts =
+(* Minimum collection length before a pool is worth using for the
+   BWT/sampling pass. *)
+let par_cutoff = 1 lsl 16
+
+let build ?pool ?(sample_rate = 64) texts =
   let d = Array.length texts in
   if d = 0 then invalid_arg "Fm_index.build: empty collection";
   let n = Array.fold_left (fun acc s -> acc + String.length s + 1) 0 texts in
@@ -68,42 +72,53 @@ let build ?(sample_rate = 64) texts =
       incr p)
     texts;
   let sa = Sais.suffix_array mapped (256 + d) in
-  (* Drop the sentinel row, build BWT / samples / $ docs in one pass. *)
+  (* Drop the sentinel row, build BWT / samples / $ docs in one pass.
+     Each chunk of rows fills a disjoint slice of [bwt_bytes] (single
+     byte stores never tear) and returns its own ascending $-doc and
+     sampled-position lists, which concatenate in chunk order — so the
+     parallel pass reproduces the sequential output exactly. *)
   let bwt_bytes = Bytes.create n in
-  let sampled = Bitvec.Builder.create ~hint:n () in
-  let sample_positions = ref [] and nsamples = ref 0 in
-  let dollar_docs = ref [] and ndollars = ref 0 in
-  for i = 0 to n - 1 do
-    let r = sa.(i + 1) in
-    let prev = if r = 0 then n - 1 else r - 1 in
-    let v = mapped.(prev) in
-    if v <= d then begin
-      Bytes.unsafe_set bwt_bytes i '\000';
-      (* terminator of text v-1: the suffix at this row starts text
-         [v mod d] (text 0 when v = d). *)
-      dollar_docs := (v mod d) :: !dollar_docs;
-      incr ndollars
-    end
-    else Bytes.unsafe_set bwt_bytes i (Char.unsafe_chr (v - d));
-    if r mod sample_rate = 0 then begin
-      Bitvec.Builder.push sampled true;
-      sample_positions := r :: !sample_positions;
-      incr nsamples
-    end
-    else Bitvec.Builder.push sampled false
-  done;
+  let fill lo hi =
+    let dollars = ref [] and samples = ref [] in
+    for i = hi - 1 downto lo do
+      let r = sa.(i + 1) in
+      let prev = if r = 0 then n - 1 else r - 1 in
+      let v = mapped.(prev) in
+      if v <= d then begin
+        Bytes.unsafe_set bwt_bytes i '\000';
+        (* terminator of text v-1: the suffix at this row starts text
+           [v mod d] (text 0 when v = d). *)
+        dollars := (v mod d) :: !dollars
+      end
+      else Bytes.unsafe_set bwt_bytes i (Char.unsafe_chr (v - d));
+      if r mod sample_rate = 0 then samples := r :: !samples
+    done;
+    (!dollars, !samples)
+  in
+  let chunk_results =
+    match pool with
+    | Some p when Sxsi_par.Pool.size p > 1 && n >= par_cutoff ->
+      let k = min (4 * Sxsi_par.Pool.size p) n in
+      let ranges = Array.init k (fun j -> (n * j / k, n * (j + 1) / k)) in
+      Array.to_list (Sxsi_par.Pool.map_array p (fun (lo, hi) -> fill lo hi) ranges)
+    | _ -> [ fill 0 n ]
+  in
+  let dollar_docs = List.concat_map fst chunk_results in
+  let sample_positions = List.concat_map snd chunk_results in
+  let sampled = Bitvec.of_fun n (fun i -> sa.(i + 1) mod sample_rate = 0) in
   let bits_for v =
     let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in
     go v 0
   in
-  let pack count rev_list max_value =
+  let pack xs max_value =
+    let count = List.length xs in
     let iv = Intvec.make (max 1 count) (bits_for max_value) in
-    List.iteri (fun i x -> Intvec.set iv (count - 1 - i) x) rev_list;
+    List.iteri (fun i x -> Intvec.set iv i x) xs;
     iv
   in
-  let doc_started = pack !ndollars !dollar_docs (max 1 (d - 1)) in
-  let samples = pack !nsamples !sample_positions (max 1 (n - 1)) in
-  let bwt = Wavelet.of_string (Bytes.unsafe_to_string bwt_bytes) in
+  let doc_started = pack dollar_docs (max 1 (d - 1)) in
+  let samples = pack sample_positions (max 1 (n - 1)) in
+  let bwt = Wavelet.of_string ?pool (Bytes.unsafe_to_string bwt_bytes) in
   let c = Array.make 257 0 in
   for b = 1 to 256 do
     c.(b) <- c.(b - 1) + Wavelet.count bwt (Char.chr (b - 1))
@@ -115,7 +130,7 @@ let build ?(sample_rate = 64) texts =
     d;
     sample_rate;
     doc_started;
-    sampled = Bitvec.Builder.finish sampled;
+    sampled;
     samples;
     starts = Sparse.of_sorted ~universe:n starts_arr;
   }

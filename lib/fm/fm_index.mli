@@ -14,10 +14,13 @@
 
 type t
 
-val build : ?sample_rate:int -> string array -> t
+val build : ?pool:Sxsi_par.Pool.t -> ?sample_rate:int -> string array -> t
 (** [build texts] indexes the collection.  [sample_rate] (default 64)
     is the text-position sampling step [l] governing the
-    locate-time/space trade-off.
+    locate-time/space trade-off.  With a [pool] of size [> 1], the
+    BWT/sampling pass and the wavelet-tree build run chunked across the
+    pool's domains; the resulting index is identical to the sequential
+    build.
     @raise Invalid_argument if a text contains byte 0. *)
 
 val length : t -> int

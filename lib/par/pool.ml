@@ -1,0 +1,306 @@
+(* A bounded work-stealing domain pool.
+
+   Layout: a pool of size [d] owns [d] task queues.  Queue 0 receives
+   work submitted from outside the pool; queues 1..d-1 belong to the
+   spawned worker domains, and a task forked from inside worker [i]
+   lands on queue [i] (identified through domain-local storage).  A
+   domain out of local work scans the other queues round-robin and
+   steals from them.
+
+   Blocking discipline: a domain with nothing to run sleeps on a single
+   condition variable.  Both wake-up sources — a push making [pending]
+   non-zero and a task completion resolving a promise — take the pool
+   lock before signalling, and sleepers re-check their wait condition
+   under that same lock before calling [Condition.wait], so wake-ups
+   cannot be lost.  [await] never sleeps while runnable tasks exist: it
+   helps execute them instead, which is what lets tasks fork and await
+   sub-tasks (nested [fork_join]) without reserving domains. *)
+
+module Counter = Sxsi_obs.Counter
+
+type task = unit -> unit
+
+type queue = {
+  qlock : Mutex.t;
+  items : task Queue.t;
+}
+
+type t = {
+  name : string;
+  size : int;
+  queues : queue array;
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;                (* guards [sleepers] and the condition *)
+  nonempty : Condition.t;
+  pending : int Atomic.t;        (* tasks queued, not yet taken *)
+  mutable sleepers : int;        (* domains in Condition.wait; under [lock] *)
+  stopping : bool Atomic.t;
+  tasks : Counter.t;
+  steals : Counter.t;
+}
+
+(* Which pool/queue the current domain works for, if any. *)
+let slot_key : (t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_slot pool =
+  match !(Domain.DLS.get slot_key) with
+  | Some (p, i) when p == pool -> i
+  | Some _ | None -> 0
+
+let size t = t.size
+let tasks_total t = Counter.get t.tasks
+let steals_total t = Counter.get t.steals
+let queue_depth t = Atomic.get t.pending
+
+let default_domains () =
+  match Sys.getenv_opt "SXSI_DOMAINS" with
+  | None -> 1
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some d -> max 1 (min 128 d)
+    | None -> 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queues                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let push pool i task =
+  if Atomic.get pool.stopping then
+    invalid_arg "Pool: fork into a pool after shutdown";
+  let q = pool.queues.(i) in
+  Mutex.lock q.qlock;
+  Queue.add task q.items;
+  Mutex.unlock q.qlock;
+  Atomic.incr pool.pending;
+  Mutex.lock pool.lock;
+  if pool.sleepers > 0 then Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock
+
+let take_from pool j =
+  let q = pool.queues.(j) in
+  Mutex.lock q.qlock;
+  let r = if Queue.is_empty q.items then None else Some (Queue.pop q.items) in
+  Mutex.unlock q.qlock;
+  r
+
+(* Own queue first, then steal round-robin from the others. *)
+let try_take pool i =
+  match take_from pool i with
+  | Some task ->
+    Atomic.decr pool.pending;
+    Counter.incr pool.tasks;
+    Some task
+  | None ->
+    let n = Array.length pool.queues in
+    let rec scan k =
+      if k >= n then None
+      else begin
+        match take_from pool ((i + k) mod n) with
+        | Some task ->
+          Atomic.decr pool.pending;
+          Counter.incr pool.tasks;
+          Counter.incr pool.steals;
+          Some task
+        | None -> scan (k + 1)
+      end
+    in
+    scan 1
+
+(* Sleep until a push or a completion, unless [ready] already holds;
+   re-checked under the pool lock so the wake-up cannot be lost. *)
+let sleep_unless pool ready =
+  Mutex.lock pool.lock;
+  if (not (ready ())) && Atomic.get pool.pending = 0 then begin
+    pool.sleepers <- pool.sleepers + 1;
+    Condition.wait pool.nonempty pool.lock;
+    pool.sleepers <- pool.sleepers - 1
+  end;
+  Mutex.unlock pool.lock
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec worker_loop pool i =
+  match try_take pool i with
+  | Some task ->
+    task ();
+    worker_loop pool i
+  | None ->
+    if Atomic.get pool.stopping then ()   (* queues drained: exit *)
+    else begin
+      sleep_unless pool (fun () -> Atomic.get pool.stopping);
+      worker_loop pool i
+    end
+
+let create ?(name = "pool") ~domains () =
+  let domains = max 1 domains in
+  let pool =
+    {
+      name;
+      size = domains;
+      queues =
+        Array.init domains (fun _ -> { qlock = Mutex.create (); items = Queue.create () });
+      workers = [||];
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      pending = Atomic.make 0;
+      sleepers = 0;
+      stopping = Atomic.make false;
+      tasks = Counter.create ();
+      steals = Counter.create ();
+    }
+  in
+  pool.workers <-
+    Array.init (domains - 1) (fun k ->
+        Domain.spawn (fun () ->
+            Domain.DLS.get slot_key := Some (pool, k + 1);
+            worker_loop pool (k + 1)));
+  pool
+
+let shutdown pool =
+  if not (Atomic.exchange pool.stopping true) then begin
+    Mutex.lock pool.lock;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?name ~domains f =
+  let pool = create ?name ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Promises                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a state = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a promise = 'a state Atomic.t
+
+let resolved p = match Atomic.get p with Pending -> false | Done _ | Failed _ -> true
+
+let fork pool f =
+  let p = Atomic.make Pending in
+  let task () =
+    let st =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Atomic.set p st;
+    (* wake awaiters that went to sleep on this promise *)
+    Mutex.lock pool.lock;
+    if pool.sleepers > 0 then Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock
+  in
+  push pool (my_slot pool) task;
+  p
+
+let rec await pool p =
+  match Atomic.get p with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> begin
+    match try_take pool (my_slot pool) with
+    | Some task ->
+      task ();
+      await pool p
+    | None ->
+      (* the awaited task runs on another domain: sleep until any
+         completion or a new push, then re-check *)
+      sleep_unless pool (fun () -> resolved p);
+      await pool p
+  end
+
+let fork_join pool f g =
+  let pg = fork pool g in
+  let rf = match f () with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ()) in
+  let rg = match await pool pg with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ()) in
+  match (rf, rg) with
+  | Ok a, Ok b -> (a, b)
+  | Error (e, bt), _ | _, Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(* ------------------------------------------------------------------ *)
+(* Data-parallel combinators                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Split [0, n) into at most [chunks] equal slices. *)
+let split n chunks =
+  let chunks = max 1 (min n chunks) in
+  Array.init chunks (fun k -> (n * k / chunks, n * (k + 1) / chunks))
+
+let default_chunks pool = 4 * pool.size
+
+let run_ranges pool ranges job =
+  (* fork all but the first range, run the first inline, await in
+     index order so results merge deterministically *)
+  let k = Array.length ranges in
+  let promises =
+    Array.init (k - 1) (fun j ->
+        let lo, hi = ranges.(j + 1) in
+        fork pool (fun () -> job lo hi))
+  in
+  let first = (let lo, hi = ranges.(0) in job lo hi) in
+  Array.append [| first |] (Array.map (await pool) promises)
+
+let map_reduce pool ?chunks f combine init arr =
+  let n = Array.length arr in
+  if n = 0 then init
+  else if pool.size = 1 || n = 1 then
+    Array.fold_left (fun acc x -> combine acc (f x)) init arr
+  else begin
+    let ranges = split n (match chunks with Some c -> c | None -> default_chunks pool) in
+    let job lo hi =
+      let acc = ref (f arr.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (f arr.(i))
+      done;
+      !acc
+    in
+    Array.fold_left combine init (run_ranges pool ranges job)
+  end
+
+let parallel_range pool ?chunks ~lo ~hi body =
+  let n = hi - lo in
+  if n > 0 then begin
+    if pool.size = 1 then body lo hi
+    else begin
+      let ranges = split n (match chunks with Some c -> c | None -> default_chunks pool) in
+      ignore (run_ranges pool ranges (fun clo chi -> body (lo + clo) (lo + chi)))
+    end
+  end
+
+let map_array pool ?chunks f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    parallel_range pool ?chunks ~lo:1 ~hi:n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- f arr.(i)
+        done);
+    out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let register_metrics ?(prefix = "sxsi_pool") pool e =
+  let open Sxsi_obs.Exposition in
+  register_counter e
+    ~help:(Printf.sprintf "Tasks executed by the %s domain pool." pool.name)
+    ~name:(prefix ^ "_tasks_total") pool.tasks;
+  register_counter e
+    ~help:(Printf.sprintf "Tasks stolen across domains of the %s pool." pool.name)
+    ~name:(prefix ^ "_steals_total") pool.steals;
+  register_gauge e
+    ~help:(Printf.sprintf "Tasks queued and not yet started in the %s pool." pool.name)
+    ~name:(prefix ^ "_queue_depth") (fun () -> float_of_int (queue_depth pool));
+  register_gauge e
+    ~help:(Printf.sprintf "Configured size of the %s pool." pool.name)
+    ~name:(prefix ^ "_domains") (fun () -> float_of_int pool.size)

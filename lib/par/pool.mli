@@ -1,0 +1,92 @@
+(** A shared, bounded work-stealing domain pool: the parallel execution
+    substrate under parallel index construction ({!Sxsi_xml.Document}
+    with [~pool]), intra-query parallelism ({!Sxsi_core.Engine} with
+    [?pool]) and the service front end.
+
+    A pool of size [d] uses at most [d] domains at a time: [d - 1]
+    spawned worker domains plus whichever domain is currently waiting on
+    one of the pool's results (callers help execute queued tasks while
+    they wait, so a pool of size 1 spawns nothing and runs every task
+    inline — the sequential semantics by construction).
+
+    Each participating domain owns a task queue; a domain out of local
+    work steals from the others.  Tasks may fork and await further tasks
+    ([fork_join] nests arbitrarily); an exception raised inside a task
+    is caught, carried across the pool boundary and re-raised (with its
+    backtrace) at the point where the task's result is demanded.
+
+    All combinators are deterministic in their results: [map_reduce]
+    and [map_array] combine per-chunk results in index order, so for a
+    pure [f] and associative [combine] the outcome is byte-for-byte the
+    sequential one regardless of pool size or scheduling. *)
+
+type t
+
+val create : ?name:string -> domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains.
+    [domains] is clamped to at least 1.  [name] is used in metric help
+    strings only. *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, stop the workers and join them.  Idempotent.
+    Callers must have awaited their promises first; forking into a pool
+    after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?name:string -> domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val size : t -> int
+(** The configured number of domains (always [>= 1]). *)
+
+val default_domains : unit -> int
+(** The [SXSI_DOMAINS] environment variable (clamped to [1..128]), or
+    [1] when unset or unparsable — parallelism is strictly opt-in. *)
+
+(** {1 Tasks} *)
+
+type 'a promise
+
+val fork : t -> (unit -> 'a) -> 'a promise
+(** Queue [f] for execution on any of the pool's domains. *)
+
+val await : t -> 'a promise -> 'a
+(** Block until the promise resolves, executing other queued tasks
+    while waiting.  Re-raises the task's exception, if any. *)
+
+val fork_join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [fork_join p f g] runs [g] as a pool task and [f] inline, and
+    returns both results.  If both raise, [f]'s exception wins. *)
+
+val map_reduce :
+  t -> ?chunks:int -> ('a -> 'b) -> ('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+(** [map_reduce p f combine init arr] is
+    [Array.fold_left (fun acc x -> combine acc (f x)) init arr] with the
+    array split into [chunks] (default: enough for the pool) slices
+    mapped in parallel.  Per-chunk results are combined left-to-right in
+    index order, so the result equals the sequential fold whenever
+    [combine] is associative. *)
+
+val map_array : t -> ?chunks:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; element order is preserved. *)
+
+val parallel_range : t -> ?chunks:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_range p ~lo ~hi body] partitions [\[lo, hi)] into chunks
+    and runs [body chunk_lo chunk_hi] on each in parallel.  The caller
+    must ensure the chunks touch disjoint state. *)
+
+(** {1 Observability} *)
+
+val tasks_total : t -> int
+(** Tasks executed since creation. *)
+
+val steals_total : t -> int
+(** Tasks taken from another domain's queue. *)
+
+val queue_depth : t -> int
+(** Tasks currently queued and not yet started (a point-in-time
+    gauge). *)
+
+val register_metrics : ?prefix:string -> t -> Sxsi_obs.Exposition.t -> unit
+(** Register [<prefix>_tasks_total], [<prefix>_steals_total],
+    [<prefix>_queue_depth] and [<prefix>_domains] (default prefix
+    ["sxsi_pool"]) on an exposition. *)

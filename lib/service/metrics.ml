@@ -7,6 +7,9 @@ type t = {
   compiled_misses : Counter.t;
   count_hits : Counter.t;
   count_misses : Counter.t;
+  connections_opened : Counter.t;
+  connections_closed : Counter.t;
+  connections_shed : Counter.t;
   latency : Histogram.t;
 }
 
@@ -18,6 +21,9 @@ let create () =
     compiled_misses = Counter.create ();
     count_hits = Counter.create ();
     count_misses = Counter.create ();
+    connections_opened = Counter.create ();
+    connections_closed = Counter.create ();
+    connections_shed = Counter.create ();
     latency = Histogram.create ();
   }
 
@@ -34,6 +40,9 @@ let to_assoc t ~doc_evictions =
     ("compiled_misses", string_of_int (Counter.get t.compiled_misses));
     ("count_hits", string_of_int (Counter.get t.count_hits));
     ("count_misses", string_of_int (Counter.get t.count_misses));
+    ("connections_opened", string_of_int (Counter.get t.connections_opened));
+    ("connections_closed", string_of_int (Counter.get t.connections_closed));
+    ("connections_shed", string_of_int (Counter.get t.connections_shed));
     ("doc_evictions", string_of_int doc_evictions);
     ("latency_ms_total", Printf.sprintf "%.3f" (ms (Histogram.sum t.latency)));
     ("latency_p50_ms", q 0.5);

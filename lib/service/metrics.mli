@@ -14,6 +14,9 @@ type t = {
   compiled_misses : Sxsi_obs.Counter.t;
   count_hits : Sxsi_obs.Counter.t;      (** result-count cache hits *)
   count_misses : Sxsi_obs.Counter.t;
+  connections_opened : Sxsi_obs.Counter.t;  (** connections accepted into a session *)
+  connections_closed : Sxsi_obs.Counter.t;  (** sessions finished (any reason) *)
+  connections_shed : Sxsi_obs.Counter.t;    (** connections refused: accept queue full *)
   latency : Sxsi_obs.Histogram.t;       (** per-request latency, nanoseconds *)
 }
 
@@ -30,4 +33,6 @@ val to_assoc : t -> doc_evictions:int -> (string * string) list
     [errors], [compiled_hits], [compiled_misses], [count_hits],
     [count_misses], [doc_evictions], [latency_ms_total] — the latter
     now derived exactly from the histogram sum) and extended with
-    [latency_p50_ms], [latency_p95_ms] and [latency_p99_ms]. *)
+    [latency_p50_ms], [latency_p95_ms], [latency_p99_ms] and the
+    connection counters [connections_opened], [connections_closed],
+    [connections_shed]. *)

@@ -11,18 +11,49 @@ let session ic oc svc =
   in
   loop ()
 
-(* Domain-per-connection with opportunistic reaping: finished workers
-   flag themselves and are joined on later accepts, so handles do not
-   accumulate over a long-lived server. *)
-type worker = { handle : unit Domain.t; done_flag : bool Atomic.t }
+(* Bounded hand-off queue between the accept loop and the fixed worker
+   domains.  [try_push] refuses instead of blocking — the accept loop
+   must keep polling [stop] — and [pop] keeps draining queued
+   connections after [close], so accepted clients are still served
+   during shutdown. *)
+type queue = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  items : Unix.file_descr Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
 
-let reap workers = List.filter (fun w ->
-    if Atomic.get w.done_flag then begin
-      Domain.join w.handle;
-      false
-    end
-    else true)
-  workers
+let queue_create cap =
+  { m = Mutex.create (); nonempty = Condition.create (); items = Queue.create (); cap; closed = false }
+
+let try_push q fd =
+  Mutex.protect q.m (fun () ->
+      if q.closed || Queue.length q.items >= q.cap then false
+      else begin
+        Queue.push fd q.items;
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let pop q =
+  Mutex.protect q.m (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+        else if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let queue_close q =
+  Mutex.protect q.m (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)
+
+let queue_depth q = Mutex.protect q.m (fun () -> Queue.length q.items)
 
 let handle_connection svc fd =
   let ic = Unix.in_channel_of_descr fd in
@@ -31,11 +62,46 @@ let handle_connection svc fd =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> try session ic oc svc with Sys_error _ | Unix.Unix_error _ -> ())
 
-let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(on_listen = fun _ -> ())
-    ?(stop = fun () -> false) ~port svc =
+(* Load shedding: answer with one ERR line and close, so a client sees
+   a protocol-shaped refusal rather than a hung connection. *)
+let shed metrics fd =
+  Sxsi_obs.Counter.incr metrics.Metrics.connections_shed;
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     output_string oc
+       (Protocol.print_response (Protocol.Err "server busy: accept queue full"));
+     flush oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(workers = 4) ?(queue = 64)
+    ?(on_listen = fun _ -> ()) ?(stop = fun () -> false) ~port svc =
+  let nworkers = max 1 workers in
+  let q = queue_create (max 1 queue) in
+  let metrics = Service.service_metrics svc in
+  Service.register_server svc
+    ~workers:(fun () -> nworkers)
+    ~queue_depth:(fun () -> queue_depth q);
+  let worker () =
+    let rec loop () =
+      match pop q with
+      | None -> ()
+      | Some fd ->
+        handle_connection svc fd;
+        Sxsi_obs.Counter.incr metrics.Metrics.connections_closed;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = Array.init nworkers (fun _ -> Domain.spawn worker) in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    ~finally:(fun () ->
+      (* stop accepting, serve what was queued, join every worker: no
+         domain outlives [serve] *)
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      queue_close q;
+      Array.iter Domain.join domains)
     (fun () ->
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
       Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -45,20 +111,12 @@ let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(on_listen = fun _ -> ())
       | _ -> ());
       (* a short accept timeout so [stop] is polled even when idle *)
       Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.2;
-      let workers = ref [] in
       while not (stop ()) do
         match Unix.accept sock with
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-          workers := reap !workers
+          ()
         | fd, _ ->
-          workers := reap !workers;
-          let done_flag = Atomic.make false in
-          let handle =
-            Domain.spawn (fun () ->
-                Fun.protect
-                  ~finally:(fun () -> Atomic.set done_flag true)
-                  (fun () -> handle_connection svc fd))
-          in
-          workers := { handle; done_flag } :: !workers
-      done;
-      List.iter (fun w -> Domain.join w.handle) !workers)
+          if try_push q fd then
+            Sxsi_obs.Counter.incr metrics.Metrics.connections_opened
+          else shed metrics fd
+      done)

@@ -1,10 +1,18 @@
-(** TCP front end: a blocking accept loop that hands each connection to
-    its own OCaml 5 domain running the {!Protocol} line protocol over
-    the shared {!Service.t}. *)
+(** TCP front end: a blocking accept loop feeding a bounded hand-off
+    queue drained by a fixed pool of worker domains, each running the
+    {!Protocol} line protocol over the shared {!Service.t}.
+
+    Concurrency is capped at [workers] sessions: when all workers are
+    busy and the queue is full, new connections are refused with an
+    [ERR server busy] line (load shedding) instead of piling up a
+    domain per connection.  The connection counters and the
+    worker/queue gauges appear in the service's [METRICS] output. *)
 
 val serve :
   ?host:string ->
   ?backlog:int ->
+  ?workers:int ->
+  ?queue:int ->
   ?on_listen:(int -> unit) ->
   ?stop:(unit -> bool) ->
   port:int ->
@@ -13,8 +21,13 @@ val serve :
 (** [serve ~port svc] binds [host] (default ["127.0.0.1"]) on [port]
     ([0] picks an ephemeral port, reported through [on_listen]) and
     serves until [stop ()] (polled between accepts, default: never)
-    returns [true].  Each connection reads one request per line and
-    gets the rendered response; [QUIT] or EOF ends the connection. *)
+    returns [true].  [workers] (default [4], clamped to at least [1])
+    fixes the session concurrency; [queue] (default [64]) bounds the
+    accepted-but-unserved backlog.  Each connection reads one request
+    per line and gets the rendered response; [QUIT] or EOF ends the
+    connection.  On return every worker domain has been joined —
+    connections already queued are served first, so no session is
+    dropped and no domain leaks. *)
 
 val session : in_channel -> out_channel -> Service.t -> unit
 (** One protocol session over arbitrary channels: the per-connection

@@ -8,6 +8,7 @@ type options = {
   enable_jump : bool;
   enable_memo : bool;
   enable_early : bool;
+  domains : int;
 }
 
 let default_options =
@@ -18,6 +19,7 @@ let default_options =
     enable_jump = true;
     enable_memo = true;
     enable_early = false;
+    domains = 1;
   }
 
 (* Cache key: document name + registration generation (so a reload
@@ -34,6 +36,7 @@ type t = {
   counts : (key, int) Lru.t;
   metrics : Metrics.t;
   exposition : Sxsi_obs.Exposition.t;
+  pool : Sxsi_par.Pool.t option;  (* shared by builds and queries; None when domains <= 1 *)
 }
 
 let config_fingerprint o =
@@ -57,6 +60,12 @@ let build_exposition ~metrics ~registry ~compiled ~counts =
     metrics.Metrics.count_hits;
   counter ~help:"Result-count cache misses." ~name:"sxsi_count_cache_misses_total"
     metrics.Metrics.count_misses;
+  counter ~help:"Connections accepted into a session." ~name:"sxsi_connections_opened_total"
+    metrics.Metrics.connections_opened;
+  counter ~help:"Sessions finished, for any reason." ~name:"sxsi_connections_closed_total"
+    metrics.Metrics.connections_closed;
+  counter ~help:"Connections refused because the accept queue was full."
+    ~name:"sxsi_connections_shed_total" metrics.Metrics.connections_shed;
   Sxsi_obs.Exposition.register_histogram e
     ~help:"Request latency." ~scale:1e-9 ~name:"sxsi_request_duration_seconds"
     metrics.Metrics.latency;
@@ -85,6 +94,15 @@ let create ?(options = default_options) () =
   let registry = Registry.create ~max_bytes:options.max_doc_bytes () in
   let compiled = Lru.create ~cap:options.compiled_cache in
   let counts = Lru.create ~cap:options.count_cache in
+  let exposition = build_exposition ~metrics ~registry ~compiled ~counts in
+  let pool =
+    if options.domains > 1 then begin
+      let p = Sxsi_par.Pool.create ~name:"service" ~domains:options.domains () in
+      Sxsi_par.Pool.register_metrics p exposition;
+      Some p
+    end
+    else None
+  in
   {
     opts = options;
     config_fp = config_fingerprint options;
@@ -93,8 +111,24 @@ let create ?(options = default_options) () =
     compiled;
     counts;
     metrics;
-    exposition = build_exposition ~metrics ~registry ~compiled ~counts;
+    exposition;
+    pool;
   }
+
+let pool t = t.pool
+let service_metrics t = t.metrics
+
+let shutdown t = Option.iter Sxsi_par.Pool.shutdown t.pool
+
+(* Server front ends hang their worker/queue gauges off the service's
+   exposition so METRICS reports them alongside everything else. *)
+let register_server t ~workers ~queue_depth =
+  Mutex.protect t.lock (fun () ->
+      let gauge = Sxsi_obs.Exposition.register_gauge t.exposition in
+      gauge ~help:"Server worker domains." ~name:"sxsi_server_workers" (fun () ->
+          float_of_int (workers ()));
+      gauge ~help:"Connections waiting in the accept queue."
+        ~name:"sxsi_server_queue_depth" (fun () -> float_of_int (queue_depth ())))
 
 let locked t f = Mutex.protect t.lock f
 
@@ -118,9 +152,9 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_document path =
+let load_document ?pool path =
   if Filename.check_suffix path ".sxsi" then Document.load path
-  else Document.of_xml (read_file path)
+  else Document.of_xml ?pool (read_file path)
 
 (* Drop the cached queries of an evicted/replaced document right away
    rather than letting generation-stale entries age out: they pin the
@@ -191,18 +225,18 @@ let count t doc query =
   match cached with
   | Some n -> n
   | None ->
-    let n = Engine.count ~config:(run_config t) c in
+    let n = Engine.count ?pool:t.pool ~config:(run_config t) c in
     locked t (fun () -> Lru.add t.counts k n);
     n
 
 let select_preorders t doc query =
   let _, c = compiled_for t doc query in
-  Engine.select_preorders ~config:(run_config t) c
+  Engine.select_preorders ?pool:t.pool ~config:(run_config t) c
 
 let materialize t doc query =
   let _, c = compiled_for t doc query in
   let d = locked t (fun () -> (find_doc t doc).Registry.doc) in
-  let nodes = Engine.select ~config:(run_config t) c in
+  let nodes = Engine.select ?pool:t.pool ~config:(run_config t) c in
   Array.to_list (Array.map (Document.serialize d) nodes)
 
 (* One-shot traced evaluation: resolve the compiled query (recording
@@ -212,7 +246,7 @@ let materialize t doc query =
 let trace t doc query =
   let tr = Sxsi_obs.Trace.create ~label:query () in
   let _, c = compiled_for ~trace:tr t doc query in
-  ignore (Engine.select_preorders ~config:(run_config t) ~trace:tr c);
+  ignore (Engine.select_preorders ?pool:t.pool ~config:(run_config t) ~trace:tr c);
   tr
 
 (* ------------------------------------------------------------------ *)
@@ -238,7 +272,7 @@ let dispatch t (req : Protocol.request) : Protocol.response =
   match req with
   | Load { name; path } -> begin
     (* parse/load outside the lock: it is the expensive part *)
-    match load_document path with
+    match load_document ?pool:t.pool path with
     | doc ->
       let e =
         locked t (fun () ->

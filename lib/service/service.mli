@@ -19,11 +19,29 @@ type options = {
   enable_jump : bool;       (* engine knobs, part of the cache key *)
   enable_memo : bool;
   enable_early : bool;
+  domains : int;            (* evaluation pool size; <= 1 means sequential *)
 }
 
 val default_options : options
 
 val create : ?options:options -> unit -> t
+(** With [options.domains > 1] the service owns a {!Sxsi_par.Pool.t}
+    shared by document builds ([LOAD]) and query evaluation; its task
+    and steal counters join the metrics exposition. *)
+
+val pool : t -> Sxsi_par.Pool.t option
+
+val service_metrics : t -> Metrics.t
+(** The live counters, for front ends that account connections. *)
+
+val shutdown : t -> unit
+(** Join the evaluation pool's domains, if any.  Call once no request
+    is in flight; idempotent. *)
+
+val register_server : t -> workers:(unit -> int) -> queue_depth:(unit -> int) -> unit
+(** Hang a server front end's worker-count and accept-queue-depth
+    gauges off the service exposition, so [METRICS] reports them
+    alongside the request counters. *)
 
 val add_document : t -> string -> Sxsi_xml.Document.t -> unit
 (** Register an already-built document (bench and test entry point;

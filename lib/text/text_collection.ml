@@ -23,7 +23,7 @@ type t = {
 
 type contains_strategy = Fm_locate | Plain_scan
 
-let build ?(sample_rate = 64) ?(store_plain = true) ?store
+let build ?pool ?(sample_rate = 64) ?(store_plain = true) ?store
     ?(contains_cutoff = 10_000) texts =
   let d = Array.length texts in
   let store =
@@ -33,7 +33,7 @@ let build ?(sample_rate = 64) ?(store_plain = true) ?store
   in
   {
     d;
-    fm = Fm_index.build ~sample_rate (if d = 0 then [| "" |] else texts);
+    fm = Fm_index.build ?pool ~sample_rate (if d = 0 then [| "" |] else texts);
     stored =
       (match store with
       | Plain_store -> SPlain (Array.copy texts)

@@ -15,14 +15,15 @@ type store =
                       extraction (§3.4's alternative) *)
   | No_store      (** extraction through the FM-index only *)
 
-val build : ?sample_rate:int -> ?store_plain:bool -> ?store:store ->
-  ?contains_cutoff:int -> string array -> t
+val build : ?pool:Sxsi_par.Pool.t -> ?sample_rate:int -> ?store_plain:bool ->
+  ?store:store -> ?contains_cutoff:int -> string array -> t
 (** [build texts] indexes the collection.  The secondary text store
     (§3.4) defaults to [Plain_store]; [store_plain:false] is a shorthand
     for [No_store], and an explicit [store] wins over it.
     [contains_cutoff] (default [10_000]) is the global occurrence count
     beyond which [contains] switches from FM locating to scanning the
-    stored copy, when one exists. *)
+    stored copy, when one exists.  [pool] parallelizes the underlying
+    {!Sxsi_fm.Fm_index.build} without changing its result. *)
 
 val doc_count : t -> int
 val total_length : t -> int

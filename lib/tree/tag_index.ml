@@ -28,17 +28,46 @@ type t = {
   rows : Sparse.t array;      (* per tag: opening positions carrying it *)
 }
 
-let build bp ~tag_count ~tags =
+(* Minimum parenthesis count before the bucket scan is chunked across a
+   pool. *)
+let par_cutoff = 1 lsl 15
+
+let build ?pool bp ~tag_count ~tags =
   let n = Bp.length bp in
   if Array.length tags <> n then invalid_arg "Tag_index.build: length mismatch";
-  let buckets = Array.make tag_count [] in
-  for i = n - 1 downto 0 do
-    let tg = tags.(i) in
-    if tg < 0 || tg >= tag_count then invalid_arg "Tag_index.build: tag out of range";
-    if Bp.is_open bp i then buckets.(tg) <- i :: buckets.(tg)
-  done;
+  (* Bucket the opening positions of [lo, hi) per tag, ascending. *)
+  let bucket lo hi =
+    let bs = Array.make tag_count [] in
+    for i = hi - 1 downto lo do
+      let tg = tags.(i) in
+      if tg < 0 || tg >= tag_count then invalid_arg "Tag_index.build: tag out of range";
+      if Bp.is_open bp i then bs.(tg) <- i :: bs.(tg)
+    done;
+    bs
+  in
+  let use_pool =
+    match pool with
+    | Some p when Sxsi_par.Pool.size p > 1 && n >= par_cutoff -> Some p
+    | _ -> None
+  in
+  let buckets =
+    match use_pool with
+    | Some p ->
+      (* per-chunk buckets concatenate in chunk order, so each tag's
+         position list is the same ascending sequence the sequential
+         scan produces *)
+      let k = min (4 * Sxsi_par.Pool.size p) n in
+      let ranges = Array.init k (fun j -> (n * j / k, n * (j + 1) / k)) in
+      let chunked = Sxsi_par.Pool.map_array p (fun (lo, hi) -> bucket lo hi) ranges in
+      Array.init tag_count (fun tg ->
+          List.concat (Array.to_list (Array.map (fun bs -> bs.(tg)) chunked)))
+    | None -> bucket 0 n
+  in
+  let mk_row l = Sparse.of_sorted ~universe:(max 1 n) (Array.of_list l) in
   let rows =
-    Array.map (fun l -> Sparse.of_sorted ~universe:(max 1 n) (Array.of_list l)) buckets
+    match use_pool with
+    | Some p -> Sxsi_par.Pool.map_array p mk_row buckets
+    | None -> Array.map mk_row buckets
   in
   let width =
     let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in

@@ -9,10 +9,12 @@
 
 type t
 
-val build : Bp.t -> tag_count:int -> tags:int array -> t
+val build : ?pool:Sxsi_par.Pool.t -> Bp.t -> tag_count:int -> tags:int array -> t
 (** [build bp ~tag_count ~tags] takes the tag identifier of every
     parenthesis position ([tags.(i)] for both the opening and closing
-    parenthesis of a node).
+    parenthesis of a node).  With a [pool] of size [> 1], the bucket
+    scan and the per-tag sparse rows are built across the pool's
+    domains, producing an identical structure.
     @raise Invalid_argument on length mismatch or out-of-range tag. *)
 
 val tag_count : t -> int

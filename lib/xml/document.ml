@@ -177,7 +177,7 @@ let add_text b s =
   b.texts_rev <- s :: b.texts_rev;
   b.text_count <- b.text_count + 1
 
-let of_xml ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) src =
+let of_xml ?pool ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) src =
   let b = new_builder () in
   open_node b root_tag ~leaf:false;
   let emit_text s =
@@ -210,10 +210,24 @@ let of_xml ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) s
   close_node b;
   let bp = Bp.Builder.finish b.bpb in
   let names = Array.of_list (List.rev b.names_rev) in
-  let tag_index = Tag_index.build bp ~tag_count:(Array.length names) ~tags:(Grow.to_array b.tag_seq) in
+  let texts = Array.of_list (List.rev b.texts_rev) in
+  (* The tag index and the text collection depend on disjoint builder
+     output, so with a pool the two builds overlap (each also chunks
+     internally across the same pool). *)
+  let build_tags () =
+    Tag_index.build ?pool bp ~tag_count:(Array.length names)
+      ~tags:(Grow.to_array b.tag_seq)
+  in
+  let build_text () = Text_collection.build ?pool ~sample_rate ~store_plain texts in
+  let tag_index, text =
+    match pool with
+    | Some p when Sxsi_par.Pool.size p > 1 -> Sxsi_par.Pool.fork_join p build_tags build_text
+    | _ ->
+      let ti = build_tags () in
+      (ti, build_text ())
+  in
   let rel = Tag_rel.make ~tag_count:(Array.length names) in
   List.iter (fun (r, a, tg) -> Tag_rel.add rel r ~parent:a ~child:tg) b.rel_pairs;
-  let texts = Array.of_list (List.rev b.texts_rev) in
   let elem_tag =
     Array.map (fun n -> String.length n > 0 && n.[0] <> '@' && n <> "&" && n <> "#" && n <> "%") names
   in
@@ -226,7 +240,7 @@ let of_xml ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) s
     ids = b.b_ids;
     elem_tag;
     attr_tag;
-    text = Text_collection.build ~sample_rate ~store_plain texts;
+    text;
     leaves = Bitvec.Builder.finish b.leaf_bits;
     rel;
     pcdata_tag =
@@ -235,6 +249,8 @@ let of_xml ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) s
           | Some ok -> ok
           | None -> false);
   }
+
+let build = of_xml
 
 (* Container format v2: magic, 8-byte big-endian payload length, MD5
    digest of the payload, payload (the marshalled [t]).  The length and

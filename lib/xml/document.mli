@@ -20,11 +20,19 @@ val nil : node
 
 (** {1 Construction} *)
 
-val of_xml : ?keep_whitespace:bool -> ?sample_rate:int -> ?store_plain:bool ->
-  string -> t
+val of_xml : ?pool:Sxsi_par.Pool.t -> ?keep_whitespace:bool ->
+  ?sample_rate:int -> ?store_plain:bool -> string -> t
 (** Parse and index an XML document.  [keep_whitespace] (default
     [true]) controls whether whitespace-only texts become text nodes.
+    With a [pool] of size [> 1], the tag index and the text collection
+    are built concurrently (and each chunks its own work across the
+    pool); the resulting document is identical to a sequential build.
     @raise Xml_parser.Parse_error on malformed input. *)
+
+val build : ?pool:Sxsi_par.Pool.t -> ?keep_whitespace:bool ->
+  ?sample_rate:int -> ?store_plain:bool -> string -> t
+(** Alias of {!of_xml} under the name the parallel-build entry point is
+    documented by. *)
 
 val save : t -> string -> unit
 (** Write the whole self-index to a file (versioned container around

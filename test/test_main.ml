@@ -17,4 +17,5 @@ let () =
       Test_service.suite;
       Test_obs.suite;
       Test_units.suite;
+      Test_par.suite;
     ]

@@ -436,6 +436,132 @@ let test_tcp_server () =
           ("unexpected responses: "
           ^ String.concat " | " (List.map Protocol.print_response rs))))
 
+(* Run [body port] against a live server, stopping and joining it
+   afterwards whatever happens. *)
+let with_server ?workers ?queue svc body =
+  let stop = Atomic.make false in
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Server.serve ?workers ?queue ~port:0
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~stop:(fun () -> Atomic.get stop)
+          svc)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join server)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check bool) "server came up" true (Atomic.get port <> 0);
+      body (Atomic.get port))
+
+let connect port = Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+(* Regression for the worker-reaping race of the domain-per-connection
+   server: cycle many short-lived connections and verify, once [serve]
+   has returned (joining its fixed workers), that every accepted session
+   also finished — no connection, and so no domain, leaked. *)
+let test_connection_churn () =
+  let svc = Service.create () in
+  Service.add_document svc "d" (small_doc "root" 10);
+  let rounds = 40 in
+  with_server ~workers:2 ~queue:8 svc (fun port ->
+      for _ = 1 to rounds do
+        let ic, oc = connect port in
+        Fun.protect
+          ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+          (fun () ->
+            output_string oc "COUNT d //item\nQUIT\n";
+            flush oc;
+            match Protocol.read_response (fun () ->
+                match input_line ic with
+                | line -> Some line
+                | exception End_of_file -> None)
+            with
+            | Ok (Protocol.Ok [ "10" ]) -> ()
+            | Ok r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r)
+            | Error e -> Alcotest.fail ("client read: " ^ e))
+      done);
+  (* serve has returned: every worker is joined, so all sessions ended *)
+  let opened = int_of_string (stats_value svc "connections_opened") in
+  let closed = int_of_string (stats_value svc "connections_closed") in
+  Alcotest.(check int) "every connection accepted" rounds opened;
+  Alcotest.(check int) "every session finished" opened closed;
+  Alcotest.(check string) "nothing shed" "0" (stats_value svc "connections_shed")
+
+let test_load_shedding () =
+  let svc = Service.create () in
+  Service.add_document svc "d" (small_doc "root" 5);
+  with_server ~workers:1 ~queue:1 svc (fun port ->
+      (* occupy the single worker; reading a response proves the worker
+         (not the accept loop) owns this session *)
+      let ic_a, oc_a = connect port in
+      output_string oc_a "COUNT d //item\n";
+      flush oc_a;
+      Alcotest.(check string) "worker busy with A" "OK 5" (input_line ic_a);
+      (* fill the one queue slot *)
+      let ic_b, oc_b = connect port in
+      (* wait until the accept loop has queued B *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        (try int_of_string (stats_value svc "connections_opened") < 2
+         with _ -> true)
+        && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.01
+      done;
+      (* the next connection must be refused with a protocol error *)
+      let ic_c, _oc_c = connect port in
+      Alcotest.(check string) "shed response" "ERR server busy: accept queue full"
+        (input_line ic_c);
+      Alcotest.(check bool) "shed closes the connection" true
+        (match input_line ic_c with _ -> false | exception End_of_file -> true);
+      (try Unix.shutdown_connection ic_c with _ -> ());
+      (* release the worker: A ends, B gets served from the queue *)
+      (try Unix.shutdown_connection ic_a with _ -> ());
+      output_string oc_b "COUNT d //item\nQUIT\n";
+      flush oc_b;
+      Alcotest.(check string) "queued connection served" "OK 5" (input_line ic_b);
+      try Unix.shutdown_connection ic_b with _ -> ());
+  Alcotest.(check string) "shed counted" "1" (stats_value svc "connections_shed");
+  let opened = int_of_string (stats_value svc "connections_opened") in
+  let closed = int_of_string (stats_value svc "connections_closed") in
+  Alcotest.(check int) "A and B accepted" 2 opened;
+  Alcotest.(check int) "A and B finished" 2 closed
+
+(* With [domains > 1] the service owns an evaluation pool: results must
+   be identical to the sequential service, and the pool's counters must
+   join the exposition. *)
+let test_service_domains () =
+  let seq = Service.create () in
+  let opts = { Service.default_options with Service.domains = 2 } in
+  let par = Service.create ~options:opts () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown par)
+    (fun () ->
+      let xml = Sxsi_datagen.Xmark.generate ~scale:120 () in
+      Service.add_document seq "d" (Sxsi_xml.Document.of_xml xml);
+      Service.add_document par "d"
+        (Sxsi_xml.Document.build ?pool:(Service.pool par) xml);
+      List.iter
+        (fun q ->
+          let line = "COUNT d " ^ q in
+          Alcotest.(check (list string)) q
+            (expect_ok (Service.handle_line seq line))
+            (expect_ok (Service.handle_line par line)))
+        [ "//listitem//keyword"; "//keyword"; "//item"; "//emph"; "/site/regions" ];
+      let metrics = expect_data (Service.handle par Protocol.Metrics) in
+      Alcotest.(check bool) "pool metrics exposed" true
+        (List.exists
+           (fun l ->
+             String.length l >= 21 && String.sub l 0 21 = "sxsi_pool_tasks_total")
+           metrics))
+
 let suite =
   ( "service",
     [
@@ -455,4 +581,7 @@ let suite =
       Alcotest.test_case "corrupt LOAD is ERR" `Quick test_corrupt_load_is_err;
       Alcotest.test_case "concurrent counts" `Quick test_concurrent_counts;
       Alcotest.test_case "tcp server" `Quick test_tcp_server;
+      Alcotest.test_case "connection churn leaks nothing" `Quick test_connection_churn;
+      Alcotest.test_case "load shedding" `Quick test_load_shedding;
+      Alcotest.test_case "service with domains" `Quick test_service_domains;
     ] )
