@@ -3,7 +3,7 @@
 
    Usage:  dune exec bench/main.exe -- [section ...] [options]
    Sections: fig8 table2 table3 table4 table5 table6 fig10 fig11 fig12
-             fig13 fig15 table7 fig18 streaming service par xmark
+             fig13 fig15 table7 fig18 streaming service par qos xmark
              bechamel (default: all except bechamel)
    Options:  --fast (single timed run)  --runs N  --scale F
              --json (also write BENCH_<section>.json per section)
@@ -673,6 +673,58 @@ let par () =
   H.table [ "domains"; "build"; "build speedup"; "count"; "count speedup" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* Budget-check overhead: the count path with governance off vs. on     *)
+(* ------------------------------------------------------------------ *)
+
+(* A budget generous enough never to trip: what this measures is the
+   pure cost of the sampled checks riding in the hot loops (one
+   fetch_and_add per step; clock reads every 1024th), not any
+   enforcement.  The reproduction target is "disabled indistinguishable
+   from before, enabled within ~2%". *)
+let qos () =
+  H.section "QoS: budget-check overhead on the XMark count workload";
+  let c = Lazy.force xmark_small in
+  let doc = Document.of_xml c.xml in
+  let compiled =
+    Array.of_list (List.map (fun (_, q) -> Engine.prepare doc q) xmark_queries)
+  in
+  Array.iter Engine.precompile compiled;
+  let m = Array.length compiled in
+  let qps_with budget =
+    let cursor = ref 0 in
+    H.throughput (fun () ->
+        let j = !cursor in
+        cursor := j + 1;
+        Engine.count ?budget compiled.(j mod m))
+  in
+  let qps_off = qps_with None in
+  let qps_on =
+    qps_with
+      (Some
+         (Sxsi_qos.Budget.create ~deadline_ns:max_int ~max_steps:max_int
+            ~max_results:max_int ~max_bytes:max_int ()))
+  in
+  let overhead_pct = (1.0 -. (qps_on /. qps_off)) *. 100.0 in
+  H.measure
+    [
+      ("count_qps_budget_off", J.Float qps_off);
+      ("count_qps_budget_on", J.Float qps_on);
+      ("overhead_pct", J.Float overhead_pct);
+      ( "qos_exceeded_total",
+        J.Int (Sxsi_obs.Counter.get Sxsi_qos.Budget.exceeded_total) );
+      ( "qos_deadline_exceeded_total",
+        J.Int (Sxsi_obs.Counter.get Sxsi_qos.Budget.deadline_exceeded_total) );
+      ( "qos_cancelled_chunks_total",
+        J.Int (Sxsi_obs.Counter.get Sxsi_qos.Budget.cancelled_chunks_total) );
+    ];
+  H.table
+    [ "budget"; "count"; "overhead" ]
+    [
+      [ "off"; H.pp_rate qps_off; "-" ];
+      [ "on"; H.pp_rate qps_on; Printf.sprintf "%.2f%%" overhead_pct ];
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* XMark per-query latency with trace-derived phase breakdown           *)
 (* ------------------------------------------------------------------ *)
 
@@ -819,6 +871,7 @@ let sections =
     ("streaming", streaming);
     ("service", service);
     ("par", par);
+    ("qos", qos);
     ("xmark", xmark);
     ("bechamel", bechamel);
   ]

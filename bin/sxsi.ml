@@ -52,6 +52,31 @@ let show_trace =
          ~doc:"Emit a one-line JSON trace record (phase timings in nanoseconds, engine \
                and index counters) on stderr")
 
+let timeout_arg =
+  Arg.(value & opt (some int) None & info [ "timeout" ] ~docv:"MS"
+         ~doc:"Per-query deadline in milliseconds.  Overruns exit with status 124 \
+               ($(b,count)/$(b,select)) or answer ERR DEADLINE ($(b,serve)/$(b,repl), \
+               where the deadline covers each request and sessions can override it \
+               with the DEADLINE verb)")
+
+let max_results_arg =
+  Arg.(value & opt (some int) None & info [ "max-results" ] ~docv:"N"
+         ~doc:"Per-query result-count cap.  Overruns exit with status 124 \
+               ($(b,count)/$(b,select)) or answer ERR BUDGET ($(b,serve)/$(b,repl))")
+
+(* Query-only budget for one-shot commands: the clock starts after the
+   document is loaded, so --timeout bounds evaluation, not parsing. *)
+let cli_budget ~timeout_ms ~max_results =
+  Sxsi_qos.Budget.of_limits ?deadline_ms:timeout_ms ?max_results ()
+
+let budget_exit = 124 (* same convention as timeout(1) *)
+
+let or_budget_exceeded f =
+  try f () with
+  | Sxsi_qos.Budget.Exceeded reason ->
+    Printf.eprintf "sxsi: %s budget exceeded\n%!" (Sxsi_qos.Budget.reason_name reason);
+    exit budget_exit
+
 let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
          ~doc:"Domain-pool size for index construction and query evaluation \
@@ -103,33 +128,37 @@ let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag t
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run file query dw nj nm strategy st tf dom =
+  let run file query dw nj nm strategy st tf dom timeout maxr =
     with_engine file query dw nj nm strategy st tf dom
       (fun ?pool _doc c config strategy trace ->
-        Printf.printf "%d\n" (Engine.count ?pool ~config ~strategy ?trace c))
+        or_budget_exceeded (fun () ->
+            let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
+            Printf.printf "%d\n" (Engine.count ?budget ?pool ~config ~strategy ?trace c)))
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ domains_arg)
+          $ show_stats $ show_trace $ domains_arg $ timeout_arg $ max_results_arg)
 
 let select_cmd =
   let ids =
     Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
   in
-  let run file query dw nj nm strategy st tf dom ids =
+  let run file query dw nj nm strategy st tf dom timeout maxr ids =
     with_engine file query dw nj nm strategy st tf dom
       (fun ?pool doc c config strategy trace ->
-        let nodes = Engine.select ?pool ~config ~strategy ?trace c in
-        if ids then
-          Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
-        else
-          Array.iter (fun x -> print_endline (Document.serialize doc x)) nodes)
+        or_budget_exceeded (fun () ->
+            let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
+            let nodes = Engine.select ?budget ?pool ~config ~strategy ?trace c in
+            if ids then
+              Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
+            else
+              Array.iter (fun x -> print_endline (Document.serialize doc x)) nodes))
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ domains_arg $ ids)
+          $ show_stats $ show_trace $ domains_arg $ timeout_arg $ max_results_arg $ ids)
 
 let stats_cmd =
   let run file dw dom =
@@ -192,7 +221,9 @@ let explain_cmd =
 (* QUIT protocol over stdin/stdout (repl) or TCP (serve)               *)
 (* ------------------------------------------------------------------ *)
 
-let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains =
+let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains timeout
+    max_results =
+  let positive = function Some n when n > 0 -> n | Some _ | None -> 0 in
   {
     Sxsi_service.Service.default_options with
     Sxsi_service.Service.max_doc_bytes =
@@ -202,6 +233,8 @@ let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domain
     enable_jump = not no_jump;
     enable_memo = not no_memo;
     domains = resolve_domains domains;
+    default_deadline_ms = positive timeout;
+    max_results = positive max_results;
   }
 
 let max_doc_mb_arg =
@@ -251,11 +284,11 @@ let preload svc specs =
     specs
 
 let repl_cmd =
-  let run max_mb cc kc nj nm dom specs =
+  let run max_mb cc kc nj nm dom timeout maxr specs =
     guarded (fun () ->
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom) ()
+            ~options:(service_options max_mb cc kc nj nm dom timeout maxr) ()
         in
         Fun.protect
           ~finally:(fun () -> Sxsi_service.Service.shutdown svc)
@@ -268,7 +301,7 @@ let repl_cmd =
        ~doc:"Speak the service protocol (LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/QUIT) \
              on stdin/stdout")
     Term.(const run $ max_doc_mb_arg $ compiled_cache_arg $ count_cache_arg $ no_jump
-          $ no_memo $ domains_arg $ preload_arg)
+          $ no_memo $ domains_arg $ timeout_arg $ max_results_arg $ preload_arg)
 
 let serve_cmd =
   let port_arg =
@@ -287,11 +320,11 @@ let serve_cmd =
            ~doc:"Accepted-connection queue bound; beyond it new connections are \
                  refused with an ERR response")
   in
-  let run host port workers queue max_mb cc kc nj nm dom specs =
+  let run host port workers queue max_mb cc kc nj nm dom timeout maxr specs =
     guarded (fun () ->
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom) ()
+            ~options:(service_options max_mb cc kc nj nm dom timeout maxr) ()
         in
         Fun.protect
           ~finally:(fun () -> Sxsi_service.Service.shutdown svc)
@@ -308,7 +341,7 @@ let serve_cmd =
              queries are cached and shared across connections")
     Term.(const run $ host_arg $ port_arg $ workers_arg $ queue_arg $ max_doc_mb_arg
           $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ domains_arg
-          $ preload_arg)
+          $ timeout_arg $ max_results_arg $ preload_arg)
 
 let gen_cmd =
   let kind =
@@ -344,6 +377,9 @@ let gen_cmd =
     Term.(const run $ kind $ scale $ out)
 
 let () =
+  (* honor SXSI_FAILPOINTS in every subcommand, not just the service
+     front ends (Service.create also calls this; it is idempotent) *)
+  Sxsi_qos.Failpoint.init_from_env ();
   let info =
     Cmd.info "sxsi" ~version:"1.0.0"
       ~doc:"Succinct XML Self-Index: in-memory XPath search over compressed indexes"

@@ -116,10 +116,19 @@ let test_ok doc (step : step) x =
    across a pool. *)
 let par_cutoff = 64
 
-let run_with_text_time ?pool ?(funs = fun _ -> None) doc p =
+let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
   let bp = Document.bp doc in
   let k = Array.length p.steps in
   let r = p.result_idx in
+  (* One step per candidate text: each verification walks a root path
+     of bounded depth, so per-candidate granularity keeps the check
+     off the inner memoized recursions while still bounding the
+     scan-shaped outer loop. *)
+  let bcheck =
+    match budget with
+    | None -> fun () -> ()
+    | Some b -> fun () -> Sxsi_qos.Budget.check b
+  in
   let t0 = Unix.gettimeofday () in
   let texts = Run.text_set_of_pred doc funs p.pred in
   let text_time = Unix.gettimeofday () -. t0 in
@@ -165,6 +174,7 @@ let run_with_text_time ?pool ?(funs = fun _ -> None) doc p =
   in
   let results = ref [] in
   for ti = lo to hi - 1 do
+      bcheck ();
       let d = texts.(ti) in
       let leaf = Document.leaf_of_text doc d in
       let candidate =
@@ -247,4 +257,5 @@ let run_with_text_time ?pool ?(funs = fun _ -> None) doc p =
   in
   (text_time, List.sort_uniq compare results)
 
-let run ?pool ?funs doc p = snd (run_with_text_time ?pool ?funs doc p)
+let run ?budget ?pool ?funs doc p =
+  snd (run_with_text_time ?budget ?pool ?funs doc p)

@@ -50,14 +50,29 @@ val chosen_strategy :
     [bottom_up] (1 when the bottom-up strategy ran).  Probe readings
     are approximate when other domains evaluate concurrently.  Without
     [trace] the only cost left in the hot paths is a disabled probe
-    check: one atomic load and branch per FM or tag-jump call. *)
+    check: one atomic load and branch per FM or tag-jump call.
+
+    Every entry point also takes an optional
+    [budget] ({!Sxsi_qos.Budget.t}).  When present the deadline is
+    checked once up front (a request that already blew it fails before
+    doing work), the budget is installed ambiently so FM-index loops
+    and pool chunks charge it, every evaluator step calls the sampled
+    {!Sxsi_qos.Budget.check}, [select]/[select_preorders] charge the
+    result count against the budget's result limit, and [serialize_to]
+    charges serialized bytes against its byte limit.  A blown budget
+    raises {!Sxsi_qos.Budget.Exceeded}; results are never truncated —
+    the caller gets the complete answer or the exception.  Each entry
+    point also triggers the ["engine.eval"]
+    {!Sxsi_qos.Failpoint} site first, for fault-injection tests. *)
 
 val count :
+  ?budget:Sxsi_qos.Budget.t ->
   ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> compiled -> int
 
 val select :
+  ?budget:Sxsi_qos.Budget.t ->
   ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> compiled -> int array
@@ -75,12 +90,14 @@ val select :
     out. *)
 
 val select_preorders :
+  ?budget:Sxsi_qos.Budget.t ->
   ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> compiled -> int array
 (** Global identifiers (preorders) of the selected nodes. *)
 
 val serialize_to :
+  ?budget:Sxsi_qos.Budget.t ->
   ?pool:Sxsi_par.Pool.t ->
   ?config:Run.config -> ?funs:Run.text_funs -> ?strategy:strategy ->
   ?trace:Sxsi_obs.Trace.t -> Buffer.t -> compiled -> int

@@ -206,11 +206,14 @@ type 'r context = {
 }
 
 (* Positions a non-dropping marking scan will visit in [x, limit): all
-   occurrences of the tag, independent of match results. *)
-let scan_positions ti tag x limit =
+   occurrences of the tag, independent of match results.  [check] is
+   the run's budget check (a no-op without a budget): collection can
+   cover a whole document before any chunk evaluates. *)
+let scan_positions check ti tag x limit =
   let acc = ref [] in
   let p = ref (Tag_index.tagged_next ti x tag) in
   while !p >= 0 && !p < limit do
+    check ();
     acc := !p :: !acc;
     p := Tag_index.tagged_next ti (!p + 1) tag
   done;
@@ -225,8 +228,17 @@ let merge_stats into from =
   into.jumps <- into.jumps + from.jumps;
   into.memo_hits <- into.memo_hits + from.memo_hits
 
-let run ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
+let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
   let config = match config with Some c -> c | None -> default_config () in
+  (* One step charged per node visited (scan or simulation); the check
+     is a single atomic increment, with the deadline read sampled —
+     see [Sxsi_qos.Budget].  Chunk contexts share the same budget, so
+     one chunk tripping cancels the siblings at their next check. *)
+  let bcheck =
+    match budget with
+    | None -> fun () -> ()
+    | Some b -> fun () -> Sxsi_qos.Budget.check b
+  in
   let doc = auto.Automaton.doc in
   let bp = Document.bp doc in
   let ti = Document.tag_index doc in
@@ -360,7 +372,7 @@ let run ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
     in
     match parallel with
     | Some pl ->
-      let ps = scan_positions ti tag x limit in
+      let ps = scan_positions bcheck ti tag x limit in
       let np = Array.length ps in
       if np < scan_par_cutoff then [ (q, scan_chunk tag mp limit ps 0 np) ]
       else begin
@@ -390,6 +402,7 @@ let run ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
         let p = Tag_index.tagged_next ti p tag in
         if p < 0 || p >= limit then (acc, found)
         else begin
+          bcheck ();
           stats.visited <- stats.visited + 1;
           let r1 =
             if mp.Formula.down1 = [] then []
@@ -421,6 +434,7 @@ let run ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
   and scan_chunk tag mp limit ps lo hi =
     let acc = ref sem.empty in
     for k = lo to hi - 1 do
+      bcheck ();
       let p = ps.(k) in
       stats.visited <- stats.visited + 1;
       let r1 =
@@ -437,6 +451,7 @@ let run ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
     done;
     !acc
   and visit x qtd limit =
+    bcheck ();
     stats.visited <- stats.visited + 1;
     let tag = Tag_index.tag ti x in
     let an = analyse qtd tag in

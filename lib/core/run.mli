@@ -84,6 +84,7 @@ val custom_fn : text_funs -> string -> string -> custom_impl
     @raise Invalid_argument when unregistered. *)
 
 val run :
+  ?budget:Sxsi_qos.Budget.t ->
   ?pool:Sxsi_par.Pool.t ->
   ?config:config ->
   ?funs:text_funs ->
@@ -93,6 +94,13 @@ val run :
 (** Run the automaton from the document root; the result is the
     combined marks of the start state ([sem.empty] when the automaton
     has no accepting run).
+
+    With a [budget], every node visit (simulation step, scan position,
+    chunk iteration) charges one step via {!Sxsi_qos.Budget.check}:
+    the run either completes with its full, deterministic result or
+    raises {!Sxsi_qos.Budget.Exceeded} — chunks share the budget, so
+    one chunk tripping cancels the siblings at their next check and
+    no truncated result can escape.
 
     With a [pool] of size [> 1], marking scan regions (§5.4.1) over
     enough positions are partitioned across the pool's domains: chunk

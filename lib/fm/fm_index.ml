@@ -148,10 +148,21 @@ let lf t i =
   if ch = '\000' then invalid_arg "Fm_index.lf: end-marker row";
   t.c.(Char.code ch) + Wavelet.rank t.bwt ch i
 
+(* The search/locate loops are the innermost unbounded work in a
+   query; they charge the ambient request budget (installed by
+   [Sxsi_core.Engine], propagated across pool domains by
+   [Sxsi_par.Pool.fork]).  The ambient lookup happens once per public
+   call; with no budget installed each loop step pays one branch. *)
+let budget_step = function
+  | None -> ()
+  | Some b -> Sxsi_qos.Budget.check b
+
 let search_within t p sp0 ep0 =
+  let bdg = Sxsi_qos.Budget.ambient () in
   let sp = ref sp0 and ep = ref ep0 in
   (try
      for i = String.length p - 1 downto 0 do
+       budget_step bdg;
        let ch = p.[i] in
        if ch = '\000' then begin
          sp := 0;
@@ -258,9 +269,11 @@ let pos_to_text t pos =
 
 let locate t row0 =
   let probe = Atomic.get active_probe in
+  let bdg = Sxsi_qos.Budget.ambient () in
   let t0 = match probe with None -> 0 | Some _ -> Sxsi_obs.Clock.now_ns () in
   let row = ref row0 and steps = ref 0 and res = ref (-1) in
   while !res < 0 do
+    budget_step bdg;
     if Bitvec.get t.sampled !row then
       res := Intvec.get t.samples (Bitvec.rank1 t.sampled !row) + !steps
     else begin
@@ -279,7 +292,7 @@ let locate t row0 =
   | Some pr ->
     Sxsi_obs.Counter.incr pr.locate_calls;
     Sxsi_obs.Counter.add pr.locate_steps !steps;
-    Sxsi_obs.Counter.add pr.locate_ns (Sxsi_obs.Clock.now_ns () - t0));
+    Sxsi_obs.Counter.add pr.locate_ns (Sxsi_obs.Clock.since t0));
   !res
 
 let extract t i =
@@ -289,9 +302,11 @@ let extract t i =
   let buf = Buffer.create 16 in
   (* Row i starts with the terminator of text i; its BWT symbol is the
      last character of text i.  Walk LF back to the text start. *)
+  let bdg = Sxsi_qos.Budget.ambient () in
   let row = ref i in
   let continue = ref true in
   while !continue do
+    budget_step bdg;
     let ch = Wavelet.access t.bwt !row in
     if ch = '\000' then continue := false
     else begin
@@ -304,7 +319,7 @@ let extract t i =
   | None -> ()
   | Some pr ->
     Sxsi_obs.Counter.incr pr.extract_calls;
-    Sxsi_obs.Counter.add pr.extract_ns (Sxsi_obs.Clock.now_ns () - t0));
+    Sxsi_obs.Counter.add pr.extract_ns (Sxsi_obs.Clock.since t0));
   String.init (String.length s) (fun k -> s.[String.length s - 1 - k])
 
 let space_bits t =

@@ -5,3 +5,7 @@ let source = ref default
 let now_ns () = !source ()
 
 let set_source f = source := f
+
+let since t0 = max 0 (now_ns () - t0)
+
+let diff_ns ~from ~until = max 0 (until - from)

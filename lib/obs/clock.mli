@@ -2,9 +2,17 @@
 
     The default source derives timestamps from [Unix.gettimeofday],
     which is precise enough for the millisecond-scale phases the
-    tracer measures but is not guaranteed monotonic across NTP steps.
-    A process that links a true monotonic clock (the benchmark harness
-    links bechamel's) can install it once at startup with
+    tracer measures but is {b not guaranteed monotonic}: an NTP step
+    (or an operator setting the wall clock) can make a later reading
+    smaller than an earlier one, so a raw [now_ns () - t0] may come
+    out negative.  Derive durations through {!since} or {!diff_ns},
+    which clamp negative deltas to zero — a stepped clock then costs
+    one under-reported measurement instead of poisoning histograms
+    and counters with huge negative values.  Deadline comparisons are
+    unaffected (a backwards step only extends a deadline).
+
+    A process that links a true monotonic clock (the benchmark
+    harness links bechamel's) can install it once at startup with
     {!set_source}; every consumer of {!now_ns} picks it up. *)
 
 val now_ns : unit -> int
@@ -15,3 +23,12 @@ val set_source : (unit -> int) -> unit
 (** Replace the timestamp source.  Call once, before any timers start:
     mixing readings of two sources in one measurement yields garbage
     deltas. *)
+
+val since : int -> int
+(** [since t0] is the time elapsed since the reading [t0], clamped to
+    zero so a wall-clock step backwards never yields a negative
+    duration. *)
+
+val diff_ns : from:int -> until:int -> int
+(** [diff_ns ~from ~until] is [until - from] clamped to zero — the
+    clamped duration between two existing readings. *)

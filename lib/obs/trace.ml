@@ -34,7 +34,7 @@ let add_ns t p ns = if ns > 0 then t.phases.(phase_index p) <- t.phases.(phase_i
 
 let time t p f =
   let t0 = Clock.now_ns () in
-  Fun.protect ~finally:(fun () -> add_ns t p (Clock.now_ns () - t0)) f
+  Fun.protect ~finally:(fun () -> add_ns t p (Clock.since t0)) f
 
 let phase_ns t p = t.phases.(phase_index p)
 

@@ -185,6 +185,14 @@ let resolved p = match Atomic.get p with Pending -> false | Done _ | Failed _ ->
 
 let fork pool f =
   let p = Atomic.make Pending in
+  (* The forked task may run on any pool domain; carry the forker's
+     ambient budget along so hot loops inside the task keep charging
+     the same request (and observe its cancellation). *)
+  let f =
+    match Sxsi_qos.Budget.ambient () with
+    | None -> f
+    | Some b -> fun () -> Sxsi_qos.Budget.with_ambient b f
+  in
   let task () =
     let st =
       match f () with

@@ -47,7 +47,10 @@ val default_domains : unit -> int
 type 'a promise
 
 val fork : t -> (unit -> 'a) -> 'a promise
-(** Queue [f] for execution on any of the pool's domains. *)
+(** Queue [f] for execution on any of the pool's domains.  The
+    forking domain's ambient {!Sxsi_qos.Budget} (if any) is captured
+    and re-installed inside the task, so budget checks in forked work
+    charge — and are cancelled by — the originating request. *)
 
 val await : t -> 'a promise -> 'a
 (** Block until the promise resolves, executing other queued tasks

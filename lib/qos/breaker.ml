@@ -1,0 +1,77 @@
+module Clock = Sxsi_obs.Clock
+
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown_ns : int;
+  lock : Mutex.t;
+  mutable st : state;
+  mutable failures : int;           (* consecutive, in Closed *)
+  mutable open_until : int;         (* Clock timestamp, in Open *)
+}
+
+let create ?(threshold = 5) ?(cooldown_ms = 1000) () =
+  {
+    threshold = max 1 threshold;
+    cooldown_ns = max 0 cooldown_ms * 1_000_000;
+    lock = Mutex.create ();
+    st = Closed;
+    failures = 0;
+    open_until = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let state t = locked t (fun () -> t.st)
+
+let allow t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> true
+      | Half_open -> false            (* a probe is already in flight *)
+      | Open ->
+        if Clock.now_ns () >= t.open_until then begin
+          t.st <- Half_open;          (* admit exactly one probe *)
+          true
+        end
+        else false)
+
+let success t =
+  locked t (fun () ->
+      t.failures <- 0;
+      t.st <- Closed)
+
+let failure t =
+  locked t (fun () ->
+      match t.st with
+      | Half_open | Open ->
+        (* a probe blew its deadline (or a straggler reported late):
+           restart the cooldown *)
+        t.st <- Open;
+        t.failures <- t.threshold;
+        t.open_until <- Clock.now_ns () + t.cooldown_ns
+      | Closed ->
+        t.failures <- t.failures + 1;
+        if t.failures >= t.threshold then begin
+          t.st <- Open;
+          t.open_until <- Clock.now_ns () + t.cooldown_ns
+        end)
+
+let retry_after_ms t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> 0
+      | Half_open -> 1                (* probe pending; retry shortly *)
+      | Open ->
+        let ns = max 0 (t.open_until - Clock.now_ns ()) in
+        (ns + 999_999) / 1_000_000)
+
+let is_open t =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> false
+      | Half_open -> true
+      | Open -> Clock.now_ns () < t.open_until)

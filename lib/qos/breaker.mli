@@ -1,0 +1,59 @@
+(** Per-resource circuit breakers.
+
+    A breaker protects a resource (in the service: one loaded
+    document) from repeated deadline blowups.  State machine:
+
+    - {b Closed} — requests flow; consecutive failures are counted
+      and a success resets the count.  After [threshold] consecutive
+      failures the breaker {e opens}.
+    - {b Open} — {!allow} refuses immediately (callers answer
+      [ERR BREAKER] without doing work) until [cooldown_ms] elapses.
+    - {b Half-open} — after the cooldown, exactly one probe request
+      is admitted.  Its success closes the breaker; its failure
+      reopens it for another full cooldown.
+
+    All transitions happen inside {!allow}, {!success} and
+    {!failure} under the breaker's own mutex; these are
+    request-granularity operations, never in evaluation hot loops.
+    Time comes from {!Sxsi_obs.Clock}. *)
+
+type t
+(** One breaker.  Safe to share across domains. *)
+
+type state =
+  | Closed  (** Normal operation. *)
+  | Open  (** Refusing requests until the cooldown elapses. *)
+  | Half_open  (** One probe in flight; its outcome decides. *)
+(** Observable breaker state. *)
+
+val create : ?threshold:int -> ?cooldown_ms:int -> unit -> t
+(** [create ()] makes a closed breaker that opens after [threshold]
+    (default 5) consecutive failures and stays open for
+    [cooldown_ms] (default 1000) milliseconds. *)
+
+val state : t -> state
+(** Current state (transitions Open → Half-open lazily, so a cooled-
+    down breaker reads as [Half_open] only once {!allow} admits the
+    probe). *)
+
+val allow : t -> bool
+(** Ask to admit a request.  [true] in the closed state, [false]
+    while open; the first [allow] after the cooldown admits a single
+    half-open probe and refuses further requests until {!success} or
+    {!failure} settles it. *)
+
+val success : t -> unit
+(** Report a request that completed in budget: resets the failure
+    count; closes a half-open breaker. *)
+
+val failure : t -> unit
+(** Report a deadline blowup: bumps the failure count (opening the
+    breaker at the threshold); reopens a half-open breaker. *)
+
+val retry_after_ms : t -> int
+(** Milliseconds until the breaker will next admit a probe; [0] when
+    not refusing. *)
+
+val is_open : t -> bool
+(** [true] while the breaker refuses requests (open and not yet
+    cooled down, or waiting on a half-open probe). *)

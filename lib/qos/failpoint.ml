@@ -1,0 +1,115 @@
+type action = Fail | Delay_ms of int | Return_err of string
+
+exception Injected of { site : string; message : string }
+
+type site = { name : string; armed : action option Atomic.t }
+
+(* Registry of every site ever named; guarded by [registry_lock] so
+   [site] can be called from any domain.  [hit] never touches the
+   registry — only the site's own atomic slot. *)
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let site name =
+  Mutex.lock registry_lock;
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+      let s = { name; armed = Atomic.make None } in
+      Hashtbl.add registry name s;
+      s
+  in
+  Mutex.unlock registry_lock;
+  s
+
+let name s = s.name
+
+let hit s =
+  match Atomic.get s.armed with
+  | None -> ()
+  | Some Fail -> raise (Injected { site = s.name; message = s.name })
+  | Some (Delay_ms ms) -> if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+  | Some (Return_err message) -> raise (Injected { site = s.name; message })
+
+let activate n action = Atomic.set (site n).armed (Some action)
+
+let deactivate n =
+  Mutex.lock registry_lock;
+  let s = Hashtbl.find_opt registry n in
+  Mutex.unlock registry_lock;
+  match s with None -> () | Some s -> Atomic.set s.armed None
+
+let deactivate_all () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ s -> Atomic.set s.armed None) registry;
+  Mutex.unlock registry_lock
+
+let active () =
+  Mutex.lock registry_lock;
+  let out =
+    Hashtbl.fold
+      (fun n s acc ->
+        match Atomic.get s.armed with None -> acc | Some a -> (n, a) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort compare out
+
+let parse_action spec =
+  match String.index_opt spec ':' with
+  | None -> (
+    match spec with
+    | "fail" -> Ok Fail
+    | _ -> Error (Printf.sprintf "unknown failpoint action %S" spec))
+  | Some i -> (
+    let kind = String.sub spec 0 i in
+    let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match kind with
+    | "delay" -> (
+      match int_of_string_opt arg with
+      | Some ms when ms >= 0 -> Ok (Delay_ms ms)
+      | Some _ | None -> Error (Printf.sprintf "bad delay %S" arg))
+    | "err" -> Ok (Return_err arg)
+    | _ -> Error (Printf.sprintf "unknown failpoint action %S" spec))
+
+let activate_spec spec =
+  let entries =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse entry =
+    match String.index_opt entry '=' with
+    | None -> Error (Printf.sprintf "bad failpoint entry %S (want name=action)" entry)
+    | Some i ->
+      let n = String.sub entry 0 i in
+      let a = String.sub entry (i + 1) (String.length entry - i - 1) in
+      if n = "" then Error (Printf.sprintf "bad failpoint entry %S" entry)
+      else Result.map (fun action -> (n, action)) (parse_action a)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | e :: rest -> (
+      match parse e with Ok p -> collect (p :: acc) rest | Error _ as e -> e)
+  in
+  match collect [] entries with
+  | Error _ as e -> e
+  | Ok pairs ->
+    List.iter (fun (n, a) -> activate n a) pairs;
+    Ok ()
+
+let env_var = "SXSI_FAILPOINTS"
+
+let env_done = Atomic.make false
+
+let init_from_env () =
+  if not (Atomic.exchange env_done true) then
+    match Sys.getenv_opt env_var with
+    | None | Some "" -> ()
+    | Some spec -> (
+      match activate_spec spec with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "sxsi: bad %s: %s\n%!" env_var msg;
+        exit 2)

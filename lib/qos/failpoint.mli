@@ -1,0 +1,74 @@
+(** Named fault-injection sites.
+
+    A failpoint is a named hook compiled into a code path.  Inactive —
+    the production state — a site costs one [Atomic.get] and a branch,
+    mirroring the probe-hook design in [Sxsi_fm.Fm_index].  Activated
+    (programmatically via {!activate}, or from the environment via
+    {!init_from_env}) a site injects one of three faults when
+    {!hit}:
+
+    - {!Fail}: raise {!Injected};
+    - {!Delay_ms}: sleep, then continue — for deadline and race
+      testing;
+    - {!Return_err}: raise {!Injected} carrying a caller-visible
+      error message.
+
+    Sites are identified by string name in a process-global registry;
+    looking a site up with {!site} at module-init time keeps the name
+    → site resolution out of hot paths. *)
+
+type action =
+  | Fail  (** Raise {!Injected} with the site's name as the message. *)
+  | Delay_ms of int  (** Sleep that many milliseconds, then proceed. *)
+  | Return_err of string  (** Raise {!Injected} with this message. *)
+(** What an activated site does on {!hit}. *)
+
+exception Injected of { site : string; message : string }
+(** Raised by {!hit} at a site activated with {!Fail} or
+    {!Return_err}. *)
+
+type site
+(** An activation slot for one named failpoint. *)
+
+val site : string -> site
+(** [site name] returns the registry entry for [name], creating an
+    inactive one on first use.  Idempotent: every caller of
+    [site "x"] shares one slot. *)
+
+val name : site -> string
+(** The name the site was registered under. *)
+
+val hit : site -> unit
+(** Trigger the site: no-op when inactive (one atomic load),
+    otherwise perform the activated {!action}. *)
+
+val activate : string -> action -> unit
+(** Arm the named site (creating it if needed). *)
+
+val deactivate : string -> unit
+(** Disarm the named site; unknown names are ignored. *)
+
+val deactivate_all : unit -> unit
+(** Disarm every site (tests). *)
+
+val active : unit -> (string * action) list
+(** Currently armed sites, sorted by name. *)
+
+val parse_action : string -> (action, string) result
+(** Parse one action spec: ["fail"], ["delay:<ms>"], or
+    ["err:<message>"]. *)
+
+val activate_spec : string -> (unit, string) result
+(** Parse and arm a [;]-separated spec of [name=action] pairs, e.g.
+    ["service.dispatch=delay:5;engine.eval=fail"].  On a malformed
+    entry nothing is armed and the error names the bad entry. *)
+
+val env_var : string
+(** ["SXSI_FAILPOINTS"] — the environment variable consulted by
+    {!init_from_env}. *)
+
+val init_from_env : unit -> unit
+(** Arm sites from [$SXSI_FAILPOINTS] if set.  Called by the service
+    and the CLI at startup; malformed specs abort with a message on
+    [stderr] rather than silently running without the requested
+    faults.  Idempotent. *)

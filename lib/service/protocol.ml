@@ -7,6 +7,7 @@ type request =
   | Metrics
   | Trace of { doc : string; query : string }
   | Evict of string
+  | Deadline of int
   | Quit
 
 type response =
@@ -78,6 +79,17 @@ let parse_request line =
         if rest line j <> "" then Error "EVICT: trailing garbage"
         else Result.Ok (Evict name)
     end
+    | "DEADLINE" -> begin
+      match next_word line i with
+      | None -> Error "DEADLINE: missing milliseconds"
+      | Some (ms, j) ->
+        if rest line j <> "" then Error "DEADLINE: trailing garbage"
+        else begin
+          match int_of_string_opt ms with
+          | Some v when v >= 0 -> Result.Ok (Deadline v)
+          | Some _ | None -> Error "DEADLINE: want a non-negative millisecond count"
+        end
+    end
     | "QUIT" ->
       if rest line i <> "" then Error "QUIT takes no argument" else Result.Ok Quit
     | v -> Error ("unknown request: " ^ v)
@@ -92,11 +104,50 @@ let print_request = function
   | Metrics -> "METRICS"
   | Trace { doc; query } -> Printf.sprintf "TRACE %s %s" doc query
   | Evict name -> "EVICT " ^ name
+  | Deadline ms -> Printf.sprintf "DEADLINE %d" ms
   | Quit -> "QUIT"
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* Machine-readable error codes lead the ERR message: "ERR DEADLINE
+   ..." etc.  Anything else (parse errors, unknown documents) is a
+   code-less ERR, so [err_code] returns [None] for it. *)
+let err ?retry_after_ms code detail =
+  match retry_after_ms with
+  | None -> Err (Printf.sprintf "%s %s" code detail)
+  | Some ms -> Err (Printf.sprintf "%s %s; retry-after-ms=%d" code detail ms)
+
+let is_code w =
+  w <> ""
+  && String.for_all (fun c -> c >= 'A' && c <= 'Z') w
+
+let err_code = function
+  | Ok _ | Data _ -> None
+  | Err msg -> begin
+    match String.index_opt msg ' ' with
+    | Some i when is_code (String.sub msg 0 i) -> Some (String.sub msg 0 i)
+    | None when is_code msg -> Some msg
+    | Some _ | None -> None
+  end
+
+let retry_after_ms = function
+  | Ok _ | Data _ -> None
+  | Err msg ->
+    let marker = "retry-after-ms=" in
+    let mlen = String.length marker in
+    let n = String.length msg in
+    let rec find i =
+      if i + mlen > n then None
+      else if String.sub msg i mlen = marker then begin
+        let j = ref (i + mlen) in
+        while !j < n && msg.[!j] >= '0' && msg.[!j] <= '9' do incr j done;
+        int_of_string_opt (String.sub msg (i + mlen) (!j - i - mlen))
+      end
+      else find (i + 1)
+    in
+    find 0
 
 let stuff line = if String.length line > 0 && line.[0] = '.' then "." ^ line else line
 

@@ -15,6 +15,8 @@
     TRACE <name> <query...>     evaluate once with tracing on; one
                                 JSON trace record
     EVICT <name>                drop a document (and its cached queries)
+    DEADLINE <ms>               set the session's per-request deadline
+                                in milliseconds (0 clears it)
     QUIT                        close the session
     v}
     Verbs are case-insensitive; [<name>] and [<path>] contain no
@@ -27,7 +29,14 @@
     DATA                        multi-line payload: payload lines with a
     <payload lines>             leading '.' doubled (SMTP-style
     .                           dot-stuffing), terminated by "." alone
-    v} *)
+    v}
+
+    Governance failures carry a machine-readable code as the first
+    word of the [ERR] message (see {!err} and {!err_code}):
+    [DEADLINE], [BUDGET], [BREAKER], [SHED], [TOOLONG], [INJECTED].
+    [BREAKER] and [SHED] messages end with [retry-after-ms=<n>]
+    (see {!retry_after_ms}).  Other failures — parse errors, unknown
+    documents — remain code-less [ERR] messages. *)
 
 type request =
   | Load of { name : string; path : string }
@@ -38,6 +47,7 @@ type request =
   | Metrics
   | Trace of { doc : string; query : string }
   | Evict of string
+  | Deadline of int
   | Quit
 
 type response =
@@ -52,6 +62,18 @@ val print_request : request -> string
 (** Canonical one-line rendering; [parse_request (print_request r) = Ok r]
     whenever names/paths are whitespace-free and the query is non-empty
     and trimmed. *)
+
+val err : ?retry_after_ms:int -> string -> string -> response
+(** [err CODE detail] is [Err "CODE detail"], optionally suffixed with
+    ["; retry-after-ms=<n>"].  [CODE] must be upper-case ASCII for
+    {!err_code} to recover it. *)
+
+val err_code : response -> string option
+(** The leading upper-case error code of an [Err] response, if it has
+    one ([None] for [Ok]/[Data] and for code-less errors). *)
+
+val retry_after_ms : response -> int option
+(** The [retry-after-ms=<n>] hint of an [Err] response, if present. *)
 
 val print_response : response -> string
 (** Wire rendering, dot-stuffed, every line ["\n"]-terminated. *)

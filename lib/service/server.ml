@@ -1,9 +1,71 @@
-let session ic oc svc =
+(* Request lines are read through a bounded reader: a protocol line is
+   small (a verb, a name, a query), so anything longer than
+   [max_line] is abuse or a framing bug.  The oversized line is
+   drained to its newline — the session stays usable — and answered
+   with ERR TOOLONG. *)
+let default_max_line = 64 * 1024
+
+type line = Line of string | Too_long | Eof
+
+let read_request_line ?(max_line = default_max_line) ic =
+  let buf = Buffer.create 128 in
+  let rec fill () =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= max_line then begin
+        (* drain the rest of the oversized line; EOF here still counts
+           as end-of-line so the TOOLONG answer is sent *)
+        (try
+           while input_char ic <> '\n' do
+             ()
+           done
+         with End_of_file -> ());
+        Too_long
+      end
+      else begin
+        Buffer.add_char buf c;
+        fill ()
+      end
+  in
+  fill ()
+
+(* strip the '\r' of CRLF clients, like [input_line] followers expect *)
+let chomp_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let session ?max_line ?(elapsed_ns = 0) ic oc svc =
+  (* session-level deadline override, set by the DEADLINE verb; [None]
+     defers to the service's [default_deadline_ms] *)
+  let deadline_ms = ref None in
+  (* accept-queue wait is charged against the first request only: later
+     requests did not wait in the queue *)
+  let pending_wait = ref elapsed_ns in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-      let resp = Service.handle_line svc line in
+    match read_request_line ?max_line ic with
+    | Eof -> ()
+    | Too_long ->
+      let resp =
+        Service.reject svc
+          (Protocol.err "TOOLONG"
+             (Printf.sprintf "request line longer than %d bytes"
+                (match max_line with Some n -> n | None -> default_max_line)))
+      in
+      output_string oc (Protocol.print_response resp);
+      flush oc;
+      loop ()
+    | Line line ->
+      let line = chomp_cr line in
+      (match Protocol.parse_request line with
+      | Ok (Protocol.Deadline ms) -> deadline_ms := Some ms
+      | _ -> ());
+      let wait = !pending_wait in
+      pending_wait := 0;
+      let resp =
+        Service.handle_line ?deadline_ms:!deadline_ms ~elapsed_ns:wait svc line
+      in
       output_string oc (Protocol.print_response resp);
       flush oc;
       let quit = match Protocol.parse_request line with Ok Protocol.Quit -> true | _ -> false in
@@ -15,11 +77,13 @@ let session ic oc svc =
    domains.  [try_push] refuses instead of blocking — the accept loop
    must keep polling [stop] — and [pop] keeps draining queued
    connections after [close], so accepted clients are still served
-   during shutdown. *)
+   during shutdown.  Items carry their enqueue timestamp so the worker
+   can account the admission wait and charge it to the session's first
+   deadline. *)
 type queue = {
   m : Mutex.t;
   nonempty : Condition.t;
-  items : Unix.file_descr Queue.t;
+  items : (Unix.file_descr * int) Queue.t;  (* fd, enqueue time (Clock ns) *)
   cap : int;
   mutable closed : bool;
 }
@@ -31,7 +95,7 @@ let try_push q fd =
   Mutex.protect q.m (fun () ->
       if q.closed || Queue.length q.items >= q.cap then false
       else begin
-        Queue.push fd q.items;
+        Queue.push (fd, Sxsi_obs.Clock.now_ns ()) q.items;
         Condition.signal q.nonempty;
         true
       end)
@@ -55,21 +119,29 @@ let queue_close q =
 
 let queue_depth q = Mutex.protect q.m (fun () -> Queue.length q.items)
 
-let handle_connection svc fd =
+let handle_connection svc fd ~elapsed_ns =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try session ic oc svc with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> try session ~elapsed_ns ic oc svc with Sys_error _ | Unix.Unix_error _ -> ())
 
 (* Load shedding: answer with one ERR line and close, so a client sees
-   a protocol-shaped refusal rather than a hung connection. *)
-let shed metrics fd =
+   a protocol-shaped refusal rather than a hung connection.  The
+   retry-after hint is the crude truth: try again once the queue has
+   had a moment to drain. *)
+let shed_retry_after_ms = 100
+
+let shed svc metrics fd =
   Sxsi_obs.Counter.incr metrics.Metrics.connections_shed;
   (try
      let oc = Unix.out_channel_of_descr fd in
-     output_string oc
-       (Protocol.print_response (Protocol.Err "server busy: accept queue full"));
+     let resp =
+       Service.reject svc
+         (Protocol.err ~retry_after_ms:shed_retry_after_ms "SHED"
+            "server busy: accept queue full")
+     in
+     output_string oc (Protocol.print_response resp);
      flush oc
    with Sys_error _ | Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -86,8 +158,10 @@ let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(workers = 4) ?(queue = 64)
     let rec loop () =
       match pop q with
       | None -> ()
-      | Some fd ->
-        handle_connection svc fd;
+      | Some (fd, enqueued_ns) ->
+        let wait = Sxsi_obs.Clock.since enqueued_ns in
+        Service.record_admission_wait svc wait;
+        handle_connection svc fd ~elapsed_ns:wait;
         Sxsi_obs.Counter.incr metrics.Metrics.connections_closed;
         loop ()
     in
@@ -118,5 +192,5 @@ let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(workers = 4) ?(queue = 64)
         | fd, _ ->
           if try_push q fd then
             Sxsi_obs.Counter.incr metrics.Metrics.connections_opened
-          else shed metrics fd
+          else shed svc metrics fd
       done)

@@ -4,9 +4,18 @@
 
     Concurrency is capped at [workers] sessions: when all workers are
     busy and the queue is full, new connections are refused with an
-    [ERR server busy] line (load shedding) instead of piling up a
-    domain per connection.  The connection counters and the
-    worker/queue gauges appear in the service's [METRICS] output. *)
+    [ERR SHED ... retry-after-ms=<n>] line (load shedding) instead of
+    piling up a domain per connection.  Request lines are length-bounded;
+    an oversized line is drained and answered [ERR TOOLONG] without
+    dropping the session.  Time a connection spends in the accept queue
+    is recorded in the admission-wait histogram and charged against the
+    deadline of the session's first request, so a request that queued
+    past its deadline fails fast instead of running anyway.  The
+    connection counters and the worker/queue gauges appear in the
+    service's [METRICS] output. *)
+
+val default_max_line : int
+(** Default bound on a request line, in bytes (64 KiB). *)
 
 val serve :
   ?host:string ->
@@ -29,6 +38,14 @@ val serve :
     connections already queued are served first, so no session is
     dropped and no domain leaks. *)
 
-val session : in_channel -> out_channel -> Service.t -> unit
+val session :
+  ?max_line:int -> ?elapsed_ns:int -> in_channel -> out_channel -> Service.t -> unit
 (** One protocol session over arbitrary channels: the per-connection
-    loop of {!serve}, also usable for an stdin/stdout REPL. *)
+    loop of {!serve}, also usable for an stdin/stdout REPL.
+
+    Reads at most [max_line] (default {!default_max_line}) bytes per
+    request line, answering [ERR TOOLONG] for longer ones.  Tracks the
+    session's [DEADLINE] override and passes it to
+    {!Service.handle_line}; [elapsed_ns] (default [0]) is charged
+    against the first request's deadline — {!serve} passes the
+    connection's accept-queue wait. *)

@@ -1,5 +1,7 @@
 open Sxsi_xml
 open Sxsi_core
+module Budget = Sxsi_qos.Budget
+module Breaker = Sxsi_qos.Breaker
 
 type options = {
   max_doc_bytes : int;
@@ -9,6 +11,11 @@ type options = {
   enable_memo : bool;
   enable_early : bool;
   domains : int;
+  default_deadline_ms : int;
+  max_results : int;
+  max_result_bytes : int;
+  breaker_threshold : int;
+  breaker_cooldown_ms : int;
 }
 
 let default_options =
@@ -20,6 +27,11 @@ let default_options =
     enable_memo = true;
     enable_early = false;
     domains = 1;
+    default_deadline_ms = 0;
+    max_results = 0;
+    max_result_bytes = 0;
+    breaker_threshold = 0;
+    breaker_cooldown_ms = 1000;
   }
 
 (* Cache key: document name + registration generation (so a reload
@@ -37,6 +49,11 @@ type t = {
   metrics : Metrics.t;
   exposition : Sxsi_obs.Exposition.t;
   pool : Sxsi_par.Pool.t option;  (* shared by builds and queries; None when domains <= 1 *)
+  breakers : (string, Breaker.t) Hashtbl.t;
+      (* per-document, keyed by name (survives reloads).  Guarded by
+         its own mutex: the exposition's breaker gauge renders under
+         the service lock, so taking [lock] again would deadlock. *)
+  breakers_lock : Mutex.t;
 }
 
 let config_fingerprint o =
@@ -45,7 +62,7 @@ let config_fingerprint o =
 (* Everything the service knows how to report, in the Prometheus text
    format.  Gauges and callback counters read the live structures at
    render time; [metrics_text] renders under the service lock. *)
-let build_exposition ~metrics ~registry ~compiled ~counts =
+let build_exposition ~metrics ~registry ~compiled ~counts ~breakers ~breakers_lock =
   let e = Sxsi_obs.Exposition.create () in
   let counter = Sxsi_obs.Exposition.register_counter e in
   counter ~help:"Requests handled, including errors." ~name:"sxsi_requests_total"
@@ -87,14 +104,45 @@ let build_exposition ~metrics ~registry ~compiled ~counts =
   cb ~help:"Cached counts dropped by capacity pressure."
     ~name:"sxsi_count_cache_evictions_total" (fun () ->
       float_of_int (Lru.evictions counts));
+  (* Resource-governance series.  The qos_* totals read the
+     process-wide Sxsi_qos counters — one process runs one service in
+     practice; co-hosted services report shared totals. *)
+  counter ~help:"Requests answered ERR DEADLINE." ~name:"sxsi_deadline_errors_total"
+    metrics.Metrics.deadline_errors;
+  counter ~help:"Requests answered ERR BUDGET." ~name:"sxsi_budget_errors_total"
+    metrics.Metrics.budget_errors;
+  counter ~help:"Requests refused by an open circuit breaker."
+    ~name:"sxsi_breaker_rejections_total" metrics.Metrics.breaker_rejections;
+  counter ~help:"Query budgets tripped by their deadline (process-wide)."
+    ~name:"sxsi_qos_deadline_exceeded_total" Budget.deadline_exceeded_total;
+  counter ~help:"Query budgets tripped for any reason (process-wide)."
+    ~name:"sxsi_qos_exceeded_total" Budget.exceeded_total;
+  counter
+    ~help:"Evaluation chunks cancelled because a sibling tripped the shared budget (process-wide)."
+    ~name:"sxsi_qos_cancelled_chunks_total" Budget.cancelled_chunks_total;
+  gauge ~help:"Documents whose circuit breaker is currently refusing requests."
+    ~name:"sxsi_qos_breaker_open" (fun () ->
+      Mutex.protect breakers_lock (fun () ->
+          float_of_int
+            (Hashtbl.fold
+               (fun _ b n -> if Breaker.is_open b then n + 1 else n)
+               breakers 0)));
+  Sxsi_obs.Exposition.register_histogram e
+    ~help:"Accept-queue wait before a connection's first request." ~scale:1e-9
+    ~name:"sxsi_admission_wait_seconds" metrics.Metrics.admission_wait;
   e
 
 let create ?(options = default_options) () =
+  Sxsi_qos.Failpoint.init_from_env ();
   let metrics = Metrics.create () in
   let registry = Registry.create ~max_bytes:options.max_doc_bytes () in
   let compiled = Lru.create ~cap:options.compiled_cache in
   let counts = Lru.create ~cap:options.count_cache in
-  let exposition = build_exposition ~metrics ~registry ~compiled ~counts in
+  let breakers = Hashtbl.create 8 in
+  let breakers_lock = Mutex.create () in
+  let exposition =
+    build_exposition ~metrics ~registry ~compiled ~counts ~breakers ~breakers_lock
+  in
   let pool =
     if options.domains > 1 then begin
       let p = Sxsi_par.Pool.create ~name:"service" ~domains:options.domains () in
@@ -113,6 +161,8 @@ let create ?(options = default_options) () =
     metrics;
     exposition;
     pool;
+    breakers;
+    breakers_lock;
   }
 
 let pool t = t.pool
@@ -210,7 +260,7 @@ let compiled_for ?trace t doc query =
         Lru.add t.compiled k c;
         (k, c))
 
-let count t doc query =
+let count ?budget t doc query =
   let k, c = compiled_for t doc query in
   let cached =
     locked t (fun () ->
@@ -225,29 +275,106 @@ let count t doc query =
   match cached with
   | Some n -> n
   | None ->
-    let n = Engine.count ?pool:t.pool ~config:(run_config t) c in
+    let n = Engine.count ?budget ?pool:t.pool ~config:(run_config t) c in
     locked t (fun () -> Lru.add t.counts k n);
     n
 
-let select_preorders t doc query =
+let select_preorders ?budget t doc query =
   let _, c = compiled_for t doc query in
-  Engine.select_preorders ?pool:t.pool ~config:(run_config t) c
+  Engine.select_preorders ?budget ?pool:t.pool ~config:(run_config t) c
 
-let materialize t doc query =
+let materialize ?budget t doc query =
   let _, c = compiled_for t doc query in
   let d = locked t (fun () -> (find_doc t doc).Registry.doc) in
-  let nodes = Engine.select ?pool:t.pool ~config:(run_config t) c in
-  Array.to_list (Array.map (Document.serialize d) nodes)
+  let nodes = Engine.select ?budget ?pool:t.pool ~config:(run_config t) c in
+  Array.to_list
+    (Array.map
+       (fun x ->
+         let s = Document.serialize d x in
+         (match budget with
+         | Some b -> Budget.add_bytes b (String.length s)
+         | None -> ());
+         s)
+       nodes)
 
 (* One-shot traced evaluation: resolve the compiled query (recording
    parse/compile time and whether the cache hit), then run a traced
    [select_preorders].  Deliberately bypasses the result-count cache —
    the point is to watch the query execute. *)
-let trace t doc query =
+let trace ?budget t doc query =
   let tr = Sxsi_obs.Trace.create ~label:query () in
   let _, c = compiled_for ~trace:tr t doc query in
-  ignore (Engine.select_preorders ?pool:t.pool ~config:(run_config t) ~trace:tr c);
+  ignore (Engine.select_preorders ?budget ?pool:t.pool ~config:(run_config t) ~trace:tr c);
   tr
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A governance refusal with its wire response already formatted
+   (breaker rejections); [handle] unwraps it. *)
+exception Rejected of Protocol.response
+
+let breaker_for t doc =
+  if t.opts.breaker_threshold <= 0 then None
+  else
+    Some
+      (Mutex.protect t.breakers_lock (fun () ->
+           match Hashtbl.find_opt t.breakers doc with
+           | Some b -> b
+           | None ->
+             let b =
+               Breaker.create ~threshold:t.opts.breaker_threshold
+                 ~cooldown_ms:t.opts.breaker_cooldown_ms ()
+             in
+             Hashtbl.add t.breakers doc b;
+             b))
+
+(* The request budget: session deadline (or the configured default)
+   minus whatever the request already spent waiting in the accept
+   queue, plus the configured result/byte caps.  [None] when nothing
+   bounds this request. *)
+let budget_for t ~deadline_ms ~elapsed_ns =
+  let deadline_ms =
+    match deadline_ms with Some ms -> ms | None -> t.opts.default_deadline_ms
+  in
+  let deadline_ns =
+    if deadline_ms <= 0 then None
+    else Some (Sxsi_obs.Clock.now_ns () + (deadline_ms * 1_000_000) - elapsed_ns)
+  in
+  let lim n = if n > 0 then Some n else None in
+  match (deadline_ns, lim t.opts.max_results, lim t.opts.max_result_bytes) with
+  | None, None, None -> None
+  | deadline_ns, max_results, max_bytes ->
+    Some (Budget.create ?deadline_ns ?max_results ?max_bytes ())
+
+(* Run one query verb under the document's circuit breaker and the
+   request budget.  Only a deadline overrun counts as a breaker
+   failure — result/byte overruns say the query is oversized, not
+   that the document is in trouble. *)
+let governed t ~deadline_ms ~elapsed_ns doc f =
+  let breaker = breaker_for t doc in
+  (match breaker with
+  | Some b when not (Breaker.allow b) ->
+    Sxsi_obs.Counter.incr t.metrics.Metrics.breaker_rejections;
+    raise
+      (Rejected
+         (Protocol.err
+            ~retry_after_ms:(Breaker.retry_after_ms b)
+            "BREAKER"
+            (Printf.sprintf "document %s suspended after repeated deadline overruns"
+               doc)))
+  | Some _ | None -> ());
+  let budget = budget_for t ~deadline_ms ~elapsed_ns in
+  match f budget with
+  | v ->
+    Option.iter Breaker.success breaker;
+    v
+  | exception (Budget.Exceeded reason as e) ->
+    (match reason with
+    | Budget.Deadline -> Option.iter Breaker.failure breaker
+    | Budget.Steps | Budget.Results | Budget.Bytes -> ());
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Request dispatch                                                     *)
@@ -268,7 +395,7 @@ let stats t =
 
 let metrics_text t = locked t (fun () -> Sxsi_obs.Exposition.render t.exposition)
 
-let dispatch t (req : Protocol.request) : Protocol.response =
+let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.response =
   match req with
   | Load { name; path } -> begin
     (* parse/load outside the lock: it is the expensive part *)
@@ -290,18 +417,26 @@ let dispatch t (req : Protocol.request) : Protocol.response =
     | exception Xml_parser.Parse_error (pos, msg) ->
       Protocol.Err (Printf.sprintf "XML parse error at %d: %s" pos msg)
   end
-  | Count { doc; query } -> Protocol.Ok [ string_of_int (count t doc query) ]
+  | Count { doc; query } ->
+    governed t ~deadline_ms ~elapsed_ns doc (fun budget ->
+        Protocol.Ok [ string_of_int (count ?budget t doc query) ])
   | Query { doc; query } ->
-    Protocol.Data (Array.to_list (Array.map string_of_int (select_preorders t doc query)))
+    governed t ~deadline_ms ~elapsed_ns doc (fun budget ->
+        Protocol.Data
+          (Array.to_list (Array.map string_of_int (select_preorders ?budget t doc query))))
   | Materialize { doc; query } ->
     (* payload lines must be newline-free; serialized XML may not be *)
-    Protocol.Data (List.concat_map (String.split_on_char '\n') (materialize t doc query))
+    governed t ~deadline_ms ~elapsed_ns doc (fun budget ->
+        Protocol.Data
+          (List.concat_map (String.split_on_char '\n') (materialize ?budget t doc query)))
   | Stats -> Protocol.Data (List.map (fun (k, v) -> k ^ "=" ^ v) (stats t))
   | Metrics ->
     let text = metrics_text t in
     Protocol.Data (List.filter (fun l -> l <> "") (String.split_on_char '\n' text))
   | Trace { doc; query } ->
-    Protocol.Data [ Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json (trace t doc query)) ]
+    governed t ~deadline_ms ~elapsed_ns doc (fun budget ->
+        Protocol.Data
+          [ Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json (trace ?budget t doc query)) ])
   | Evict name ->
     locked t (fun () ->
         if Registry.evict t.registry name then begin
@@ -309,12 +444,28 @@ let dispatch t (req : Protocol.request) : Protocol.response =
           Protocol.Ok [ "evicted"; name ]
         end
         else Protocol.Err ("unknown document: " ^ name))
+  | Deadline ms ->
+    (* session state lives in the server loop; the service just
+       acknowledges so REPL transcripts show the setting took *)
+    Protocol.Ok [ "deadline"; (if ms = 0 then "off" else string_of_int ms) ]
   | Quit -> Protocol.Ok [ "bye" ]
 
-let handle t req =
+let handle ?deadline_ms ?(elapsed_ns = 0) t req =
   let t0 = Sxsi_obs.Clock.now_ns () in
-  let resp = try dispatch t req with Bad_request msg -> Protocol.Err msg in
-  let dt = Sxsi_obs.Clock.now_ns () - t0 in
+  let resp =
+    try dispatch t ~deadline_ms ~elapsed_ns req with
+    | Bad_request msg -> Protocol.Err msg
+    | Rejected resp -> resp
+    | Budget.Exceeded Budget.Deadline ->
+      Sxsi_obs.Counter.incr t.metrics.Metrics.deadline_errors;
+      Protocol.err "DEADLINE" "query exceeded its deadline"
+    | Budget.Exceeded reason ->
+      Sxsi_obs.Counter.incr t.metrics.Metrics.budget_errors;
+      Protocol.err "BUDGET" (Budget.reason_name reason ^ " budget exhausted")
+    | Sxsi_qos.Failpoint.Injected { site; message } ->
+      Protocol.err "INJECTED" (Printf.sprintf "%s (failpoint %s)" message site)
+  in
+  let dt = Sxsi_obs.Clock.since t0 in
   Sxsi_obs.Counter.incr t.metrics.Metrics.requests;
   (match resp with
   | Protocol.Err _ -> Sxsi_obs.Counter.incr t.metrics.Metrics.errors
@@ -322,10 +473,23 @@ let handle t req =
   locked t (fun () -> Metrics.record_latency t.metrics dt);
   resp
 
-let handle_line t line =
+let handle_line ?deadline_ms ?elapsed_ns t line =
   match Protocol.parse_request line with
-  | Result.Ok req -> handle t req
+  | Result.Ok req -> handle ?deadline_ms ?elapsed_ns t req
   | Error msg ->
     Sxsi_obs.Counter.incr t.metrics.Metrics.requests;
     Sxsi_obs.Counter.incr t.metrics.Metrics.errors;
     Protocol.Err msg
+
+(* A request refused before it reaches [dispatch] (oversized line,
+   shed connection): count it like any other errored request so the
+   rate shows up in metrics. *)
+let reject t resp =
+  Sxsi_obs.Counter.incr t.metrics.Metrics.requests;
+  (match resp with
+  | Protocol.Err _ -> Sxsi_obs.Counter.incr t.metrics.Metrics.errors
+  | _ -> ());
+  resp
+
+let record_admission_wait t ns =
+  locked t (fun () -> Metrics.record_admission_wait t.metrics ns)

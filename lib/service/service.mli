@@ -8,7 +8,17 @@
     requests against warm caches execute concurrently (the engine's
     shared hash-consing tables are internally synchronized and cached
     compiled queries are {!Sxsi_core.Engine.precompile}d before they
-    are published). *)
+    are published).
+
+    Resource governance: query verbs ([QUERY], [COUNT], [MATERIALIZE],
+    [TRACE]) run under a {!Sxsi_qos.Budget.t} derived from the request's
+    effective deadline (the session's [DEADLINE] override, else
+    {!options.default_deadline_ms}) and the configured result/byte
+    caps, and under a per-document {!Sxsi_qos.Breaker.t} when
+    {!options.breaker_threshold} is positive.  Overruns surface as
+    [ERR DEADLINE] / [ERR BUDGET]; an open breaker refuses the request
+    up front with [ERR BREAKER ... retry-after-ms=<n>].  See
+    {!Protocol.err_code}. *)
 
 type t
 
@@ -20,6 +30,15 @@ type options = {
   enable_memo : bool;
   enable_early : bool;
   domains : int;            (* evaluation pool size; <= 1 means sequential *)
+  default_deadline_ms : int;
+      (* per-request deadline applied when the session has not set one
+         with [DEADLINE]; 0 means none *)
+  max_results : int;        (* per-request result-count cap; 0 means none *)
+  max_result_bytes : int;   (* per-request serialized-output cap; 0 means none *)
+  breaker_threshold : int;
+      (* consecutive deadline overruns that open a document's circuit
+         breaker; 0 disables breakers *)
+  breaker_cooldown_ms : int;  (* how long an open breaker refuses requests *)
 }
 
 val default_options : options
@@ -47,13 +66,34 @@ val add_document : t -> string -> Sxsi_xml.Document.t -> unit
 (** Register an already-built document (bench and test entry point;
     the [LOAD] request is this plus file IO). *)
 
-val handle : t -> Protocol.request -> Protocol.response
+val handle :
+  ?deadline_ms:int -> ?elapsed_ns:int -> t -> Protocol.request -> Protocol.response
 (** Execute one request, updating metrics (request and error counters,
-    the latency histogram, cache counters). *)
+    the latency histogram, cache counters).
 
-val handle_line : t -> string -> Protocol.response
+    [deadline_ms] overrides [options.default_deadline_ms] for this
+    request (a session's [DEADLINE] setting; 0 disables the deadline
+    entirely).  [elapsed_ns] is time the request already spent before
+    reaching the service — accept-queue wait — and is charged against
+    the deadline, so a request that queued past its deadline fails
+    with [ERR DEADLINE] before doing any work.  Budget overruns inside
+    evaluation surface as [ERR DEADLINE] / [ERR BUDGET]; open circuit
+    breakers as [ERR BREAKER]; tripped failpoints as [ERR INJECTED]. *)
+
+val handle_line :
+  ?deadline_ms:int -> ?elapsed_ns:int -> t -> string -> Protocol.response
 (** Parse and execute one request line; parse errors become [ERR]
-    responses and count as errored requests. *)
+    responses and count as errored requests.  Optional arguments as in
+    {!handle}. *)
+
+val reject : t -> Protocol.response -> Protocol.response
+(** Account a request that was refused before reaching {!handle} (an
+    oversized request line, a shed connection): bump the request and —
+    for [Err] — error counters, and return the response unchanged. *)
+
+val record_admission_wait : t -> int -> unit
+(** Record one connection's accept-queue wait (nanoseconds) in the
+    admission-wait histogram. *)
 
 val stats : t -> (string * string) list
 (** The same key=value pairs the [STATS] request reports. *)
@@ -63,7 +103,7 @@ val metrics_text : t -> string
     body of the [METRICS] response: request/error/cache counters, the
     request-latency histogram, and live registry/cache gauges. *)
 
-val trace : t -> string -> string -> Sxsi_obs.Trace.t
+val trace : ?budget:Sxsi_qos.Budget.t -> t -> string -> string -> Sxsi_obs.Trace.t
 (** [trace t doc query] evaluates the query once with tracing on and
     returns the trace (phase timings, engine and index counters, a
     [cache_hit] flag).  The [TRACE] request renders this as one JSON

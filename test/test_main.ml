@@ -18,4 +18,5 @@ let () =
       Test_obs.suite;
       Test_units.suite;
       Test_par.suite;
+      Test_qos.suite;
     ]

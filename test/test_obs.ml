@@ -337,6 +337,23 @@ let test_clock_source () =
       Alcotest.(check int) "installed source used" 123_456 (Clock.now_ns ()));
   Alcotest.(check bool) "restored source ticks" true (Clock.now_ns () > 0)
 
+(* A wall-clock step backwards must clamp derived durations to zero,
+   not poison histograms with negative values. *)
+let test_clock_clamp () =
+  let restore = fun () -> int_of_float (Unix.gettimeofday () *. 1e9) in
+  Fun.protect
+    ~finally:(fun () -> Clock.set_source restore)
+    (fun () ->
+      let t = ref 1_000_000 in
+      Clock.set_source (fun () -> !t);
+      let t0 = Clock.now_ns () in
+      t := !t - 500_000;  (* NTP steps the clock back *)
+      Alcotest.(check int) "since clamps to zero" 0 (Clock.since t0);
+      Alcotest.(check int) "diff_ns clamps to zero" 0
+        (Clock.diff_ns ~from:t0 ~until:(Clock.now_ns ()));
+      t := t0 + 250;
+      Alcotest.(check int) "forward deltas intact" 250 (Clock.since t0))
+
 (* ------------------------------------------------------------------ *)
 (* Service metrics rendering (the STATS key-compatibility contract) *)
 
@@ -417,6 +434,7 @@ let suite =
         test_exposition_callback_counter;
       Alcotest.test_case "exposition rejects bad names" `Quick test_exposition_rejects;
       Alcotest.test_case "clock source swap" `Quick test_clock_source;
+      Alcotest.test_case "clock clamps backwards steps" `Quick test_clock_clamp;
       Alcotest.test_case "service metrics assoc keys" `Quick test_metrics_assoc;
       Alcotest.test_case "engine publishes trace counters" `Quick test_engine_trace;
     ] )

@@ -515,10 +515,19 @@ let test_load_shedding () =
       do
         Unix.sleepf 0.01
       done;
-      (* the next connection must be refused with a protocol error *)
+      (* the next connection must be refused with a protocol error
+         carrying the SHED code and a retry hint *)
       let ic_c, _oc_c = connect port in
-      Alcotest.(check string) "shed response" "ERR server busy: accept queue full"
-        (input_line ic_c);
+      let shed_line = input_line ic_c in
+      Alcotest.(check bool) "shed response is ERR" true
+        (String.length shed_line > 4 && String.sub shed_line 0 4 = "ERR ");
+      let shed_resp =
+        Protocol.Err (String.sub shed_line 4 (String.length shed_line - 4))
+      in
+      Alcotest.(check (option string)) "shed code" (Some "SHED")
+        (Protocol.err_code shed_resp);
+      Alcotest.(check bool) "shed retry hint" true
+        (Protocol.retry_after_ms shed_resp <> None);
       Alcotest.(check bool) "shed closes the connection" true
         (match input_line ic_c with _ -> false | exception End_of_file -> true);
       (try Unix.shutdown_connection ic_c with _ -> ());
@@ -562,6 +571,197 @@ let test_service_domains () =
              String.length l >= 21 && String.sub l 0 21 = "sxsi_pool_tasks_total")
            metrics))
 
+(* ------------------------------------------------------------------ *)
+(* Resource governance over live TCP: every coded ERR the protocol     *)
+(* documents, driven by failpoints where a fault is needed             *)
+(* ------------------------------------------------------------------ *)
+
+module Failpoint = Sxsi_qos.Failpoint
+
+let with_clean_failpoints f = Fun.protect ~finally:Failpoint.deactivate_all f
+
+(* One request/response exchange on an open connection. *)
+let exchange ic oc line =
+  output_string oc (line ^ "\n");
+  flush oc;
+  match
+    Protocol.read_response (fun () ->
+        match input_line ic with
+        | line -> Some line
+        | exception End_of_file -> None)
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("client read: " ^ e)
+
+let check_code label expected resp =
+  Alcotest.(check (option string)) label (Some expected) (Protocol.err_code resp)
+
+let test_deadline_verb () =
+  let svc = Service.create () in
+  (match Service.handle svc (Protocol.Deadline 50) with
+  | Protocol.Ok [ "deadline"; "50" ] -> ()
+  | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r));
+  (match Service.handle svc (Protocol.Deadline 0) with
+  | Protocol.Ok [ "deadline"; "off" ] -> ()
+  | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r));
+  (match Service.handle_line svc "DEADLINE nope" with
+  | Protocol.Err _ -> ()
+  | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r))
+
+(* ERR DEADLINE from a request-level deadline, then ERR BREAKER once
+   the per-document breaker has seen enough consecutive blowups. *)
+let test_err_deadline_then_breaker () =
+  with_clean_failpoints (fun () ->
+      let svc =
+        Service.create
+          ~options:
+            {
+              Service.default_options with
+              default_deadline_ms = 40;
+              breaker_threshold = 2;
+              breaker_cooldown_ms = 60_000;
+            }
+          ()
+      in
+      Service.add_document svc "d" (small_doc "root" 5);
+      Failpoint.activate "engine.eval" (Failpoint.Delay_ms 80);
+      with_server svc (fun port ->
+          let ic, oc = connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+            (fun () ->
+              check_code "first overrun" "DEADLINE" (exchange ic oc "COUNT d //item");
+              check_code "second overrun" "DEADLINE" (exchange ic oc "COUNT d //item");
+              (* breaker open: refused without evaluating *)
+              let r = exchange ic oc "COUNT d //item" in
+              check_code "breaker refuses" "BREAKER" r;
+              Alcotest.(check bool) "retry hint present" true
+                (Protocol.retry_after_ms r <> None);
+              ignore (exchange ic oc "QUIT")));
+      Alcotest.(check string) "deadline errors counted" "2"
+        (stats_value svc "deadline_errors");
+      Alcotest.(check string) "breaker rejection counted" "1"
+        (stats_value svc "breaker_rejections");
+      let metrics = Service.metrics_text svc in
+      Alcotest.(check bool) "breaker gauge exported" true
+        (let needle = "sxsi_qos_breaker_open 1" in
+         let n = String.length needle in
+         let rec find i =
+           i + n <= String.length metrics
+           && (String.sub metrics i n = needle || find (i + 1))
+         in
+         find 0))
+
+let test_err_budget () =
+  let svc =
+    Service.create
+      ~options:
+        { Service.default_options with max_results = 3; max_result_bytes = 64 }
+      ()
+  in
+  Service.add_document svc "d" (small_doc "root" 10);
+  with_server svc (fun port ->
+      let ic, oc = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+        (fun () ->
+          check_code "result cap" "BUDGET" (exchange ic oc "QUERY d //item");
+          check_code "byte cap" "BUDGET" (exchange ic oc "MATERIALIZE d //item");
+          ignore (exchange ic oc "QUIT")));
+  Alcotest.(check string) "budget errors counted" "2" (stats_value svc "budget_errors")
+
+let test_err_injected_and_toolong () =
+  with_clean_failpoints (fun () ->
+      let svc = Service.create () in
+      Service.add_document svc "d" (small_doc "root" 5);
+      with_server svc (fun port ->
+          let ic, oc = connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+            (fun () ->
+              Failpoint.activate "engine.eval" Failpoint.Fail;
+              check_code "injected fault" "INJECTED" (exchange ic oc "COUNT d //item");
+              Failpoint.deactivate_all ();
+              (* an oversized request line: refused, drained, session survives *)
+              let long = "COUNT d " ^ String.make (Server.default_max_line + 100) 'x' in
+              check_code "oversized line" "TOOLONG" (exchange ic oc long);
+              (match exchange ic oc "COUNT d //item" with
+              | Protocol.Ok [ "5" ] -> ()
+              | r ->
+                Alcotest.fail ("session should survive TOOLONG: " ^ Protocol.print_response r));
+              ignore (exchange ic oc "QUIT"))))
+
+(* The DEADLINE verb scopes a deadline to the session: on by request,
+   off again at 0; the service default stays untouched. *)
+let test_deadline_session_override () =
+  with_clean_failpoints (fun () ->
+      let svc = Service.create () in
+      Service.add_document svc "d" (small_doc "root" 5);
+      Failpoint.activate "engine.eval" (Failpoint.Delay_ms 60);
+      with_server svc (fun port ->
+          let ic, oc = connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+            (fun () ->
+              (* no deadline configured: slow but fine *)
+              (match exchange ic oc "COUNT d //item" with
+              | Protocol.Ok [ "5" ] -> ()
+              | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r));
+              (match exchange ic oc "DEADLINE 30" with
+              | Protocol.Ok [ "deadline"; "30" ] -> ()
+              | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r));
+              (* QUERY, not COUNT: the result-count cache would answer a
+                 repeated COUNT before any budget check runs *)
+              check_code "session deadline enforced" "DEADLINE"
+                (exchange ic oc "QUERY d //item");
+              (match exchange ic oc "DEADLINE 0" with
+              | Protocol.Ok [ "deadline"; "off" ] -> ()
+              | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r));
+              (match exchange ic oc "QUERY d //item" with
+              | Protocol.Data ids -> Alcotest.(check int) "all ids" 5 (List.length ids)
+              | r -> Alcotest.fail ("unexpected: " ^ Protocol.print_response r));
+              ignore (exchange ic oc "QUIT"))))
+
+(* End to end: a server under a 50ms default deadline answers a
+   pathological (failpoint-delayed) query with ERR DEADLINE promptly —
+   the delay is 75ms, so ~1.5x the deadline — and the single worker is
+   reused for a healthy request afterwards. *)
+let test_e2e_deadline_prompt_and_worker_reused () =
+  with_clean_failpoints (fun () ->
+      let svc =
+        Service.create
+          ~options:{ Service.default_options with default_deadline_ms = 50 }
+          ()
+      in
+      Service.add_document svc "d" (small_doc "root" 5);
+      Failpoint.activate "engine.eval" (Failpoint.Delay_ms 75);
+      with_server ~workers:1 svc (fun port ->
+          let ic, oc = connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              check_code "pathological query deadlines" "DEADLINE"
+                (exchange ic oc "COUNT d //item");
+              let dt = Unix.gettimeofday () -. t0 in
+              (* ~1.5x the deadline plus slack for a loaded CI machine;
+                 the point is bounded, not exact *)
+              Alcotest.(check bool)
+                (Printf.sprintf "answered promptly (%.0fms)" (dt *. 1000.))
+                true (dt < 1.0);
+              ignore (exchange ic oc "QUIT"));
+          (* the worker survives the deadline and serves the next
+             connection (workers=1: this is the same worker) *)
+          Failpoint.deactivate_all ();
+          let ic, oc = connect port in
+          Fun.protect
+            ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+            (fun () ->
+              (match exchange ic oc "COUNT d //item" with
+              | Protocol.Ok [ "5" ] -> ()
+              | r -> Alcotest.fail ("worker not reusable: " ^ Protocol.print_response r));
+              ignore (exchange ic oc "QUIT"))))
+
 let suite =
   ( "service",
     [
@@ -584,4 +784,14 @@ let suite =
       Alcotest.test_case "connection churn leaks nothing" `Quick test_connection_churn;
       Alcotest.test_case "load shedding" `Quick test_load_shedding;
       Alcotest.test_case "service with domains" `Quick test_service_domains;
+      Alcotest.test_case "DEADLINE verb" `Quick test_deadline_verb;
+      Alcotest.test_case "ERR DEADLINE then ERR BREAKER" `Quick
+        test_err_deadline_then_breaker;
+      Alcotest.test_case "ERR BUDGET" `Quick test_err_budget;
+      Alcotest.test_case "ERR INJECTED and ERR TOOLONG" `Quick
+        test_err_injected_and_toolong;
+      Alcotest.test_case "DEADLINE session override" `Quick
+        test_deadline_session_override;
+      Alcotest.test_case "e2e: prompt deadline, worker reused" `Quick
+        test_e2e_deadline_prompt_and_worker_reused;
     ] )
