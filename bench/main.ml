@@ -725,6 +725,58 @@ let qos () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder overhead: the same count workload with the journal   *)
+(* disabled (one atomic load per probe) and enabled (full recording)    *)
+(* ------------------------------------------------------------------ *)
+
+let obs () =
+  H.section "Flight recorder: journal overhead on the XMark count workload";
+  let c = Lazy.force xmark_small in
+  let doc = Document.of_xml c.xml in
+  let compiled =
+    Array.of_list (List.map (fun (_, q) -> Engine.prepare doc q) xmark_queries)
+  in
+  Array.iter Engine.precompile compiled;
+  let m = Array.length compiled in
+  let qps_with enabled =
+    Sxsi_obs.Journal.reset ();
+    Sxsi_obs.Journal.set_enabled enabled;
+    let cursor = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Sxsi_obs.Journal.set_enabled false)
+      (fun () ->
+        H.throughput (fun () ->
+            let j = !cursor in
+            cursor := j + 1;
+            Engine.count compiled.(j mod m)))
+  in
+  let qps_off = qps_with false in
+  let qps_on = qps_with true in
+  let records = Sxsi_obs.Journal.records_total () in
+  let dropped = Sxsi_obs.Journal.dropped_total () in
+  let dump_bytes =
+    String.length
+      (Sxsi_obs.Json.to_string (Sxsi_obs.Journal.to_json (Sxsi_obs.Journal.snapshot ())))
+  in
+  Sxsi_obs.Journal.reset ();
+  let overhead_pct = (1.0 -. (qps_on /. qps_off)) *. 100.0 in
+  H.measure
+    [
+      ("count_qps_journal_off", J.Float qps_off);
+      ("count_qps_journal_on", J.Float qps_on);
+      ("overhead_pct", J.Float overhead_pct);
+      ("journal_records_total", J.Int records);
+      ("journal_dropped_total", J.Int dropped);
+      ("journal_dump_bytes", J.Int dump_bytes);
+    ];
+  H.table
+    [ "journal"; "count"; "overhead" ]
+    [
+      [ "off"; H.pp_rate qps_off; "-" ];
+      [ "on"; H.pp_rate qps_on; Printf.sprintf "%.2f%%" overhead_pct ];
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* XMark per-query latency with trace-derived phase breakdown           *)
 (* ------------------------------------------------------------------ *)
 
@@ -872,6 +924,7 @@ let sections =
     ("service", service);
     ("par", par);
     ("qos", qos);
+    ("obs", obs);
     ("xmark", xmark);
     ("bechamel", bechamel);
   ]

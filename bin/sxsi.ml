@@ -222,7 +222,7 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 
 let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains timeout
-    max_results =
+    max_results slow_ms =
   let positive = function Some n when n > 0 -> n | Some _ | None -> 0 in
   {
     Sxsi_service.Service.default_options with
@@ -235,6 +235,7 @@ let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domain
     domains = resolve_domains domains;
     default_deadline_ms = positive timeout;
     max_results = positive max_results;
+    slow_ms = max 0 slow_ms;
   }
 
 let max_doc_mb_arg =
@@ -252,6 +253,30 @@ let count_cache_arg =
 let preload_arg =
   Arg.(value & opt_all string [] & info [ "load" ] ~docv:"NAME=FILE"
          ~doc:"Load FILE (.xml or .sxsi) as document NAME before serving (repeatable)")
+
+let flight_recorder_arg =
+  Arg.(value & flag & info [ "flight-recorder" ]
+         ~doc:"Enable the flight recorder: an always-on, low-overhead span journal \
+               covering engine phases, pool scheduling, governance events and the \
+               request lifecycle.  Dump it with the DUMP request; convert dumps with \
+               $(b,sxsi trace-export)")
+
+let slow_ms_arg =
+  Arg.(value & opt int 0 & info [ "slow-ms" ] ~docv:"MS"
+         ~doc:"Slow-query threshold: requests slower than MS milliseconds append one \
+               JSON line (request, duration, reconstructed spans when the flight \
+               recorder is on) to the slow-query log.  0 disables the log")
+
+let slow_log_arg =
+  Arg.(value & opt string "sxsi-slow.jsonl" & info [ "slow-log" ] ~docv:"FILE"
+         ~doc:"Slow-query log path (JSON lines, appended, size-bounded); only used \
+               with a positive $(b,--slow-ms)")
+
+(* The service front ends share the flight-recorder setup: flip the
+   journal on and open the slow-log sink when asked. *)
+let obs_setup fr slow_ms slow_log_path =
+  if fr then Sxsi_obs.Journal.set_enabled true;
+  if slow_ms > 0 then Some (Sxsi_obs.Slowlog.create slow_log_path) else None
 
 (* Service front ends can die on setup errors (bad --load spec, port in
    use) after cmdliner validation is over; report them as CLI errors
@@ -284,11 +309,13 @@ let preload svc specs =
     specs
 
 let repl_cmd =
-  let run max_mb cc kc nj nm dom timeout maxr specs =
+  let run max_mb cc kc nj nm dom timeout maxr fr slow_ms slow_log specs =
     guarded (fun () ->
+        let slow_log = obs_setup fr slow_ms slow_log in
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom timeout maxr) ()
+            ~options:(service_options max_mb cc kc nj nm dom timeout maxr slow_ms)
+            ?slow_log ()
         in
         Fun.protect
           ~finally:(fun () -> Sxsi_service.Service.shutdown svc)
@@ -301,7 +328,8 @@ let repl_cmd =
        ~doc:"Speak the service protocol (LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/QUIT) \
              on stdin/stdout")
     Term.(const run $ max_doc_mb_arg $ compiled_cache_arg $ count_cache_arg $ no_jump
-          $ no_memo $ domains_arg $ timeout_arg $ max_results_arg $ preload_arg)
+          $ no_memo $ domains_arg $ timeout_arg $ max_results_arg $ flight_recorder_arg
+          $ slow_ms_arg $ slow_log_arg $ preload_arg)
 
 let serve_cmd =
   let port_arg =
@@ -320,14 +348,30 @@ let serve_cmd =
            ~doc:"Accepted-connection queue bound; beyond it new connections are \
                  refused with an ERR response")
   in
-  let run host port workers queue max_mb cc kc nj nm dom timeout maxr specs =
+  let run host port workers queue max_mb cc kc nj nm dom timeout maxr fr slow_ms
+      slow_log specs =
     guarded (fun () ->
+        let slow_log = obs_setup fr slow_ms slow_log in
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom timeout maxr) ()
+            ~options:(service_options max_mb cc kc nj nm dom timeout maxr slow_ms)
+            ?slow_log ()
+        in
+        (* with the recorder on, also sample the runtime (GC + ring
+           occupancy) in the background and expose it via METRICS *)
+        let sampler =
+          if fr then begin
+            let s = Sxsi_obs.Runtime.create () in
+            Sxsi_service.Service.register_runtime svc s;
+            Sxsi_obs.Runtime.start s;
+            Some s
+          end
+          else None
         in
         Fun.protect
-          ~finally:(fun () -> Sxsi_service.Service.shutdown svc)
+          ~finally:(fun () ->
+            Option.iter Sxsi_obs.Runtime.stop sampler;
+            Sxsi_service.Service.shutdown svc)
           (fun () ->
             preload svc specs;
             Sxsi_service.Server.serve ~host ~workers ~queue
@@ -341,7 +385,70 @@ let serve_cmd =
              queries are cached and shared across connections")
     Term.(const run $ host_arg $ port_arg $ workers_arg $ queue_arg $ max_doc_mb_arg
           $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ domains_arg
-          $ timeout_arg $ max_results_arg $ preload_arg)
+          $ timeout_arg $ max_results_arg $ flight_recorder_arg $ slow_ms_arg
+          $ slow_log_arg $ preload_arg)
+
+let trace_export_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"DUMP"
+           ~doc:"A flight-recorder dump: the DUMP request's JSON payload \
+                 (schema sxsi-journal-v1), or a raw protocol capture of it \
+                 (DATA framing is stripped)")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout by default)")
+  in
+  (* Accept either the bare JSON line or a captured DATA response
+     (leading "DATA", dot-stuffed payload, terminating "."). *)
+  let strip_framing text =
+    match String.split_on_char '\n' (String.trim text) with
+    | "DATA" :: rest ->
+      let unstuff l =
+        if String.length l > 0 && l.[0] = '.' then String.sub l 1 (String.length l - 1)
+        else l
+      in
+      rest
+      |> List.filter (fun l -> l <> ".")
+      |> List.map unstuff
+      |> String.concat "\n"
+    | _ -> String.trim text
+  in
+  let run input out =
+    guarded (fun () ->
+        let text =
+          let ic = open_in_bin input in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let snaps =
+          match Sxsi_obs.Json.of_string (strip_framing text) with
+          | Error e -> failwith (Printf.sprintf "%s: not JSON: %s" input e)
+          | Ok j -> begin
+            match Sxsi_obs.Journal.of_json j with
+            | Error e -> failwith (Printf.sprintf "%s: not a journal dump: %s" input e)
+            | Ok snaps -> snaps
+          end
+        in
+        let trace = Sxsi_obs.Json.to_string (Sxsi_obs.Journal.to_chrome_trace snaps) in
+        match out with
+        | None ->
+          print_string trace;
+          print_newline ()
+        | Some path ->
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc trace;
+              output_char oc '\n'))
+  in
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:"Convert a flight-recorder dump (the DUMP request's payload) to Chrome \
+             trace_event JSON, loadable in Perfetto or chrome://tracing")
+    Term.(const run $ input $ out)
 
 let gen_cmd =
   let kind =
@@ -388,4 +495,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ count_cmd; select_cmd; stats_cmd; gen_cmd; index_cmd; explain_cmd; repl_cmd;
-            serve_cmd ]))
+            serve_cmd; trace_export_cmd ]))

@@ -15,9 +15,31 @@ type strategy = Auto | Top_down | Bottom_up
 
 module Trace = Sxsi_obs.Trace
 module Budget = Sxsi_qos.Budget
+module J = Sxsi_obs.Journal
 
 let maybe_time trace phase f =
   match trace with None -> f () | Some tr -> Trace.time tr phase f
+
+(* Flight-recorder span names, interned once. *)
+let n_prepare = J.name "engine/prepare"
+let n_compile = J.name "engine/compile"
+let n_select = J.name "engine/select"
+let n_count = J.name "engine/count"
+let n_bottom_up = J.name "engine/bottom_up"
+let n_top_down = J.name "engine/top_down"
+let n_materialize = J.name "engine/materialize"
+
+(* A span whose End record carries a result count in [b] — the count
+   only exists once the thunk returns. *)
+let span_counted nm count f =
+  J.begin_span J.Engine nm ();
+  match f () with
+  | v ->
+    J.end_span J.Engine nm ~b:(count v) ();
+    v
+  | exception e ->
+    J.end_span J.Engine nm ();
+    raise e
 
 (* Fault-injection site at the head of every evaluation entry point
    (count/select/...): lets tests stall or fail a query between
@@ -54,18 +76,20 @@ let prepare_path doc path =
   ]
 
 let prepare ?trace doc src =
-  let paths =
-    maybe_time trace Trace.Parse (fun () -> Sxsi_xpath.Xpath_parser.parse_union src)
-  in
-  List.concat_map (prepare_path doc) paths
+  span_counted n_prepare List.length (fun () ->
+      let paths =
+        maybe_time trace Trace.Parse (fun () -> Sxsi_xpath.Xpath_parser.parse_union src)
+      in
+      List.concat_map (prepare_path doc) paths)
 
 let one c = List.hd c
 let automaton c = Lazy.force (one c).auto
 let bottom_up_plan c = (one c).bu
 
 let precompile ?trace c =
-  maybe_time trace Trace.Compile (fun () ->
-      List.iter (fun b -> ignore (Lazy.force b.auto)) c)
+  J.with_span J.Engine n_compile (fun () ->
+      maybe_time trace Trace.Compile (fun () ->
+          List.iter (fun b -> ignore (Lazy.force b.auto)) c))
 
 (* Cheap selectivity estimate for the predicate of a bottom-up plan. *)
 let estimate_matches doc plan =
@@ -124,23 +148,24 @@ let chosen_strategy ?(funs = fun _ -> None) ?(strategy = Auto) c =
 
 let select_one ?budget ?pool ?config ~funs ~strategy (c : one) =
   match chosen_strategy_one ~funs ~strategy c with
-  | `Bottom_up -> begin
-    match c.bu with
-    | Some plan -> Array.of_list (Bottom_up.run ?budget ?pool ~funs c.doc plan)
-    | None -> assert false
-  end
+  | `Bottom_up ->
+    span_counted n_bottom_up Array.length (fun () ->
+        match c.bu with
+        | Some plan -> Array.of_list (Bottom_up.run ?budget ?pool ~funs c.doc plan)
+        | None -> assert false)
   | `Top_down ->
-    let auto = Lazy.force c.auto in
-    let marks = Run.run ?budget ?pool ?config ~funs Run.marks_sem auto in
-    let pos = Marks.positions (Document.tag_index c.doc) marks in
-    if auto.Automaton.needs_dedup then
-      Array.of_list (List.sort_uniq compare (Array.to_list pos))
-    else begin
-      (* marks are duplicate-free but the interleaving of a match
-         formula with its scan continuation is not ordered *)
-      Array.sort compare pos;
-      pos
-    end
+    span_counted n_top_down Array.length (fun () ->
+        let auto = Lazy.force c.auto in
+        let marks = Run.run ?budget ?pool ?config ~funs Run.marks_sem auto in
+        let pos = Marks.positions (Document.tag_index c.doc) marks in
+        if auto.Automaton.needs_dedup then
+          Array.of_list (List.sort_uniq compare (Array.to_list pos))
+        else begin
+          (* marks are duplicate-free but the interleaving of a match
+             formula with its scan continuation is not ordered *)
+          Array.sort compare pos;
+          pos
+        end)
 
 let select_impl ?budget ?pool ?config ~funs ~strategy c =
   match c with
@@ -157,19 +182,20 @@ let count_impl ?budget ?pool ?config ~funs ~strategy c =
   match c with
   | [ single ] -> begin
     match chosen_strategy_one ~funs ~strategy single with
-    | `Bottom_up -> begin
-      match single.bu with
-      | Some plan -> List.length (Bottom_up.run ?budget ?pool ~funs single.doc plan)
-      | None -> assert false
-    end
+    | `Bottom_up ->
+      span_counted n_bottom_up Fun.id (fun () ->
+          match single.bu with
+          | Some plan -> List.length (Bottom_up.run ?budget ?pool ~funs single.doc plan)
+          | None -> assert false)
     | `Top_down ->
       let auto = Lazy.force single.auto in
       if auto.Automaton.needs_dedup then
         Array.length (select_one ?budget ?pool ?config ~funs ~strategy:Top_down single)
       else
-        Run.run ?budget ?pool ?config ~funs
-          (Run.count_sem (Document.tag_index single.doc))
-          auto
+        span_counted n_top_down Fun.id (fun () ->
+            Run.run ?budget ?pool ?config ~funs
+              (Run.count_sem (Document.tag_index single.doc))
+              auto)
   end
   | branches -> Array.length (select_impl ?budget ?pool ?config ~funs ~strategy branches)
 
@@ -238,9 +264,10 @@ let select ?budget ?pool ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?tra
   Sxsi_qos.Failpoint.hit eval_failpoint;
   if Option.is_some trace then precompile ?trace c;
   let nodes =
-    with_budget budget (fun () ->
-        eval_traced trace config (fun config ->
-            select_impl ?budget ?pool ?config ~funs ~strategy c))
+    span_counted n_select Array.length (fun () ->
+        with_budget budget (fun () ->
+            eval_traced trace config (fun config ->
+                select_impl ?budget ?pool ?config ~funs ~strategy c)))
   in
   charge_results budget (Array.length nodes);
   finish_trace ~funs ~strategy trace c (Array.length nodes);
@@ -250,17 +277,19 @@ let count ?budget ?pool ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trac
   Sxsi_qos.Failpoint.hit eval_failpoint;
   if Option.is_some trace then precompile ?trace c;
   let n =
-    with_budget budget (fun () ->
-        eval_traced trace config (fun config ->
-            count_impl ?budget ?pool ?config ~funs ~strategy c))
+    span_counted n_count Fun.id (fun () ->
+        with_budget budget (fun () ->
+            eval_traced trace config (fun config ->
+                count_impl ?budget ?pool ?config ~funs ~strategy c)))
   in
   finish_trace ~funs ~strategy trace c n;
   n
 
 let select_preorders ?budget ?pool ?config ?funs ?strategy ?trace c =
   let nodes = select ?budget ?pool ?config ?funs ?strategy ?trace c in
-  maybe_time trace Trace.Materialize (fun () ->
-      Array.map (Document.preorder (one c).doc) nodes)
+  J.with_span J.Engine n_materialize (fun () ->
+      maybe_time trace Trace.Materialize (fun () ->
+          Array.map (Document.preorder (one c).doc) nodes))
 
 (* Minimum result count before serialization fans out on a pool. *)
 let serialize_par_cutoff = 4
@@ -277,14 +306,15 @@ let serialize_to ?budget ?pool ?config ?funs ?strategy ?trace buf c =
     charge_bytes budget (String.length s);
     s
   in
-  maybe_time trace Trace.Materialize (fun () ->
-      with_budget budget (fun () ->
-          match pool with
+  J.with_span J.Engine n_materialize (fun () ->
+      maybe_time trace Trace.Materialize (fun () ->
+          with_budget budget (fun () ->
+              match pool with
           | Some p
             when Sxsi_par.Pool.size p > 1 && Array.length nodes >= serialize_par_cutoff
             ->
             (* subtrees serialize independently; append in document order *)
             let parts = Sxsi_par.Pool.map_array p serialize nodes in
             Array.iter (Buffer.add_string buf) parts
-          | _ -> Array.iter (fun x -> Buffer.add_string buf (serialize x)) nodes));
+          | _ -> Array.iter (fun x -> Buffer.add_string buf (serialize x)) nodes)));
   Array.length nodes

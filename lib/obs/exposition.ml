@@ -2,8 +2,16 @@ type metric =
   | M_counter of Counter.t
   | M_histogram of float * Histogram.t    (* scale, histogram *)
   | M_fn of string * (unit -> float)      (* rendered TYPE, callback *)
+  | M_multi of (unit -> ((string * string) list * float) list)
+      (* gauge families: one sample line per (labels, value), read at
+         render time; see [register_multi_gauge] *)
 
-type entry = { name : string; help : string; metric : metric }
+type entry = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  metric : metric;
+}
 
 type t = { mutable entries : entry list (* reversed *) }
 
@@ -16,21 +24,36 @@ let valid_name name =
        (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
        name
 
-let register t ~help ~name metric =
+let valid_label_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let register t ~help ?(labels = []) ~name metric =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Exposition: invalid metric name %S" name);
-  if List.exists (fun e -> e.name = name) t.entries then
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Exposition: invalid label name %S on %S" k name))
+    labels;
+  if List.exists (fun e -> e.name = name && e.labels = labels) t.entries then
     invalid_arg (Printf.sprintf "Exposition: duplicate metric %S" name);
-  t.entries <- { name; help; metric } :: t.entries
+  t.entries <- { name; help; labels; metric } :: t.entries
 
-let register_counter t ~help ~name c = register t ~help ~name (M_counter c)
+let register_counter t ~help ?labels ~name c = register t ~help ?labels ~name (M_counter c)
 
-let register_histogram t ~help ?(scale = 1.0) ~name h =
-  register t ~help ~name (M_histogram (scale, h))
+let register_histogram t ~help ?(scale = 1.0) ?labels ~name h =
+  register t ~help ?labels ~name (M_histogram (scale, h))
 
-let register_gauge t ~help ~name f = register t ~help ~name (M_fn ("gauge", f))
+let register_gauge t ~help ?labels ~name f = register t ~help ?labels ~name (M_fn ("gauge", f))
 
-let register_callback_counter t ~help ~name f = register t ~help ~name (M_fn ("counter", f))
+let register_callback_counter t ~help ?labels ~name f =
+  register t ~help ?labels ~name (M_fn ("counter", f))
+
+let register_multi_gauge t ~help ~name f = register t ~help ~name (M_multi f)
 
 (* Prometheus floats: decimal or scientific notation; "%.17g" is exact
    but noisy, so use the shortest round-tripping form. *)
@@ -41,32 +64,77 @@ let number f =
     if float_of_string short = f then short else Printf.sprintf "%.17g" f
   end
 
+(* HELP text: the text format escapes backslash and newline. *)
 let escape_help s =
   String.concat "\\n" (String.split_on_char '\n' (String.concat "\\\\" (String.split_on_char '\\' s)))
 
-let render_entry buf e =
+(* Label values additionally escape the double quote, per the text
+   format spec ("label_value can be any sequence of UTF-8 characters,
+   but the backslash, double-quote and line-feed characters have to be
+   escaped as \\, \" and \n"). *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* name{k="v",...} — or the bare name with no labels.  [extra] carries
+   per-sample labels (a histogram's [le]) after the entry's own. *)
+let series name labels extra =
+  match labels @ extra with
+  | [] -> name
+  | pairs ->
+    Printf.sprintf "%s{%s}" name
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) pairs))
+
+let type_of_metric = function
+  | M_counter _ -> "counter"
+  | M_histogram _ -> "histogram"
+  | M_fn (typ, _) -> typ
+  | M_multi _ -> "gauge"
+
+(* One # HELP/# TYPE block per metric name: entries sharing a name
+   (the same gauge at different label sets) render their samples under
+   a single header, taking the first entry's help text. *)
+let render_entry buf ~with_header e =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  let typ =
-    match e.metric with
-    | M_counter _ -> "counter"
-    | M_histogram _ -> "histogram"
-    | M_fn (typ, _) -> typ
-  in
-  line "# HELP %s %s" e.name (escape_help e.help);
-  line "# TYPE %s %s" e.name typ;
+  if with_header then begin
+    line "# HELP %s %s" e.name (escape_help e.help);
+    line "# TYPE %s %s" e.name (type_of_metric e.metric)
+  end;
   match e.metric with
-  | M_counter c -> line "%s %d" e.name (Counter.get c)
-  | M_fn (_, f) -> line "%s %s" e.name (number (f ()))
+  | M_counter c -> line "%s %d" (series e.name e.labels []) (Counter.get c)
+  | M_fn (_, f) -> line "%s %s" (series e.name e.labels []) (number (f ()))
+  | M_multi f ->
+    List.iter
+      (fun (labels, v) -> line "%s %s" (series e.name e.labels labels) (number v))
+      (f ())
   | M_histogram (scale, h) ->
     List.iter
       (fun (ub, cum) ->
-        line "%s_bucket{le=\"%s\"} %d" e.name (number (float_of_int ub *. scale)) cum)
+        line "%s %d"
+          (series (e.name ^ "_bucket") e.labels
+             [ ("le", number (float_of_int ub *. scale)) ])
+          cum)
       (Histogram.cumulative h);
-    line "%s_bucket{le=\"+Inf\"} %d" e.name (Histogram.count h);
-    line "%s_sum %s" e.name (number (float_of_int (Histogram.sum h) *. scale));
-    line "%s_count %d" e.name (Histogram.count h)
+    line "%s %d" (series (e.name ^ "_bucket") e.labels [ ("le", "+Inf") ]) (Histogram.count h);
+    line "%s %s" (series (e.name ^ "_sum") e.labels []) (number (float_of_int (Histogram.sum h) *. scale));
+    line "%s %d" (series (e.name ^ "_count") e.labels []) (Histogram.count h)
 
 let render t =
   let buf = Buffer.create 1024 in
-  List.iter (render_entry buf) (List.rev t.entries);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let with_header = not (Hashtbl.mem seen e.name) in
+      Hashtbl.replace seen e.name ();
+      render_entry buf ~with_header e)
+    (List.rev t.entries);
   Buffer.contents buf

@@ -2,33 +2,67 @@
     exposition format (version 0.0.4) — what the service's [METRICS]
     request returns.
 
-    Metric names must match [[a-zA-Z_:][a-zA-Z0-9_:]*]; registration
-    rejects anything else, and duplicate names, with
-    [Invalid_argument].  Rendering walks the metrics in registration
-    order; gauge callbacks run at render time, so derived sizes
-    (documents registered, cache entries) are read fresh on every
-    scrape.  The registry itself is not synchronized — the service
-    registers at startup and renders under its lock. *)
+    Metric names must match [[a-zA-Z_:][a-zA-Z0-9_:]*] and label names
+    [[a-zA-Z_][a-zA-Z0-9_]*]; registration rejects anything else, and
+    duplicate (name, label-set) pairs, with [Invalid_argument].  Label
+    {e values} are arbitrary: rendering escapes backslash, double
+    quote and line feed as ["\\\\"], ["\\\""] and ["\\n"] per the
+    text-format spec.  Every metric gets [# HELP] and [# TYPE] lines —
+    entries
+    registered under the same name with different labels share one
+    header block (the first registration's help text wins).
+
+    Rendering walks the metrics in registration order; gauge callbacks
+    run at render time, so derived sizes (documents registered, cache
+    entries, journal occupancy) are read fresh on every scrape.  The
+    registry itself is not synchronized — the service registers at
+    startup and renders under its lock. *)
 
 type t
 
 val create : unit -> t
 
-val register_counter : t -> help:string -> name:string -> Counter.t -> unit
+val register_counter :
+  t -> help:string -> ?labels:(string * string) list -> name:string -> Counter.t -> unit
 (** Expose a counter as metric [name] (conventionally suffixed
     [_total]). *)
 
-val register_histogram : t -> help:string -> ?scale:float -> name:string -> Histogram.t -> unit
+val register_histogram :
+  t ->
+  help:string ->
+  ?scale:float ->
+  ?labels:(string * string) list ->
+  name:string ->
+  Histogram.t ->
+  unit
 (** Expose a histogram.  [scale] (default [1.0]) multiplies every
     rendered value — pass [1e-9] to expose nanosecond recordings in
     seconds, the Prometheus base unit. *)
 
-val register_gauge : t -> help:string -> name:string -> (unit -> float) -> unit
+val register_gauge :
+  t -> help:string -> ?labels:(string * string) list -> name:string -> (unit -> float) -> unit
 (** Expose a value computed at render time as a gauge. *)
 
-val register_callback_counter : t -> help:string -> name:string -> (unit -> float) -> unit
+val register_callback_counter :
+  t -> help:string -> ?labels:(string * string) list -> name:string -> (unit -> float) -> unit
 (** Like {!register_gauge} but typed [counter]: for values that are
     monotonic but owned elsewhere (the registry's eviction count). *)
+
+val register_multi_gauge :
+  t ->
+  help:string ->
+  name:string ->
+  (unit -> ((string * string) list * float) list) ->
+  unit
+(** A gauge family whose label sets are only known at render time (one
+    journal ring per recording domain, one busy fraction per pool
+    worker): the callback returns [(labels, value)] pairs and each
+    renders as one sample line under a single [# HELP]/[# TYPE]
+    header. *)
+
+val escape_label_value : string -> string
+(** The text-format label-value escaping (backslash, double quote and
+    line feed); exposed for tests. *)
 
 val render : t -> string
 (** The full exposition: [# HELP]/[# TYPE] comments and one sample

@@ -2,6 +2,7 @@ let buckets = 63
 
 type t = {
   counts : int array;           (* counts.(i): observations in bucket i *)
+  sums : int array;             (* sums.(i): sum of bucket i's observations *)
   mutable total : int;
   mutable sum : int;
   mutable min_v : int;
@@ -9,7 +10,14 @@ type t = {
 }
 
 let create () =
-  { counts = Array.make buckets 0; total = 0; sum = 0; min_v = max_int; max_v = 0 }
+  {
+    counts = Array.make buckets 0;
+    sums = Array.make buckets 0;
+    total = 0;
+    sum = 0;
+    min_v = max_int;
+    max_v = 0;
+  }
 
 let bucket_index v =
   if v < 2 then 0
@@ -26,6 +34,7 @@ let record t v =
   let v = if v < 0 then 0 else v in
   let i = bucket_index v in
   t.counts.(i) <- t.counts.(i) + 1;
+  t.sums.(i) <- t.sums.(i) + v;
   t.total <- t.total + 1;
   t.sum <- t.sum + v;
   if v < t.min_v then t.min_v <- v;
@@ -57,6 +66,10 @@ let quantile t q =
       let in_bucket = t.counts.(!i) in
       let est =
         if in_bucket = 0 then float_of_int (lower !i)
+        else if in_bucket = 1 then
+          (* a lone observation: its exact value is the bucket sum, so
+             return it instead of the interpolated bucket midpoint *)
+          float_of_int t.sums.(!i)
         else begin
           let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
           let lo = float_of_int (lower !i) and hi = float_of_int (upper !i) in
@@ -70,7 +83,8 @@ let quantile t q =
 let merge a b =
   let m = create () in
   for i = 0 to buckets - 1 do
-    m.counts.(i) <- a.counts.(i) + b.counts.(i)
+    m.counts.(i) <- a.counts.(i) + b.counts.(i);
+    m.sums.(i) <- a.sums.(i) + b.sums.(i)
   done;
   m.total <- a.total + b.total;
   m.sum <- a.sum + b.sum;
@@ -83,15 +97,18 @@ let equal a b =
   && min_value a = min_value b
   && a.max_v = b.max_v
   && a.counts = b.counts
+  && a.sums = b.sums
 
 let reset t =
   Array.fill t.counts 0 buckets 0;
+  Array.fill t.sums 0 buckets 0;
   t.total <- 0;
   t.sum <- 0;
   t.min_v <- max_int;
   t.max_v <- 0
 
 let bucket_count t i = t.counts.(i)
+let bucket_sum t i = t.sums.(i)
 
 let cumulative t =
   let last = ref (-1) in

@@ -4,15 +4,19 @@
     bucket [0] covers [0, 2) and bucket [i >= 1] covers
     [2{^i}, 2{^i+1}).  63 buckets cover every non-negative OCaml
     [int], so recording never saturates; negative values clamp to 0.
-    Quantiles are estimated by linear interpolation inside the bucket
-    holding the requested rank, clamped to the exact observed
+    Each bucket also tracks the exact sum of its observations, so a
+    bucket holding a single observation yields that value {e exactly}.
+    Quantiles in buckets holding two or more observations are
+    estimated by linear interpolation, clamped to the exact observed
     minimum/maximum, which bounds the relative error by the bucket
     width (a factor of 2) and keeps estimates monotone in the
     requested rank: [quantile h p <= quantile h q] whenever [p <= q].
 
     Recording is a few array operations and is not synchronized —
     callers that share a histogram across domains must serialize
-    access (the service records under its lock). *)
+    access (the service records under its lock), or record into
+    per-domain histograms and aggregate snapshots with {!merge}, which
+    needs no lock at all. *)
 
 type t
 
@@ -38,14 +42,20 @@ val mean : t -> float
 
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [0, 1]: the estimated value below which
-    a [q] fraction of observations fall.  [0.] when empty. *)
+    a [q] fraction of observations fall.  Exact when the bucket
+    holding the requested rank has a single observation; [0.] when
+    empty. *)
 
 val merge : t -> t -> t
-(** Pointwise sum, as a fresh histogram.  Associative and commutative
-    up to {!equal}; neither argument is mutated. *)
+(** Pointwise sum (counts and per-bucket sums), as a fresh histogram:
+    [merge a b] is {!equal} to a histogram that recorded both inputs'
+    observations.  Associative and commutative up to {!equal}; neither
+    argument is mutated, so per-domain histograms can be aggregated
+    without locks. *)
 
 val equal : t -> t -> bool
-(** Same observation count, sum, extrema and per-bucket counts. *)
+(** Same observation count, sum, extrema and per-bucket counts and
+    sums. *)
 
 val reset : t -> unit
 (** Forget every observation. *)
@@ -56,6 +66,9 @@ val bucket_index : int -> int
 
 val bucket_count : t -> int -> int
 (** Observations in one bucket. *)
+
+val bucket_sum : t -> int -> int
+(** Exact sum of one bucket's observations. *)
 
 val cumulative : t -> (int * int) list
 (** [(upper_bound_exclusive, observations_at_or_below)] for every

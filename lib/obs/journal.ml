@@ -1,0 +1,541 @@
+(* The flight recorder: a per-domain ring buffer of timestamped span
+   and event records, cheap enough to leave on in production.
+
+   Write path: each domain that records owns one ring (acquired lazily
+   through domain-local storage, registered in a global table under a
+   mutex once).  A ring is four preallocated int arrays plus a head
+   counter; the single writer reads the head, fills the slot's fields
+   with plain stores and publishes with one [Atomic.set] of the head —
+   that store is the only synchronization per record.  When the ring is
+   full the oldest slot is overwritten: the journal always holds the
+   newest [capacity] records per domain and the head counter doubles as
+   the drop count ([head - capacity] records have been lost).
+
+   Read path: [snapshot] copies every ring without stopping writers.  A
+   record being written concurrently with the copy can tear (its fields
+   mix two records); snapshots are diagnostics, not evidence, and the
+   span reconstruction below tolerates arbitrary prefixes/garbage, so a
+   torn record costs at most one bogus span. *)
+
+type category = Engine | Pool | Qos | Service | Runtime
+
+let all_categories = [ Engine; Pool; Qos; Service; Runtime ]
+
+let category_index = function
+  | Engine -> 0
+  | Pool -> 1
+  | Qos -> 2
+  | Service -> 3
+  | Runtime -> 4
+
+let category_label = function
+  | Engine -> "engine"
+  | Pool -> "pool"
+  | Qos -> "qos"
+  | Service -> "service"
+  | Runtime -> "runtime"
+
+let category_of_label = function
+  | "engine" -> Some Engine
+  | "pool" -> Some Pool
+  | "qos" -> Some Qos
+  | "service" -> Some Service
+  | "runtime" -> Some Runtime
+  | _ -> None
+
+type kind = Begin | End | Instant
+
+let kind_index = function Begin -> 0 | End -> 1 | Instant -> 2
+let kind_label = function Begin -> "B" | End -> "E" | Instant -> "I"
+
+let kind_of_label = function
+  | "B" -> Some Begin
+  | "E" -> Some End
+  | "I" -> Some Instant
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Interned names                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Span/event names are interned once (at module initialization of the
+   recording sites) so the hot path stores a small int.  The table only
+   grows; lookups by id on the snapshot path read the array without the
+   lock (entries are published before their id escapes). *)
+
+let names_lock = Mutex.create ()
+let names : string array ref = ref (Array.make 0 "")
+let names_by_string : (string, int) Hashtbl.t = Hashtbl.create 64
+let names_count = ref 0
+
+let name s =
+  Mutex.protect names_lock (fun () ->
+      match Hashtbl.find_opt names_by_string s with
+      | Some id -> id
+      | None ->
+        let id = !names_count in
+        if id >= Array.length !names then begin
+          let bigger = Array.make (max 16 (2 * Array.length !names)) "" in
+          Array.blit !names 0 bigger 0 (Array.length !names);
+          names := bigger
+        end;
+        !names.(id) <- s;
+        names_count := id + 1;
+        Hashtbl.add names_by_string s id;
+        id)
+
+let name_label id =
+  let a = !names in
+  if id >= 0 && id < Array.length a && a.(id) <> "" then a.(id)
+  else "name#" ^ string_of_int id
+
+(* ------------------------------------------------------------------ *)
+(* Rings                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* code packs kind (2 bits), category (3 bits) and the interned name id
+   into one int, so a record is four int stores. *)
+let pack kind cat nm = kind_index kind lor (category_index cat lsl 2) lor (nm lsl 5)
+let code_kind code = code land 3
+let code_category code = (code lsr 2) land 7
+let code_name code = code lsr 5
+
+type ring = {
+  rdomain : int;            (* Domain id of the owning writer *)
+  generation : int;         (* see [reset] *)
+  mask : int;               (* capacity - 1; capacity is 2^k *)
+  rts : int array;
+  rcode : int array;
+  ra : int array;
+  rb : int array;
+  head : int Atomic.t;      (* records ever written to this ring *)
+}
+
+let default_capacity = 16384
+
+let enabled_flag = Atomic.make false
+let capacity_setting = Atomic.make default_capacity
+let generation = Atomic.make 0
+
+let rings_lock = Mutex.create ()
+let rings : ring list ref = ref []
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled on = Atomic.set enabled_flag on
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let configure ?capacity () =
+  (match capacity with
+  | Some c -> Atomic.set capacity_setting (round_pow2 (max 2 c))
+  | None -> ())
+
+let reset () =
+  (* orphan every ring: writers re-register against the new generation
+     on their next record, picking up a fresh (and freshly-sized) ring *)
+  Mutex.protect rings_lock (fun () ->
+      Atomic.incr generation;
+      rings := [])
+
+let new_ring () =
+  let cap = Atomic.get capacity_setting in
+  {
+    rdomain = (Domain.self () :> int);
+    generation = Atomic.get generation;
+    mask = cap - 1;
+    rts = Array.make cap 0;
+    rcode = Array.make cap 0;
+    ra = Array.make cap 0;
+    rb = Array.make cap 0;
+    head = Atomic.make 0;
+  }
+
+let ring_key : ring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_ring () =
+  let slot = Domain.DLS.get ring_key in
+  match !slot with
+  | Some r when r.generation = Atomic.get generation -> r
+  | Some _ | None ->
+    let r = new_ring () in
+    Mutex.protect rings_lock (fun () -> rings := r :: !rings);
+    slot := Some r;
+    r
+
+(* The one hot function: fill the slot, publish with a single atomic
+   store of the head. *)
+let record_packed ts code a b =
+  let r = my_ring () in
+  let h = Atomic.get r.head in
+  let i = h land r.mask in
+  r.rts.(i) <- ts;
+  r.rcode.(i) <- code;
+  r.ra.(i) <- a;
+  r.rb.(i) <- b;
+  Atomic.set r.head (h + 1)
+
+let emit kind cat nm ?ts ?(a = 0) ?(b = 0) () =
+  if Atomic.get enabled_flag then begin
+    let ts = match ts with Some t -> t | None -> Clock.now_ns () in
+    record_packed ts (pack kind cat nm) a b
+  end
+
+let begin_span cat nm ?ts ?a ?b () = emit Begin cat nm ?ts ?a ?b ()
+let end_span cat nm ?ts ?a ?b () = emit End cat nm ?ts ?a ?b ()
+let instant cat nm ?ts ?a ?b () = emit Instant cat nm ?ts ?a ?b ()
+
+let with_span cat nm ?a f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    emit Begin cat nm ?a ();
+    Fun.protect ~finally:(fun () -> emit End cat nm ()) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cursors: the window of the current domain's ring since a mark        *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { cring : ring; chead : int }
+
+let cursor () =
+  let r = my_ring () in
+  { cring = r; chead = Atomic.get r.head }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type record = {
+  seq : int;                (* position in the ring's write sequence *)
+  ts : int;
+  kind : kind;
+  cat : category;
+  rname : string;
+  a : int;
+  b : int;
+}
+
+type snapshot = {
+  sdomain : int;
+  dropped : int;            (* records overwritten and lost *)
+  records : record array;   (* oldest first *)
+}
+
+let decode r seq =
+  let i = seq land r.mask in
+  let code = r.rcode.(i) in
+  let kind =
+    match code_kind code with 0 -> Begin | 1 -> End | _ -> Instant
+  in
+  let cat =
+    match code_category code with
+    | 0 -> Engine
+    | 1 -> Pool
+    | 2 -> Qos
+    | 3 -> Service
+    | _ -> Runtime
+  in
+  { seq; ts = r.rts.(i); kind; cat; rname = name_label (code_name code); a = r.ra.(i); b = r.rb.(i) }
+
+let snapshot_ring ?(from = 0) r =
+  let head = Atomic.get r.head in
+  let cap = r.mask + 1 in
+  let first = max from (max 0 (head - cap)) in
+  {
+    sdomain = r.rdomain;
+    dropped = max 0 (head - cap);
+    records = Array.init (head - first) (fun k -> decode r (first + k));
+  }
+
+let snapshot () =
+  let rs = Mutex.protect rings_lock (fun () -> !rings) in
+  List.sort
+    (fun s1 s2 -> compare s1.sdomain s2.sdomain)
+    (List.map (fun r -> snapshot_ring r) rs)
+
+let since c = snapshot_ring ~from:c.chead c.cring
+
+let records_total () =
+  List.fold_left (fun acc r -> acc + Atomic.get r.head) 0
+    (Mutex.protect rings_lock (fun () -> !rings))
+
+let dropped_total () =
+  List.fold_left
+    (fun acc r -> acc + max 0 (Atomic.get r.head - (r.mask + 1)))
+    0
+    (Mutex.protect rings_lock (fun () -> !rings))
+
+let occupancy () =
+  List.map
+    (fun r -> (r.rdomain, min (Atomic.get r.head) (r.mask + 1), r.mask + 1))
+    (Mutex.protect rings_lock (fun () -> !rings))
+
+(* ------------------------------------------------------------------ *)
+(* JSON round trip                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let record_to_json r =
+  Json.List
+    [
+      Json.Int r.ts;
+      Json.String (kind_label r.kind);
+      Json.String (category_label r.cat);
+      Json.String r.rname;
+      Json.Int r.a;
+      Json.Int r.b;
+    ]
+
+let to_json snaps =
+  Json.Obj
+    [
+      ("schema", Json.String "sxsi-journal-v1");
+      ( "rings",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("domain", Json.Int s.sdomain);
+                   ("dropped", Json.Int s.dropped);
+                   ("records", Json.List (Array.to_list (Array.map record_to_json s.records)));
+                 ])
+             snaps) );
+    ]
+
+let record_of_json seq j =
+  match j with
+  | Json.List [ Json.Int ts; Json.String k; Json.String c; Json.String nm; Json.Int a; Json.Int b ]
+    -> begin
+    match (kind_of_label k, category_of_label c) with
+    | Some kind, Some cat -> Ok { seq; ts; kind; cat; rname = nm; a; b }
+    | _ -> Error (Printf.sprintf "journal record: unknown kind %S or category %S" k c)
+  end
+  | _ -> Error "journal record: expected [ts, kind, cat, name, a, b]"
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int_member k j =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "journal: missing int field %S" k)
+  in
+  match Json.member "rings" j with
+  | Some (Json.List rings) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | r :: tl ->
+        let* sdomain = int_member "domain" r in
+        let* dropped = int_member "dropped" r in
+        let* records =
+          match Json.member "records" r with
+          | Some (Json.List recs) ->
+            let rec conv i acc = function
+              | [] -> Ok (Array.of_list (List.rev acc))
+              | rj :: tl ->
+                let* r = record_of_json i rj in
+                conv (i + 1) (r :: acc) tl
+            in
+            conv 0 [] recs
+          | _ -> Error "journal ring: missing records list"
+        in
+        go ({ sdomain; dropped; records } :: acc) tl
+    in
+    go [] rings
+  | _ -> Error "journal: missing rings list"
+
+(* ------------------------------------------------------------------ *)
+(* Span reconstruction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sname : string;
+  scat : category;
+  start_ns : int;
+  end_ns : int;
+  sa : int;
+  sb : int;
+  truncated : bool;         (* one endpoint synthesized from the window edge *)
+  children : span list;
+}
+
+(* Rebuild the span forest of one ring.  Writers emit well-nested
+   Begin/End pairs, but the window can start or end mid-span (the ring
+   wrapped, or the snapshot caught spans still open), so:
+
+   - an [End] with no matching [Begin] on the stack becomes a span
+     opening at the window's first timestamp, marked truncated;
+   - a [Begin] still on the stack when the records run out becomes a
+     span closing at the window's last timestamp, marked truncated;
+   - an [End] whose name matches a deeper stack entry (a torn record or
+     a span abandoned by an exception) closes the entries above it as
+     truncated rather than corrupting the nesting. *)
+let spans snap =
+  let n = Array.length snap.records in
+  if n = 0 then []
+  else begin
+    let window_start = snap.records.(0).ts in
+    let window_end = snap.records.(n - 1).ts in
+    (* stack frames: the Begin record plus the children built so far *)
+    let stack : (record * span list ref) list ref = ref [] in
+    let top_level : span list ref = ref [] in
+    let attach sp =
+      match !stack with
+      | [] -> top_level := sp :: !top_level
+      | (_, kids) :: _ -> kids := sp :: !kids
+    in
+    let close ?(truncated = false) ~end_ns ~eb (b, kids) =
+      {
+        sname = b.rname;
+        scat = b.cat;
+        start_ns = b.ts;
+        end_ns = max b.ts end_ns;
+        sa = b.a;
+        sb = eb;
+        truncated;
+        children = List.rev !kids;
+      }
+    in
+    let orphan name cat ts eb =
+      (* the matching Begin fell off the ring (or was torn): the span
+         opened at or before the window's first record *)
+      attach
+        {
+          sname = name;
+          scat = cat;
+          start_ns = window_start;
+          end_ns = ts;
+          sa = 0;
+          sb = eb;
+          truncated = true;
+          children = [];
+        }
+    in
+    let rec close_down_to name cat ts eb =
+      match !stack with
+      | [] -> assert false              (* caller checked a match exists *)
+      | ((b, _) as frame) :: rest ->
+        stack := rest;
+        if b.rname = name && b.cat = cat then attach (close ~end_ns:ts ~eb frame)
+        else begin
+          (* the top span never saw its End (abandoned by an exception,
+             or its End was torn): close it here, truncated, and keep
+             unwinding to the matching opener *)
+          attach (close ~truncated:true ~end_ns:ts ~eb:b.b frame);
+          close_down_to name cat ts eb
+        end
+    in
+    Array.iter
+      (fun r ->
+        match r.kind with
+        | Begin -> stack := (r, ref []) :: !stack
+        | End ->
+          if List.exists (fun (b, _) -> b.rname = r.rname && b.cat = r.cat) !stack
+          then close_down_to r.rname r.cat r.ts r.b
+          else orphan r.rname r.cat r.ts r.b
+        | Instant ->
+          attach
+            {
+              sname = r.rname;
+              scat = r.cat;
+              start_ns = r.ts;
+              end_ns = r.ts;
+              sa = r.a;
+              sb = r.b;
+              truncated = false;
+              children = [];
+            })
+      snap.records;
+    (* spans still open when the window closed *)
+    while !stack <> [] do
+      match !stack with
+      | frame :: rest ->
+        stack := rest;
+        attach (close ~truncated:true ~end_ns:window_end ~eb:0 frame)
+      | [] -> ()
+    done;
+    List.rev !top_level
+  end
+
+let rec span_to_json sp =
+  Json.Obj
+    ([
+       ("name", Json.String sp.sname);
+       ("cat", Json.String (category_label sp.scat));
+       ("start_ns", Json.Int sp.start_ns);
+       ("dur_ns", Json.Int (sp.end_ns - sp.start_ns));
+       ("a", Json.Int sp.sa);
+       ("b", Json.Int sp.sb);
+     ]
+    @ (if sp.truncated then [ ("truncated", Json.Bool true) ] else [])
+    @
+    match sp.children with
+    | [] -> []
+    | kids -> [ ("children", Json.List (List.map span_to_json kids)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Complete ("X") events are emitted from the reconstructed spans
+   rather than raw "B"/"E" pairs, so a truncated window still produces
+   a trace every viewer accepts.  Timestamps are microseconds (floats,
+   per the format); the process id is fixed and each domain becomes a
+   thread. *)
+let to_chrome_trace snaps =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let us ns = float_of_int ns /. 1e3 in
+  let args sp extra =
+    ("args", Json.Obj ([ ("a", Json.Int sp.sa); ("b", Json.Int sp.sb) ] @ extra))
+  in
+  List.iter
+    (fun snap ->
+      let tid = snap.sdomain in
+      let rec walk sp =
+        let extra = if sp.truncated then [ ("truncated", Json.Bool true) ] else [] in
+        if sp.start_ns = sp.end_ns && sp.children = [] && not sp.truncated then
+          push
+            (Json.Obj
+               [
+                 ("name", Json.String sp.sname);
+                 ("cat", Json.String (category_label sp.scat));
+                 ("ph", Json.String "i");
+                 ("s", Json.String "t");
+                 ("ts", Json.Float (us sp.start_ns));
+                 ("pid", Json.Int 1);
+                 ("tid", Json.Int tid);
+                 args sp extra;
+               ])
+        else begin
+          push
+            (Json.Obj
+               [
+                 ("name", Json.String sp.sname);
+                 ("cat", Json.String (category_label sp.scat));
+                 ("ph", Json.String "X");
+                 ("ts", Json.Float (us sp.start_ns));
+                 ("dur", Json.Float (us (max 1 (sp.end_ns - sp.start_ns))));
+                 ("pid", Json.Int 1);
+                 ("tid", Json.Int tid);
+                 args sp extra;
+               ]);
+          List.iter walk sp.children
+        end
+      in
+      List.iter walk (spans snap);
+      push
+        (Json.Obj
+           [
+             ("name", Json.String "thread_name");
+             ("ph", Json.String "M");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int tid);
+             ( "args",
+               Json.Obj
+                 [ ("name", Json.String (Printf.sprintf "domain %d" snap.sdomain)) ] );
+           ]))
+    snaps;
+  Json.Obj [ ("traceEvents", Json.List (List.rev !events)) ]

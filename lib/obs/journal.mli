@@ -1,0 +1,164 @@
+(** The flight recorder: an always-on, low-overhead journal of spans
+    and instant events, one lock-free ring buffer per domain.
+
+    Recording is designed to be left enabled in production: when the
+    journal is {e off} every probe costs one atomic load; when {e on}
+    a record is a timestamp read, four plain array stores into a
+    preallocated slot and one atomic store publishing the ring head.
+    Rings never allocate on the hot path and never block — when a ring
+    is full the oldest record is overwritten, so the journal always
+    holds the newest [capacity] records per domain and counts what it
+    dropped.
+
+    Each record carries a {!kind} (span begin, span end, or instant
+    event), a {!category} (which subsystem), an interned name and two
+    integer payloads whose meaning is per-name (a result count, a
+    queue index...).  Spans must be emitted well-nested per domain;
+    {!spans} reconstructs the span forest of a snapshot and tolerates
+    windows that start or end mid-span (the ring wrapped, or spans
+    were still open), marking the clipped spans [truncated].
+
+    Snapshots copy the rings without stopping writers: a record
+    written concurrently with the copy can tear.  Snapshots are
+    diagnostics; the reconstruction tolerates arbitrary prefixes, so a
+    torn record costs at most one bogus span. *)
+
+(** {1 Vocabulary} *)
+
+type category =
+  | Engine    (** query evaluation: prepare, run, bottom-up, materialize *)
+  | Pool      (** the work-stealing domain pool: tasks, steals, parking *)
+  | Qos       (** resource governance: budget trips, breaker transitions *)
+  | Service   (** the request lifecycle: queue, parse, eval, write, shed *)
+  | Runtime   (** the runtime sampler's own marks *)
+
+val all_categories : category list
+
+val category_label : category -> string
+(** Stable lower-case name, used in JSON and Chrome traces. *)
+
+val category_of_label : string -> category option
+
+type kind = Begin | End | Instant
+
+val name : string -> int
+(** Intern a span/event name, returning the id the recording functions
+    take.  Intern once at module initialization, not per record: the
+    table takes a lock.  Interning the same string twice returns the
+    same id. *)
+
+(** {1 Recording} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Turn the recorder on or off, process-wide, at any time.  Off is
+    the default; every probe then costs a single atomic load. *)
+
+val configure : ?capacity:int -> unit -> unit
+(** Set the per-domain ring capacity (rounded up to a power of two,
+    minimum 2; default 16384 records).  Affects rings created after
+    the call — call before {!set_enabled}, or follow with {!reset}. *)
+
+val reset : unit -> unit
+(** Drop every ring.  Writers lazily re-register on their next record,
+    picking up the current {!configure} capacity.  Meant for tests. *)
+
+val begin_span : category -> int -> ?ts:int -> ?a:int -> ?b:int -> unit -> unit
+(** Open a span named by an interned id.  [ts] (default: now) lets a
+    caller backdate a span it measured itself — the accept-queue wait
+    is recorded at dequeue time with the enqueue timestamp.  [a]/[b]
+    (default 0) are the payloads. *)
+
+val end_span : category -> int -> ?ts:int -> ?a:int -> ?b:int -> unit -> unit
+(** Close the innermost open span of this name.  The [b] payload of
+    the End record becomes the reconstructed span's [sb] (so a result
+    count known only at the end still lands on the span). *)
+
+val instant : category -> int -> ?ts:int -> ?a:int -> ?b:int -> unit -> unit
+(** A point event. *)
+
+val with_span : category -> int -> ?a:int -> (unit -> 'x) -> 'x
+(** [begin_span]/run/[end_span], closing the span when the thunk
+    raises too.  When the journal is disabled this is exactly one
+    atomic load plus the call. *)
+
+(** {1 Snapshots} *)
+
+type record = {
+  seq : int;        (** position in the ring's write sequence *)
+  ts : int;         (** {!Clock} nanoseconds *)
+  kind : kind;
+  cat : category;
+  rname : string;
+  a : int;
+  b : int;
+}
+
+type snapshot = {
+  sdomain : int;            (** the writer's [Domain.self] id *)
+  dropped : int;            (** records overwritten and lost *)
+  records : record array;   (** oldest first *)
+}
+
+val snapshot : unit -> snapshot list
+(** Copy every ring, ordered by domain id, without stopping writers. *)
+
+(** {1 Cursors} *)
+
+type cursor
+
+val cursor : unit -> cursor
+(** Mark the current position of {e this} domain's ring. *)
+
+val since : cursor -> snapshot
+(** The records this domain wrote after the mark (clipped to what the
+    ring still holds), as a snapshot of one ring. *)
+
+val records_total : unit -> int
+(** Records ever written, across all rings (including overwritten
+    ones). *)
+
+val dropped_total : unit -> int
+(** Records lost to ring wrap-around, across all rings. *)
+
+val occupancy : unit -> (int * int * int) list
+(** Per ring: [(domain, records_held, capacity)]. *)
+
+(** {1 Span reconstruction} *)
+
+type span = {
+  sname : string;
+  scat : category;
+  start_ns : int;
+  end_ns : int;
+  sa : int;         (** the Begin record's [a] payload *)
+  sb : int;         (** the End record's [b] payload *)
+  truncated : bool; (** an endpoint was synthesized from the window edge *)
+  children : span list;
+}
+
+val spans : snapshot -> span list
+(** The span forest of one ring's window, oldest first.  Instants
+    become zero-length childless spans.  Robust against truncation at
+    any record offset: an End without its Begin opens at the window
+    start, a Begin without its End closes at the window end, both
+    marked [truncated]. *)
+
+val span_to_json : span -> Json.t
+(** Object with [name], [cat], [start_ns], [dur_ns], [a], [b],
+    [truncated] (only when true) and [children] (only when
+    non-empty) — the shape of a slow-query-log line's [spans]. *)
+
+(** {1 Interchange} *)
+
+val to_json : snapshot list -> Json.t
+(** The wire form of a journal dump (schema [sxsi-journal-v1]): what
+    the service's [DUMP] request returns. *)
+
+val of_json : Json.t -> (snapshot list, string) result
+(** Parse a dump back ([sxsi trace-export] reads these). *)
+
+val to_chrome_trace : snapshot list -> Json.t
+(** Convert a dump to Chrome [trace_event] JSON (an object with a
+    [traceEvents] array of complete/instant events, one thread per
+    domain), loadable in Perfetto or [chrome://tracing]. *)

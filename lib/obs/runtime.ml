@@ -1,0 +1,119 @@
+(* Runtime telemetry: a sampler that periodically polls Gc.quick_stat
+   and the journal's ring occupancy, feeding histograms (what the
+   distribution over time looked like) while the matching gauges read
+   the live values at scrape time. *)
+
+let n_sample = Journal.name "sample"
+
+type t = {
+  heap_bytes : Histogram.t;
+  occupancy_pct : Histogram.t;
+  sample_ns : Histogram.t;
+  samples : Counter.t;
+  mutable minor_at_start : int;
+  mutable major_at_start : int;
+  lock : Mutex.t;            (* histograms are not synchronized *)
+  stop : bool Atomic.t;
+  mutable sampler : unit Domain.t option;
+}
+
+let create () =
+  let st = Gc.quick_stat () in
+  {
+    heap_bytes = Histogram.create ();
+    occupancy_pct = Histogram.create ();
+    sample_ns = Histogram.create ();
+    samples = Counter.create ();
+    minor_at_start = st.Gc.minor_collections;
+    major_at_start = st.Gc.major_collections;
+    lock = Mutex.create ();
+    stop = Atomic.make false;
+    sampler = None;
+  }
+
+(* Worst-case ring occupancy in percent: how close the flight recorder
+   is to overwriting history. *)
+let max_occupancy_pct () =
+  List.fold_left
+    (fun acc (_, held, cap) -> max acc (100 * held / cap))
+    0 (Journal.occupancy ())
+
+let sample t =
+  let t0 = Clock.now_ns () in
+  let st = Gc.quick_stat () in
+  let occ = max_occupancy_pct () in
+  Mutex.protect t.lock (fun () ->
+      Histogram.record t.heap_bytes (st.Gc.heap_words * (Sys.word_size / 8));
+      Histogram.record t.occupancy_pct occ;
+      Histogram.record t.sample_ns (Clock.since t0));
+  Counter.incr t.samples;
+  Journal.instant Journal.Runtime n_sample ~a:occ
+    ~b:(st.Gc.heap_words * (Sys.word_size / 8))
+    ()
+
+let start ?(period_ms = 100) t =
+  match t.sampler with
+  | Some _ -> ()
+  | None ->
+    Atomic.set t.stop false;
+    let period_s = float_of_int (max 1 period_ms) /. 1e3 in
+    t.sampler <-
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get t.stop) do
+               sample t;
+               Unix.sleepf period_s
+             done))
+
+let stop t =
+  match t.sampler with
+  | None -> ()
+  | Some d ->
+    Atomic.set t.stop true;
+    Domain.join d;
+    t.sampler <- None
+
+let samples_total t = Counter.get t.samples
+
+(* Allocation since process start, in bytes: minor plus major minus
+   promoted, per the Gc docs' double-count caveat. *)
+let allocated_bytes st =
+  (st.Gc.minor_words +. st.Gc.major_words -. st.Gc.promoted_words)
+  *. float_of_int (Sys.word_size / 8)
+
+let register ?(prefix = "sxsi") t e =
+  let gauge = Exposition.register_gauge e in
+  let cb = Exposition.register_callback_counter e in
+  gauge ~help:"Major-heap size, bytes (live at last slice)."
+    ~name:(prefix ^ "_gc_heap_bytes") (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.heap_words *. float_of_int (Sys.word_size / 8));
+  cb ~help:"Minor collections." ~name:(prefix ^ "_gc_minor_collections_total") (fun () ->
+      float_of_int (Gc.quick_stat ()).Gc.minor_collections);
+  cb ~help:"Major collection cycles." ~name:(prefix ^ "_gc_major_collections_total")
+    (fun () -> float_of_int (Gc.quick_stat ()).Gc.major_collections);
+  cb ~help:"Words allocated since process start, in bytes."
+    ~name:(prefix ^ "_gc_allocated_bytes_total") (fun () ->
+      allocated_bytes (Gc.quick_stat ()));
+  gauge ~help:"Flight-recorder state: 1 when recording." ~name:(prefix ^ "_journal_enabled")
+    (fun () -> if Journal.enabled () then 1.0 else 0.0);
+  cb ~help:"Journal records written across all rings, including overwritten ones."
+    ~name:(prefix ^ "_journal_records_total") (fun () ->
+      float_of_int (Journal.records_total ()));
+  cb ~help:"Journal records lost to ring wrap-around."
+    ~name:(prefix ^ "_journal_dropped_total") (fun () ->
+      float_of_int (Journal.dropped_total ()));
+  Exposition.register_multi_gauge e
+    ~help:"Journal ring occupancy per recording domain, percent."
+    ~name:(prefix ^ "_journal_ring_occupancy_percent") (fun () ->
+      List.map
+        (fun (dom, held, cap) ->
+          ([ ("domain", string_of_int dom) ], float_of_int (100 * held / cap)))
+        (Journal.occupancy ()));
+  cb ~help:"Runtime telemetry samples taken." ~name:(prefix ^ "_runtime_samples_total")
+    (fun () -> float_of_int (samples_total t));
+  Exposition.register_histogram e
+    ~help:"Major-heap size at each runtime sample." ~name:(prefix ^ "_runtime_heap_bytes")
+    t.heap_bytes;
+  Exposition.register_histogram e
+    ~help:"Worst-ring journal occupancy at each runtime sample, percent."
+    ~name:(prefix ^ "_runtime_journal_occupancy_percent") t.occupancy_pct

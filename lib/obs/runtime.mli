@@ -1,0 +1,44 @@
+(** Runtime telemetry: periodic sampling of [Gc.quick_stat] and the
+    {!Journal}'s ring occupancy.
+
+    Two complementary read paths: {!register} exposes {e live} gauges
+    and callback counters (heap size, collection counts, journal
+    record/drop totals, per-ring occupancy) that read the runtime at
+    scrape time, plus histograms of the sampled values over time —
+    what the heap and the recorder looked like {e between} scrapes.
+    The histograms only fill while a sampler runs ({!start}, or manual
+    {!sample} calls).
+
+    The sampler is one background domain waking every [period_ms];
+    each sample also drops a [runtime]-category instant event into the
+    journal (payloads: worst-ring occupancy percent, heap bytes) so
+    exported traces carry the runtime timeline.  Histograms are
+    guarded by an internal lock; {!sample} may be called from any
+    domain. *)
+
+type t
+
+val create : unit -> t
+
+val sample : t -> unit
+(** Take one sample now. *)
+
+val start : ?period_ms:int -> t -> unit
+(** Spawn the sampler domain (default period 100ms, clamped to at
+    least 1).  No-op when already running. *)
+
+val stop : t -> unit
+(** Stop and join the sampler domain.  No-op when not running. *)
+
+val samples_total : t -> int
+
+val register : ?prefix:string -> t -> Exposition.t -> unit
+(** Register the runtime series on an exposition (default prefix
+    ["sxsi"]): [<p>_gc_heap_bytes], [<p>_gc_minor_collections_total],
+    [<p>_gc_major_collections_total], [<p>_gc_allocated_bytes_total],
+    [<p>_journal_enabled], [<p>_journal_records_total],
+    [<p>_journal_dropped_total],
+    [<p>_journal_ring_occupancy_percent{domain="..."}],
+    [<p>_runtime_samples_total] and the sampled histograms
+    [<p>_runtime_heap_bytes],
+    [<p>_runtime_journal_occupancy_percent]. *)

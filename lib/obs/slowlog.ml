@@ -1,0 +1,44 @@
+(* A bounded append-only JSON-lines sink for the slow-query log.  The
+   bound is on bytes written, not entries: once the budget is spent the
+   file stops growing and further entries are counted, not written —
+   a misbehaving workload cannot fill the disk. *)
+
+type t = {
+  oc : out_channel;
+  max_bytes : int;
+  lock : Mutex.t;
+  mutable written : int;
+  dropped : Counter.t;
+  entries : Counter.t;
+}
+
+let default_max_bytes = 64 * 1024 * 1024
+
+let create ?(max_bytes = default_max_bytes) path =
+  {
+    oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path;
+    max_bytes = max 0 max_bytes;
+    lock = Mutex.create ();
+    written = 0;
+    dropped = Counter.create ();
+    entries = Counter.create ();
+  }
+
+let write t json =
+  let line = Json.to_string json in
+  let len = String.length line + 1 in
+  Mutex.protect t.lock (fun () ->
+      if t.written + len > t.max_bytes then Counter.incr t.dropped
+      else begin
+        output_string t.oc line;
+        output_char t.oc '\n';
+        flush t.oc;
+        t.written <- t.written + len;
+        Counter.incr t.entries
+      end)
+
+let entries t = Counter.get t.entries
+let dropped t = Counter.get t.dropped
+let bytes_written t = Mutex.protect t.lock (fun () -> t.written)
+
+let close t = Mutex.protect t.lock (fun () -> try close_out t.oc with Sys_error _ -> ())

@@ -1,0 +1,33 @@
+(** A bounded JSON-lines file: the slow-query log's sink.
+
+    Each {!write} appends one compact JSON document and a newline,
+    flushing immediately (a crashing server keeps its evidence).  The
+    file is opened in append mode and is bounded: once [max_bytes] of
+    this process's writes are spent, further entries are silently
+    counted in {!dropped} instead of written, so a pathological
+    workload cannot fill the disk.  Writes are serialized by an
+    internal lock and safe from any domain. *)
+
+type t
+
+val default_max_bytes : int
+(** 64 MiB. *)
+
+val create : ?max_bytes:int -> string -> t
+(** Open (appending) or create the file at a path.  Raises [Sys_error]
+    like [open_out] when the path is unwritable. *)
+
+val write : t -> Json.t -> unit
+(** Append one entry as a single line, or count it dropped when the
+    byte budget is spent. *)
+
+val entries : t -> int
+(** Entries written by this process. *)
+
+val dropped : t -> int
+(** Entries refused by the byte bound. *)
+
+val bytes_written : t -> int
+
+val close : t -> unit
+(** Close the underlying channel; later {!write}s raise. *)

@@ -17,6 +17,13 @@
    sub-tasks (nested [fork_join]) without reserving domains. *)
 
 module Counter = Sxsi_obs.Counter
+module Clock = Sxsi_obs.Clock
+module J = Sxsi_obs.Journal
+
+(* Interned once: the journal's name table takes a lock. *)
+let n_task = J.name "pool/task"
+let n_steal = J.name "pool/steal"
+let n_park = J.name "pool/park"
 
 type task = unit -> unit
 
@@ -37,6 +44,9 @@ type t = {
   stopping : bool Atomic.t;
   tasks : Counter.t;
   steals : Counter.t;
+  created_ns : int;              (* pool birth; busy fractions divide by age *)
+  busy_ns : int Atomic.t array;  (* per slot: nanoseconds spent inside tasks *)
+  queue_hwm : int Atomic.t;      (* high-water mark of [pending] *)
 }
 
 (* Which pool/queue the current domain works for, if any. *)
@@ -52,6 +62,20 @@ let size t = t.size
 let tasks_total t = Counter.get t.tasks
 let steals_total t = Counter.get t.steals
 let queue_depth t = Atomic.get t.pending
+let queue_depth_hwm t = Atomic.get t.queue_hwm
+
+let busy_fractions t =
+  let elapsed = Sxsi_obs.Clock.since t.created_ns in
+  Array.to_list
+    (Array.mapi
+       (fun slot busy ->
+         let busy = Atomic.get busy in
+         let f =
+           if elapsed <= 0 then 0.0
+           else Float.min 1.0 (float_of_int busy /. float_of_int elapsed)
+         in
+         (slot, f))
+       t.busy_ns)
 
 let default_domains () =
   match Sys.getenv_opt "SXSI_DOMAINS" with
@@ -66,6 +90,13 @@ let default_domains () =
 (* Queues                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Racy-but-monotone maximum: concurrent pushes may each observe a
+   stale maximum, but the CAS retry ensures the mark never decreases
+   and eventually covers the largest observed depth. *)
+let rec bump_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
 let push pool i task =
   if Atomic.get pool.stopping then
     invalid_arg "Pool: fork into a pool after shutdown";
@@ -74,6 +105,7 @@ let push pool i task =
   Queue.add task q.items;
   Mutex.unlock q.qlock;
   Atomic.incr pool.pending;
+  bump_max pool.queue_hwm (Atomic.get pool.pending);
   Mutex.lock pool.lock;
   if pool.sleepers > 0 then Condition.signal pool.nonempty;
   Mutex.unlock pool.lock
@@ -102,6 +134,7 @@ let try_take pool i =
           Atomic.decr pool.pending;
           Counter.incr pool.tasks;
           Counter.incr pool.steals;
+          J.instant J.Pool n_steal ~a:((i + k) mod n) ~b:i ();
           Some task
         | None -> scan (k + 1)
       end
@@ -114,10 +147,26 @@ let sleep_unless pool ready =
   Mutex.lock pool.lock;
   if (not (ready ())) && Atomic.get pool.pending = 0 then begin
     pool.sleepers <- pool.sleepers + 1;
+    J.begin_span J.Pool n_park ();
     Condition.wait pool.nonempty pool.lock;
+    J.end_span J.Pool n_park ();
     pool.sleepers <- pool.sleepers - 1
   end;
   Mutex.unlock pool.lock
+
+(* Run one dequeued task, journalling it as a span and charging its
+   wall time to the executing slot's busy counter.  Tasks built by
+   [fork] never raise (the task body catches into the promise), but
+   close the span defensively all the same. *)
+let run_task pool slot task =
+  let t0 = Clock.now_ns () in
+  J.begin_span J.Pool n_task ~ts:t0 ~a:slot ();
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = Clock.now_ns () in
+      J.end_span J.Pool n_task ~ts:t1 ~a:slot ();
+      ignore (Atomic.fetch_and_add pool.busy_ns.(slot) (t1 - t0)))
+    task
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                              *)
@@ -126,7 +175,7 @@ let sleep_unless pool ready =
 let rec worker_loop pool i =
   match try_take pool i with
   | Some task ->
-    task ();
+    run_task pool i task;
     worker_loop pool i
   | None ->
     if Atomic.get pool.stopping then ()   (* queues drained: exit *)
@@ -151,6 +200,9 @@ let create ?(name = "pool") ~domains () =
       stopping = Atomic.make false;
       tasks = Counter.create ();
       steals = Counter.create ();
+      created_ns = Clock.now_ns ();
+      busy_ns = Array.init domains (fun _ -> Atomic.make 0);
+      queue_hwm = Atomic.make 0;
     }
   in
   pool.workers <-
@@ -213,9 +265,10 @@ let rec await pool p =
   | Done v -> v
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> begin
-    match try_take pool (my_slot pool) with
+    let slot = my_slot pool in
+    match try_take pool slot with
     | Some task ->
-      task ();
+      run_task pool slot task;
       await pool p
     | None ->
       (* the awaited task runs on another domain: sleep until any
@@ -310,5 +363,18 @@ let register_metrics ?(prefix = "sxsi_pool") pool e =
     ~help:(Printf.sprintf "Tasks queued and not yet started in the %s pool." pool.name)
     ~name:(prefix ^ "_queue_depth") (fun () -> float_of_int (queue_depth pool));
   register_gauge e
+    ~help:(Printf.sprintf "High-water mark of the %s pool's queue depth." pool.name)
+    ~name:(prefix ^ "_queue_depth_hwm")
+    (fun () -> float_of_int (queue_depth_hwm pool));
+  register_gauge e
     ~help:(Printf.sprintf "Configured size of the %s pool." pool.name)
-    ~name:(prefix ^ "_domains") (fun () -> float_of_int pool.size)
+    ~name:(prefix ^ "_domains") (fun () -> float_of_int pool.size);
+  register_multi_gauge e
+    ~help:
+      (Printf.sprintf
+         "Fraction of its lifetime each %s pool slot has spent running tasks." pool.name)
+    ~name:(prefix ^ "_worker_busy_fraction")
+    (fun () ->
+      List.map
+        (fun (slot, f) -> ([ ("worker", string_of_int slot) ], f))
+        (busy_fractions pool))

@@ -89,7 +89,24 @@ val queue_depth : t -> int
 (** Tasks currently queued and not yet started (a point-in-time
     gauge). *)
 
+val queue_depth_hwm : t -> int
+(** The largest {!queue_depth} ever observed by a push — how far the
+    pool fell behind at its worst. *)
+
+val busy_fractions : t -> (int * float) list
+(** Per slot (slot [0] is the submitting/awaiting domain, [1..size-1]
+    the spawned workers): the fraction of the pool's lifetime that
+    slot has spent executing tasks, in [\[0, 1\]].  Maintained by
+    always-on atomic counters — no flight recorder required. *)
+
 val register_metrics : ?prefix:string -> t -> Sxsi_obs.Exposition.t -> unit
 (** Register [<prefix>_tasks_total], [<prefix>_steals_total],
-    [<prefix>_queue_depth] and [<prefix>_domains] (default prefix
-    ["sxsi_pool"]) on an exposition. *)
+    [<prefix>_queue_depth], [<prefix>_queue_depth_hwm],
+    [<prefix>_domains] and the per-slot
+    [<prefix>_worker_busy_fraction] gauge family (default prefix
+    ["sxsi_pool"]) on an exposition.
+
+    When the flight recorder is enabled ({!Sxsi_obs.Journal}), the
+    pool additionally journals every task as a [pool/task] span on the
+    executing domain, steals as [pool/steal] instants and idle parking
+    as [pool/park] spans. *)

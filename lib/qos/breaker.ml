@@ -1,6 +1,11 @@
 module Clock = Sxsi_obs.Clock
+module J = Sxsi_obs.Journal
+
+let n_transition = J.name "qos/breaker_transition"
 
 type state = Closed | Open | Half_open
+
+let state_index = function Closed -> 0 | Open -> 1 | Half_open -> 2
 
 type t = {
   threshold : int;
@@ -27,6 +32,13 @@ let locked t f =
 
 let state t = locked t (fun () -> t.st)
 
+(* All state changes funnel through here (under the lock) so every
+   transition leaves a journal instant: a = from, b = to. *)
+let transition t st' =
+  if t.st <> st' then
+    J.instant J.Qos n_transition ~a:(state_index t.st) ~b:(state_index st') ();
+  t.st <- st'
+
 let allow t =
   locked t (fun () ->
       match t.st with
@@ -34,7 +46,7 @@ let allow t =
       | Half_open -> false            (* a probe is already in flight *)
       | Open ->
         if Clock.now_ns () >= t.open_until then begin
-          t.st <- Half_open;          (* admit exactly one probe *)
+          transition t Half_open;     (* admit exactly one probe *)
           true
         end
         else false)
@@ -42,7 +54,7 @@ let allow t =
 let success t =
   locked t (fun () ->
       t.failures <- 0;
-      t.st <- Closed)
+      transition t Closed)
 
 let failure t =
   locked t (fun () ->
@@ -50,13 +62,13 @@ let failure t =
       | Half_open | Open ->
         (* a probe blew its deadline (or a straggler reported late):
            restart the cooldown *)
-        t.st <- Open;
+        transition t Open;
         t.failures <- t.threshold;
         t.open_until <- Clock.now_ns () + t.cooldown_ns
       | Closed ->
         t.failures <- t.failures + 1;
         if t.failures >= t.threshold then begin
-          t.st <- Open;
+          transition t Open;
           t.open_until <- Clock.now_ns () + t.cooldown_ns
         end)
 

@@ -1,7 +1,13 @@
 module Clock = Sxsi_obs.Clock
 module Counter = Sxsi_obs.Counter
+module J = Sxsi_obs.Journal
+
+let n_trip = J.name "qos/budget_trip"
+let n_cancel = J.name "qos/budget_cancel"
 
 type reason = Deadline | Steps | Results | Bytes
+
+let reason_index = function Deadline -> 0 | Steps -> 1 | Results -> 2 | Bytes -> 3
 
 exception Exceeded of reason
 
@@ -84,12 +90,14 @@ let trip t reason =
   if Atomic.compare_and_set t.tripped None (Some reason) then begin
     Counter.incr exceeded_total;
     if reason = Deadline then Counter.incr deadline_exceeded_total;
+    J.instant J.Qos n_trip ~a:(reason_index reason) ();
     raise (Exceeded reason)
   end
   else
     match Atomic.get t.tripped with
     | Some r ->
       Counter.incr cancelled_chunks_total;
+      J.instant J.Qos n_cancel ~a:(reason_index r) ();
       raise (Exceeded r)
     | None -> assert false            (* tripped is never reset *)
 
@@ -97,6 +105,7 @@ let slow_check t =
   (match Atomic.get t.tripped with
   | Some r ->
     Counter.incr cancelled_chunks_total;
+    J.instant J.Qos n_cancel ~a:(reason_index r) ();
     raise (Exceeded r)
   | None -> ());
   (match t.max_steps with

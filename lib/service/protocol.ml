@@ -5,6 +5,7 @@ type request =
   | Materialize of { doc : string; query : string }
   | Stats
   | Metrics
+  | Dump
   | Trace of { doc : string; query : string }
   | Evict of string
   | Deadline of int
@@ -71,6 +72,8 @@ let parse_request line =
       if rest line i <> "" then Error "STATS takes no argument" else Result.Ok Stats
     | "METRICS" ->
       if rest line i <> "" then Error "METRICS takes no argument" else Result.Ok Metrics
+    | "DUMP" ->
+      if rest line i <> "" then Error "DUMP takes no argument" else Result.Ok Dump
     | "TRACE" -> two_args (fun doc query -> Result.Ok (Trace { doc; query })) "TRACE"
     | "EVICT" -> begin
       match next_word line i with
@@ -102,6 +105,7 @@ let print_request = function
   | Materialize { doc; query } -> Printf.sprintf "MATERIALIZE %s %s" doc query
   | Stats -> "STATS"
   | Metrics -> "METRICS"
+  | Dump -> "DUMP"
   | Trace { doc; query } -> Printf.sprintf "TRACE %s %s" doc query
   | Evict name -> "EVICT " ^ name
   | Deadline ms -> Printf.sprintf "DEADLINE %d" ms

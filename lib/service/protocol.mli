@@ -14,6 +14,8 @@
                                 service metrics
     TRACE <name> <query...>     evaluate once with tracing on; one
                                 JSON trace record
+    DUMP                        the flight recorder's journal as one
+                                JSON line (schema sxsi-journal-v1)
     EVICT <name>                drop a document (and its cached queries)
     DEADLINE <ms>               set the session's per-request deadline
                                 in milliseconds (0 clears it)
@@ -45,6 +47,7 @@ type request =
   | Materialize of { doc : string; query : string }
   | Stats
   | Metrics
+  | Dump
   | Trace of { doc : string; query : string }
   | Evict of string
   | Deadline of int

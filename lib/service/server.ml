@@ -1,3 +1,10 @@
+module J = Sxsi_obs.Journal
+
+let n_accept = J.name "service/accept"
+let n_queue = J.name "service/queue"
+let n_write = J.name "service/write"
+let n_shed = J.name "service/shed"
+
 (* Request lines are read through a bounded reader: a protocol line is
    small (a verb, a name, a query), so anything longer than
    [max_line] is abuse or a framing bug.  The oversized line is
@@ -66,8 +73,9 @@ let session ?max_line ?(elapsed_ns = 0) ic oc svc =
       let resp =
         Service.handle_line ?deadline_ms:!deadline_ms ~elapsed_ns:wait svc line
       in
-      output_string oc (Protocol.print_response resp);
-      flush oc;
+      J.with_span J.Service n_write (fun () ->
+          output_string oc (Protocol.print_response resp);
+          flush oc);
       let quit = match Protocol.parse_request line with Ok Protocol.Quit -> true | _ -> false in
       if not quit then loop ()
   in
@@ -134,6 +142,7 @@ let shed_retry_after_ms = 100
 
 let shed svc metrics fd =
   Sxsi_obs.Counter.incr metrics.Metrics.connections_shed;
+  J.instant J.Service n_shed ();
   (try
      let oc = Unix.out_channel_of_descr fd in
      let resp =
@@ -160,6 +169,10 @@ let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(workers = 4) ?(queue = 64)
       | None -> ()
       | Some (fd, enqueued_ns) ->
         let wait = Sxsi_obs.Clock.since enqueued_ns in
+        (* the queue wait happened on no domain in particular: record
+           it on the worker's ring, backdated to the enqueue time *)
+        J.begin_span J.Service n_queue ~ts:enqueued_ns ();
+        J.end_span J.Service n_queue ();
         Service.record_admission_wait svc wait;
         handle_connection svc fd ~elapsed_ns:wait;
         Sxsi_obs.Counter.incr metrics.Metrics.connections_closed;
@@ -190,7 +203,9 @@ let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(workers = 4) ?(queue = 64)
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
           ()
         | fd, _ ->
-          if try_push q fd then
+          if try_push q fd then begin
+            J.instant J.Service n_accept ();
             Sxsi_obs.Counter.incr metrics.Metrics.connections_opened
+          end
           else shed svc metrics fd
       done)

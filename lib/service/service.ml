@@ -2,6 +2,12 @@ open Sxsi_xml
 open Sxsi_core
 module Budget = Sxsi_qos.Budget
 module Breaker = Sxsi_qos.Breaker
+module J = Sxsi_obs.Journal
+
+(* Flight-recorder span names for the request lifecycle. *)
+let n_parse = J.name "service/parse"
+let n_eval = J.name "service/eval"
+let n_request = J.name "service/request"
 
 type options = {
   max_doc_bytes : int;
@@ -16,6 +22,7 @@ type options = {
   max_result_bytes : int;
   breaker_threshold : int;
   breaker_cooldown_ms : int;
+  slow_ms : int;  (* requests slower than this land in the slow-query log; 0 = off *)
 }
 
 let default_options =
@@ -32,6 +39,7 @@ let default_options =
     max_result_bytes = 0;
     breaker_threshold = 0;
     breaker_cooldown_ms = 1000;
+    slow_ms = 0;
   }
 
 (* Cache key: document name + registration generation (so a reload
@@ -54,6 +62,7 @@ type t = {
          its own mutex: the exposition's breaker gauge renders under
          the service lock, so taking [lock] again would deadlock. *)
   breakers_lock : Mutex.t;
+  slow_log : Sxsi_obs.Slowlog.t option;
 }
 
 let config_fingerprint o =
@@ -132,7 +141,7 @@ let build_exposition ~metrics ~registry ~compiled ~counts ~breakers ~breakers_lo
     ~name:"sxsi_admission_wait_seconds" metrics.Metrics.admission_wait;
   e
 
-let create ?(options = default_options) () =
+let create ?(options = default_options) ?slow_log () =
   Sxsi_qos.Failpoint.init_from_env ();
   let metrics = Metrics.create () in
   let registry = Registry.create ~max_bytes:options.max_doc_bytes () in
@@ -163,12 +172,16 @@ let create ?(options = default_options) () =
     pool;
     breakers;
     breakers_lock;
+    slow_log;
   }
 
 let pool t = t.pool
 let service_metrics t = t.metrics
+let slow_log t = t.slow_log
 
-let shutdown t = Option.iter Sxsi_par.Pool.shutdown t.pool
+let shutdown t =
+  Option.iter Sxsi_par.Pool.shutdown t.pool;
+  Option.iter Sxsi_obs.Slowlog.close t.slow_log
 
 (* Server front ends hang their worker/queue gauges off the service's
    exposition so METRICS reports them alongside everything else. *)
@@ -179,6 +192,12 @@ let register_server t ~workers ~queue_depth =
           float_of_int (workers ()));
       gauge ~help:"Connections waiting in the accept queue."
         ~name:"sxsi_server_queue_depth" (fun () -> float_of_int (queue_depth ())))
+
+(* Likewise for the runtime sampler: the serve front end starts one
+   and hangs its GC/journal series off the shared exposition. *)
+let register_runtime t sampler =
+  Mutex.protect t.lock (fun () ->
+      Sxsi_obs.Runtime.register sampler t.exposition)
 
 let locked t f = Mutex.protect t.lock f
 
@@ -381,6 +400,27 @@ let governed t ~deadline_ms ~elapsed_ns doc f =
 (* ------------------------------------------------------------------ *)
 
 let stats t =
+  let pool_stats =
+    match t.pool with
+    | None -> []
+    | Some p ->
+      let busy = Sxsi_par.Pool.busy_fractions p in
+      let mean =
+        if busy = [] then 0.0
+        else
+          List.fold_left (fun acc (_, f) -> acc +. f) 0.0 busy
+          /. float_of_int (List.length busy)
+      in
+      [
+        ("pool_tasks", string_of_int (Sxsi_par.Pool.tasks_total p));
+        ("pool_steals", string_of_int (Sxsi_par.Pool.steals_total p));
+        ("pool_queue_depth_hwm", string_of_int (Sxsi_par.Pool.queue_depth_hwm p));
+        ("pool_busy_fraction", Printf.sprintf "%.3f" mean);
+        ( "pool_worker_busy",
+          String.concat ","
+            (List.map (fun (_, f) -> Printf.sprintf "%.3f" f) busy) );
+      ]
+  in
   locked t (fun () ->
       Metrics.to_assoc t.metrics ~doc_evictions:(Registry.evictions t.registry)
       @ [
@@ -391,6 +431,12 @@ let stats t =
           ("compiled_evictions", string_of_int (Lru.evictions t.compiled));
           ("count_entries", string_of_int (Lru.length t.counts));
           ("count_evictions", string_of_int (Lru.evictions t.counts));
+        ]
+      @ pool_stats
+      @ [
+          ("journal_enabled", if J.enabled () then "1" else "0");
+          ("journal_records", string_of_int (J.records_total ()));
+          ("journal_dropped", string_of_int (J.dropped_total ()));
         ])
 
 let metrics_text t = locked t (fun () -> Sxsi_obs.Exposition.render t.exposition)
@@ -433,6 +479,10 @@ let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.resp
   | Metrics ->
     let text = metrics_text t in
     Protocol.Data (List.filter (fun l -> l <> "") (String.split_on_char '\n' text))
+  | Dump ->
+    (* the journal dump is one (large) line of JSON: the wire format
+       every trace consumer ([sxsi trace-export]) reads *)
+    Protocol.Data [ Sxsi_obs.Json.to_string (J.to_json (J.snapshot ())) ]
   | Trace { doc; query } ->
     governed t ~deadline_ms ~elapsed_ns doc (fun budget ->
         Protocol.Data
@@ -450,10 +500,37 @@ let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.resp
     Protocol.Ok [ "deadline"; (if ms = 0 then "off" else string_of_int ms) ]
   | Quit -> Protocol.Ok [ "bye" ]
 
+(* A slow request dumps its reconstructed span tree (this domain's
+   journal window since the request started — empty when the flight
+   recorder is off) as one JSON line. *)
+let slow_log_entry t req resp dt cur =
+  match t.slow_log with
+  | None -> ()
+  | Some log ->
+    let open Sxsi_obs.Json in
+    let spans = List.map J.span_to_json (J.spans (J.since cur)) in
+    let fields =
+      [
+        ("ts_ns", Int (Sxsi_obs.Clock.now_ns ()));
+        ("request", String (Protocol.print_request req));
+        ("duration_ms", Float (float_of_int dt /. 1e6));
+        ( "status",
+          String
+            (match resp with
+            | Protocol.Err _ -> (
+              match Protocol.err_code resp with Some c -> c | None -> "ERR")
+            | Protocol.Ok _ | Protocol.Data _ -> "OK") );
+      ]
+    in
+    let fields = if spans = [] then fields else fields @ [ ("spans", List spans) ] in
+    Sxsi_obs.Slowlog.write log (Obj fields)
+
 let handle ?deadline_ms ?(elapsed_ns = 0) t req =
   let t0 = Sxsi_obs.Clock.now_ns () in
+  let cur = J.cursor () in
+  J.begin_span J.Service n_request ~ts:t0 ();
   let resp =
-    try dispatch t ~deadline_ms ~elapsed_ns req with
+    try J.with_span J.Service n_eval (fun () -> dispatch t ~deadline_ms ~elapsed_ns req) with
     | Bad_request msg -> Protocol.Err msg
     | Rejected resp -> resp
     | Budget.Exceeded Budget.Deadline ->
@@ -466,15 +543,18 @@ let handle ?deadline_ms ?(elapsed_ns = 0) t req =
       Protocol.err "INJECTED" (Printf.sprintf "%s (failpoint %s)" message site)
   in
   let dt = Sxsi_obs.Clock.since t0 in
+  J.end_span J.Service n_request ~b:dt ();
   Sxsi_obs.Counter.incr t.metrics.Metrics.requests;
   (match resp with
   | Protocol.Err _ -> Sxsi_obs.Counter.incr t.metrics.Metrics.errors
   | _ -> ());
   locked t (fun () -> Metrics.record_latency t.metrics dt);
+  if t.opts.slow_ms > 0 && dt >= t.opts.slow_ms * 1_000_000 then
+    slow_log_entry t req resp dt cur;
   resp
 
 let handle_line ?deadline_ms ?elapsed_ns t line =
-  match Protocol.parse_request line with
+  match J.with_span J.Service n_parse (fun () -> Protocol.parse_request line) with
   | Result.Ok req -> handle ?deadline_ms ?elapsed_ns t req
   | Error msg ->
     Sxsi_obs.Counter.incr t.metrics.Metrics.requests;

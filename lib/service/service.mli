@@ -39,28 +39,44 @@ type options = {
       (* consecutive deadline overruns that open a document's circuit
          breaker; 0 disables breakers *)
   breaker_cooldown_ms : int;  (* how long an open breaker refuses requests *)
+  slow_ms : int;
+      (* requests slower than this are written to the slow-query log
+         (when one was passed to [create]); 0 disables the log *)
 }
 
 val default_options : options
 
-val create : ?options:options -> unit -> t
+val create : ?options:options -> ?slow_log:Sxsi_obs.Slowlog.t -> unit -> t
 (** With [options.domains > 1] the service owns a {!Sxsi_par.Pool.t}
     shared by document builds ([LOAD]) and query evaluation; its task
-    and steal counters join the metrics exposition. *)
+    and steal counters join the metrics exposition.
+
+    [slow_log] is the slow-query log's sink: every request slower than
+    [options.slow_ms] milliseconds appends one JSON line ([ts_ns],
+    [request], [duration_ms], [status] and — when the
+    {!Sxsi_obs.Journal} flight recorder is enabled — the request's
+    reconstructed [spans]).  The service closes the sink on
+    {!shutdown}. *)
 
 val pool : t -> Sxsi_par.Pool.t option
 
 val service_metrics : t -> Metrics.t
 (** The live counters, for front ends that account connections. *)
 
+val slow_log : t -> Sxsi_obs.Slowlog.t option
+
 val shutdown : t -> unit
-(** Join the evaluation pool's domains, if any.  Call once no request
-    is in flight; idempotent. *)
+(** Join the evaluation pool's domains, if any, and close the
+    slow-query log.  Call once no request is in flight; idempotent. *)
 
 val register_server : t -> workers:(unit -> int) -> queue_depth:(unit -> int) -> unit
 (** Hang a server front end's worker-count and accept-queue-depth
     gauges off the service exposition, so [METRICS] reports them
     alongside the request counters. *)
+
+val register_runtime : t -> Sxsi_obs.Runtime.t -> unit
+(** Register a runtime sampler's GC/journal series
+    ({!Sxsi_obs.Runtime.register}) on the service exposition. *)
 
 val add_document : t -> string -> Sxsi_xml.Document.t -> unit
 (** Register an already-built document (bench and test entry point;

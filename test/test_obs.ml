@@ -402,6 +402,268 @@ let test_engine_trace () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "engine trace JSON does not parse: %s" e
 
+(* ------------------------------------------------------------------ *)
+(* Histogram: single-observation buckets answer their exact value *)
+
+let test_quantile_single_exact () =
+  let h = Histogram.create () in
+  Histogram.record h 5;
+  Alcotest.(check (float 0.0)) "lone observation exact" 5.0 (Histogram.quantile h 0.5);
+  Histogram.record h 1000;
+  (* two observations in two different buckets, one each: both ranks
+     answer exactly, not by bucket-midpoint interpolation *)
+  Alcotest.(check (float 0.0)) "low rank exact" 5.0 (Histogram.quantile h 0.25);
+  Alcotest.(check (float 0.0)) "high rank exact" 1000.0 (Histogram.quantile h 0.99)
+
+let test_merge_keeps_sums () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 5;
+  Histogram.record b 1000;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "bucket sum carried"
+    1000
+    (Histogram.bucket_sum m (Histogram.bucket_index 1000));
+  Alcotest.(check (float 0.0)) "exact low after merge" 5.0 (Histogram.quantile m 0.25);
+  Alcotest.(check (float 0.0)) "exact high after merge" 1000.0 (Histogram.quantile m 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Exposition: label escaping, label sets, gauge families *)
+
+let occurrences sub s =
+  let ls = String.length sub and n = String.length s in
+  let count = ref 0 in
+  for i = 0 to n - ls do
+    if String.sub s i ls = sub then incr count
+  done;
+  !count
+
+let test_exposition_label_escaping () =
+  Alcotest.(check string)
+    "escape backslash, quote, newline" "a\\\\b\\\"c\\nd"
+    (Exposition.escape_label_value "a\\b\"c\nd");
+  let e = Exposition.create () in
+  Exposition.register_gauge e ~help:"G."
+    ~labels:[ ("doc", "we\"ird\\name\n") ]
+    ~name:"t_esc" (fun () -> 1.0);
+  let text = Exposition.render e in
+  Alcotest.(check bool) "series line escaped" true
+    (contains_line text "t_esc{doc=\"we\\\"ird\\\\name\\n\"} 1")
+
+let test_exposition_multi_gauge () =
+  let e = Exposition.create () in
+  Exposition.register_multi_gauge e ~help:"Ring occupancy." ~name:"t_occ" (fun () ->
+      [ ([ ("domain", "0") ], 12.5); ([ ("domain", "3") ], 50.0) ]);
+  let text = Exposition.render e in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "has %S" line) true (contains_line text line))
+    [
+      "# HELP t_occ Ring occupancy.";
+      "# TYPE t_occ gauge";
+      "t_occ{domain=\"0\"} 12.5";
+      "t_occ{domain=\"3\"} 50";
+    ]
+
+let test_exposition_shared_header () =
+  let e = Exposition.create () in
+  Exposition.register_gauge e ~help:"H." ~labels:[ ("k", "a") ] ~name:"t_multi"
+    (fun () -> 1.0);
+  Exposition.register_gauge e ~help:"H." ~labels:[ ("k", "b") ] ~name:"t_multi"
+    (fun () -> 2.0);
+  let text = Exposition.render e in
+  Alcotest.(check int) "one TYPE header for the family" 1
+    (occurrences "# TYPE t_multi gauge" text);
+  Alcotest.(check bool) "first labelled sample" true
+    (contains_line text "t_multi{k=\"a\"} 1");
+  Alcotest.(check bool) "second labelled sample" true
+    (contains_line text "t_multi{k=\"b\"} 2");
+  (* same name at the same label set is a registration bug *)
+  Alcotest.check_raises "duplicate (name, labels) rejected"
+    (Invalid_argument "Exposition: duplicate metric \"t_multi\"") (fun () ->
+      Exposition.register_gauge e ~help:"H." ~labels:[ ("k", "a") ] ~name:"t_multi"
+        (fun () -> 3.0));
+  Alcotest.check_raises "bad label name rejected"
+    (Invalid_argument "Exposition: invalid label name \"0bad\" on \"t_lbl\"") (fun () ->
+      Exposition.register_gauge e ~help:"H." ~labels:[ ("0bad", "v") ] ~name:"t_lbl"
+        (fun () -> 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Journal: the flight recorder *)
+
+let n_outer = Journal.name "test/outer"
+let n_inner = Journal.name "test/inner"
+let n_evt = Journal.name "test/evt"
+
+(* Every journal test resets the rings, runs at a known capacity, and
+   leaves the recorder off and back at the default capacity. *)
+let with_journal ?(capacity = 1024) f =
+  Journal.configure ~capacity ();
+  Journal.reset ();
+  Journal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.set_enabled false;
+      Journal.configure ~capacity:16384 ();
+      Journal.reset ())
+    f
+
+let test_journal_disabled () =
+  Journal.reset ();
+  Journal.set_enabled false;
+  let c = Journal.cursor () in
+  Journal.instant Journal.Engine n_evt ();
+  Journal.begin_span Journal.Engine n_outer ();
+  Journal.end_span Journal.Engine n_outer ();
+  let s = Journal.since c in
+  Alcotest.(check int) "no records when disabled" 0 (Array.length s.Journal.records)
+
+let test_journal_spans_basic () =
+  with_journal (fun () ->
+      let c = Journal.cursor () in
+      Journal.with_span Journal.Engine n_outer (fun () ->
+          Journal.instant Journal.Engine n_evt ~a:7 ();
+          Journal.with_span Journal.Engine n_inner (fun () -> ()));
+      match Journal.spans (Journal.since c) with
+      | [ sp ] ->
+        Alcotest.(check string) "outer name" "test/outer" sp.Journal.sname;
+        Alcotest.(check bool) "not truncated" false sp.Journal.truncated;
+        Alcotest.(check int) "two children" 2 (List.length sp.Journal.children);
+        let evt = List.hd sp.Journal.children in
+        Alcotest.(check string) "instant child" "test/evt" evt.Journal.sname;
+        Alcotest.(check int) "instant payload" 7 evt.Journal.sa
+      | l -> Alcotest.failf "expected one top-level span, got %d" (List.length l))
+
+(* Ring wrap-around: writing more records than the capacity keeps the
+   newest [capacity] and counts the overwritten ones as dropped. *)
+let prop_ring_wraparound n =
+  Journal.configure ~capacity:16 ();
+  Journal.reset ();
+  Journal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.set_enabled false;
+      Journal.configure ~capacity:16384 ();
+      Journal.reset ())
+    (fun () ->
+      for i = 0 to n - 1 do
+        Journal.instant Journal.Engine n_evt ~a:i ()
+      done;
+      let me = (Domain.self () :> int) in
+      match List.find_opt (fun s -> s.Journal.sdomain = me) (Journal.snapshot ()) with
+      | None -> n = 0
+      | Some s ->
+        let kept = Array.length s.Journal.records in
+        kept = min n 16
+        && s.Journal.dropped = max 0 (n - 16)
+        && Array.for_all Fun.id
+             (Array.mapi (fun k r -> r.Journal.a = n - kept + k) s.Journal.records))
+
+let test_journal_concurrent () =
+  with_journal (fun () ->
+      let per = 500 in
+      let worker () =
+        for i = 0 to per - 1 do
+          Journal.begin_span Journal.Pool n_outer ~a:i ();
+          Journal.end_span Journal.Pool n_outer ()
+        done
+      in
+      let ds = List.init 4 (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join ds;
+      let snaps = Journal.snapshot () in
+      let total =
+        List.fold_left
+          (fun acc s -> acc + Array.length s.Journal.records + s.Journal.dropped)
+          0 snaps
+      in
+      Alcotest.(check int) "all records accounted" (4 * per * 2) total;
+      (* the dump parses as JSON and decodes back to the same rings *)
+      let js = Json.to_string (Journal.to_json snaps) in
+      (match Json.of_string js with
+      | Error e -> Alcotest.failf "dump does not parse: %s" e
+      | Ok j -> begin
+        match Journal.of_json j with
+        | Error e -> Alcotest.failf "dump does not decode: %s" e
+        | Ok snaps' ->
+          Alcotest.(check int) "ring count round-trips" (List.length snaps)
+            (List.length snaps');
+          List.iter (fun s -> ignore (Journal.spans s)) snaps'
+      end);
+      (* and the Chrome export is a traceEvents object *)
+      match Json.of_string (Json.to_string (Journal.to_chrome_trace snaps)) with
+      | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+      | Ok j -> begin
+        match Json.member "traceEvents" j with
+        | Some (Json.List evs) ->
+          Alcotest.(check bool) "has events" true (List.length evs > 0)
+        | _ -> Alcotest.fail "no traceEvents array"
+      end)
+
+(* Span reconstruction survives truncating the window at every offset:
+   no exception, every span inside the window, and the untruncated
+   window reconstructs with no clipped spans. *)
+let test_journal_truncation_offsets () =
+  with_journal (fun () ->
+      let c = Journal.cursor () in
+      Journal.with_span Journal.Engine n_outer (fun () ->
+          Journal.instant Journal.Engine n_evt ();
+          Journal.with_span Journal.Engine n_inner (fun () ->
+              Journal.instant Journal.Engine n_evt ());
+          Journal.with_span Journal.Engine n_inner (fun () -> ()));
+      Journal.with_span Journal.Pool n_outer (fun () -> ());
+      let full = Journal.since c in
+      let n = Array.length full.Journal.records in
+      Alcotest.(check int) "record count" 10 n;
+      (match Journal.spans full with
+      | l ->
+        let rec no_trunc sp =
+          (not sp.Journal.truncated) && List.for_all no_trunc sp.Journal.children
+        in
+        Alcotest.(check int) "two top-level spans" 2 (List.length l);
+        Alcotest.(check bool) "full window has no truncated spans" true
+          (List.for_all no_trunc l));
+      for i = 0 to n do
+        for j = i to n do
+          let window =
+            { full with Journal.records = Array.sub full.Journal.records i (j - i) }
+          in
+          let spans = Journal.spans window in
+          if j > i then begin
+            let lo = full.Journal.records.(i).Journal.ts
+            and hi = full.Journal.records.(j - 1).Journal.ts in
+            let rec bounded sp =
+              sp.Journal.start_ns >= lo
+              && sp.Journal.end_ns <= hi
+              && sp.Journal.end_ns >= sp.Journal.start_ns
+              && List.for_all bounded sp.Journal.children
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "window [%d,%d) spans stay in bounds" i j)
+              true
+              (List.for_all bounded spans)
+          end
+          else Alcotest.(check int) "empty window" 0 (List.length spans)
+        done
+      done)
+
+let test_journal_occupancy_counts () =
+  with_journal ~capacity:8 (fun () ->
+      let c = Journal.cursor () in
+      ignore c;
+      for _ = 1 to 20 do
+        Journal.instant Journal.Engine n_evt ()
+      done;
+      Alcotest.(check bool) "records_total counts overwritten" true
+        (Journal.records_total () >= 20);
+      Alcotest.(check bool) "dropped_total positive" true (Journal.dropped_total () > 0);
+      match Journal.occupancy () with
+      | [] -> Alcotest.fail "no rings"
+      | occ ->
+        List.iter
+          (fun (_, held, cap) ->
+            Alcotest.(check int) "capacity as configured" 8 cap;
+            Alcotest.(check bool) "held within capacity" true (held <= cap))
+          occ)
+
 let suite =
   ( "obs",
     [
@@ -437,4 +699,25 @@ let suite =
       Alcotest.test_case "clock clamps backwards steps" `Quick test_clock_clamp;
       Alcotest.test_case "service metrics assoc keys" `Quick test_metrics_assoc;
       Alcotest.test_case "engine publishes trace counters" `Quick test_engine_trace;
+      Alcotest.test_case "quantile exact on single-observation buckets" `Quick
+        test_quantile_single_exact;
+      Alcotest.test_case "merge carries per-bucket sums" `Quick test_merge_keeps_sums;
+      Alcotest.test_case "exposition escapes label values" `Quick
+        test_exposition_label_escaping;
+      Alcotest.test_case "exposition gauge family" `Quick test_exposition_multi_gauge;
+      Alcotest.test_case "exposition shares one header per name" `Quick
+        test_exposition_shared_header;
+      Alcotest.test_case "journal records nothing when disabled" `Quick
+        test_journal_disabled;
+      Alcotest.test_case "journal reconstructs a span tree" `Quick
+        test_journal_spans_basic;
+      qtest ~count:120 "journal: ring wrap keeps newest, counts drops"
+        QCheck2.Gen.(int_range 0 100)
+        prop_ring_wraparound;
+      Alcotest.test_case "journal survives 4 concurrent writers" `Quick
+        test_journal_concurrent;
+      Alcotest.test_case "journal span pairing survives truncation" `Quick
+        test_journal_truncation_offsets;
+      Alcotest.test_case "journal occupancy and totals" `Quick
+        test_journal_occupancy_counts;
     ] )

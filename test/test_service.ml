@@ -762,6 +762,113 @@ let test_e2e_deadline_prompt_and_worker_reused () =
               | r -> Alcotest.fail ("worker not reusable: " ^ Protocol.print_response r));
               ignore (exchange ic oc "QUIT"))))
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: the DUMP verb and the slow-query log               *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Sxsi_obs.Journal
+module Json = Sxsi_obs.Json
+
+let with_flight_recorder f =
+  Journal.reset ();
+  Journal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Journal.set_enabled false;
+      Journal.reset ())
+    f
+
+let test_dump_verb () =
+  with_flight_recorder (fun () ->
+      let svc = Service.create () in
+      Service.add_document svc "d" (small_doc "a" 10);
+      ignore (expect_ok (Service.handle_line svc "COUNT d //item"));
+      (* DUMP is one JSON line in the journal wire schema *)
+      (match expect_data (Service.handle svc Protocol.Dump) with
+      | [ json_line ] -> (
+        match Json.of_string json_line with
+        | Error e -> Alcotest.failf "DUMP is not JSON: %s" e
+        | Ok j -> (
+          Alcotest.(check bool) "journal schema" true
+            (Json.member "schema" j = Some (Json.String "sxsi-journal-v1"));
+          match Journal.of_json j with
+          | Error e -> Alcotest.failf "DUMP does not decode: %s" e
+          | Ok snaps ->
+            let cats =
+              List.concat_map
+                (fun s ->
+                  Array.to_list
+                    (Array.map (fun r -> Journal.category_label r.Journal.cat) s.Journal.records))
+                snaps
+            in
+            List.iter
+              (fun c ->
+                Alcotest.(check bool) (c ^ " spans recorded") true (List.mem c cats))
+              [ "engine"; "service" ]))
+      | lines -> Alcotest.failf "DUMP returned %d lines" (List.length lines));
+      (* STATS reports the recorder's state *)
+      Alcotest.(check string) "journal_enabled" "1" (stats_value svc "journal_enabled");
+      Alcotest.(check bool) "journal_records positive" true
+        (int_of_string (stats_value svc "journal_records") > 0))
+
+let test_slow_log () =
+  (* a fake clock stepping 2ms per reading makes every request "slow"
+     without sleeping *)
+  let restore = fun () -> int_of_float (Unix.gettimeofday () *. 1e9) in
+  let t = ref 0 in
+  let path = Filename.temp_file "sxsi_slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sxsi_obs.Clock.set_source restore;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      with_flight_recorder (fun () ->
+          Sxsi_obs.Clock.set_source (fun () ->
+              t := !t + 2_000_000;
+              !t);
+          let slow_log = Sxsi_obs.Slowlog.create path in
+          let svc =
+            Service.create
+              ~options:{ Service.default_options with slow_ms = 1 }
+              ~slow_log ()
+          in
+          Service.add_document svc "d" (small_doc "a" 10);
+          ignore (expect_ok (Service.handle_line svc "COUNT d //item"));
+          (match Service.slow_log svc with
+          | None -> Alcotest.fail "service lost its slow log"
+          | Some l ->
+            Alcotest.(check bool) "an entry was written" true
+              (Sxsi_obs.Slowlog.entries l > 0));
+          (* shutdown closes (and flushes) the log *)
+          Service.shutdown svc;
+          let ic = open_in path in
+          let lines = In_channel.input_lines ic in
+          close_in ic;
+          Alcotest.(check bool) "log is non-empty" true (List.length lines > 0);
+          let entries =
+            List.map
+              (fun l ->
+                match Json.of_string l with
+                | Ok j -> j
+                | Error e -> Alcotest.failf "slow-log line is not JSON: %s" e)
+              lines
+          in
+          List.iter
+            (fun j ->
+              List.iter
+                (fun key ->
+                  Alcotest.(check bool) ("entry has " ^ key) true
+                    (Json.member key j <> None))
+                [ "ts_ns"; "request"; "duration_ms"; "status" ])
+            entries;
+          Alcotest.(check bool) "an entry carries reconstructed spans" true
+            (List.exists
+               (fun j ->
+                 match Json.member "spans" j with
+                 | Some (Json.List (_ :: _)) -> true
+                 | _ -> false)
+               entries)))
+
 let suite =
   ( "service",
     [
@@ -794,4 +901,6 @@ let suite =
         test_deadline_session_override;
       Alcotest.test_case "e2e: prompt deadline, worker reused" `Quick
         test_e2e_deadline_prompt_and_worker_reused;
+      Alcotest.test_case "DUMP verb returns the journal" `Quick test_dump_verb;
+      Alcotest.test_case "slow-query log end to end" `Quick test_slow_log;
     ] )
