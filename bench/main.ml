@@ -144,9 +144,16 @@ let table4 () =
           Sxsi_tree.Bp.Builder.close_node b;
           ignore (Sxsi_tree.Bp.Builder.finish b))
     in
-    (* tag index alone, over the already-built parentheses *)
+    (* tag index alone, over the already-built parentheses (rebuilt from
+       the backend-neutral tree so this phase benches regardless of the
+       document's backend) *)
     let doc = Lazy.force c.doc in
-    let bp = Document.bp doc in
+    let tree = Document.tree doc in
+    let bp =
+      Sxsi_tree.Bp.of_bools
+        (Array.init (Sxsi_tree.Tree_backend.length tree)
+           (Sxsi_tree.Tree_backend.is_open tree))
+    in
     let tags = Array.init (Sxsi_tree.Bp.length bp) (fun i -> Document.tag_of doc i) in
     let t_tags =
       H.time (fun () ->
@@ -178,20 +185,20 @@ let table5 () =
   H.section "Table V: full traversal, pointer vs succinct tree";
   let one (c : corpus) =
     let doc = Lazy.force c.doc and dom = Lazy.force c.dom in
-    let bp = Document.bp doc in
+    let tree = Document.tree doc in
     let t_pointer = H.time (fun () -> Dom.count_all_nodes dom) in
     let rec sxsi_count x acc =
       if x = Document.nil then acc
       else
-        sxsi_count (Sxsi_tree.Bp.next_sibling bp x)
-          (sxsi_count (Sxsi_tree.Bp.first_child bp x) (acc + 1))
+        sxsi_count (Sxsi_tree.Tree_backend.next_sibling tree x)
+          (sxsi_count (Sxsi_tree.Tree_backend.first_child tree x) (acc + 1))
     in
     let t_sxsi = H.time (fun () -> sxsi_count (Document.root doc) 0) in
     let rec elem_count x acc =
       if x = Document.nil then acc
       else
-        elem_count (Sxsi_tree.Bp.next_sibling bp x)
-          (elem_count (Sxsi_tree.Bp.first_child bp x)
+        elem_count (Sxsi_tree.Tree_backend.next_sibling tree x)
+          (elem_count (Sxsi_tree.Tree_backend.first_child tree x)
              (if Document.is_element doc x then acc + 1 else acc))
     in
     let t_elem = H.time (fun () -> elem_count (Document.root doc) 0) in
@@ -219,7 +226,7 @@ let table6 () =
   H.section "Table VI: tagged traversals over XMark (jump loop vs automaton)";
   let c = Lazy.force xmark_small in
   let doc = Lazy.force c.doc in
-  let ti = Document.tag_index doc in
+  let tree = Document.tree doc in
   let rows =
     List.filter_map
       (fun tag_name ->
@@ -230,7 +237,7 @@ let table6 () =
             H.time (fun () ->
                 let count = ref 0 and p = ref 0 in
                 let rec go () =
-                  let q = Sxsi_tree.Tag_index.tagged_next ti !p tg in
+                  let q = Sxsi_tree.Tree_backend.tagged_next tree !p tg in
                   if q >= 0 then begin
                     incr count;
                     p := q + 1;
@@ -673,6 +680,88 @@ let par () =
   H.table [ "domains"; "build"; "build speedup"; "count"; "count speedup" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* Tree backends: Bp vs grammar-compressed, space and query throughput  *)
+(* ------------------------------------------------------------------ *)
+
+(* The comparison the pluggable-backend subsystem exists for: on the
+   repetitive logs corpus the grammar backend's tree structure should
+   be several times smaller than Bp's, while query answers stay
+   byte-identical (the test suite proves that part) at a bounded
+   throughput cost.  On xmark — little structural repetition — the
+   grammar buys little; the interesting number there is the slowdown. *)
+let backend () =
+  H.section "Tree backends: balanced parentheses vs grammar-compressed (SLP)";
+  let one (c : corpus) queries =
+    let xml = c.xml in
+    let build backend = Document.of_xml ~backend xml in
+    let bench backend =
+      let doc, t_build = H.time_with_result (fun () -> build backend) in
+      let tree_bytes = Sxsi_tree.Tree_backend.space_bits (Document.tree doc) / 8 in
+      let compiled =
+        Array.of_list (List.map (fun (_, q) -> Engine.prepare doc q) queries)
+      in
+      let m = Array.length compiled in
+      let cursor = ref 0 in
+      let count_qps =
+        H.throughput (fun () ->
+            let j = !cursor in
+            cursor := j + 1;
+            Engine.count compiled.(j mod m))
+      in
+      cursor := 0;
+      let select_qps =
+        H.throughput (fun () ->
+            let j = !cursor in
+            cursor := j + 1;
+            ignore (Engine.select compiled.(j mod m)))
+      in
+      (doc, t_build, tree_bytes, count_qps, select_qps)
+    in
+    let _, t_bp, bytes_bp, cq_bp, sq_bp = bench `Bp in
+    let doc_g, t_g, bytes_g, cq_g, sq_g = bench `Grammar in
+    let ratio = float_of_int bytes_bp /. float_of_int bytes_g in
+    let slp = Sxsi_tree.Tree_backend.slp_exn (Document.tree doc_g) in
+    H.measure
+      [
+        ("corpus", J.String c.name);
+        ("tree_bytes_bp", J.Int bytes_bp);
+        ("tree_bytes_grammar", J.Int bytes_g);
+        ("space_ratio", J.Float ratio);
+        ("build_s_bp", J.Float t_bp);
+        ("build_s_grammar", J.Float t_g);
+        ("count_qps_bp", J.Float cq_bp);
+        ("count_qps_grammar", J.Float cq_g);
+        ("select_qps_bp", J.Float sq_bp);
+        ("select_qps_grammar", J.Float sq_g);
+        ("grammar_rules", J.Int (Sxsi_grammar.Slp.rule_count slp));
+        ("grammar_slots", J.Int (Sxsi_grammar.Slp.slot_count slp));
+        ("grammar_depth", J.Int (Sxsi_grammar.Slp.depth_bound slp));
+      ];
+    [
+      c.name;
+      H.pp_bytes bytes_bp;
+      H.pp_bytes bytes_g;
+      Printf.sprintf "%.1fx" ratio;
+      H.pp_rate cq_bp;
+      H.pp_rate cq_g;
+      H.pp_rate sq_bp;
+      H.pp_rate sq_g;
+    ]
+  in
+  let rows =
+    [
+      one (Lazy.force xmark_small) xmark_queries;
+      one (Lazy.force logs) logs_queries;
+    ]
+  in
+  H.table
+    [
+      "corpus"; "tree (bp)"; "tree (slp)"; "space gain"; "count/s (bp)";
+      "count/s (slp)"; "select/s (bp)"; "select/s (slp)";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Budget-check overhead: the count path with governance off vs. on     *)
 (* ------------------------------------------------------------------ *)
 
@@ -861,7 +950,7 @@ let bechamel () =
   let m = Lazy.force medline in
   let mdoc = Lazy.force m.doc in
   let tc = Document.text mdoc in
-  let bp = Document.bp doc in
+  let tree = Document.tree doc in
   let count q = Staged.stage (fun () -> Engine.count (Engine.prepare doc q)) in
   let tests =
     [
@@ -875,7 +964,7 @@ let bechamel () =
       Test.make_grouped ~name:"table5-traversal"
         [
           Test.make ~name:"subtree_size(root)"
-            (Staged.stage (fun () -> Sxsi_tree.Bp.subtree_size bp 0));
+            (Staged.stage (fun () -> Sxsi_tree.Tree_backend.subtree_size tree 0));
           Test.make ~name:"count //*" (count "//*");
         ];
       Test.make_grouped ~name:"fig10-queries"
@@ -923,6 +1012,7 @@ let sections =
     ("streaming", streaming);
     ("service", service);
     ("par", par);
+    ("backend", backend);
     ("qos", qos);
     ("obs", obs);
     ("xmark", xmark);

@@ -25,6 +25,20 @@ let treebank = lazy (corpus "treebank" (Sxsi_datagen.Treebank.generate ~sentence
 let wiki = lazy (corpus "wiki" (Sxsi_datagen.Wiki.generate ~pages:(scaled 4000) ()))
 let bio = lazy (corpus "bio" (Sxsi_datagen.Bio.generate ~genes:(scaled 250) ()))
 
+let logs =
+  lazy (corpus "logs" (Sxsi_datagen.Logs.generate ~entries:(scaled 20_000) ()))
+
+(* Queries over the structured-log corpus (the backend comparison's
+   repetitive-structure workload). *)
+let logs_queries =
+  [
+    ("L01", "/log/entry");
+    ("L02", "//entry[@severity]/msg");
+    ("L03", "//entry//frame");
+    ("L04", "/log/entry/latency");
+    ("L05", "//kv[@key]");
+  ]
+
 (* XPathMark-style tree queries (Figure 9). *)
 let xmark_queries =
   [

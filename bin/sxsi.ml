@@ -83,6 +83,14 @@ let domains_arg =
                (default: the $(b,SXSI_DOMAINS) environment variable, else 1; \
                1 means sequential)")
 
+let backend_arg =
+  let backend_conv = Arg.enum [ ("bp", `Bp); ("grammar", `Grammar) ] in
+  Arg.(value & opt (some backend_conv) None & info [ "backend" ] ~docv:"B"
+         ~doc:"Tree backend: $(b,bp) (succinct balanced parentheses, the default) or \
+               $(b,grammar) (grammar-compressed, for repetitive-structure documents).  \
+               Default: the $(b,SXSI_BACKEND) environment variable, else bp.  \
+               Pre-built .sxsi files keep the backend they were indexed with")
+
 let resolve_domains = function
   | Some d -> max 1 d
   | None -> Sxsi_par.Pool.default_domains ()
@@ -94,14 +102,14 @@ let with_domains domains f =
   | 1 -> f None
   | d -> Sxsi_par.Pool.with_pool ~name:"cli" ~domains:d (fun p -> f (Some p))
 
-let load_document ?pool ~keep_whitespace file =
+let load_document ?pool ?backend ~keep_whitespace file =
   if Filename.check_suffix file ".sxsi" then Document.load file
-  else Document.of_xml ?pool ~keep_whitespace (read_file file)
+  else Document.of_xml ?pool ?backend ~keep_whitespace (read_file file)
 
 let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag trace_flag
-    domains k =
+    domains backend k =
   with_domains domains (fun pool ->
-      let doc = load_document ?pool ~keep_whitespace:(not drop_whitespace) file in
+      let doc = load_document ?pool ?backend ~keep_whitespace:(not drop_whitespace) file in
       let trace = if trace_flag then Some (Sxsi_obs.Trace.create ~label:query ()) else None in
       let compiled = Engine.prepare ?trace doc query in
       let stats = Run.fresh_stats () in
@@ -128,8 +136,8 @@ let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag t
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run file query dw nj nm strategy st tf dom timeout maxr =
-    with_engine file query dw nj nm strategy st tf dom
+  let run file query dw nj nm strategy st tf dom bk timeout maxr =
+    with_engine file query dw nj nm strategy st tf dom bk
       (fun ?pool _doc c config strategy trace ->
         or_budget_exceeded (fun () ->
             let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
@@ -138,14 +146,15 @@ let count_cmd =
   Cmd.v
     (Cmd.info "count" ~doc:"Count the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ domains_arg $ timeout_arg $ max_results_arg)
+          $ show_stats $ show_trace $ domains_arg $ backend_arg $ timeout_arg
+          $ max_results_arg)
 
 let select_cmd =
   let ids =
     Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
   in
-  let run file query dw nj nm strategy st tf dom timeout maxr ids =
-    with_engine file query dw nj nm strategy st tf dom
+  let run file query dw nj nm strategy st tf dom bk timeout maxr ids =
+    with_engine file query dw nj nm strategy st tf dom bk
       (fun ?pool doc c config strategy trace ->
         or_budget_exceeded (fun () ->
             let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
@@ -158,16 +167,18 @@ let select_cmd =
   Cmd.v
     (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ domains_arg $ timeout_arg $ max_results_arg $ ids)
+          $ show_stats $ show_trace $ domains_arg $ backend_arg $ timeout_arg
+          $ max_results_arg $ ids)
 
 let stats_cmd =
-  let run file dw dom =
+  let run file dw dom bk =
     with_domains dom @@ fun pool ->
-    let xml = read_file file in
     let t0 = Unix.gettimeofday () in
-    let doc = Document.of_xml ?pool ~keep_whitespace:(not dw) xml in
+    let doc = load_document ?pool ?backend:bk ~keep_whitespace:(not dw) file in
     let dt = Unix.gettimeofday () -. t0 in
-    Printf.printf "document:        %s\n" (pp_bytes (String.length xml));
+    let file_bytes = (Unix.stat file).Unix.st_size in
+    Printf.printf "document:        %s\n" (pp_bytes file_bytes);
+    Printf.printf "backend:         %s\n" (Document.backend_name doc);
     Printf.printf "index time:      %.2fs\n" dt;
     Printf.printf "nodes:           %d\n" (Document.node_count doc);
     Printf.printf "texts:           %d\n" (Document.text_count doc);
@@ -178,27 +189,27 @@ let stats_cmd =
     Printf.printf "index/document:  %.2f\n"
       (float_of_int ((Document.tree_space_bits doc / 8)
                      + (Sxsi_text.Text_collection.fm_space_bits (Document.text doc) / 8))
-      /. float_of_int (String.length xml))
+      /. float_of_int file_bytes)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Index a document and report size statistics")
-    Term.(const run $ file_arg $ drop_ws $ domains_arg)
+    Term.(const run $ file_arg $ drop_ws $ domains_arg $ backend_arg)
 
 let index_cmd =
   let out =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Index file to write (conventionally .sxsi)")
   in
-  let run file dw out dom =
+  let run file dw out dom bk =
     with_domains dom @@ fun pool ->
-    let doc = Document.of_xml ?pool ~keep_whitespace:(not dw) (read_file file) in
+    let doc = Document.of_xml ?pool ?backend:bk ~keep_whitespace:(not dw) (read_file file) in
     Document.save doc out;
-    Printf.printf "indexed %d nodes, %d texts -> %s\n" (Document.node_count doc)
-      (Document.text_count doc) out
+    Printf.printf "indexed %d nodes, %d texts (%s backend) -> %s\n"
+      (Document.node_count doc) (Document.text_count doc) (Document.backend_name doc) out
   in
   Cmd.v
     (Cmd.info "index" ~doc:"Build the self-index and save it; count/select accept .sxsi files")
-    Term.(const run $ file_arg $ drop_ws $ out $ domains_arg)
+    Term.(const run $ file_arg $ drop_ws $ out $ domains_arg $ backend_arg)
 
 let explain_cmd =
   let query_only =
@@ -221,8 +232,8 @@ let explain_cmd =
 (* QUIT protocol over stdin/stdout (repl) or TCP (serve)               *)
 (* ------------------------------------------------------------------ *)
 
-let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains timeout
-    max_results slow_ms =
+let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains backend
+    timeout max_results slow_ms =
   let positive = function Some n when n > 0 -> n | Some _ | None -> 0 in
   {
     Sxsi_service.Service.default_options with
@@ -233,6 +244,7 @@ let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domain
     enable_jump = not no_jump;
     enable_memo = not no_memo;
     domains = resolve_domains domains;
+    backend;
     default_deadline_ms = positive timeout;
     max_results = positive max_results;
     slow_ms = max 0 slow_ms;
@@ -309,12 +321,12 @@ let preload svc specs =
     specs
 
 let repl_cmd =
-  let run max_mb cc kc nj nm dom timeout maxr fr slow_ms slow_log specs =
+  let run max_mb cc kc nj nm dom bk timeout maxr fr slow_ms slow_log specs =
     guarded (fun () ->
         let slow_log = obs_setup fr slow_ms slow_log in
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom timeout maxr slow_ms)
+            ~options:(service_options max_mb cc kc nj nm dom bk timeout maxr slow_ms)
             ?slow_log ()
         in
         Fun.protect
@@ -328,8 +340,8 @@ let repl_cmd =
        ~doc:"Speak the service protocol (LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/QUIT) \
              on stdin/stdout")
     Term.(const run $ max_doc_mb_arg $ compiled_cache_arg $ count_cache_arg $ no_jump
-          $ no_memo $ domains_arg $ timeout_arg $ max_results_arg $ flight_recorder_arg
-          $ slow_ms_arg $ slow_log_arg $ preload_arg)
+          $ no_memo $ domains_arg $ backend_arg $ timeout_arg $ max_results_arg
+          $ flight_recorder_arg $ slow_ms_arg $ slow_log_arg $ preload_arg)
 
 let serve_cmd =
   let port_arg =
@@ -348,13 +360,13 @@ let serve_cmd =
            ~doc:"Accepted-connection queue bound; beyond it new connections are \
                  refused with an ERR response")
   in
-  let run host port workers queue max_mb cc kc nj nm dom timeout maxr fr slow_ms
+  let run host port workers queue max_mb cc kc nj nm dom bk timeout maxr fr slow_ms
       slow_log specs =
     guarded (fun () ->
         let slow_log = obs_setup fr slow_ms slow_log in
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom timeout maxr slow_ms)
+            ~options:(service_options max_mb cc kc nj nm dom bk timeout maxr slow_ms)
             ?slow_log ()
         in
         (* with the recorder on, also sample the runtime (GC + ring
@@ -385,8 +397,8 @@ let serve_cmd =
              queries are cached and shared across connections")
     Term.(const run $ host_arg $ port_arg $ workers_arg $ queue_arg $ max_doc_mb_arg
           $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ domains_arg
-          $ timeout_arg $ max_results_arg $ flight_recorder_arg $ slow_ms_arg
-          $ slow_log_arg $ preload_arg)
+          $ backend_arg $ timeout_arg $ max_results_arg $ flight_recorder_arg
+          $ slow_ms_arg $ slow_log_arg $ preload_arg)
 
 let trace_export_cmd =
   let input =
@@ -454,17 +466,24 @@ let gen_cmd =
   let kind =
     Arg.(required & pos 0 (some (enum
       [ ("xmark", `Xmark); ("medline", `Medline); ("treebank", `Treebank);
-        ("wiki", `Wiki); ("bio", `Bio) ])) None
-      & info [] ~docv:"KIND" ~doc:"Corpus kind: xmark, medline, treebank, wiki or bio")
+        ("wiki", `Wiki); ("bio", `Bio); ("logs", `Logs) ])) None
+      & info [] ~docv:"KIND"
+          ~doc:"Corpus kind: xmark, medline, treebank, wiki, bio or logs")
   in
   let scale =
     Arg.(value & opt int 1000 & info [ "scale" ] ~docv:"N" ~doc:"Corpus scale")
+  in
+  let repetition =
+    Arg.(value & opt float 0.9 & info [ "repetition" ] ~docv:"R"
+           ~doc:"For the $(b,logs) kind: fraction in [0,1] of entries stamped from \
+                 fixed structural templates (higher means a more repetitive tree, \
+                 which the grammar backend compresses harder)")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Output file (stdout by default)")
   in
-  let run kind scale out =
+  let run kind scale repetition out =
     let xml =
       match kind with
       | `Xmark -> Sxsi_datagen.Xmark.generate ~scale ()
@@ -472,6 +491,7 @@ let gen_cmd =
       | `Treebank -> Sxsi_datagen.Treebank.generate ~sentences:scale ()
       | `Wiki -> Sxsi_datagen.Wiki.generate ~pages:scale ()
       | `Bio -> Sxsi_datagen.Bio.generate ~genes:scale ()
+      | `Logs -> Sxsi_datagen.Logs.generate ~repetition ~entries:scale ()
     in
     match out with
     | None -> print_string xml
@@ -481,7 +501,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic benchmark corpus")
-    Term.(const run $ kind $ scale $ out)
+    Term.(const run $ kind $ scale $ repetition $ out)
 
 let () =
   (* honor SXSI_FAILPOINTS in every subcommand, not just the service

@@ -117,7 +117,7 @@ let test_ok doc (step : step) x =
 let par_cutoff = 64
 
 let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
-  let bp = Document.bp doc in
+  let bp = Document.tree doc in
   let k = Array.length p.steps in
   let r = p.result_idx in
   (* One step per candidate text: each verification walks a root path
@@ -152,20 +152,20 @@ let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
         &&
         if i = 0 then begin
           match p.steps.(0).axis with
-          | Child -> Bp.parent bp x = Document.root doc
+          | Child -> Tree_backend.parent bp x = Document.root doc
           | Descendant -> x <> Document.root doc
           | Self | Attribute | Following_sibling -> false
         end
         else begin
           match p.steps.(i).axis with
-          | Child -> up_ok (i - 1) (Bp.parent bp x)
+          | Child -> up_ok (i - 1) (Tree_backend.parent bp x)
           | Descendant ->
-            let rec up y = y >= 0 && (up_ok (i - 1) y || up (Bp.parent bp y)) in
-            up (Bp.parent bp x)
+            let rec up y = y >= 0 && (up_ok (i - 1) y || up (Tree_backend.parent bp y)) in
+            up (Tree_backend.parent bp x)
           | Attribute ->
             (* the owner element: above the attribute's "@" list node *)
-            let at = Bp.parent bp x in
-            at >= 0 && up_ok (i - 1) (Bp.parent bp at)
+            let at = Tree_backend.parent bp x in
+            at >= 0 && up_ok (i - 1) (Tree_backend.parent bp at)
           | Self | Following_sibling -> false
         end
       in
@@ -181,7 +181,7 @@ let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
         if p.steps.(k - 1).axis = Attribute then begin
           (* matched value leaf must be a "%" under an attribute node *)
           if Document.tag_of doc leaf = Document.attval_tag then
-            Some (Bp.parent bp leaf)
+            Some (Tree_backend.parent bp leaf)
           else None
         end
         else begin
@@ -189,7 +189,7 @@ let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
           | Text ->
             if Document.tag_of doc leaf = Document.text_tag then Some leaf else None
           | Star | Name _ | Node ->
-            let parent = Bp.parent bp leaf in
+            let parent = Tree_backend.parent bp leaf in
             if parent >= 0
                && Document.tag_of doc leaf = Document.text_tag
                && Document.pcdata_only doc parent
@@ -202,7 +202,7 @@ let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
       | Some x_last ->
         (* ancestors of the candidate, chain order A.(0) = candidate *)
         let ancestors =
-          let rec go y acc = if y < 0 then List.rev acc else go (Bp.parent bp y) (y :: acc) in
+          let rec go y acc = if y < 0 then List.rev acc else go (Tree_backend.parent bp y) (y :: acc) in
           Array.of_list (go x_last [])
         in
         let depth = Array.length ancestors in

@@ -113,14 +113,14 @@ let estimate_matches doc plan =
     0
 
 let min_step_tag_count (c : one) =
-  let ti = Document.tag_index c.doc in
+  let ti = Document.tree c.doc in
   let open Sxsi_xpath.Ast in
   List.fold_left
     (fun acc step ->
       match step.test with
       | Name n -> begin
         match Document.tag_id c.doc n with
-        | Some tg -> min acc (Tag_index.count ti tg)
+        | Some tg -> min acc (Tree_backend.count ti tg)
         | None -> 0
       end
       | Star | Text | Node -> acc)
@@ -157,7 +157,7 @@ let select_one ?budget ?pool ?config ~funs ~strategy (c : one) =
     span_counted n_top_down Array.length (fun () ->
         let auto = Lazy.force c.auto in
         let marks = Run.run ?budget ?pool ?config ~funs Run.marks_sem auto in
-        let pos = Marks.positions (Document.tag_index c.doc) marks in
+        let pos = Marks.positions (Document.tree c.doc) marks in
         if auto.Automaton.needs_dedup then
           Array.of_list (List.sort_uniq compare (Array.to_list pos))
         else begin
@@ -194,7 +194,7 @@ let count_impl ?budget ?pool ?config ~funs ~strategy c =
       else
         span_counted n_top_down Fun.id (fun () ->
             Run.run ?budget ?pool ?config ~funs
-              (Run.count_sem (Document.tag_index single.doc))
+              (Run.count_sem (Document.tree single.doc))
               auto)
   end
   | branches -> Array.length (select_impl ?budget ?pool ?config ~funs ~strategy branches)

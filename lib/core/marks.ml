@@ -8,7 +8,7 @@ type t =
 
 let range_count ti tags lo hi =
   List.fold_left
-    (fun acc tag -> acc + Tag_index.rank_tag ti tag hi - Tag_index.rank_tag ti tag lo)
+    (fun acc tag -> acc + Tree_backend.rank_tag ti tag hi - Tree_backend.rank_tag ti tag lo)
     0 tags
 
 let rec count ti = function
@@ -27,10 +27,10 @@ let iter ti f m =
     | Tagged_range (tags, lo, hi) ->
       List.iter
         (fun tag ->
-          let jlo = Tag_index.rank_tag ti tag lo
-          and jhi = Tag_index.rank_tag ti tag hi in
+          let jlo = Tree_backend.rank_tag ti tag lo
+          and jhi = Tree_backend.rank_tag ti tag hi in
           for j = jlo to jhi - 1 do
-            f (Tag_index.select_tag ti tag j)
+            f (Tree_backend.select_tag ti tag j)
           done)
         tags
   in

@@ -16,13 +16,13 @@ type t =
                                                     carrying one of the
                                                     tags *)
 
-val range_count : Sxsi_tree.Tag_index.t -> int list -> int -> int -> int
+val range_count : Sxsi_tree.Tree_backend.t -> int list -> int -> int -> int
 (** Number of nodes in a position range carrying one of the tags. *)
 
-val count : Sxsi_tree.Tag_index.t -> t -> int
-val positions : Sxsi_tree.Tag_index.t -> t -> int array
+val count : Sxsi_tree.Tree_backend.t -> t -> int
+val positions : Sxsi_tree.Tree_backend.t -> t -> int array
 (** Marked node positions.  Single-tag runs come out in document
     order; multi-tag ranges are grouped by tag, so callers sort when
     order matters (the engine does). *)
 
-val iter : Sxsi_tree.Tag_index.t -> (int -> unit) -> t -> unit
+val iter : Sxsi_tree.Tree_backend.t -> (int -> unit) -> t -> unit

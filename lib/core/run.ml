@@ -211,11 +211,11 @@ type 'r context = {
    cover a whole document before any chunk evaluates. *)
 let scan_positions check ti tag x limit =
   let acc = ref [] in
-  let p = ref (Tag_index.tagged_next ti x tag) in
+  let p = ref (Tree_backend.tagged_next ti x tag) in
   while !p >= 0 && !p < limit do
     check ();
     acc := !p :: !acc;
-    p := Tag_index.tagged_next ti (!p + 1) tag
+    p := Tree_backend.tagged_next ti (!p + 1) tag
   done;
   Array.of_list (List.rev !acc)
 
@@ -240,8 +240,8 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
     | Some b -> fun () -> Sxsi_qos.Budget.check b
   in
   let doc = auto.Automaton.doc in
-  let bp = Document.bp doc in
-  let ti = Document.tag_index doc in
+  let bp = Document.tree doc in
+  let ti = Document.tree doc in
   let tag_count = Document.tag_count doc in
   let pool =
     match pool with Some p when Sxsi_par.Pool.size p > 1 -> Some p | _ -> None
@@ -399,7 +399,7 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
       end
     | None ->
       let rec loop p acc found =
-        let p = Tag_index.tagged_next ti p tag in
+        let p = Tree_backend.tagged_next ti p tag in
         if p < 0 || p >= limit then (acc, found)
         else begin
           bcheck ();
@@ -407,18 +407,18 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
           let r1 =
             if mp.Formula.down1 = [] then []
             else
-              eval (Bp.first_child bp p)
+              eval (Tree_backend.first_child bp p)
                 (Stateset.of_list mp.Formula.down1)
-                (Bp.close bp p)
+                (Tree_backend.close bp p)
           in
           let r2 =
             if mp.Formula.down2 = [] then []
-            else eval (Bp.next_sibling bp p) (Stateset.of_list mp.Formula.down2) limit
+            else eval (Tree_backend.next_sibling bp p) (Stateset.of_list mp.Formula.down2) limit
           in
           let b, m = eval_phi r1 r2 p tag mp in
           if si.Automaton.scan_marking then begin
             let acc = if b then sem.cat acc m else acc in
-            let next = if b && si.Automaton.scan_drop then Bp.close bp p else p + 1 in
+            let next = if b && si.Automaton.scan_drop then Tree_backend.close bp p else p + 1 in
             loop next acc true
           end
           else if b then (acc, true)
@@ -440,11 +440,11 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
       let r1 =
         if mp.Formula.down1 = [] then []
         else
-          eval (Bp.first_child bp p) (Stateset.of_list mp.Formula.down1) (Bp.close bp p)
+          eval (Tree_backend.first_child bp p) (Stateset.of_list mp.Formula.down1) (Tree_backend.close bp p)
       in
       let r2 =
         if mp.Formula.down2 = [] then []
-        else eval (Bp.next_sibling bp p) (Stateset.of_list mp.Formula.down2) limit
+        else eval (Tree_backend.next_sibling bp p) (Stateset.of_list mp.Formula.down2) limit
       in
       let b, m = eval_phi r1 r2 p tag mp in
       if b then acc := sem.cat !acc m
@@ -453,13 +453,13 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
   and visit x qtd limit =
     bcheck ();
     stats.visited <- stats.visited + 1;
-    let tag = Tag_index.tag ti x in
+    let tag = Tree_backend.tag ti x in
     let an = analyse qtd tag in
     if an.a_phis = [||] then []
     else begin
       let r1 =
         if Stateset.is_empty an.a_q1 then []
-        else eval (Bp.first_child bp x) an.a_q1 (Bp.close bp x)
+        else eval (Tree_backend.first_child bp x) an.a_q1 (Tree_backend.close bp x)
       in
       if Stateset.is_empty an.a_q2 then
         Array.to_list an.a_phis
@@ -467,7 +467,7 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
                let b, m = eval_phi r1 [] x tag phi in
                if b then Some (q, m) else None)
       else if not config.enable_early then begin
-        let r2 = eval (Bp.next_sibling bp x) an.a_q2 limit in
+        let r2 = eval (Tree_backend.next_sibling bp x) an.a_q2 limit in
         Array.to_list an.a_phis
         |> List.filter_map (fun (q, phi) ->
                let b, m = eval_phi r1 r2 x tag phi in
@@ -489,7 +489,7 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
             [] partial
         in
         let r2 =
-          if q2 = [] then [] else eval (Bp.next_sibling bp x) (Stateset.of_list q2) limit
+          if q2 = [] then [] else eval (Tree_backend.next_sibling bp x) (Stateset.of_list q2) limit
         in
         Array.to_list partial
         |> List.filter_map (fun (q, phi, v) ->
@@ -569,7 +569,7 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
   let res =
     ctx.c_eval (Document.root doc)
       (Stateset.of_list [ auto.Automaton.start ])
-      (Bp.length bp)
+      (Tree_backend.length bp)
   in
   match List.assoc_opt auto.Automaton.start res with
   | Some m -> m

@@ -51,7 +51,7 @@ type 'r sem = {
   range : int list -> int -> int -> 'r;   (* tags, lo, hi *)
 }
 
-val count_sem : Sxsi_tree.Tag_index.t -> int sem
+val count_sem : Sxsi_tree.Tree_backend.t -> int sem
 val marks_sem : Marks.t sem
 
 type custom_impl = {

@@ -1,0 +1,86 @@
+let severities = [| "debug"; "info"; "warn"; "error" |]
+let hosts = [| "web-01"; "web-02"; "db-01"; "cache-01"; "worker-03" |]
+let procs = [| "nginx"; "postgres"; "app"; "scheduler"; "indexer" |]
+
+(* Optional fields a non-templated entry may add, each with its own
+   little subtree shape so structural variety actually perturbs the
+   parenthesis sequence. *)
+let optional_fields =
+  [|
+    (fun buf st ->
+      Buffer.add_string buf "<trace><span>";
+      Buffer.add_string buf (Words.number st 1_000_000);
+      Buffer.add_string buf "</span><parent>";
+      Buffer.add_string buf (Words.number st 1_000_000);
+      Buffer.add_string buf "</parent></trace>");
+    (fun buf st ->
+      Buffer.add_string buf "<user id=\"";
+      Buffer.add_string buf (Words.number st 10_000);
+      Buffer.add_string buf "\">";
+      Buffer.add_string buf (Words.name st);
+      Buffer.add_string buf "</user>");
+    (fun buf st ->
+      Buffer.add_string buf "<ctx>";
+      for _ = 1 to 1 + Random.State.int st 3 do
+        Buffer.add_string buf "<kv key=\"";
+        Buffer.add_string buf (Words.zipf_word st);
+        Buffer.add_string buf "\">";
+        Buffer.add_string buf (Words.zipf_word st);
+        Buffer.add_string buf "</kv>"
+      done;
+      Buffer.add_string buf "</ctx>");
+    (fun buf st ->
+      Buffer.add_string buf "<latency unit=\"ms\">";
+      Buffer.add_string buf (Words.number st 5_000);
+      Buffer.add_string buf "</latency>");
+    (fun buf st ->
+      Buffer.add_string buf "<stack>";
+      for _ = 1 to 2 + Random.State.int st 4 do
+        Buffer.add_string buf "<frame>";
+        Buffer.add_string buf (Words.zipf_word st);
+        Buffer.add_string buf ".";
+        Buffer.add_string buf (Words.zipf_word st);
+        Buffer.add_string buf "</frame>"
+      done;
+      Buffer.add_string buf "</stack>");
+  |]
+
+(* The fixed templates: per template, which optional fields (by index)
+   a stamped entry carries.  Texts still vary per entry; the element
+   structure does not. *)
+let templates = [| [||]; [| 3 |]; [| 1; 3 |] |]
+
+let generate ?(seed = 42) ?(repetition = 0.9) ~entries () =
+  if not (repetition >= 0.0 && repetition <= 1.0) then
+    invalid_arg "Logs.generate: repetition must be in [0, 1]";
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create (entries * 150) in
+  Buffer.add_string buf "<log>";
+  for i = 1 to entries do
+    let templated = Random.State.float st 1.0 < repetition in
+    let sev = severities.(Random.State.int st (Array.length severities)) in
+    Buffer.add_string buf "<entry severity=\"";
+    Buffer.add_string buf sev;
+    Buffer.add_string buf "\"><ts>";
+    Buffer.add_string buf (string_of_int (1_700_000_000 + (i * 7)));
+    Buffer.add_string buf "</ts><host>";
+    Buffer.add_string buf (hosts.(Random.State.int st (Array.length hosts)));
+    Buffer.add_string buf "</host><proc>";
+    Buffer.add_string buf (procs.(Random.State.int st (Array.length procs)));
+    Buffer.add_string buf "</proc><msg>";
+    Buffer.add_string buf (Words.sentence st (3 + Random.State.int st 6));
+    Buffer.add_string buf "</msg>";
+    if templated then
+      Array.iter
+        (fun f -> optional_fields.(f) buf st)
+        templates.(Random.State.int st (Array.length templates))
+    else begin
+      (* random subset, random order length: structural noise *)
+      for f = 0 to Array.length optional_fields - 1 do
+        if Random.State.bool st then optional_fields.(f) buf st
+      done
+    end;
+    Buffer.add_string buf "</entry>"
+  done;
+  Buffer.add_string buf "</log>";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** Synthetic structured-log documents: a flat stream of [entry]
+    records under one [log] root, the highly-repetitive-structure
+    workload class (application logs, telemetry exports) the
+    grammar-compressed tree backend targets.
+
+    [repetition] in [0, 1] (default [0.9]) is the fraction of entries
+    stamped from a handful of fixed structural templates — their
+    element structure is byte-identical, only the texts vary — while
+    the rest draw a random subset of optional fields, breaking digram
+    repetition.  At [1.0] the tree structure is one template repeated
+    [entries] times. *)
+
+val generate : ?seed:int -> ?repetition:float -> entries:int -> unit -> string
+(** [generate ~entries ()] builds a document with [entries] log
+    records; [entries = 1000] gives roughly 150 KB of XML.
+    @raise Invalid_argument when [repetition] is outside [0, 1]. *)

@@ -83,6 +83,8 @@ let find t name =
     last := tick t;
     Some e
 
+let peek t name = Option.map fst (Hashtbl.find_opt t.tbl name)
+
 let names t =
   Hashtbl.fold (fun name (_, last) acc -> (name, !last) :: acc) t.tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -28,6 +28,10 @@ val add : t -> string -> Sxsi_xml.Document.t -> entry
 val find : t -> string -> entry option
 (** Lookup, promoting the document to most-recently-used. *)
 
+val peek : t -> string -> entry option
+(** Lookup without touching recency — for introspection (STATS) that
+    must not perturb eviction order. *)
+
 val evict : t -> string -> bool
 (** Explicitly drop a document; [false] when unknown.  Does not count
     towards {!evictions}. *)

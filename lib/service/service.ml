@@ -23,6 +23,7 @@ type options = {
   breaker_threshold : int;
   breaker_cooldown_ms : int;
   slow_ms : int;  (* requests slower than this land in the slow-query log; 0 = off *)
+  backend : Document.backend option;  (* tree backend for indexing; None = env/default *)
 }
 
 let default_options =
@@ -40,6 +41,7 @@ let default_options =
     breaker_threshold = 0;
     breaker_cooldown_ms = 1000;
     slow_ms = 0;
+    backend = None;
   }
 
 (* Cache key: document name + registration generation (so a reload
@@ -221,9 +223,9 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_document ?pool path =
+let load_document ?pool ?backend path =
   if Filename.check_suffix path ".sxsi" then Document.load path
-  else Document.of_xml ?pool (read_file path)
+  else Document.of_xml ?pool ?backend (read_file path)
 
 (* Drop the cached queries of an evicted/replaced document right away
    rather than letting generation-stale entries age out: they pin the
@@ -427,6 +429,14 @@ let stats t =
           ("documents", string_of_int (Registry.count t.registry));
           ("document_bytes", string_of_int (Registry.total_bytes t.registry));
           ("document_names", String.concat "," (Registry.names t.registry));
+          ( "document_backends",
+            String.concat ","
+              (List.map
+                 (fun n ->
+                   match Registry.peek t.registry n with
+                   | Some e -> n ^ "=" ^ Document.backend_name e.Registry.doc
+                   | None -> n ^ "=?")
+                 (Registry.names t.registry)) );
           ("compiled_entries", string_of_int (Lru.length t.compiled));
           ("compiled_evictions", string_of_int (Lru.evictions t.compiled));
           ("count_entries", string_of_int (Lru.length t.counts));
@@ -445,7 +455,7 @@ let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.resp
   match req with
   | Load { name; path } -> begin
     (* parse/load outside the lock: it is the expensive part *)
-    match load_document ?pool:t.pool path with
+    match load_document ?pool:t.pool ?backend:t.opts.backend path with
     | doc ->
       let e =
         locked t (fun () ->
@@ -460,6 +470,8 @@ let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.resp
         ]
     | exception Sys_error msg -> Protocol.Err msg
     | exception Failure msg -> Protocol.Err msg
+    | exception Document.Unknown_backend b ->
+      Protocol.Err (Printf.sprintf "unknown tree backend %S in %s" b path)
     | exception Xml_parser.Parse_error (pos, msg) ->
       Protocol.Err (Printf.sprintf "XML parse error at %d: %s" pos msg)
   end

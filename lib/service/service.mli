@@ -42,6 +42,10 @@ type options = {
   slow_ms : int;
       (* requests slower than this are written to the slow-query log
          (when one was passed to [create]); 0 disables the log *)
+  backend : Sxsi_xml.Document.backend option;
+      (* tree backend for documents indexed by [LOAD] (None defers to
+         SXSI_BACKEND / the build default); pre-built [.sxsi] files
+         keep the backend they were saved with *)
 }
 
 val default_options : options

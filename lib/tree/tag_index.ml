@@ -21,6 +21,11 @@ let probe_jump () =
   | None -> ()
   | Some pr -> Sxsi_obs.Counter.incr pr.jump_calls
 
+let probe_tag_read () =
+  match Atomic.get active_probe with
+  | None -> ()
+  | Some pr -> Sxsi_obs.Counter.incr pr.tag_reads
+
 type t = {
   bp : Bp.t;
   tcount : int;
@@ -79,9 +84,7 @@ let build ?pool bp ~tag_count ~tags =
 
 let tag_count t = t.tcount
 let tag t i =
-  (match Atomic.get active_probe with
-  | None -> ()
-  | Some pr -> Sxsi_obs.Counter.incr pr.tag_reads);
+  probe_tag_read ();
   Intvec.get t.tags i
 let count t tg = Sparse.length t.rows.(tg)
 let rank_tag t tg i = Sparse.rank t.rows.(tg) i

@@ -74,3 +74,12 @@ val set_probe : probe option -> unit
 
 val current_probe : unit -> probe option
 (** The probe currently installed, if any. *)
+
+val probe_jump : unit -> unit
+(** Count one jump call on the installed probe (no-op without one).
+    Exposed so alternative tree backends report into the same
+    counters. *)
+
+val probe_tag_read : unit -> unit
+(** Count one [tag] lookup on the installed probe (no-op without
+    one). *)

@@ -13,18 +13,31 @@ let attval_tag = 3
 
 let reserved_names = [| "&"; "#"; "@"; "%" |]
 
+type backend = [ `Bp | `Grammar ]
+
+exception Unknown_backend of string
+
 type t = {
-  bp : Bp.t;
-  tag_index : Tag_index.t;
+  tree : Tree_backend.t;
   names : string array;
   ids : (string, int) Hashtbl.t;
   elem_tag : bool array;          (* per tag: is a named element tag *)
   attr_tag : bool array;          (* per tag: is an attribute-name tag *)
   text : Text_collection.t;
-  leaves : Bitvec.t;              (* marks opening positions of #/% leaves *)
   rel : Tag_rel.t;
   pcdata_tag : bool array;        (* per tag: every occurrence is PCDATA-only *)
 }
+
+(* The build-time default backend mirrors SXSI_DOMAINS: the environment
+   picks the representation when the caller does not. *)
+let default_backend () =
+  match Sys.getenv_opt "SXSI_BACKEND" with
+  | None | Some "" | Some "bp" -> `Bp
+  | Some "grammar" -> `Grammar
+  | Some other ->
+    failwith
+      (Printf.sprintf "SXSI_BACKEND=%S: unknown backend (expected bp or grammar)"
+         other)
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                         *)
@@ -177,7 +190,8 @@ let add_text b s =
   b.texts_rev <- s :: b.texts_rev;
   b.text_count <- b.text_count + 1
 
-let of_xml ?pool ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = true) src =
+let of_xml ?pool ?backend ?(keep_whitespace = true) ?(sample_rate = 32)
+    ?(store_plain = true) src =
   let b = new_builder () in
   open_node b root_tag ~leaf:false;
   let emit_text s =
@@ -211,20 +225,38 @@ let of_xml ?pool ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = t
   let bp = Bp.Builder.finish b.bpb in
   let names = Array.of_list (List.rev b.names_rev) in
   let texts = Array.of_list (List.rev b.texts_rev) in
-  (* The tag index and the text collection depend on disjoint builder
-     output, so with a pool the two builds overlap (each also chunks
-     internally across the same pool). *)
-  let build_tags () =
-    Tag_index.build ?pool bp ~tag_count:(Array.length names)
-      ~tags:(Grow.to_array b.tag_seq)
+  let backend = match backend with Some bk -> bk | None -> default_backend () in
+  (* The tree structures and the text collection depend on disjoint
+     builder output, so with a pool the two builds overlap (each also
+     chunks internally across the same pool). *)
+  let build_tree () =
+    match backend with
+    | `Bp ->
+      let tag_index =
+        Tag_index.build ?pool bp ~tag_count:(Array.length names)
+          ~tags:(Grow.to_array b.tag_seq)
+      in
+      Tree_backend.of_bp ~bp ~tags:tag_index
+        ~leaves:(Bitvec.Builder.finish b.leaf_bits)
+    | `Grammar ->
+      (* the parenthesis sequence with its tags, one terminal per
+         position (the in-memory Bp just built supplies direction) *)
+      let tags = Grow.to_array b.tag_seq in
+      let syms =
+        Array.init (Array.length tags) (fun i ->
+            (2 * tags.(i)) + if Bp.is_open bp i then 0 else 1)
+      in
+      Tree_backend.of_slp
+        (Sxsi_grammar.Slp.build ~tag_count:(Array.length names)
+           ~leaf_tags:[ text_tag; attval_tag ] syms)
   in
   let build_text () = Text_collection.build ?pool ~sample_rate ~store_plain texts in
-  let tag_index, text =
+  let tree, text =
     match pool with
-    | Some p when Sxsi_par.Pool.size p > 1 -> Sxsi_par.Pool.fork_join p build_tags build_text
+    | Some p when Sxsi_par.Pool.size p > 1 -> Sxsi_par.Pool.fork_join p build_tree build_text
     | _ ->
-      let ti = build_tags () in
-      (ti, build_text ())
+      let tr = build_tree () in
+      (tr, build_text ())
   in
   let rel = Tag_rel.make ~tag_count:(Array.length names) in
   List.iter (fun (r, a, tg) -> Tag_rel.add rel r ~parent:a ~child:tg) b.rel_pairs;
@@ -234,14 +266,12 @@ let of_xml ?pool ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = t
   elem_tag.(attlist_tag) <- false;
   let attr_tag = Array.map (fun n -> String.length n > 1 && n.[0] = '@') names in
   {
-    bp;
-    tag_index;
+    tree;
     names;
     ids = b.b_ids;
     elem_tag;
     attr_tag;
     text;
-    leaves = Bitvec.Builder.finish b.leaf_bits;
     rel;
     pcdata_tag =
       Array.init (Array.length names) (fun tg ->
@@ -252,12 +282,18 @@ let of_xml ?pool ?(keep_whitespace = true) ?(sample_rate = 32) ?(store_plain = t
 
 let build = of_xml
 
-(* Container format v2: magic, 8-byte big-endian payload length, MD5
-   digest of the payload, payload (the marshalled [t]).  The length and
-   digest let [load] reject truncated or corrupt files with a clean
-   [Failure] instead of handing garbage to [Marshal.from_channel],
-   which would crash the process. *)
-let magic = "SXSI-INDEX-v2\n"
+(* Container format v3: magic, one length byte + backend tag name,
+   8-byte big-endian payload length, MD5 digest of the payload, payload
+   (the marshalled [t]).  The length and digest let [load] reject
+   truncated or corrupt files with a clean [Failure] instead of handing
+   garbage to [Marshal.from_channel], which would crash the process.
+   The backend tag sits in the header so a reader rejects a container
+   built with a backend it does not know — a typed [Unknown_backend]
+   error — without unmarshalling the payload. *)
+let magic = "SXSI-INDEX-v3\n"
+let old_magic_prefix = "SXSI-INDEX-v"
+
+let backend_name t = Tree_backend.kind_name t.tree
 
 let save t path =
   let oc = open_out_bin path in
@@ -266,6 +302,9 @@ let save t path =
     (fun () ->
       let payload = Marshal.to_string t [] in
       output_string oc magic;
+      let bk = backend_name t in
+      output_byte oc (String.length bk);
+      output_string oc bk;
       let len = Bytes.create 8 in
       Bytes.set_int64_be len 0 (Int64.of_int (String.length payload));
       output_bytes oc len;
@@ -278,12 +317,23 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let header_len = String.length magic + 8 + 16 in
       let avail = in_channel_length ic in
-      if avail < header_len then corrupt "truncated header (not an SXSI index)";
+      if avail < String.length magic then
+        corrupt "truncated header (not an SXSI index)";
       let m = really_input_string ic (String.length magic) in
-      if m <> magic then corrupt "bad magic (not an SXSI v2 index)";
+      if m <> magic then
+        if String.length m >= String.length old_magic_prefix
+           && String.sub m 0 (String.length old_magic_prefix) = old_magic_prefix
+        then corrupt "unsupported index version (re-index with this build)"
+        else corrupt "bad magic (not an SXSI v3 index)";
+      if avail < String.length magic + 1 then corrupt "truncated header";
+      let bk_len = input_byte ic in
+      if avail < String.length magic + 1 + bk_len + 8 + 16 then
+        corrupt "truncated header";
+      let bk = really_input_string ic bk_len in
+      if Tree_backend.kind_of_name bk = None then raise (Unknown_backend bk);
       let len = Int64.to_int (Bytes.get_int64_be (Bytes.of_string (really_input_string ic 8)) 0) in
+      let header_len = String.length magic + 1 + bk_len + 8 + 16 in
       if len < 0 || len > avail - header_len then corrupt "truncated payload";
       let digest = really_input_string ic 16 in
       let payload =
@@ -293,7 +343,9 @@ let load path =
       in
       if Digest.string payload <> digest then corrupt "checksum mismatch (corrupt index)";
       match (Marshal.from_string payload 0 : t) with
-      | t -> t
+      | t ->
+        if backend_name t <> bk then corrupt "backend tag does not match payload";
+        t
       | exception _ -> corrupt "undecodable payload")
 
 let of_texts_override t text = { t with text }
@@ -302,8 +354,10 @@ let of_texts_override t text = { t with text }
 (* Accessors                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let bp t = t.bp
-let tag_index t = t.tag_index
+let tree t = t.tree
+let backend t = Tree_backend.kind t.tree
+let bp t = Tree_backend.bp_exn t.tree
+let tag_index t = Tree_backend.tag_index_exn t.tree
 let text t = t.text
 let rel t = t.rel
 let tag_count t = Array.length t.names
@@ -311,9 +365,9 @@ let tag_name t i = t.names.(i)
 let tag_id t name = Hashtbl.find_opt t.ids name
 let attribute_tag_id t name = Hashtbl.find_opt t.ids ("@" ^ name)
 let root _ = 0
-let node_count t = Bp.node_count t.bp
-let tag_of t x = Tag_index.tag t.tag_index x
-let preorder t x = Bp.preorder t.bp x
+let node_count t = Tree_backend.node_count t.tree
+let tag_of t x = Tree_backend.tag t.tree x
+let preorder t x = Tree_backend.preorder t.tree x
 let is_element t x = t.elem_tag.(tag_of t x)
 
 let is_text_leaf t x =
@@ -330,12 +384,12 @@ let tag_is_pcdata t tg = t.pcdata_tag.(tg)
 
 let text_count t = Text_collection.doc_count t.text
 let texts t = Array.init (text_count t) (fun i -> Text_collection.get_text t.text i)
-let text_id_of_leaf t x = Bitvec.rank1 t.leaves x
-let leaf_of_text t d = Bitvec.select1 t.leaves d
+let text_id_of_leaf t x = Tree_backend.leaf_rank t.tree x
+let leaf_of_text t d = Tree_backend.leaf_select t.tree d
 
 let text_range t x =
-  let c = Bp.close t.bp x in
-  (Bitvec.rank1 t.leaves x, Bitvec.rank1 t.leaves (c + 1))
+  let c = Tree_backend.close t.tree x in
+  (Tree_backend.leaf_rank t.tree x, Tree_backend.leaf_rank t.tree (c + 1))
 
 let get_text t d = Text_collection.get_text t.text d
 
@@ -364,11 +418,11 @@ let pcdata_only t x =
       if c = nil then count <= 1
       else begin
         let tg = tag_of t c in
-        if tg = text_tag || tg = attval_tag then check (Bp.next_sibling t.bp c) (count + 1)
+        if tg = text_tag || tg = attval_tag then check (Tree_backend.next_sibling t.tree c) (count + 1)
         else false
       end
     in
-    check (Bp.first_child t.bp x) 0
+    check (Tree_backend.first_child t.tree x) 0
   end
 
 (* ------------------------------------------------------------------ *)
@@ -378,10 +432,10 @@ let pcdata_only t x =
 let serialize t x =
   let buf = Buffer.create 256 in
   let rec children_of x f =
-    let c = ref (Bp.first_child t.bp x) in
+    let c = ref (Tree_backend.first_child t.tree x) in
     while !c <> nil do
       f !c;
-      c := Bp.next_sibling t.bp !c
+      c := Tree_backend.next_sibling t.tree !c
     done
   and emit x =
     let tg = tag_of t x in
@@ -401,7 +455,7 @@ let serialize t x =
       Buffer.add_char buf '<';
       Buffer.add_string buf name;
       (* attributes live under a first child labeled "@" *)
-      let first = Bp.first_child t.bp x in
+      let first = Tree_backend.first_child t.tree x in
       let has_attlist = first <> nil && tag_of t first = attlist_tag in
       if has_attlist then
         children_of first (fun a ->
@@ -412,14 +466,14 @@ let serialize t x =
             let lo, hi = text_range t a in
             if hi > lo then Buffer.add_string buf (Xml_parser.escape_attr (get_text t lo));
             Buffer.add_string buf "\"");
-      let content_start = if has_attlist then Bp.next_sibling t.bp first else first in
+      let content_start = if has_attlist then Tree_backend.next_sibling t.tree first else first in
       if content_start = nil then Buffer.add_string buf "/>"
       else begin
         Buffer.add_char buf '>';
         let c = ref content_start in
         while !c <> nil do
           emit !c;
-          c := Bp.next_sibling t.bp !c
+          c := Tree_backend.next_sibling t.tree !c
         done;
         Buffer.add_string buf "</";
         Buffer.add_string buf name;
@@ -433,8 +487,7 @@ let serialize t x =
 (* ------------------------------------------------------------------ *)
 
 let tree_space_bits t =
-  Bp.space_bits t.bp + Tag_index.space_bits t.tag_index + Bitvec.space_bits t.leaves
-  + Tag_rel.space_bits t.rel
+  Tree_backend.space_bits t.tree + Tag_rel.space_bits t.rel
 
 let text_space_bits t = Text_collection.space_bits t.text
 let space_bits t = tree_space_bits t + text_space_bits t

@@ -18,30 +18,47 @@ type node = int
 
 val nil : node
 
+type backend = [ `Bp | `Grammar ]
+(** The physical tree representation: balanced parentheses + tag index
+    (the default) or the grammar-compressed SLP
+    ({!Sxsi_tree.Tree_backend}).  Query results are byte-identical
+    either way. *)
+
+exception Unknown_backend of string
+(** Raised by {!load} when a container's header names a backend this
+    build does not know. *)
+
 (** {1 Construction} *)
 
-val of_xml : ?pool:Sxsi_par.Pool.t -> ?keep_whitespace:bool ->
-  ?sample_rate:int -> ?store_plain:bool -> string -> t
+val of_xml : ?pool:Sxsi_par.Pool.t -> ?backend:backend ->
+  ?keep_whitespace:bool -> ?sample_rate:int -> ?store_plain:bool ->
+  string -> t
 (** Parse and index an XML document.  [keep_whitespace] (default
     [true]) controls whether whitespace-only texts become text nodes.
-    With a [pool] of size [> 1], the tag index and the text collection
-    are built concurrently (and each chunks its own work across the
-    pool); the resulting document is identical to a sequential build.
+    [backend] picks the tree representation; it defaults to the
+    [SXSI_BACKEND] environment variable (["bp"] or ["grammar"]), or
+    [`Bp].  With a [pool] of size [> 1], the tree structures and the
+    text collection are built concurrently (and each chunks its own
+    work across the pool); the resulting document is identical to a
+    sequential build.
     @raise Xml_parser.Parse_error on malformed input. *)
 
-val build : ?pool:Sxsi_par.Pool.t -> ?keep_whitespace:bool ->
-  ?sample_rate:int -> ?store_plain:bool -> string -> t
+val build : ?pool:Sxsi_par.Pool.t -> ?backend:backend ->
+  ?keep_whitespace:bool -> ?sample_rate:int -> ?store_plain:bool ->
+  string -> t
 (** Alias of {!of_xml} under the name the parallel-build entry point is
     documented by. *)
 
 val save : t -> string -> unit
 (** Write the whole self-index to a file (versioned container around
-    the runtime representation: magic, payload length, MD5 digest,
-    payload), so later sessions pay the §6.2 "loading time" instead of
-    reconstruction. *)
+    the runtime representation: magic, backend tag, payload length, MD5
+    digest, payload), so later sessions pay the §6.2 "loading time"
+    instead of reconstruction. *)
 
 val load : string -> t
 (** Read an index written by {!save}.
+    @raise Unknown_backend when the header carries a backend tag this
+    build does not implement.
     @raise Failure on a bad magic number, version mismatch, truncated
     file, or checksum failure — never crashes on corrupt input. *)
 
@@ -51,8 +68,21 @@ val of_texts_override : t -> Sxsi_text.Text_collection.t -> t
 
 (** {1 Components} *)
 
+val tree : t -> Sxsi_tree.Tree_backend.t
+(** The tree backend every navigation below goes through. *)
+
+val backend : t -> backend
+val backend_name : t -> string
+(** ["bp"] or ["grammar"]. *)
+
 val bp : t -> Sxsi_tree.Bp.t
+(** The balanced-parentheses structure.
+    @raise Invalid_argument on a non-[`Bp] document. *)
+
 val tag_index : t -> Sxsi_tree.Tag_index.t
+(** The tag index.
+    @raise Invalid_argument on a non-[`Bp] document. *)
+
 val text : t -> Sxsi_text.Text_collection.t
 val rel : t -> Sxsi_tree.Tag_rel.t
 

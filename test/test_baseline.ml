@@ -123,7 +123,7 @@ let prop_id_alignment =
       if Dom.node_count d <> Document.node_count doc then false
       else begin
         (* walk both trees in preorder and compare tags *)
-        let bp = Document.bp doc in
+        let tree = Document.tree doc in
         let ok = ref true in
         let rec go (n : Dom.node) x =
           if x = Document.nil then ok := false
@@ -132,9 +132,9 @@ let prop_id_alignment =
             let dom_kids = n.Dom.children in
             let rec kids x acc =
               if x = Document.nil then List.rev acc
-              else kids (Sxsi_tree.Bp.next_sibling bp x) (x :: acc)
+              else kids (Sxsi_tree.Tree_backend.next_sibling tree x) (x :: acc)
             in
-            let doc_kids = kids (Sxsi_tree.Bp.first_child bp x) [] in
+            let doc_kids = kids (Sxsi_tree.Tree_backend.first_child tree x) [] in
             if List.length dom_kids <> List.length doc_kids then ok := false
             else List.iter2 go dom_kids doc_kids
           end

@@ -66,6 +66,52 @@ let test_bio () =
     let v = Document.string_value doc nodes.(0) in
     Sxsi_text.Text_collection.global_count (Document.text doc) v >= 2)
 
+let test_logs () =
+  let xml = Logs.generate ~entries:200 () in
+  let doc = Document.of_xml xml in
+  Alcotest.(check int) "entries" 200 (count doc "/log/entry");
+  Alcotest.(check int) "timestamps" 200 (count doc "//entry/ts");
+  Alcotest.(check int) "severities" 200 (count doc "//entry[@severity]");
+  Alcotest.(check bool) "some stacks" true (count doc "//stack/frame" > 0);
+  Alcotest.(check string) "deterministic" xml (Logs.generate ~entries:200 ());
+  (* the repetition knob monotonically shrinks the set of distinct
+     entry shapes: at 1.0 every entry is one of the templates *)
+  let shapes xml =
+    let doc = Document.of_xml xml in
+    let tree = Document.tree doc in
+    let buf = Buffer.create 64 in
+    let rec kids x =
+      if x <> Document.nil then begin
+        Buffer.add_string buf (string_of_int (Document.tag_of doc x));
+        Buffer.add_char buf '(';
+        kids (Sxsi_tree.Tree_backend.first_child tree x);
+        Buffer.add_char buf ')';
+        kids (Sxsi_tree.Tree_backend.next_sibling tree x)
+      end
+    in
+    let distinct = Hashtbl.create 16 in
+    Array.iter
+      (fun x ->
+        Buffer.clear buf;
+        (* the entry's own subtree only: tag + children *)
+        Buffer.add_string buf (string_of_int (Document.tag_of doc x));
+        Buffer.add_char buf '(';
+        kids (Sxsi_tree.Tree_backend.first_child tree x);
+        Buffer.add_char buf ')';
+        Hashtbl.replace distinct (Buffer.contents buf) ())
+      (Engine.select (Engine.prepare doc "/log/entry"));
+    Hashtbl.length distinct
+  in
+  let uniform = shapes (Logs.generate ~entries:150 ~repetition:1.0 ()) in
+  let noisy = shapes (Logs.generate ~entries:150 ~repetition:0.0 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "templates bound shapes (%d <= 3 < %d)" uniform noisy)
+    true
+    (uniform <= 3 && noisy > uniform);
+  Alcotest.check_raises "repetition range"
+    (Invalid_argument "Logs.generate: repetition must be in [0, 1]") (fun () ->
+      ignore (Logs.generate ~entries:1 ~repetition:1.5 ()))
+
 let test_all_parse_and_roundtrip () =
   List.iter
     (fun xml ->
@@ -79,6 +125,7 @@ let test_all_parse_and_roundtrip () =
       Treebank.generate ~sentences:15 ();
       Wiki.generate ~pages:10 ();
       Bio.generate ~genes:5 ();
+      Logs.generate ~entries:50 ();
     ]
 
 let suite =
@@ -89,6 +136,7 @@ let suite =
       Alcotest.test_case "treebank" `Quick test_treebank;
       Alcotest.test_case "wiki" `Quick test_wiki;
       Alcotest.test_case "bio" `Quick test_bio;
+      Alcotest.test_case "logs" `Quick test_logs;
       Alcotest.test_case "all parse; engines agree on size" `Quick
         test_all_parse_and_roundtrip;
     ] )

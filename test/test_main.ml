@@ -19,4 +19,5 @@ let () =
       Test_units.suite;
       Test_par.suite;
       Test_qos.suite;
+      Test_backend.suite;
     ]

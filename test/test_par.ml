@@ -544,7 +544,7 @@ let expected_strategy doc c query =
           | Gt | Ge ->
             Text_collection.doc_count tc - Text_collection.less_than_count tc lit)
       in
-      let ti = Document.tag_index doc in
+      let tree = Document.tree doc in
       let path = Sxsi_xpath.Xpath_parser.parse query in
       let min_tag =
         List.fold_left
@@ -552,7 +552,7 @@ let expected_strategy doc c query =
             match step.test with
             | Sxsi_xpath.Ast.Name n -> (
               match Document.tag_id doc n with
-              | Some tg -> min acc (Sxsi_tree.Tag_index.count ti tg)
+              | Some tg -> min acc (Sxsi_tree.Tree_backend.count tree tg)
               | None -> 0)
             | Star | Text | Node -> acc)
           (Document.node_count doc) path.Sxsi_xpath.Ast.steps

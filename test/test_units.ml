@@ -33,7 +33,11 @@ let test_marks () =
   let parens = [| true; true; false; true; false; true; false; false |] in
   let tags = [| 0; 1; 1; 0; 0; 1; 1; 0 |] in
   let bp = Bp.of_bools parens in
-  let ti = Tag_index.build bp ~tag_count:2 ~tags in
+  let tag_index = Tag_index.build bp ~tag_count:2 ~tags in
+  let ti =
+    Tree_backend.of_bp ~bp ~tags:tag_index
+      ~leaves:(Sxsi_bits.Bitvec.of_fun 8 (fun _ -> false))
+  in
   let m =
     Marks.Cat (Marks.One 0, Marks.Cat (Marks.Tagged_range ([ 1 ], 1, 8), Marks.Empty))
   in

@@ -119,21 +119,21 @@ let test_fig1_tags () =
   Alcotest.(check bool) "@name is attribute" true (Document.is_attribute_tag d name);
   Alcotest.(check bool) "@name not element" false (Document.is_element_tag d name);
   Alcotest.(check (option int)) "no bogus tag" None (Document.tag_id d "bogus");
-  let ti = Document.tag_index d in
-  Alcotest.(check int) "2 parts" 2 (Tag_index.count ti part);
-  Alcotest.(check int) "1 partss" 1 (Tag_index.count ti parts)
+  let tree = Document.tree d in
+  Alcotest.(check int) "2 parts" 2 (Tree_backend.count tree part);
+  Alcotest.(check int) "1 partss" 1 (Tree_backend.count tree parts)
 
 let test_fig1_structure () =
   let d = fig1 () in
-  let bp = Document.bp d in
+  let tree = Document.tree d in
   let root = Document.root d in
   Alcotest.(check int) "root tag" Document.root_tag (Document.tag_of d root);
-  let parts = Bp.first_child bp root in
+  let parts = Tree_backend.first_child tree root in
   Alcotest.(check string) "parts" "parts" (Document.tag_name d (Document.tag_of d parts));
-  let part1 = Bp.first_child bp parts in
-  let attlist = Bp.first_child bp part1 in
+  let part1 = Tree_backend.first_child tree parts in
+  let attlist = Tree_backend.first_child tree part1 in
   Alcotest.(check int) "@ first child" Document.attlist_tag (Document.tag_of d attlist);
-  let attr = Bp.first_child bp attlist in
+  let attr = Tree_backend.first_child tree attlist in
   Alcotest.(check string) "@name" "@name" (Document.tag_name d (Document.tag_of d attr));
   Alcotest.(check string) "attr value" "pen" (Document.string_value d attr);
   (* text range of part1 covers texts 0-3 *)
@@ -141,14 +141,14 @@ let test_fig1_structure () =
 
 let test_fig1_string_value () =
   let d = fig1 () in
-  let bp = Document.bp d in
-  let parts = Bp.first_child bp (Document.root d) in
-  let part1 = Bp.first_child bp parts in
+  let tree = Document.tree d in
+  let parts = Tree_backend.first_child tree (Document.root d) in
+  let part1 = Tree_backend.first_child tree parts in
   (* string-value excludes the attribute value "pen" *)
   Alcotest.(check string) "part1 string-value" "blue40\n   Soon discontinued.\n"
     (Document.string_value d part1);
   let color = (* second child after @ *)
-    Bp.next_sibling bp (Bp.first_child bp part1)
+    Tree_backend.next_sibling tree (Tree_backend.first_child tree part1)
   in
   Alcotest.(check string) "color" "blue" (Document.string_value d color);
   Alcotest.(check bool) "color is pcdata" true (Document.pcdata_only d color);
@@ -276,13 +276,13 @@ let prop_text_leaf_maps =
 let prop_preorder_global_ids =
   qtest "preorder ids are dense and ordered" gen_xml (fun src ->
       let d = Document.of_xml src in
-      let bp = Document.bp d in
+      let tree = Document.tree d in
       let seen = Array.make (Document.node_count d) false in
       let rec go x =
         if x <> Document.nil then begin
           seen.(Document.preorder d x) <- true;
-          go (Bp.first_child bp x);
-          go (Bp.next_sibling bp x)
+          go (Tree_backend.first_child tree x);
+          go (Tree_backend.next_sibling tree x)
         end
       in
       go (Document.root d);
