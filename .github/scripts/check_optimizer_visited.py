@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Gate on the whole-query optimizer's visited-node ledger.
+
+The xmark bench section traces every query twice — once on the raw
+automaton, once optimized — and records both node-visit counts in its
+JSON measurements (visited_noopt / visited_opt).  The optimizer must
+never make a query visit MORE nodes, and across the whole battery it
+must keep a substantial total reduction (the reproduction target in
+EXPERIMENTS.md is ~74%; the gate allows drift down to 30%).
+
+Usage: check_optimizer_visited.py BENCH_xmark.json
+"""
+import json
+import sys
+
+MIN_TOTAL_REDUCTION = 0.30
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_xmark.json"
+with open(path) as f:
+    doc = json.load(f)
+
+rows = [m for m in doc.get("measurements", []) if "visited_noopt" in m]
+if not rows:
+    sys.exit(f"{path}: no measurements with visited_noopt/visited_opt fields")
+
+failed = False
+total_off = total_on = 0
+for m in rows:
+    qid, off, on = m["id"], m["visited_noopt"], m["visited_opt"]
+    total_off += off
+    total_on += on
+    status = "ok"
+    if on > off:
+        status = "FAIL (optimized run visited more nodes)"
+        failed = True
+    print(f"{qid}: visited {off} -> {on}  {status}")
+
+reduction = 1.0 - total_on / total_off if total_off else 0.0
+print(f"total: visited {total_off} -> {total_on}  ({reduction:.1%} reduction)")
+if reduction < MIN_TOTAL_REDUCTION:
+    failed = True
+    print(f"FAIL: total reduction below {MIN_TOTAL_REDUCTION:.0%}")
+
+sys.exit(1 if failed else 0)

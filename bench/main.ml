@@ -347,7 +347,10 @@ let fig12 () =
   let rows =
     List.map
       (fun (id, q) ->
-        let cq = Engine.prepare doc q in
+        (* raw translation: the figure ablates the engine's own jumping
+           and memoization, so the whole-query optimizer (which plants
+           extra jump sets) is kept out of the comparison *)
+        let cq = Engine.prepare ~optimize:false doc q in
         let naive = run_with cq false false false in
         let jump_only = run_with cq true false false in
         let memo_only = run_with cq false true false in
@@ -379,7 +382,8 @@ let fig13 () =
   let rows =
     List.map
       (fun (id, q) ->
-        let cq = Engine.prepare doc q in
+        (* unoptimized automaton: the paper's per-query visit counts *)
+        let cq = Engine.prepare ~optimize:false doc q in
         let stats = Run.fresh_stats () in
         let config = { (Run.default_config ()) with Run.stats = stats } in
         Gc.compact ();
@@ -897,17 +901,25 @@ let xmark () =
             let cq = Engine.prepare doc q in
             let n, t_count = H.time_with_result (fun () -> Engine.count cq) in
             let t_sel = H.time (fun () -> Engine.select cq) in
-            (* One traced evaluation through the full pipeline (fresh
-               parse + compile) for the phase breakdown. *)
-            let tr = Sxsi_obs.Trace.create ~label:id () in
-            let cq2 = Engine.prepare ~trace:tr doc q in
-            ignore (Engine.select_preorders ~trace:tr cq2);
+            (* Two traced evaluations through the full pipeline (fresh
+               parse + compile): the optimized automaton for the phase
+               breakdown, and the raw translation for the visited-node
+               ledger — the off/on column pairs below. *)
+            let traced optimize =
+              let tr = Sxsi_obs.Trace.create ~label:id () in
+              let cq' = Engine.prepare ~trace:tr ~optimize doc q in
+              ignore (Engine.select_preorders ~trace:tr cq');
+              tr
+            in
+            let tr = traced true in
+            let tr_off = traced false in
             let phase p = Sxsi_obs.Trace.phase_ns tr p in
-            let counter name =
+            let counter_of tr name =
               match List.assoc_opt name (Sxsi_obs.Trace.counters tr) with
               | Some v -> v
               | None -> 0
             in
+            let counter = counter_of tr in
             H.measure
               [
                 ("id", J.String id);
@@ -916,6 +928,15 @@ let xmark () =
                 ("count_ns", J.Int (int_of_float (t_count *. 1e9)));
                 ("select_ns", J.Int (int_of_float (t_sel *. 1e9)));
                 ("probes_during_timing", J.Bool !probe_flag);
+                ("visited_noopt", J.Int (counter_of tr_off "visited"));
+                ("visited_opt", J.Int (counter "visited"));
+                ("tag_jumps_noopt", J.Int (counter_of tr_off "tag_jumps"));
+                ("tag_jumps_opt", J.Int (counter "tag_jumps"));
+                ("opt_states_before", J.Int (counter "opt_states_before"));
+                ("opt_states_after", J.Int (counter "opt_states_after"));
+                ("opt_trans_before", J.Int (counter "opt_trans_before"));
+                ("opt_trans_after", J.Int (counter "opt_trans_after"));
+                ("opt_jump_tags", J.Int (counter "opt_jump_tags"));
                 ("trace", Sxsi_obs.Trace.to_json tr);
               ];
             [
@@ -925,7 +946,9 @@ let xmark () =
               H.pp_ms t_sel;
               H.pp_ms (float_of_int (phase Sxsi_obs.Trace.Run) /. 1e9);
               H.pp_ms (float_of_int (phase Sxsi_obs.Trace.Materialize) /. 1e9);
+              string_of_int (counter_of tr_off "visited");
               string_of_int (counter "visited");
+              string_of_int (counter_of tr_off "tag_jumps");
               string_of_int (counter "tag_jumps");
               string_of_int (counter "fm_search_calls");
             ])
@@ -933,8 +956,8 @@ let xmark () =
       in
       H.table
         [
-          "query"; "results"; "count"; "select"; "run phase"; "mat phase"; "visited";
-          "tag jumps"; "fm searches";
+          "query"; "results"; "count"; "select"; "run phase"; "mat phase";
+          "visited off"; "visited on"; "jumps off"; "jumps on"; "fm searches";
         ]
         rows)
 

@@ -37,6 +37,14 @@ let no_jump =
 let no_memo =
   Arg.(value & flag & info [ "no-memo" ] ~doc:"Disable transition memoization (§5.5.2)")
 
+let optimize_arg =
+  let on_off = Arg.enum [ ("on", true); ("off", false) ] in
+  Arg.(value & opt on_off true & info [ "optimize" ] ~docv:"on|off"
+         ~doc:"Whole-query automaton optimization: prune dead states and transitions, \
+               merge duplicate states and precompute jump sets before running \
+               (default on).  $(b,off) evaluates the raw translation — the \
+               differential-testing baseline")
+
 let strategy_arg =
   let strategy_conv =
     Arg.enum [ ("auto", Engine.Auto); ("top-down", Engine.Top_down); ("bottom-up", Engine.Bottom_up) ]
@@ -106,18 +114,18 @@ let load_document ?pool ?backend ~keep_whitespace file =
   if Filename.check_suffix file ".sxsi" then Document.load file
   else Document.of_xml ?pool ?backend ~keep_whitespace (read_file file)
 
-let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag trace_flag
-    domains backend k =
+let with_engine file query drop_whitespace no_jump no_memo optimize strategy stats_flag
+    trace_flag domains backend k =
   with_domains domains (fun pool ->
       let doc = load_document ?pool ?backend ~keep_whitespace:(not drop_whitespace) file in
       let trace = if trace_flag then Some (Sxsi_obs.Trace.create ~label:query ()) else None in
-      let compiled = Engine.prepare ?trace doc query in
+      let compiled = Engine.prepare ?trace ~optimize doc query in
       let stats = Run.fresh_stats () in
       let config = { (Run.default_config ()) with Run.enable_jump = not no_jump; enable_memo = not no_memo; stats } in
       let t0 = Unix.gettimeofday () in
       k ?pool doc compiled config strategy trace;
       let dt = Unix.gettimeofday () -. t0 in
-      if stats_flag then
+      if stats_flag then begin
         Printf.eprintf
           "time: %.3fms  strategy: %s  domains: %d  visited: %d  marked: %d  jumps: %d  \
            memo hits: %d\n"
@@ -127,6 +135,17 @@ let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag t
           | `Bottom_up -> "bottom-up")
           (match pool with Some p -> Sxsi_par.Pool.size p | None -> 1)
           stats.Run.visited stats.Run.marked stats.Run.jumps stats.Run.memo_hits;
+        match Sxsi_auto.Optimize.stats (Engine.automaton compiled) with
+        | Some o ->
+          Printf.eprintf
+            "optimizer: states %d -> %d  transitions %d -> %d  merged: %d  \
+             jump sets: %d (%d tags)\n"
+            o.Sxsi_auto.Automaton.opt_states_before o.Sxsi_auto.Automaton.opt_states_after
+            o.Sxsi_auto.Automaton.opt_trans_before o.Sxsi_auto.Automaton.opt_trans_after
+            o.Sxsi_auto.Automaton.opt_merged_states o.Sxsi_auto.Automaton.opt_jump_states
+            o.Sxsi_auto.Automaton.opt_jump_tags
+        | None -> Printf.eprintf "optimizer: off\n"
+      end;
       match trace with
       | Some tr -> Printf.eprintf "%s\n" (Sxsi_obs.Json.to_string (Sxsi_obs.Trace.to_json tr))
       | None -> ())
@@ -136,8 +155,8 @@ let with_engine file query drop_whitespace no_jump no_memo strategy stats_flag t
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run file query dw nj nm strategy st tf dom bk timeout maxr =
-    with_engine file query dw nj nm strategy st tf dom bk
+  let run file query dw nj nm opt strategy st tf dom bk timeout maxr =
+    with_engine file query dw nj nm opt strategy st tf dom bk
       (fun ?pool _doc c config strategy trace ->
         or_budget_exceeded (fun () ->
             let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
@@ -145,16 +164,16 @@ let count_cmd =
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the nodes selected by a query")
-    Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ domains_arg $ backend_arg $ timeout_arg
-          $ max_results_arg)
+    Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ optimize_arg
+          $ strategy_arg $ show_stats $ show_trace $ domains_arg $ backend_arg
+          $ timeout_arg $ max_results_arg)
 
 let select_cmd =
   let ids =
     Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
   in
-  let run file query dw nj nm strategy st tf dom bk timeout maxr ids =
-    with_engine file query dw nj nm strategy st tf dom bk
+  let run file query dw nj nm opt strategy st tf dom bk timeout maxr ids =
+    with_engine file query dw nj nm opt strategy st tf dom bk
       (fun ?pool doc c config strategy trace ->
         or_budget_exceeded (fun () ->
             let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
@@ -166,12 +185,12 @@ let select_cmd =
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
-    Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ strategy_arg
-          $ show_stats $ show_trace $ domains_arg $ backend_arg $ timeout_arg
-          $ max_results_arg $ ids)
+    Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ optimize_arg
+          $ strategy_arg $ show_stats $ show_trace $ domains_arg $ backend_arg
+          $ timeout_arg $ max_results_arg $ ids)
 
 let stats_cmd =
-  let run file dw dom bk =
+  let run file dw dom bk opt =
     with_domains dom @@ fun pool ->
     let t0 = Unix.gettimeofday () in
     let doc = load_document ?pool ?backend:bk ~keep_whitespace:(not dw) file in
@@ -179,6 +198,7 @@ let stats_cmd =
     let file_bytes = (Unix.stat file).Unix.st_size in
     Printf.printf "document:        %s\n" (pp_bytes file_bytes);
     Printf.printf "backend:         %s\n" (Document.backend_name doc);
+    Printf.printf "optimizer:       %s\n" (if opt then "on" else "off");
     Printf.printf "index time:      %.2fs\n" dt;
     Printf.printf "nodes:           %d\n" (Document.node_count doc);
     Printf.printf "texts:           %d\n" (Document.text_count doc);
@@ -193,7 +213,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Index a document and report size statistics")
-    Term.(const run $ file_arg $ drop_ws $ domains_arg $ backend_arg)
+    Term.(const run $ file_arg $ drop_ws $ domains_arg $ backend_arg $ optimize_arg)
 
 let index_cmd =
   let out =
@@ -215,25 +235,34 @@ let explain_cmd =
   let query_only =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"Core+ XPath query")
   in
-  let run file query =
+  let run file query opt =
     let doc = load_document ~keep_whitespace:true file in
-    let c = Engine.prepare doc query in
+    let c = Engine.prepare ~optimize:opt doc query in
     print_string (Sxsi_auto.Automaton.to_string (Engine.automaton c));
+    (match Sxsi_auto.Optimize.stats (Engine.automaton c) with
+    | Some o ->
+      Printf.printf "optimizer: states %d -> %d, transitions %d -> %d, %d merged, %d jump sets\n"
+        o.Sxsi_auto.Automaton.opt_states_before o.Sxsi_auto.Automaton.opt_states_after
+        o.Sxsi_auto.Automaton.opt_trans_before o.Sxsi_auto.Automaton.opt_trans_after
+        o.Sxsi_auto.Automaton.opt_merged_states o.Sxsi_auto.Automaton.opt_jump_states
+    | None -> print_endline "optimizer: off");
     (match Engine.bottom_up_plan c with
     | Some _ -> print_endline "bottom-up plan: available"
     | None -> print_endline "bottom-up plan: not applicable")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Print the compiled tree automaton for a query")
-    Term.(const run $ file_arg $ query_only)
+    (Cmd.info "explain"
+       ~doc:"Print the compiled tree automaton for a query ($(b,--optimize=off) shows \
+             the raw translation)")
+    Term.(const run $ file_arg $ query_only $ optimize_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Service front ends: the LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/   *)
 (* QUIT protocol over stdin/stdout (repl) or TCP (serve)               *)
 (* ------------------------------------------------------------------ *)
 
-let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domains backend
-    timeout max_results slow_ms =
+let service_options max_doc_mb compiled_cache count_cache no_jump no_memo optimize domains
+    backend timeout max_results slow_ms =
   let positive = function Some n when n > 0 -> n | Some _ | None -> 0 in
   {
     Sxsi_service.Service.default_options with
@@ -243,6 +272,7 @@ let service_options max_doc_mb compiled_cache count_cache no_jump no_memo domain
     count_cache;
     enable_jump = not no_jump;
     enable_memo = not no_memo;
+    optimize;
     domains = resolve_domains domains;
     backend;
     default_deadline_ms = positive timeout;
@@ -321,12 +351,12 @@ let preload svc specs =
     specs
 
 let repl_cmd =
-  let run max_mb cc kc nj nm dom bk timeout maxr fr slow_ms slow_log specs =
+  let run max_mb cc kc nj nm opt dom bk timeout maxr fr slow_ms slow_log specs =
     guarded (fun () ->
         let slow_log = obs_setup fr slow_ms slow_log in
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom bk timeout maxr slow_ms)
+            ~options:(service_options max_mb cc kc nj nm opt dom bk timeout maxr slow_ms)
             ?slow_log ()
         in
         Fun.protect
@@ -340,8 +370,9 @@ let repl_cmd =
        ~doc:"Speak the service protocol (LOAD/QUERY/COUNT/MATERIALIZE/STATS/EVICT/QUIT) \
              on stdin/stdout")
     Term.(const run $ max_doc_mb_arg $ compiled_cache_arg $ count_cache_arg $ no_jump
-          $ no_memo $ domains_arg $ backend_arg $ timeout_arg $ max_results_arg
-          $ flight_recorder_arg $ slow_ms_arg $ slow_log_arg $ preload_arg)
+          $ no_memo $ optimize_arg $ domains_arg $ backend_arg $ timeout_arg
+          $ max_results_arg $ flight_recorder_arg $ slow_ms_arg $ slow_log_arg
+          $ preload_arg)
 
 let serve_cmd =
   let port_arg =
@@ -360,13 +391,13 @@ let serve_cmd =
            ~doc:"Accepted-connection queue bound; beyond it new connections are \
                  refused with an ERR response")
   in
-  let run host port workers queue max_mb cc kc nj nm dom bk timeout maxr fr slow_ms
+  let run host port workers queue max_mb cc kc nj nm opt dom bk timeout maxr fr slow_ms
       slow_log specs =
     guarded (fun () ->
         let slow_log = obs_setup fr slow_ms slow_log in
         let svc =
           Sxsi_service.Service.create
-            ~options:(service_options max_mb cc kc nj nm dom bk timeout maxr slow_ms)
+            ~options:(service_options max_mb cc kc nj nm opt dom bk timeout maxr slow_ms)
             ?slow_log ()
         in
         (* with the recorder on, also sample the runtime (GC + ring
@@ -396,9 +427,9 @@ let serve_cmd =
              bounded accept queue (load shedding beyond it); documents and compiled \
              queries are cached and shared across connections")
     Term.(const run $ host_arg $ port_arg $ workers_arg $ queue_arg $ max_doc_mb_arg
-          $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ domains_arg
-          $ backend_arg $ timeout_arg $ max_results_arg $ flight_recorder_arg
-          $ slow_ms_arg $ slow_log_arg $ preload_arg)
+          $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ optimize_arg
+          $ domains_arg $ backend_arg $ timeout_arg $ max_results_arg
+          $ flight_recorder_arg $ slow_ms_arg $ slow_log_arg $ preload_arg)
 
 let trace_export_cmd =
   let input =

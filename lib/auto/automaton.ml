@@ -21,6 +21,16 @@ type scan_info = {
   scan_tags : int list;
 }
 
+type opt_stats = {
+  opt_states_before : int;
+  opt_states_after : int;
+  opt_trans_before : int;
+  opt_trans_after : int;
+  opt_merged_states : int;
+  opt_jump_states : int;
+  opt_jump_tags : int;
+}
+
 type t = {
   doc : Document.t;
   start : state;
@@ -30,6 +40,8 @@ type t = {
   mutable preds : pred_descr array;
   scan : (state, scan_info) Hashtbl.t;
   mutable needs_dedup : bool;
+  jumps : (state, int array) Hashtbl.t;
+  mutable opt : opt_stats option;
 }
 
 let state_counter = ref 0
@@ -49,6 +61,8 @@ let create doc ~start =
     preds = [||];
     scan = Hashtbl.create 16;
     needs_dedup = false;
+    jumps = Hashtbl.create 16;
+    opt = None;
   }
 
 let add_transition t q guard phi =
@@ -60,6 +74,8 @@ let set_bottom t q = Hashtbl.replace t.bottom q ()
 let is_bottom t q = Hashtbl.mem t.bottom q
 let set_scan_info t q i = Hashtbl.replace t.scan q i
 let scan_info t q = Hashtbl.find_opt t.scan q
+let set_jump_set t q tags = Hashtbl.replace t.jumps q tags
+let jump_set t q = Hashtbl.find_opt t.jumps q
 
 let add_pred t d =
   t.preds <- Array.append t.preds [| d |];

@@ -34,6 +34,21 @@ type scan_info = {
                                    this document *)
 }
 
+(** What the {!Optimize} pass did to an automaton: state and
+    transition counts on each side of the pass, how many states were
+    merged as behaviourally identical, and the size of the jump-set
+    table it attached.  Recorded on the automaton itself ({!field-t.opt})
+    so the engine can publish it in traces and the flight recorder. *)
+type opt_stats = {
+  opt_states_before : int;
+  opt_states_after : int;
+  opt_trans_before : int;
+  opt_trans_after : int;
+  opt_merged_states : int;   (** states folded into an identical sibling *)
+  opt_jump_states : int;     (** states that received a jump set *)
+  opt_jump_tags : int;       (** total tags across all jump sets *)
+}
+
 type t = {
   doc : Sxsi_xml.Document.t;
   start : state;
@@ -46,6 +61,12 @@ type t = {
   (* marks may be produced twice for the same node (overlapping
      following-sibling scans, recursive scans from nested anchors);
      the engine then deduplicates materialized results *)
+  jumps : (state, int array) Hashtbl.t;
+  (* per-state jump sets: the tags that can fire this state's match
+     transition, precomputed by the optimizer.  Only optimized
+     automata carry entries, so their presence also tells the engine
+     the optimizer's invariants hold *)
+  mutable opt : opt_stats option;         (* set by the optimizer *)
 }
 
 val fresh_state : unit -> state
@@ -57,6 +78,18 @@ val set_bottom : t -> state -> unit
 val is_bottom : t -> state -> bool
 val set_scan_info : t -> state -> scan_info -> unit
 val scan_info : t -> state -> scan_info option
+
+val set_jump_set : t -> state -> int array -> unit
+(** Attach a jump set: the concrete tags (occurring in this document)
+    that can fire the state's match transition.  Written by the
+    {!Optimize} pass only. *)
+
+val jump_set : t -> state -> int array option
+(** The state's jump set, when the optimizer attached one.  The engine
+    takes its presence as permission to drive the state's scan by
+    [Tag_index] jumps over exactly these tags instead of a
+    child-by-child walk. *)
+
 val add_pred : t -> pred_descr -> int
 (** Register a predicate, returning its index for {!Formula.pred}. *)
 

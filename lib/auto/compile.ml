@@ -36,7 +36,16 @@ let tags_of_guard doc = function
       (List.init (Document.tag_count doc) (fun i -> i))
   | F.Any -> List.init (Document.tag_count doc) (fun i -> i)
 
-let compile doc path =
+(* Default for [?optimize], read once: the CI matrix (and any
+   debugging session) flips the whole suite with SXSI_OPTIMIZE=off
+   without threading a flag through every entry point. *)
+let optimize_default =
+  lazy
+    (match Sys.getenv_opt "SXSI_OPTIMIZE" with
+    | Some ("0" | "off" | "false" | "no") -> false
+    | Some _ | None -> true)
+
+let compile ?optimize doc path =
   let a = A.create doc ~start:(A.fresh_state ()) in
   let pred_cache : (A.pred_descr, int) Hashtbl.t = Hashtbl.create 8 in
   let intern_pred d =
@@ -222,4 +231,8 @@ let compile doc path =
     end
   in
   a.A.needs_dedup <- dup false path.steps;
+  let optimize =
+    match optimize with Some b -> b | None -> Lazy.force optimize_default
+  in
+  if optimize then Optimize.run a;
   a

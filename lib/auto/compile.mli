@@ -13,4 +13,11 @@ exception Unsupported of string
 (** Raised on constructs the automaton engine does not evaluate
     (currently: absolute paths inside predicates). *)
 
-val compile : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> Automaton.t
+val compile : ?optimize:bool -> Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> Automaton.t
+(** Translate, then (by default) run the whole-query {!Optimize} pass
+    over the produced automaton.  [~optimize:false] returns the raw
+    translation — the differential-testing baseline.  When the
+    argument is omitted, the [SXSI_OPTIMIZE] environment variable
+    decides ([0]/[off]/[false]/[no] disable it; anything else, or an
+    unset variable, leaves the pass on), so a whole test run can be
+    flipped without threading flags. *)

@@ -1,0 +1,318 @@
+open Sxsi_xml
+module F = Formula
+module A = Automaton
+
+(* Process-wide tallies, read by the service layer's STATS verb. *)
+let states_removed_total = Atomic.make 0
+let transitions_removed_total = Atomic.make 0
+let automata_total = Atomic.make 0
+
+let counters () =
+  [
+    ("opt_automata", Atomic.get automata_total);
+    ("opt_states_removed", Atomic.get states_removed_total);
+    ("opt_transitions_removed", Atomic.get transitions_removed_total);
+  ]
+
+(* Rewrite a formula bottom-up through the smart constructors, mapping
+   Down1/Down2 atoms through [lookup] ([`D1]/[`D2] tells the atom's
+   direction).  Reconstruction through {!Formula.conj}/[disj]/[neg]
+   constant-folds as it goes, so substituting [tru]/[fls] for an atom
+   collapses everything the constant decides.  Memoized per formula id:
+   formulas are hash-consed DAGs and sharing must not be re-expanded. *)
+let rewrite_with lookup =
+  let cache : (int, F.t) Hashtbl.t = Hashtbl.create 32 in
+  let rec rw (f : F.t) =
+    match Hashtbl.find_opt cache f.F.id with
+    | Some g -> g
+    | None ->
+      let g =
+        match f.F.node with
+        | F.True | F.False | F.Mark | F.Is_label _ | F.Pred _ -> f
+        | F.Down1 q -> ( match lookup `D1 q with Some g -> g | None -> f)
+        | F.Down2 q -> ( match lookup `D2 q with Some g -> g | None -> f)
+        | F.And (x, y) -> F.conj (rw x) (rw y)
+        | F.Or (x, y) -> F.disj (rw x) (rw y)
+        | F.Not x -> F.neg (rw x)
+      in
+      Hashtbl.add cache f.F.id g;
+      g
+  in
+  rw
+
+(* The marker state used to normalize a state's self-references when
+   comparing outgoing behaviour: never allocated by [fresh_state]. *)
+let self_marker = -1
+
+let run (a : A.t) =
+  match a.A.opt with
+  | Some _ -> ()   (* already optimized *)
+  | None ->
+    let doc = a.A.doc in
+    let ti = Document.tree doc in
+    let states () = List.sort_uniq compare a.A.states in
+    let trans_count () =
+      List.fold_left (fun acc q -> acc + List.length (A.transitions a q)) 0 (states ())
+    in
+    let states_before = List.length (states ()) in
+    let trans_before = trans_count () in
+    (* ---------------------------------------------------------------- *)
+    (* 1. Relevant-state analysis: a joint fixpoint of two semantic     *)
+    (* facts, each sound to substitute into every formula.              *)
+    (*   dead q: q accepts at no node and not at Nil — its atoms are    *)
+    (*     [fls].  Least fixpoint of the complement ("alive"): bottom   *)
+    (*     states are alive, and a state is alive once some transition  *)
+    (*     formula survives the substitution of the currently-presumed  *)
+    (*     dead set.                                                    *)
+    (*   triv q: q accepts at every node and at Nil, producing no       *)
+    (*     marks — its atoms are [tru].  Greatest fixpoint: assume all  *)
+    (*     bottom states trivial, then evict any state with a           *)
+    (*     transition that does not fold to a constant, or without an   *)
+    (*     Any-guarded transition folding to [tru] (some label must     *)
+    (*     always accept, mark-free, under the left-biased evaluation). *)
+    (* The two interact (a pruned match can make a scan trivial), so    *)
+    (* alternate the passes until neither set changes.                  *)
+    (* ---------------------------------------------------------------- *)
+    let dead : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let triv : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let bool_subst extra_dead _dir q =
+      if q <> a.A.start && (Hashtbl.mem dead q || extra_dead q) then Some F.fls
+      else if q <> a.A.start && Hashtbl.mem triv q then Some F.tru
+      else None
+    in
+    let dead_pass () =
+      let alive : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      List.iter (fun q -> if A.is_bottom a q then Hashtbl.replace alive q ()) (states ());
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let rw = rewrite_with (bool_subst (fun q -> not (Hashtbl.mem alive q))) in
+        List.iter
+          (fun q ->
+            if not (Hashtbl.mem alive q)
+               && List.exists (fun tr -> rw tr.A.phi != F.fls) (A.transitions a q)
+            then begin
+              Hashtbl.replace alive q ();
+              changed := true
+            end)
+          (states ())
+      done;
+      let next = List.filter (fun q -> not (Hashtbl.mem alive q)) (states ()) in
+      let grew = List.exists (fun q -> not (Hashtbl.mem dead q)) next in
+      let shrank = Hashtbl.length dead <> List.length next in
+      Hashtbl.reset dead;
+      List.iter (fun q -> Hashtbl.replace dead q ()) next;
+      grew || shrank
+    in
+    let triv_pass () =
+      let before = Hashtbl.length triv in
+      Hashtbl.reset triv;
+      List.iter
+        (fun q ->
+          if q <> a.A.start && A.is_bottom a q && not (Hashtbl.mem dead q) then
+            Hashtbl.replace triv q ())
+        (states ());
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        let rw = rewrite_with (bool_subst (fun _ -> false)) in
+        Hashtbl.iter
+          (fun q () ->
+            let trs = A.transitions a q in
+            let constant =
+              List.for_all (fun tr -> let g = rw tr.A.phi in g == F.tru || g == F.fls) trs
+            in
+            let always =
+              List.exists (fun tr -> tr.A.guard = F.Any && rw tr.A.phi == F.tru) trs
+            in
+            if not (constant && always) then begin
+              Hashtbl.remove triv q;
+              changed := true
+            end)
+          (Hashtbl.copy triv)
+      done;
+      Hashtbl.length triv <> before
+    in
+    let joint_changed = ref true in
+    while !joint_changed do
+      let d = dead_pass () in
+      let t = triv_pass () in
+      joint_changed := d || t
+    done;
+    (* ---------------------------------------------------------------- *)
+    (* 2. Substitute the facts everywhere, then prune: transitions      *)
+    (* whose formula folded to [fls] can never fire; a second           *)
+    (* transition with the same guard and formula is redundant under    *)
+    (* the left-biased disjunction.                                     *)
+    (* ---------------------------------------------------------------- *)
+    let removed_states = Hashtbl.create 8 in
+    Hashtbl.iter (fun q () -> Hashtbl.replace removed_states q ()) dead;
+    Hashtbl.iter (fun q () -> Hashtbl.replace removed_states q ()) triv;
+    let rw = rewrite_with (bool_subst (fun _ -> false)) in
+    let rewrite_state q =
+      let trs =
+        List.filter_map
+          (fun tr ->
+            let phi = rw tr.A.phi in
+            if phi == F.fls then None else Some { tr with A.phi })
+          (A.transitions a q)
+      in
+      let seen = Hashtbl.create 4 in
+      let trs =
+        List.filter
+          (fun tr ->
+            let key = (tr.A.guard, tr.A.phi.F.id) in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.replace seen key ();
+              true
+            end)
+          trs
+      in
+      Hashtbl.replace a.A.trans q trs;
+      match A.scan_info a q with
+      | None -> ()
+      | Some si ->
+        let mp = rw si.A.scan_match in
+        A.set_scan_info a q
+          {
+            si with
+            A.scan_match = mp;
+            scan_collect =
+              si.A.scan_marking && (not si.A.scan_drop) && mp == F.mark;
+          }
+    in
+    let drop_state q =
+      a.A.states <- List.filter (fun q' -> q' <> q) a.A.states;
+      Hashtbl.remove a.A.trans q;
+      Hashtbl.remove a.A.bottom q;
+      Hashtbl.remove a.A.scan q;
+      Hashtbl.remove a.A.jumps q
+    in
+    Hashtbl.iter (fun q () -> drop_state q) removed_states;
+    List.iter rewrite_state (states ());
+    (* ---------------------------------------------------------------- *)
+    (* 3. Merge states with identical outgoing behaviour: same bottom   *)
+    (* flag, same scan shape, same guarded formulas once each state's   *)
+    (* self-references are normalized to a marker.  Every survivor's    *)
+    (* formulas are renamed onto the representative; renaming can make  *)
+    (* two more states identical, so iterate.                           *)
+    (* ---------------------------------------------------------------- *)
+    let merged = ref 0 in
+    let merge_changed = ref true in
+    while !merge_changed do
+      merge_changed := false;
+      let signature q =
+        let norm =
+          rewrite_with (fun dir q' ->
+              if q' = q then
+                Some (match dir with `D1 -> F.down1 self_marker | `D2 -> F.down2 self_marker)
+              else None)
+        in
+        let scan_sig =
+          match A.scan_info a q with
+          | None -> None
+          | Some si ->
+            Some
+              ( si.A.scan_guard,
+                si.A.scan_recursive,
+                si.A.scan_marking,
+                si.A.scan_drop,
+                (norm si.A.scan_match).F.id )
+        in
+        ( A.is_bottom a q,
+          scan_sig,
+          List.map (fun tr -> (tr.A.guard, (norm tr.A.phi).F.id)) (A.transitions a q) )
+      in
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun q ->
+          let s = signature q in
+          let l = match Hashtbl.find_opt groups s with Some l -> l | None -> [] in
+          Hashtbl.replace groups s (q :: l))
+        (states ());
+      let rename = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun _ qs ->
+          match List.sort compare qs with
+          | rep :: (_ :: _ as rest) ->
+            (* the start state is the automaton's entry point: created
+               first, so it is always its group's representative *)
+            List.iter (fun q -> Hashtbl.replace rename q rep) rest
+          | _ -> ())
+        groups;
+      if Hashtbl.length rename > 0 then begin
+        merge_changed := true;
+        merged := !merged + Hashtbl.length rename;
+        let rn =
+          rewrite_with (fun dir q ->
+              match Hashtbl.find_opt rename q with
+              | None -> None
+              | Some rep ->
+                Some (match dir with `D1 -> F.down1 rep | `D2 -> F.down2 rep))
+        in
+        Hashtbl.iter (fun q _ -> drop_state q) rename;
+        List.iter
+          (fun q ->
+            Hashtbl.replace a.A.trans q
+              (List.map (fun tr -> { tr with A.phi = rn tr.A.phi }) (A.transitions a q));
+            match A.scan_info a q with
+            | None -> ()
+            | Some si -> A.set_scan_info a q { si with A.scan_match = rn si.A.scan_match })
+          (states ())
+      end
+    done;
+    (* ---------------------------------------------------------------- *)
+    (* 4. Reachability from the start state through the surviving       *)
+    (* formulas' atom sets; anything unreached can never be simulated.  *)
+    (* ---------------------------------------------------------------- *)
+    let reach = Hashtbl.create 8 in
+    let rec visit q =
+      if not (Hashtbl.mem reach q) then begin
+        Hashtbl.replace reach q ();
+        List.iter
+          (fun tr ->
+            List.iter visit tr.A.phi.F.down1;
+            List.iter visit tr.A.phi.F.down2)
+          (A.transitions a q)
+      end
+    in
+    visit a.A.start;
+    List.iter (fun q -> if not (Hashtbl.mem reach q) then drop_state q) (states ());
+    (* ---------------------------------------------------------------- *)
+    (* 5. Jump sets: for every surviving scanning state, the concrete   *)
+    (* tags that can fire its match transition, restricted to tags      *)
+    (* that occur in this document at all.  Their presence licenses     *)
+    (* the engine to drive the scan by tag jumps.                       *)
+    (* ---------------------------------------------------------------- *)
+    let jump_states = ref 0 and jump_tags = ref 0 in
+    List.iter
+      (fun q ->
+        match A.scan_info a q with
+        | None -> ()
+        | Some si ->
+          let tags =
+            List.filter (fun t -> Sxsi_tree.Tree_backend.count ti t > 0) si.A.scan_tags
+          in
+          incr jump_states;
+          jump_tags := !jump_tags + List.length tags;
+          A.set_jump_set a q (Array.of_list tags))
+      (states ());
+    let states_after = List.length (states ()) in
+    let trans_after = trans_count () in
+    Atomic.incr automata_total;
+    ignore (Atomic.fetch_and_add states_removed_total (states_before - states_after));
+    ignore (Atomic.fetch_and_add transitions_removed_total (trans_before - trans_after));
+    a.A.opt <-
+      Some
+        {
+          A.opt_states_before = states_before;
+          opt_states_after = states_after;
+          opt_trans_before = trans_before;
+          opt_trans_after = trans_after;
+          opt_merged_states = !merged;
+          opt_jump_states = !jump_states;
+          opt_jump_tags = !jump_tags;
+        }
+
+let stats (a : A.t) = a.A.opt

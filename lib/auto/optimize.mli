@@ -1,0 +1,60 @@
+(** Whole-query automaton optimization (the static pass of Maneth &
+    Nguyên's "XPath Whole Query Optimization", applied to the marking
+    alternating automata of §5.2).
+
+    {!Compile.compile} translates each step of the query into a
+    scanning state mechanically, so the raw automaton routinely
+    carries work that can be discharged before the first node is
+    visited: predicates over tags the document does not contain,
+    duplicated sub-plans compiled to twin states, and scans whose
+    match can never (or must always) succeed.  [Optimize.run] rewrites
+    the automaton in place through three analyses:
+
+    {ol
+    {- {b Relevant-state analysis.}  A joint fixpoint classifies
+       states as {e dead} (accepting at no node and not at Nil — every
+       transition formula folds to [fls] once the currently-dead set
+       is substituted) or {e trivially true} (a bottom state accepting
+       at every node without producing marks).  Both facts substitute
+       soundly into every formula of the automaton: dead atoms become
+       {!Formula.fls}, trivial atoms {!Formula.tru}, and the
+       hash-consing smart constructors constant-fold the consequences
+       through conjunctions, disjunctions and negations.  The
+       classified states are deleted.}
+    {- {b Dead- and duplicate-transition pruning.}  After
+       substitution, transitions whose formula folded to [fls] are
+       removed (they can never fire), exact guard/formula duplicates
+       are removed (redundant under the engine's left-biased
+       disjunction), and states with identical outgoing behaviour —
+       same bottom flag, same scan shape, same guarded formulas modulo
+       their own self-references — are merged onto one representative,
+       to a fixpoint.  Unreachable states are dropped last.}
+    {- {b Jump sets.}  Every surviving scanning state gets the array
+       of concrete tags that can fire its match transition, filtered
+       to tags that occur in the document ({!Automaton.set_jump_set}).
+       Their presence licenses the engine to drive the scan with
+       [Tag_index] jumps over exactly those tags — including
+       multi-tag guards like [*] and sibling (non-recursive) scans —
+       instead of a child-by-child walk.}}
+
+    The pass never changes observable results: optimized and
+    unoptimized automata are byte-identical on count, select and
+    serialize (enforced by the differential harness in
+    [test/test_auto.ml]).  What it changes is the work: the
+    visited-node ledger in [EXPERIMENTS.md] tracks the reduction per
+    XMark query. *)
+
+val run : Automaton.t -> unit
+(** Optimize the automaton in place and record an
+    {!Automaton.opt_stats} on it.  Idempotent: a second call on an
+    already-optimized automaton is a no-op.  The start state is never
+    substituted, merged away or dropped. *)
+
+val stats : Automaton.t -> Automaton.opt_stats option
+(** The recorded statistics, [None] for unoptimized automata. *)
+
+val counters : unit -> (string * int) list
+(** Process-wide tallies since start-up, for the service layer's
+    [STATS] report: [opt_automata] (automata optimized),
+    [opt_states_removed] and [opt_transitions_removed] (total
+    reduction achieved). *)

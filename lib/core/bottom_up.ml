@@ -116,7 +116,34 @@ let test_ok doc (step : step) x =
    across a pool. *)
 let par_cutoff = 64
 
+(* Whole-query static feasibility, the bottom-up counterpart of the
+   optimizer's jump sets: the §5.5.6 relative-tag tables already know
+   which tags ever occur below which.  A chain with an impossible
+   consecutive Name/Name pair selects nothing, whatever the texts say
+   — skip the text-index query and the candidate walks entirely. *)
+let chain_feasible doc p =
+  let rel = Document.rel doc in
+  let k = Array.length p.steps in
+  let tag_of i =
+    match (p.steps.(i).axis, p.steps.(i).test) with
+    | Attribute, _ -> None
+    | _, Name n -> Document.tag_id doc n
+    | _, (Star | Text | Node) -> None
+  in
+  let ok = ref true in
+  for i = 1 to k - 1 do
+    match (tag_of (i - 1), tag_of i, p.steps.(i).axis) with
+    | Some ta, Some tb, Child ->
+      if not (Tag_rel.mem rel Tag_rel.Child ta tb) then ok := false
+    | Some ta, Some tb, Descendant ->
+      if not (Tag_rel.mem rel Tag_rel.Descendant ta tb) then ok := false
+    | _ -> ()
+  done;
+  !ok
+
 let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
+  if not (chain_feasible doc p) then (0.0, [])
+  else begin
   let bp = Document.tree doc in
   let k = Array.length p.steps in
   let r = p.result_idx in
@@ -256,6 +283,7 @@ let run_with_text_time ?budget ?pool ?(funs = fun _ -> None) doc p =
     | _ -> eval_slice 0 n
   in
   (text_time, List.sort_uniq compare results)
+  end
 
 let run ?budget ?pool ?funs doc p =
   snd (run_with_text_time ?budget ?pool ?funs doc p)

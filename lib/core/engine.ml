@@ -28,6 +28,7 @@ let n_count = J.name "engine/count"
 let n_bottom_up = J.name "engine/bottom_up"
 let n_top_down = J.name "engine/top_down"
 let n_materialize = J.name "engine/materialize"
+let n_optimize = J.name "engine/optimize"
 
 (* A span whose End record carries a result count in [b] — the count
    only exists once the thunk returns. *)
@@ -65,22 +66,32 @@ let charge_results budget n =
 let charge_bytes budget n =
   match budget with None -> () | Some b -> Budget.add_bytes b n
 
-let prepare_path doc path =
+let prepare_path ?optimize doc path =
   [
     {
       doc;
       path;
-      auto = lazy (Compile.compile doc path);
+      auto =
+        lazy
+          (let a = Compile.compile ?optimize doc path in
+           (* one instant event per optimized compilation: the journal
+              shows the state reduction without a trace attached *)
+           (match a.Automaton.opt with
+           | Some o ->
+             J.instant J.Engine n_optimize ~a:o.Automaton.opt_states_before
+               ~b:o.Automaton.opt_states_after ()
+           | None -> ());
+           a);
       bu = Bottom_up.plan doc path;
     };
   ]
 
-let prepare ?trace doc src =
+let prepare ?trace ?optimize doc src =
   span_counted n_prepare List.length (fun () ->
       let paths =
         maybe_time trace Trace.Parse (fun () -> Sxsi_xpath.Xpath_parser.parse_union src)
       in
-      List.concat_map (prepare_path doc) paths)
+      List.concat_map (prepare_path ?optimize doc) paths)
 
 let one c = List.hd c
 let automaton c = Lazy.force (one c).auto
@@ -257,7 +268,19 @@ let finish_trace ~funs ~strategy trace c nresults =
         | `Bottom_up -> 1
         | `Top_down -> 0
       in
-      Trace.set_counter tr "bottom_up" bu
+      Trace.set_counter tr "bottom_up" bu;
+      (* optimizer ledger, when the automaton was compiled (traced
+         evaluations precompile, so this is the common case) *)
+      if Lazy.is_val single.auto then begin
+        match (Lazy.force single.auto).Automaton.opt with
+        | Some o ->
+          Trace.set_counter tr "opt_states_before" o.Automaton.opt_states_before;
+          Trace.set_counter tr "opt_states_after" o.Automaton.opt_states_after;
+          Trace.set_counter tr "opt_trans_before" o.Automaton.opt_trans_before;
+          Trace.set_counter tr "opt_trans_after" o.Automaton.opt_trans_after;
+          Trace.set_counter tr "opt_jump_tags" o.Automaton.opt_jump_tags
+        | None -> ()
+      end
     | _ -> ())
 
 let select ?budget ?pool ?config ?(funs = fun _ -> None) ?(strategy = Auto) ?trace c =

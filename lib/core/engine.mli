@@ -10,13 +10,21 @@ type compiled
 
 type strategy = Auto | Top_down | Bottom_up
 
-val prepare : ?trace:Sxsi_obs.Trace.t -> Sxsi_xml.Document.t -> string -> compiled
+val prepare :
+  ?trace:Sxsi_obs.Trace.t -> ?optimize:bool -> Sxsi_xml.Document.t -> string -> compiled
 (** Parse and compile a Core+ query against a document.  With [trace],
-    parsing time is recorded in its [Parse] phase.
+    parsing time is recorded in its [Parse] phase.  [optimize] is
+    passed to {!Sxsi_auto.Compile.compile}: whether the whole-query
+    {!Sxsi_auto.Optimize} pass runs over the compiled automaton
+    (default: on, unless [SXSI_OPTIMIZE] says otherwise).  Each
+    optimized compilation also drops an [engine/optimize] instant
+    event in the flight recorder, carrying the state counts
+    before/after.
     @raise Sxsi_xpath.Xpath_parser.Parse_error on syntax errors.
     @raise Sxsi_auto.Compile.Unsupported on unsupported constructs. *)
 
-val prepare_path : Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> compiled
+val prepare_path :
+  ?optimize:bool -> Sxsi_xml.Document.t -> Sxsi_xpath.Ast.path -> compiled
 
 val precompile : ?trace:Sxsi_obs.Trace.t -> compiled -> unit
 (** Force the automaton of every union branch now.  Compilation is

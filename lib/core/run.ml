@@ -206,16 +206,16 @@ type 'r context = {
 }
 
 (* Positions a non-dropping marking scan will visit in [x, limit): all
-   occurrences of the tag, independent of match results.  [check] is
-   the run's budget check (a no-op without a budget): collection can
-   cover a whole document before any chunk evaluates. *)
-let scan_positions check ti tag x limit =
+   occurrences reported by [next], independent of match results.
+   [check] is the run's budget check (a no-op without a budget):
+   collection can cover a whole document before any chunk evaluates. *)
+let scan_positions check next x limit =
   let acc = ref [] in
-  let p = ref (Tree_backend.tagged_next ti x tag) in
+  let p = ref (next x) in
   while !p >= 0 && !p < limit do
     check ();
     acc := !p :: !acc;
-    p := Tree_backend.tagged_next ti (!p + 1) tag
+    p := next (!p + 1)
   done;
   Array.of_list (List.rev !acc)
 
@@ -245,6 +245,38 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
   let tag_count = Document.tag_count doc in
   let pool =
     match pool with Some p when Sxsi_par.Pool.size p > 1 -> Some p | _ -> None
+  in
+  (* A merged cursor over the occurrences of a jump set: [next p] is
+     the first occurrence >= p of any tag in [tags], or -1.  Per-tag
+     candidates are cached and refreshed lazily, so a whole scan costs
+     one [tagged_next] per occurrence consumed plus one per tag —
+     the single-tag jumping of §5.4.1, generalized.  Calls must have
+     non-decreasing [p] (scans only move forward). *)
+  let frontier tags =
+    let n = Array.length tags in
+    if n = 1 then begin
+      let t = Array.unsafe_get tags 0 in
+      fun p -> Tree_backend.tagged_next ti p t
+    end
+    else begin
+      let cand = Array.make n min_int in
+      fun p ->
+        let best = ref max_int in
+        for i = 0 to n - 1 do
+          let c = Array.unsafe_get cand i in
+          let c =
+            if c < p then begin
+              let nx = Tree_backend.tagged_next ti p (Array.unsafe_get tags i) in
+              let nx = if nx < 0 then max_int else nx in
+              Array.unsafe_set cand i nx;
+              nx
+            end
+            else c
+          in
+          if c < !best then best := c
+        done;
+        if !best = max_int then -1 else !best
+    end
   in
   (* With a pool, predicate text-sets are computed once up front and
      shared read-only by every evaluation context (the lazy per-context
@@ -340,14 +372,30 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
               Some (`Collect (q, si))
             | Some ({ Automaton.scan_guard = Formula.Tag tag; scan_recursive = true; _ } as si) ->
               Some (`Scan (q, tag, si))
-            | Some _ | None -> None
+            | Some si -> begin
+              (* an optimized automaton: its jump set lists exactly the
+                 tags that can fire this state's match, so the scan can
+                 be driven by tag jumps even for multi-tag guards ([*],
+                 [node()], [@*]) and for sibling (non-recursive) scans *)
+              match Automaton.jump_set auto q with
+              | Some tags when si.Automaton.scan_recursive ->
+                Some (`Multi (q, tags, si))
+              | Some tags -> Some (`Sibling (q, tags, si))
+              | None -> None
+            end
+            | None -> None
           end
       in
       match shortcut with
       | Some (`Collect (q, si)) ->
         stats.jumps <- stats.jumps + 1;
         [ (q, sem.range si.Automaton.scan_tags x limit) ]
-      | Some (`Scan (q, tag, si)) -> scan_region q tag si x limit
+      | Some (`Scan (q, tag, si)) ->
+        scan_region q si x limit ~gtag:tag ~next:(fun p ->
+            Tree_backend.tagged_next ti p tag)
+      | Some (`Multi (q, tags, si)) ->
+        scan_region q si x limit ~gtag:(-1) ~next:(frontier tags)
+      | Some (`Sibling (q, tags, si)) -> sib_scan q si tags x limit
       | None -> visit x qtd limit
     end
   (* A single recursive scanning state over the region [x, limit):
@@ -356,7 +404,7 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
      preorder are exactly the region's matches, so marks concatenate in
      document order; for drop-down1 scans a successful match skips its
      whole subtree, and existence scans stop at the first success. *)
-  and scan_region q tag si x limit =
+  and scan_region q si x limit ~gtag ~next =
     stats.jumps <- stats.jumps + 1;
     let mp = si.Automaton.scan_match in
     let parallel =
@@ -372,9 +420,9 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
     in
     match parallel with
     | Some pl ->
-      let ps = scan_positions bcheck ti tag x limit in
+      let ps = scan_positions bcheck next x limit in
       let np = Array.length ps in
-      if np < scan_par_cutoff then [ (q, scan_chunk tag mp limit ps 0 np) ]
+      if np < scan_par_cutoff then [ (q, scan_chunk gtag mp limit ps 0 np) ]
       else begin
         let nchunks = min (4 * Sxsi_par.Pool.size pl) np in
         let ranges =
@@ -385,7 +433,7 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
             (fun (lo, hi) ->
               let cstats = fresh_stats () in
               let ctx = make_context ~par:None cstats in
-              (ctx.c_scan_chunk tag mp limit ps lo hi, cstats))
+              (ctx.c_scan_chunk gtag mp limit ps lo hi, cstats))
             ranges
         in
         let marks =
@@ -399,11 +447,12 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
       end
     | None ->
       let rec loop p acc found =
-        let p = Tree_backend.tagged_next ti p tag in
+        let p = next p in
         if p < 0 || p >= limit then (acc, found)
         else begin
           bcheck ();
           stats.visited <- stats.visited + 1;
+          let tag = if gtag >= 0 then gtag else Tree_backend.tag ti p in
           let r1 =
             if mp.Formula.down1 = [] then []
             else
@@ -429,14 +478,77 @@ let run ?budget ?pool ?config ?(funs = fun _ -> None) sem (auto : Automaton.t) =
       if si.Automaton.scan_marking then [ (q, marks) ]
       else if found then [ (q, sem.empty) ]
       else []
+  (* A single non-recursive scanning state over the sibling chain
+     starting at [x] (the child:: and following-sibling:: steps):
+     jump between occurrences of the jump set instead of walking
+     sibling by sibling.  An occurrence that is a direct sibling is a
+     match candidate; one nested deeper lies inside some sibling's
+     subtree, which this scan can never match — resume past that
+     subtree.  After a candidate the scan resumes at the next sibling
+     (the continuation moves down2 only), so every probe either
+     decides a sibling or discards one whole sibling: never more
+     probes than the sibling walk's visits.  Matches arrive in
+     document order, so marks concatenate exactly as the walk's
+     would; existence scans stop at the first success. *)
+  and sib_scan q si tags x limit =
+    stats.jumps <- stats.jumps + 1;
+    let mp = si.Automaton.scan_match in
+    let par = Tree_backend.parent bp x in
+    let bound = if par < 0 then limit else min limit (Tree_backend.close bp par) in
+    let next = frontier tags in
+    (* the sibling of the chain whose subtree contains [p] *)
+    let rec anchor p =
+      let pr = Tree_backend.parent bp p in
+      if pr = par then p else anchor pr
+    in
+    let rec loop p acc found =
+      let p = next p in
+      if p < 0 || p >= bound then (acc, found)
+      else begin
+        bcheck ();
+        stats.visited <- stats.visited + 1;
+        if Tree_backend.parent bp p <> par then
+          loop (Tree_backend.close bp (anchor p) + 1) acc found
+        else begin
+          let tag = Tree_backend.tag ti p in
+          let r1 =
+            if mp.Formula.down1 = [] then []
+            else
+              eval (Tree_backend.first_child bp p)
+                (Stateset.of_list mp.Formula.down1)
+                (Tree_backend.close bp p)
+          in
+          let r2 =
+            if mp.Formula.down2 = [] then []
+            else
+              eval (Tree_backend.next_sibling bp p)
+                (Stateset.of_list mp.Formula.down2)
+                limit
+          in
+          let b, m = eval_phi r1 r2 p tag mp in
+          let after = Tree_backend.close bp p + 1 in
+          if si.Automaton.scan_marking then
+            loop after (if b then sem.cat acc m else acc) true
+          else if b then (acc, true)
+          else loop after acc found
+        end
+      end
+    in
+    let marks, found = loop x sem.empty false in
+    if si.Automaton.scan_marking then [ (q, marks) ]
+    else if found then [ (q, sem.empty) ]
+    else []
   (* One chunk of a parallel scan: evaluate the positions [lo, hi) of
-     [ps] in this context and concatenate their marks in order. *)
-  and scan_chunk tag mp limit ps lo hi =
+     [ps] in this context and concatenate their marks in order.
+     [gtag] is the scan's single guard tag, or negative when the guard
+     is multi-tag (the tag is then read per position). *)
+  and scan_chunk gtag mp limit ps lo hi =
     let acc = ref sem.empty in
     for k = lo to hi - 1 do
       bcheck ();
       let p = ps.(k) in
       stats.visited <- stats.visited + 1;
+      let tag = if gtag >= 0 then gtag else Tree_backend.tag ti p in
       let r1 =
         if mp.Formula.down1 = [] then []
         else

@@ -9,6 +9,16 @@
     - constant-time collection of whole tagged ranges, in both counting
       and materialization mode (the counters and lazy result sets of
       §5.5.3-4);
+    - generalized jumps over the per-state jump sets the
+      {!Sxsi_auto.Optimize} pass attaches ([Automaton.jump_set]): a
+      recursive scan whose guard covers several tags (e.g. [//*]
+      restricted to the labels that can actually fire) is driven by a
+      merged multi-tag frontier of [Tag_index] cursors instead of a
+      node-by-node walk, and a non-recursive ([child::] /
+      [following-sibling::]) scan probes exactly the sibling positions
+      carrying a jump-set tag, skipping whole subtrees between them.
+      Unoptimized automata carry no jump sets, so they take exactly
+      the seed engine's paths;
     - left-biased disjunctions, so every answer is marked exactly once
       and counters/concatenation are sound.
 
@@ -16,9 +26,13 @@
     never materializes nodes. *)
 
 type stats = {
-  mutable visited : int;  (* nodes the run function touched *)
+  mutable visited : int;  (* nodes the run function touched (scan
+                             positions, simulation steps; multi-tag
+                             frontier and sibling probes count each
+                             candidate position they evaluate) *)
   mutable marked : int;   (* mark operations (excluding lazy ranges) *)
-  mutable jumps : int;    (* tagged jumps and range collections *)
+  mutable jumps : int;    (* tagged jumps, frontier advances and range
+                             collections *)
   mutable memo_hits : int;
 }
 
@@ -32,7 +46,8 @@ val stats_assoc : stats -> (string * int) list
     [memo_hits]) for traces and reports. *)
 
 type config = {
-  enable_jump : bool;   (* §5.4.1 jumping and §5.5.4 range collection *)
+  enable_jump : bool;   (* §5.4.1 jumping, §5.5.4 range collection and
+                           the optimizer's jump-set driven scans *)
   enable_memo : bool;   (* §5.5.2 caching of the transition analysis *)
   enable_early : bool;  (* §5.5.5 early formula evaluation: skip the
                            next-sibling recursion for formulas already

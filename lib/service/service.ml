@@ -16,6 +16,7 @@ type options = {
   enable_jump : bool;
   enable_memo : bool;
   enable_early : bool;
+  optimize : bool;  (* whole-query automaton optimization at compile time *)
   domains : int;
   default_deadline_ms : int;
   max_results : int;
@@ -34,6 +35,7 @@ let default_options =
     enable_jump = true;
     enable_memo = true;
     enable_early = false;
+    optimize = true;
     domains = 1;
     default_deadline_ms = 0;
     max_results = 0;
@@ -68,7 +70,7 @@ type t = {
 }
 
 let config_fingerprint o =
-  Printf.sprintf "j%bm%be%b" o.enable_jump o.enable_memo o.enable_early
+  Printf.sprintf "j%bm%be%bo%b" o.enable_jump o.enable_memo o.enable_early o.optimize
 
 (* Everything the service knows how to report, in the Prometheus text
    format.  Gauges and callback counters read the live structures at
@@ -272,7 +274,7 @@ let compiled_for ?trace t doc query =
         | Some tr -> Sxsi_obs.Trace.set_counter tr "cache_hit" 0
         | None -> ());
         let c =
-          try Engine.prepare ?trace e.Registry.doc query with
+          try Engine.prepare ?trace ~optimize:t.opts.optimize e.Registry.doc query with
           | Sxsi_xpath.Xpath_parser.Parse_error (pos, msg) ->
             raise (Bad_request (Printf.sprintf "query parse error at %d: %s" pos msg))
           | Sxsi_auto.Compile.Unsupported msg -> raise (Bad_request ("unsupported query: " ^ msg))
@@ -443,6 +445,10 @@ let stats t =
           ("count_evictions", string_of_int (Lru.evictions t.counts));
         ]
       @ pool_stats
+      @ [ ("optimize", if t.opts.optimize then "1" else "0") ]
+      @ List.map
+          (fun (k, v) -> (k, string_of_int v))
+          (Sxsi_auto.Optimize.counters ())
       @ [
           ("journal_enabled", if J.enabled () then "1" else "0");
           ("journal_records", string_of_int (J.records_total ()));

@@ -29,6 +29,13 @@ type options = {
   enable_jump : bool;       (* engine knobs, part of the cache key *)
   enable_memo : bool;
   enable_early : bool;
+  optimize : bool;
+      (* run the whole-query {!Sxsi_auto.Optimize} pass when compiling
+         queries (default); part of the cache key, so flipping it
+         never mixes optimized and raw automata in one cache.  [STATS]
+         reports the setting ([optimize]) and the process-wide
+         [opt_automata] / [opt_states_removed] /
+         [opt_transitions_removed] tallies *)
   domains : int;            (* evaluation pool size; <= 1 means sequential *)
   default_deadline_ms : int;
       (* per-request deadline applied when the session has not set one

@@ -117,6 +117,196 @@ let test_to_string_smoke () =
     in
     find 0)
 
+(* ------------------------------------------------------------------ *)
+(* Whole-query optimizer: differential harness and unit tests           *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Sxsi_core.Engine
+
+(* Queries chosen to exercise every optimizer path: multi-tag frontier
+   scans over star steps, drop-scans over star chains, sibling scans
+   over child steps, attribute and text guards, predicates (dead,
+   duplicated, nested), and following-sibling remainders. *)
+let opt_queries =
+  [
+    "//*";
+    "//*//*";
+    "//*//*//*";
+    "//item";
+    "//a//b";
+    "//a/b";
+    "/a/b/c";
+    "//*[@k]";
+    "//a[contains(., 't')]";
+    "//b[. = 'hello']";
+    "//item[a or b]";
+    "//item[a and not(b)]";
+    "//a[zzz_nonexistent]";
+    "//a[b or b]";
+    "//a//zzz_nonexistent//b";
+    "//a/following-sibling::b";
+    "//text()";
+    "//a[.//b]/c";
+  ]
+
+(* Byte-identical count/select/serialize between the raw translation
+   and the optimized automaton, over one document. *)
+let opt_agree ?pool doc =
+  List.for_all
+    (fun q ->
+      let craw = Engine.prepare ~optimize:false doc q in
+      let copt = Engine.prepare ~optimize:true doc q in
+      Engine.count ?pool craw = Engine.count ?pool copt
+      && Engine.select_preorders ?pool craw = Engine.select_preorders ?pool copt
+      &&
+      let braw = Buffer.create 256 and bopt = Buffer.create 256 in
+      let nraw = Engine.serialize_to ?pool braw craw in
+      let nopt = Engine.serialize_to ?pool bopt copt in
+      nraw = nopt && Buffer.contents braw = Buffer.contents bopt)
+    opt_queries
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let prop_optimize_differential =
+  qtest ~count:40 "optimized results agree on random documents" Test_xml.gen_xml
+    (fun src ->
+      opt_agree (Document.of_xml ~backend:`Bp src)
+      && opt_agree (Document.of_xml ~backend:`Grammar src))
+
+let opt_fixed_docs () =
+  [
+    ("fig1", Test_xml.fig1_xml);
+    ("single", "<a/>");
+    ("nested", "<a><a><a><a>deep</a></a></a></a>");
+    ("logs", Sxsi_datagen.Logs.generate ~entries:300 ());
+    ("xmark", Sxsi_datagen.Xmark.generate ~scale:40 ());
+  ]
+
+let test_optimize_fixed_docs () =
+  List.iter
+    (fun (name, xml) ->
+      List.iter
+        (fun backend ->
+          Alcotest.(check bool) (name ^ " agrees") true
+            (opt_agree (Document.of_xml ~backend xml)))
+        [ `Bp; `Grammar ])
+    (opt_fixed_docs ())
+
+let test_optimize_xmark_queries () =
+  (* the bench battery itself, where the acceptance criterion lives *)
+  let doc = Document.of_xml (Sxsi_datagen.Xmark.generate ~scale:60 ()) in
+  List.iter
+    (fun q ->
+      let craw = Engine.prepare ~optimize:false doc q in
+      let copt = Engine.prepare ~optimize:true doc q in
+      Alcotest.(check int) (q ^ " count") (Engine.count craw) (Engine.count copt);
+      Alcotest.(check bool) (q ^ " nodes") true
+        (Engine.select_preorders craw = Engine.select_preorders copt))
+    [
+      "/site/regions/*/item";
+      "//listitem//keyword";
+      "/site/people/person[phone or homepage]/name";
+      "//listitem[not(.//keyword/emph)]//parlist";
+      "//people[.//person[not(address)] and .//person[not(watches)]]/person[watches]";
+      "//*//*";
+      "//*//*//*//*";
+    ]
+
+let test_optimize_pools_agree () =
+  let xml = Sxsi_datagen.Logs.generate ~entries:400 () in
+  List.iter
+    (fun backend ->
+      let doc = Document.of_xml ~backend xml in
+      List.iter
+        (fun lazy_pool ->
+          let pool = Lazy.force lazy_pool in
+          Alcotest.(check bool)
+            (Printf.sprintf "pool size %d agrees" (Sxsi_par.Pool.size pool))
+            true
+            (opt_agree ~pool doc))
+        [ Test_par.pool1; Test_par.pool2; Test_par.pool4 ])
+    [ `Bp; `Grammar ]
+
+let opt_automaton q =
+  let d = doc () in
+  let raw = Compile.compile ~optimize:false d (Sxsi_xpath.Xpath_parser.parse q) in
+  let opt = Compile.compile ~optimize:true d (Sxsi_xpath.Xpath_parser.parse q) in
+  (raw, opt, Option.get (Optimize.stats opt))
+
+let count_transitions a =
+  List.fold_left
+    (fun acc q -> acc + List.length (Automaton.transitions a q))
+    0 a.Automaton.states
+
+let test_optimize_dead_state_removed () =
+  (* [emph/zzz] can never hold: the predicate's states are dead and the
+     transitions referring to them fold away *)
+  let raw, opt, st = opt_automaton "//keyword[emph/zzz]" in
+  Alcotest.(check bool) "states shrink" true
+    (List.length opt.Automaton.states < List.length raw.Automaton.states);
+  Alcotest.(check int) "stats agree with the automaton"
+    (List.length opt.Automaton.states)
+    st.Automaton.opt_states_after;
+  Alcotest.(check bool) "transitions shrink" true
+    (count_transitions opt < count_transitions raw);
+  (* the raw translation is untouched by optimizing its sibling *)
+  Alcotest.(check bool) "raw untouched" true (Optimize.stats raw = None)
+
+let test_optimize_dead_transition_removed () =
+  (* the [zzz] predicate state is dead, so the keyword-guarded match
+     transition folds to F and is dropped *)
+  let _, opt, st = opt_automaton "//listitem[zzz]" in
+  Alcotest.(check bool) "transitions removed" true
+    (st.Automaton.opt_trans_after < st.Automaton.opt_trans_before);
+  (* no surviving transition formula mentions a dropped state *)
+  let live = opt.Automaton.states in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun { Automaton.phi; _ } ->
+          List.iter
+            (fun s -> Alcotest.(check bool) "down1 atom live" true (List.mem s live))
+            phi.Formula.down1;
+          List.iter
+            (fun s -> Alcotest.(check bool) "down2 atom live" true (List.mem s live))
+            phi.Formula.down2)
+        (Automaton.transitions opt q))
+    live
+
+let test_optimize_duplicate_states_merged () =
+  let _, _, st = opt_automaton "//keyword[emph or emph]" in
+  Alcotest.(check bool) "duplicate predicate states merged" true
+    (st.Automaton.opt_merged_states >= 1);
+  Alcotest.(check bool) "states shrink" true
+    (st.Automaton.opt_states_after < st.Automaton.opt_states_before)
+
+let test_optimize_jump_sets () =
+  let _, opt, st = opt_automaton "//listitem//keyword" in
+  Alcotest.(check bool) "some jump sets" true (st.Automaton.opt_jump_states > 0);
+  (* every scanning state carries one, restricted to tags that occur *)
+  let ti = Sxsi_xml.Document.tree (doc ()) in
+  List.iter
+    (fun q ->
+      match Automaton.scan_info opt q with
+      | None -> ()
+      | Some _ ->
+        (match Automaton.jump_set opt q with
+        | None -> Alcotest.fail "scan state without a jump set"
+        | Some tags ->
+          Array.iter
+            (fun t ->
+              Alcotest.(check bool) "jump tag occurs" true
+                (Sxsi_tree.Tree_backend.count ti t > 0))
+            tags))
+    opt.Automaton.states
+
+let test_optimize_idempotent () =
+  let _, opt, st = opt_automaton "//listitem//keyword[emph]" in
+  Optimize.run opt;
+  Alcotest.(check bool) "second run is a no-op" true
+    (Optimize.stats opt = Some st)
+
 let suite =
   ( "auto",
     [
@@ -130,4 +320,17 @@ let suite =
       Alcotest.test_case "absolute pred rejected" `Quick
         test_compile_rejects_absolute_pred;
       Alcotest.test_case "to_string" `Quick test_to_string_smoke;
+      prop_optimize_differential;
+      Alcotest.test_case "optimize: fixed docs agree" `Quick test_optimize_fixed_docs;
+      Alcotest.test_case "optimize: xmark queries agree" `Quick
+        test_optimize_xmark_queries;
+      Alcotest.test_case "optimize: pools agree" `Quick test_optimize_pools_agree;
+      Alcotest.test_case "optimize: dead state removed" `Quick
+        test_optimize_dead_state_removed;
+      Alcotest.test_case "optimize: dead transition removed" `Quick
+        test_optimize_dead_transition_removed;
+      Alcotest.test_case "optimize: duplicate states merged" `Quick
+        test_optimize_duplicate_states_merged;
+      Alcotest.test_case "optimize: jump sets" `Quick test_optimize_jump_sets;
+      Alcotest.test_case "optimize: idempotent" `Quick test_optimize_idempotent;
     ] )
