@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Gate on the broadword bit-kernel microbench (BENCH_bits.json).
+
+The bits bench section times every rank/select/next1 operation twice
+on the same vectors in the same process — once on the live broadword
+kernels, once on Bitvec_ref, a faithful snapshot of the previous
+table-driven kernels.  The speedup ratios are therefore
+machine-independent, which makes them safe to gate on in CI:
+
+ 1. Across the density x size grid, the geometric-mean speedup must
+    stay >= 1.5x for rank1 and >= 2.0x for select1 (the acceptance
+    floor of the kernel rewrite).
+ 2. Against the checked-in baseline (bench/baselines/BENCH_bits.json),
+    no operation's speedup ratio may regress by more than 20% on any
+    grid point — a ratio drop means the new kernels slowed down
+    relative to the fixed reference arm running on the same machine,
+    i.e. a genuine kernel regression rather than runner noise.
+
+Usage: check_bits_bench.py BENCH_bits.json [bench/baselines/BENCH_bits.json]
+"""
+import json
+import math
+import sys
+
+MIN_RANK1_GEOMEAN = 1.5
+MIN_SELECT1_GEOMEAN = 2.0
+MAX_RATIO_REGRESSION = 0.20
+OPS = ("rank1", "select1", "select0", "next1")
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_bits.json"
+base_path = sys.argv[2] if len(sys.argv) > 2 else "bench/baselines/BENCH_bits.json"
+
+with open(path) as f:
+    doc = json.load(f)
+
+rows = [m for m in doc.get("measurements", []) if "rank1_speedup" in m]
+if not rows:
+    sys.exit(f"{path}: no measurements with rank1_speedup fields")
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def key(m):
+    return (m["n_bits"], m["inv_density"])
+
+
+failed = False
+for m in rows:
+    cells = "  ".join(f"{op} {m[f'{op}_speedup']:.2f}x" for op in OPS)
+    print(f"n={m['n_bits']:>8} density=1/{m['inv_density']:<5} {cells}")
+
+rank_gm = geomean([m["rank1_speedup"] for m in rows])
+sel1_gm = geomean([m["select1_speedup"] for m in rows])
+print(f"geomean: rank1 {rank_gm:.2f}x  select1 {sel1_gm:.2f}x")
+if rank_gm < MIN_RANK1_GEOMEAN:
+    failed = True
+    print(f"FAIL: rank1 geomean speedup below {MIN_RANK1_GEOMEAN}x")
+if sel1_gm < MIN_SELECT1_GEOMEAN:
+    failed = True
+    print(f"FAIL: select1 geomean speedup below {MIN_SELECT1_GEOMEAN}x")
+
+try:
+    with open(base_path) as f:
+        base_doc = json.load(f)
+    base = {key(m): m for m in base_doc.get("measurements", []) if "rank1_speedup" in m}
+except FileNotFoundError:
+    base = {}
+    print(f"note: no baseline at {base_path}, skipping regression diff")
+
+for m in rows:
+    b = base.get(key(m))
+    if b is None:
+        continue
+    for op in OPS:
+        cur, ref = m[f"{op}_speedup"], b[f"{op}_speedup"]
+        if ref > 0 and cur < ref * (1.0 - MAX_RATIO_REGRESSION):
+            failed = True
+            print(
+                f"FAIL: n={m['n_bits']} density=1/{m['inv_density']} {op}: "
+                f"speedup {cur:.2f}x is >{MAX_RATIO_REGRESSION:.0%} below "
+                f"baseline {ref:.2f}x"
+            )
+
+sys.exit(1 if failed else 0)

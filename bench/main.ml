@@ -962,6 +962,136 @@ let xmark () =
         rows)
 
 (* ------------------------------------------------------------------ *)
+(* Bit kernels: rank/select/next1 microbench over a density x size      *)
+(* grid, new broadword kernels vs the previous table-driven kernels     *)
+(* (Bitvec_ref, a faithful snapshot).  Both arms run in the same        *)
+(* process on the same vectors, so the speedup columns are             *)
+(* machine-independent; the absolute ops/s feed the baseline diff.      *)
+(* ------------------------------------------------------------------ *)
+
+let bits () =
+  H.section "Bit kernels: rank/select throughput, broadword vs previous kernels";
+  let module B = Sxsi_bits.Bitvec in
+  let module R = Sxsi_bits.Bitvec_ref in
+  let rng = Random.State.make [| 0x5eed; 0xb17 |] in
+  let batch = 4096 in
+  (* each throughput call performs [batch] operations *)
+  let mops per_call = per_call *. float_of_int batch /. 1e6 in
+  let grid =
+    [
+      (65_536, 1024); (65_536, 64); (65_536, 2);
+      (1_048_576, 1024); (1_048_576, 64); (1_048_576, 2);
+    ]
+  in
+  Printf.printf
+    "batch %d ops/call, window 0.5s per cell; density 1/k means every bit\n\
+     is set with probability 1/k\n"
+    batch;
+  let rows =
+    List.map
+      (fun (n, inv_density) ->
+        let bits = Array.init n (fun _ -> Random.State.int rng inv_density = 0) in
+        let bv = B.of_fun n (fun i -> bits.(i)) in
+        let old_bv = R.of_fun n (fun i -> bits.(i)) in
+        let ones = B.count bv in
+        let zeros = n - ones in
+        let idx = Array.init batch (fun _ -> Random.State.int rng (n + 1)) in
+        let pos = Array.init batch (fun _ -> Random.State.int rng n) in
+        let j1 = Array.init batch (fun _ -> Random.State.int rng (max 1 ones)) in
+        let j0 = Array.init batch (fun _ -> Random.State.int rng (max 1 zeros)) in
+        let sink = ref 0 in
+        let bench f = mops (H.throughput f) in
+        let rank_new =
+          bench (fun () ->
+              for k = 0 to batch - 1 do
+                sink := !sink + B.rank1 bv (Array.unsafe_get idx k)
+              done)
+        and rank_old =
+          bench (fun () ->
+              for k = 0 to batch - 1 do
+                sink := !sink + R.rank1 old_bv (Array.unsafe_get idx k)
+              done)
+        in
+        let sel1_new =
+          if ones = 0 then 0.0
+          else
+            bench (fun () ->
+                for k = 0 to batch - 1 do
+                  sink := !sink + B.select1 bv (Array.unsafe_get j1 k)
+                done)
+        and sel1_old =
+          if ones = 0 then 0.0
+          else
+            bench (fun () ->
+                for k = 0 to batch - 1 do
+                  sink := !sink + R.select1 old_bv (Array.unsafe_get j1 k)
+                done)
+        in
+        let sel0_new =
+          bench (fun () ->
+              for k = 0 to batch - 1 do
+                sink := !sink + B.select0 bv (Array.unsafe_get j0 k)
+              done)
+        and sel0_old =
+          bench (fun () ->
+              for k = 0 to batch - 1 do
+                sink := !sink + R.select0 old_bv (Array.unsafe_get j0 k)
+              done)
+        in
+        let next_new =
+          bench (fun () ->
+              for k = 0 to batch - 1 do
+                sink := !sink + B.next1 bv (Array.unsafe_get pos k)
+              done)
+        and next_old =
+          bench (fun () ->
+              for k = 0 to batch - 1 do
+                sink := !sink + R.next1 old_bv (Array.unsafe_get pos k)
+              done)
+        in
+        ignore !sink;
+        let speedup a b = if b > 0.0 then a /. b else 0.0 in
+        H.measure
+          [
+            ("n_bits", J.Int n);
+            ("inv_density", J.Int inv_density);
+            ("ones", J.Int ones);
+            ("space_bits", J.Int (B.space_bits bv));
+            ("rank1_mops_new", J.Float rank_new);
+            ("rank1_mops_old", J.Float rank_old);
+            ("rank1_speedup", J.Float (speedup rank_new rank_old));
+            ("select1_mops_new", J.Float sel1_new);
+            ("select1_mops_old", J.Float sel1_old);
+            ("select1_speedup", J.Float (speedup sel1_new sel1_old));
+            ("select0_mops_new", J.Float sel0_new);
+            ("select0_mops_old", J.Float sel0_old);
+            ("select0_speedup", J.Float (speedup sel0_new sel0_old));
+            ("next1_mops_new", J.Float next_new);
+            ("next1_mops_old", J.Float next_old);
+            ("next1_speedup", J.Float (speedup next_new next_old));
+          ];
+        [
+          H.pp_bytes (n / 8);
+          Printf.sprintf "1/%d" inv_density;
+          Printf.sprintf "%.1fM" rank_new;
+          Printf.sprintf "%.1fM" rank_old;
+          Printf.sprintf "%.2fx" (speedup rank_new rank_old);
+          Printf.sprintf "%.1fM" sel1_new;
+          Printf.sprintf "%.1fM" sel1_old;
+          Printf.sprintf "%.2fx" (speedup sel1_new sel1_old);
+          Printf.sprintf "%.2fx" (speedup sel0_new sel0_old);
+          Printf.sprintf "%.2fx" (speedup next_new next_old);
+        ])
+      grid
+  in
+  H.table
+    [
+      "size"; "density"; "rank1 new"; "rank1 old"; "rank1 x"; "sel1 new";
+      "sel1 old"; "sel1 x"; "sel0 x"; "next1 x";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make group per table             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1032,6 +1162,7 @@ let sections =
     ("fig15", fig15);
     ("table7", table7);
     ("fig18", fig18);
+    ("bits", bits);
     ("streaming", streaming);
     ("service", service);
     ("par", par);

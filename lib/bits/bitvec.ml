@@ -1,18 +1,100 @@
-(* Bits are packed 63 per OCaml int.  A rank directory stores the
-   cumulative number of ones before every block of [words_per_block]
-   words; rank pops at most 8 words, select binary-searches the
-   directory then scans one block. *)
+(* Bits are packed 63 per OCaml int.  Rank and select run over a
+   two-level directory sized to cache lines:
+
+   - Superblocks of 8 words (504 bits).  The directory interleaves,
+     per superblock, the absolute number of ones before it and the
+     seven in-superblock cumulative word counts packed into one int
+     (7 lanes x 9 bits; counts within a superblock are <= 504 < 512).
+     The two ints of a superblock are adjacent in [dir], so a rank is
+     one directory cache line plus one payload word: absolute count +
+     packed lane + masked popcount, no loop, no branch.
+
+   - A sampled select directory per bit value: [samples1.(k)] is the
+     superblock holding the [k * select_sample]-th one, so select
+     binary-searches only the superblock range between two consecutive
+     samples, then pins the word with a branchless lane comparison and
+     finishes inside the word with broadword select.
+
+   Directories are derived data: the portable serialized form
+   ([to_bytes]/[of_bytes]) carries only the length and the payload
+   words, and loading rebuilds the directories — a layout change never
+   invalidates stored bytes. *)
 
 let word_bits = 63
-let words_per_block = 8
-let block_bits = word_bits * words_per_block
+let words_per_super = 8
+let super_bits = word_bits * words_per_super (* 504 *)
+
+(* Ones (zeros) between consecutive select samples.  Small enough that
+   test-sized vectors exercise the sampled path, large enough that the
+   directory stays negligible (one int per 512 ones). *)
+let select_sample = 512
 
 type t = {
   len : int;                (* length in bits *)
   words : int array;
-  blocks : int array;       (* blocks.(k) = ones before word k*8 *)
+  dir : int array;          (* 2 ints per superblock: absolute ones
+                               before it; 7x9-bit packed cumulative
+                               word counts (lane k = ones in words
+                               0..k of the superblock) *)
+  samples1 : int array;     (* superblock of the (k*select_sample)-th one *)
+  samples0 : int array;     (* ... and zero (zeros within [0, len) only) *)
   ones : int;
 }
+
+let nsupers_of nwords = max 1 ((nwords + words_per_super - 1) / words_per_super)
+
+(* Rebuild every directory from the payload.  [len] and [words] fully
+   determine the structure. *)
+let build len words =
+  let nwords = Array.length words in
+  let nsupers = nsupers_of nwords in
+  let dir = Array.make ((2 * nsupers) + 2) 0 in
+  let acc = ref 0 in
+  for s = 0 to nsupers - 1 do
+    dir.(2 * s) <- !acc;
+    let base = s * words_per_super in
+    let packed = ref 0 and sub = ref 0 in
+    for i = 0 to words_per_super - 1 do
+      let w = base + i in
+      let c = if w < nwords then Popcnt.popcount (Array.unsafe_get words w) else 0 in
+      sub := !sub + c;
+      if i < words_per_super - 1 then packed := !packed lor (!sub lsl (9 * i))
+    done;
+    dir.((2 * s) + 1) <- !packed;
+    acc := !acc + !sub
+  done;
+  dir.(2 * nsupers) <- !acc;
+  let ones = !acc in
+  let zeros = len - ones in
+  (* [before s] = items before superblock s, monotone in s; walk the
+     superblocks once per directory.  Zeros are counted within
+     [0, len) only: the padding tail of the last word must never be
+     selectable (it is physical zero bits beyond the vector). *)
+  let fill total before =
+    let samples = Array.make ((total / select_sample) + 2) 0 in
+    let s = ref 0 in
+    for k = 0 to Array.length samples - 1 do
+      let target = k * select_sample in
+      if target >= total then samples.(k) <- nsupers - 1
+      else begin
+        while before (!s + 1) <= target do
+          incr s
+        done;
+        samples.(k) <- !s
+      end
+    done;
+    samples
+  in
+  let ones_before s = dir.(2 * s) in
+  let zeros_before s = min (s * super_bits) len - dir.(2 * s) in
+  {
+    len;
+    words;
+    dir;
+    samples1 = fill ones ones_before;
+    samples0 = fill zeros zeros_before;
+    ones;
+  }
 
 module Builder = struct
   type bv = t
@@ -42,7 +124,7 @@ module Builder = struct
     (* Simple loop: runs in our workloads are short except for zeros,
        which only need the length bump. *)
     if not bit then begin
-      ensure b ((b.nbits + k) / word_bits + 1);
+      ensure b (((b.nbits + k) / word_bits) + 1);
       b.nbits <- b.nbits + k
     end
     else
@@ -54,16 +136,7 @@ module Builder = struct
 
   let finish b : bv =
     let nwords = (b.nbits + word_bits - 1) / word_bits in
-    let words = Array.sub b.data 0 (max 1 nwords) in
-    let nblocks = (nwords + words_per_block - 1) / words_per_block + 1 in
-    let blocks = Array.make nblocks 0 in
-    let acc = ref 0 in
-    for w = 0 to nwords - 1 do
-      if w mod words_per_block = 0 then blocks.(w / words_per_block) <- !acc;
-      acc := !acc + Popcnt.popcount words.(w)
-    done;
-    blocks.(nblocks - 1) <- !acc;
-    { len = b.nbits; words; blocks; ones = !acc }
+    build b.nbits (Array.sub b.data 0 (max 1 nwords))
 end
 
 let of_fun n f =
@@ -80,77 +153,173 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Bitvec.get";
   (Array.unsafe_get t.words (i / word_bits) lsr (i mod word_bits)) land 1 = 1
 
+(* Ones strictly before word [w].  The lane shift maps wi = 0 to a
+   63-bit shift, which is defined (Sys.int_size) and yields 0 — the
+   whole lookup is branch-free. *)
+let[@inline] rank_before_word t w =
+  let s = w lsr 3 and wi = w land 7 in
+  Array.unsafe_get t.dir (2 * s)
+  + ((Array.unsafe_get t.dir ((2 * s) + 1) lsr (9 * ((wi - 1) land 7))) land 511)
+
 let rank1 t i =
   if i <= 0 then 0
   else if i >= t.len then t.ones
-  else begin
+  else
     let w = i / word_bits and o = i mod word_bits in
-    let blk = w / words_per_block in
-    let r = ref t.blocks.(blk) in
-    for k = blk * words_per_block to w - 1 do
-      r := !r + Popcnt.popcount (Array.unsafe_get t.words k)
-    done;
-    if o > 0 then
-      r := !r + Popcnt.popcount (Array.unsafe_get t.words w land ((1 lsl o) - 1));
-    !r
-  end
+    rank_before_word t w
+    + Popcnt.popcount (Array.unsafe_get t.words w land ((1 lsl o) - 1))
 
 let rank0 t i =
   let i = if i < 0 then 0 else if i > t.len then t.len else i in
   i - rank1 t i
 
-(* Generic select over a "ones before block" function: binary search the
-   directory, then scan the block's words. *)
-let select_gen t j ones_before_block word_count word_select total =
-  if j < 0 || j >= total then invalid_arg "Bitvec.select";
-  let nwords = Array.length t.words in
-  let nblocks = (nwords + words_per_block - 1) / words_per_block in
-  (* last block index b such that ones_before_block b <= j *)
-  let lo = ref 0 and hi = ref (nblocks - 1) in
+(* Superblock search shared by both selects: last s in [lo, hi] with
+   [before s <= j], where [before] is monotone and read straight from
+   the directory. *)
+let[@inline] search_super t j lo hi ones_dir =
+  let lo = ref lo and hi = ref hi in
   while !lo < !hi do
-    let mid = (!lo + !hi + 1) / 2 in
-    if ones_before_block mid <= j then lo := mid else hi := mid - 1
+    let mid = (!lo + !hi + 1) lsr 1 in
+    let before =
+      if ones_dir then Array.unsafe_get t.dir (2 * mid)
+      else (mid * super_bits) - Array.unsafe_get t.dir (2 * mid)
+    in
+    if before <= j then lo := mid else hi := mid - 1
   done;
-  let blk = !lo in
-  let rem = ref (j - ones_before_block blk) in
-  let w = ref (blk * words_per_block) in
-  let wmax = min nwords ((blk + 1) * words_per_block) in
-  let res = ref (-1) in
-  (try
-     while !w < wmax do
-       let c = word_count (Array.unsafe_get t.words !w) in
-       if !rem < c then begin
-         res := (!w * word_bits) + word_select (Array.unsafe_get t.words !w) !rem;
-         raise Exit
-       end;
-       rem := !rem - c;
-       incr w
-     done
-   with Exit -> ());
-  if !res < 0 then invalid_arg "Bitvec.select: out of range" else !res
+  !lo
 
-let mask63 = (1 lsl word_bits) - 1
+(* 1 when [v <= j], 0 otherwise, via the sign bit (63-bit ints: bit 62). *)
+let[@inline] le j v = ((v - j - 1) asr 62) land 1
 
 let select1 t j =
-  select_gen t j
-    (fun b -> t.blocks.(b))
-    Popcnt.popcount Popcnt.select_in_word t.ones
+  if j < 0 || j >= t.ones then invalid_arg "Bitvec.select";
+  let k = j / select_sample in
+  let nsupers = nsupers_of (Array.length t.words) in
+  let lo = Array.unsafe_get t.samples1 k in
+  let hi = min (nsupers - 1) (Array.unsafe_get t.samples1 (k + 1)) in
+  let s = search_super t j lo hi true in
+  let rem = j - t.dir.(2 * s) in
+  let packed = t.dir.((2 * s) + 1) in
+  (* word index = number of lanes whose cumulative count is <= rem
+     (lanes are nondecreasing, so the indicators form a prefix) *)
+  let wi =
+    le rem (packed land 511)
+    + le rem ((packed lsr 9) land 511)
+    + le rem ((packed lsr 18) land 511)
+    + le rem ((packed lsr 27) land 511)
+    + le rem ((packed lsr 36) land 511)
+    + le rem ((packed lsr 45) land 511)
+    + le rem ((packed lsr 54) land 511)
+  in
+  let sub = (packed lsr (9 * ((wi - 1) land 7))) land 511 in
+  let w = (s * words_per_super) + wi in
+  (w * word_bits) + Popcnt.select_in_word (Array.unsafe_get t.words w) (rem - sub)
 
 let select0 t j =
-  let zeros_before b = (b * block_bits) - t.blocks.(b) in
-  let word_count w = word_bits - Popcnt.popcount w in
-  let word_select w r = Popcnt.select_in_word (lnot w land mask63) r in
-  let total = t.len - t.ones in
-  (* The tail of the last word is implicit zero padding; selecting a zero
-     there would be out of range, guarded by [total]. *)
-  select_gen t j zeros_before word_count word_select total
+  let zeros = t.len - t.ones in
+  if j < 0 || j >= zeros then invalid_arg "Bitvec.select";
+  let k = j / select_sample in
+  let nsupers = nsupers_of (Array.length t.words) in
+  let lo = Array.unsafe_get t.samples0 k in
+  let hi = min (nsupers - 1) (Array.unsafe_get t.samples0 (k + 1)) in
+  let s = search_super t j lo hi false in
+  let rem = j - ((s * super_bits) - t.dir.(2 * s)) in
+  let packed = t.dir.((2 * s) + 1) in
+  (* zero cumulative through word i of the superblock is
+     63*(i+1) - ones lane; the last superblock's lanes count the
+     implicit zero padding of the tail too, but [j < zeros] guarantees
+     the target zero is a real position, so the prefix of qualifying
+     lanes never extends past it. *)
+  let wi =
+    le rem (word_bits - (packed land 511))
+    + le rem ((2 * word_bits) - ((packed lsr 9) land 511))
+    + le rem ((3 * word_bits) - ((packed lsr 18) land 511))
+    + le rem ((4 * word_bits) - ((packed lsr 27) land 511))
+    + le rem ((5 * word_bits) - ((packed lsr 36) land 511))
+    + le rem ((6 * word_bits) - ((packed lsr 45) land 511))
+    + le rem ((7 * word_bits) - ((packed lsr 54) land 511))
+  in
+  let sub = (wi * word_bits) - ((packed lsr (9 * ((wi - 1) land 7))) land 511) in
+  let w = (s * words_per_super) + wi in
+  (w * word_bits)
+  + Popcnt.select_in_word (lnot (Array.unsafe_get t.words w)) (rem - sub)
 
 let next1 t i =
+  let i = if i < 0 then 0 else i in
   if i >= t.len then -1
   else begin
-    let r = rank1 t i in
-    if r >= t.ones then -1 else select1 t r
+    let w = i / word_bits and o = i mod word_bits in
+    let masked = Array.unsafe_get t.words w lsr o in
+    if masked <> 0 then i + Popcnt.select_in_word masked 0
+    else begin
+      (* no one left in this word (bits beyond [len] are stored as
+         zeros, so the masked test is exact at the final word); jump
+         via the directory *)
+      let w' = w + 1 in
+      let r = if w' >= Array.length t.words then t.ones else rank_before_word t w' in
+      if r >= t.ones then -1 else select1 t r
+    end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Portable serialization: payload only, directories rebuilt on load   *)
+(* ------------------------------------------------------------------ *)
+
+(* Format "BV1": magic, 8-byte LE length in bits, 8-byte LE word
+   count, then the 63-bit payload words as 8-byte LE each.  No
+   directory data is stored, so files survive directory-layout
+   changes unmodified. *)
+let bytes_magic = "BV1\n"
+
+let to_bytes t =
+  let nwords = Array.length t.words in
+  let b = Bytes.create (String.length bytes_magic + 16 + (8 * nwords)) in
+  Bytes.blit_string bytes_magic 0 b 0 (String.length bytes_magic);
+  Bytes.set_int64_le b 4 (Int64.of_int t.len);
+  Bytes.set_int64_le b 12 (Int64.of_int nwords);
+  for w = 0 to nwords - 1 do
+    (* words with bit 62 set are negative OCaml ints; mask off the
+       sign extension so the stored 64-bit image is the canonical
+       63-bit payload *)
+    Bytes.set_int64_le b
+      (20 + (8 * w))
+      (Int64.logand (Int64.of_int t.words.(w)) 0x7FFF_FFFF_FFFF_FFFFL)
+  done;
+  b
+
+let of_bytes b =
+  let fail msg = invalid_arg ("Bitvec.of_bytes: " ^ msg) in
+  let mlen = String.length bytes_magic in
+  if Bytes.length b < mlen + 16 then fail "truncated header";
+  if Bytes.sub_string b 0 mlen <> bytes_magic then fail "bad magic";
+  let len = Int64.to_int (Bytes.get_int64_le b 4) in
+  let nwords = Int64.to_int (Bytes.get_int64_le b 12) in
+  if len < 0 || nwords <> max 1 ((len + word_bits - 1) / word_bits) then
+    fail "bad header";
+  if Bytes.length b < mlen + 16 + (8 * nwords) then fail "truncated payload";
+  let words =
+    Array.init nwords (fun w ->
+        let v64 = Bytes.get_int64_le b (20 + (8 * w)) in
+        if Int64.shift_right_logical v64 63 <> 0L then fail "word out of range";
+        (* Int64.to_int keeps exactly the low 63 bits; bit 62 of the
+           payload lands in the OCaml sign bit, which is fine — all
+           kernel arithmetic is bit-pattern based *)
+        Int64.to_int v64)
+  in
+  (* tail bits beyond [len] must be physical zeros: rank/select and
+     next1 rely on it *)
+  let tail = len mod word_bits in
+  if len / word_bits < nwords && tail > 0
+     && words.(len / word_bits) lsr tail <> 0
+  then fail "nonzero padding tail";
+  let t = build len words in
+  (* integrity: recount the payload (2-word unrolled) against the
+     directory total *)
+  if Popcnt.count_words words 0 nwords <> t.ones then fail "count mismatch";
+  t
+
 let space_bits t =
-  (Array.length t.words + Array.length t.blocks) * 64 + 128
+  (Array.length t.words + Array.length t.dir + Array.length t.samples1
+  + Array.length t.samples0)
+  * 64
+  + 192

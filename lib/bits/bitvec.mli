@@ -1,5 +1,11 @@
-(** Static bit vectors with constant-time-style [rank] and fast
+(** Static bit vectors with constant-time [rank] and sampled-directory
     [select], the base layer of every succinct structure in SXSI.
+
+    The layout is broadword throughout: interleaved superblock rank
+    directories (absolute count + packed per-word cumulative counts,
+    one 8-word superblock per cache line of payload), a sampled select
+    directory narrowing the superblock search, and branch-free in-word
+    popcount/select kernels ({!Popcnt}).
 
     Positions are 0-based. [rank1 t i] counts set bits in the half-open
     prefix [\[0, i)]; [select1 t j] is the position of the [j]-th set
@@ -37,6 +43,18 @@ val select0 : t -> int -> int
 val next1 : t -> int -> int
 (** [next1 t i] is the smallest position [p >= i] with bit [p] set, or
     [-1] if none. *)
+
+val to_bytes : t -> bytes
+(** Portable serialized form: magic, bit length and payload words only
+    (little-endian).  Directory layout is never persisted, so stored
+    bytes survive kernel/layout changes unchanged. *)
+
+val of_bytes : bytes -> t
+(** Decode {!to_bytes} output (from this or any previous directory
+    layout) and rebuild the rank/select directories.  Validates the
+    header, the zero padding of the final word, and the total
+    popcount.
+    @raise Invalid_argument on malformed input. *)
 
 val space_bits : t -> int
 (** Total space of the structure, in bits (payload plus directories). *)

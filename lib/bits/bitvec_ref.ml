@@ -1,0 +1,153 @@
+(* Faithful snapshot of the pre-broadword kernels: 16-bit-table
+   popcount, loop-based in-word select, one absolute count per 8-word
+   block with a full word scan in rank and a whole-directory binary
+   search in select.  Kept as (a) the differential oracle the property
+   suite cross-checks the broadword kernels against, and (b) the
+   reference arm of `bench bits`, so the speedup the rewrite buys is
+   measured in-run on the same machine rather than against stale
+   numbers.  Not used on any query path. *)
+
+let word_bits = 63
+let words_per_block = 8
+let block_bits = word_bits * words_per_block
+
+type t = {
+  len : int;
+  words : int array;
+  blocks : int array; (* blocks.(k) = ones before word k*8 *)
+  ones : int;
+}
+
+(* old table-based popcount *)
+let table =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set t i (Char.unsafe_chr (count i 0))
+  done;
+  t
+
+let popcount x =
+  Char.code (Bytes.unsafe_get table (x land 0xffff))
+  + Char.code (Bytes.unsafe_get table ((x lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get table ((x lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get table (x lsr 48))
+
+(* old loop-based in-word select *)
+let select_in_word x j =
+  let rec go x j pos =
+    let c = Char.code (Bytes.unsafe_get table (x land 0xffff)) in
+    if j < c then
+      let rec bit x j pos =
+        if x land 1 = 1 then if j = 0 then pos else bit (x lsr 1) (j - 1) (pos + 1)
+        else bit (x lsr 1) j (pos + 1)
+      in
+      bit x j pos
+    else go (x lsr 16) (j - c) (pos + 16)
+  in
+  go x j 0
+
+let of_fun n f =
+  let nwords = max 1 ((n + word_bits - 1) / word_bits) in
+  let words = Array.make nwords 0 in
+  for i = 0 to n - 1 do
+    if f i then words.(i / word_bits) <- words.(i / word_bits) lor (1 lsl (i mod word_bits))
+  done;
+  let nblocks = ((nwords + words_per_block - 1) / words_per_block) + 1 in
+  let blocks = Array.make nblocks 0 in
+  let acc = ref 0 in
+  for w = 0 to nwords - 1 do
+    if w mod words_per_block = 0 then blocks.(w / words_per_block) <- !acc;
+    acc := !acc + popcount words.(w)
+  done;
+  blocks.(nblocks - 1) <- !acc;
+  { len = n; words; blocks; ones = !acc }
+
+let length t = t.len
+let count t = t.ones
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec_ref.get";
+  (Array.unsafe_get t.words (i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let rank1 t i =
+  if i <= 0 then 0
+  else if i >= t.len then t.ones
+  else begin
+    let w = i / word_bits and o = i mod word_bits in
+    let blk = w / words_per_block in
+    let r = ref t.blocks.(blk) in
+    for k = blk * words_per_block to w - 1 do
+      r := !r + popcount (Array.unsafe_get t.words k)
+    done;
+    if o > 0 then
+      r := !r + popcount (Array.unsafe_get t.words w land ((1 lsl o) - 1));
+    !r
+  end
+
+let rank0 t i =
+  let i = if i < 0 then 0 else if i > t.len then t.len else i in
+  i - rank1 t i
+
+let select_gen t j ones_before_block word_count word_select total =
+  if j < 0 || j >= total then invalid_arg "Bitvec_ref.select";
+  let nwords = Array.length t.words in
+  let nblocks = (nwords + words_per_block - 1) / words_per_block in
+  let lo = ref 0 and hi = ref (nblocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if ones_before_block mid <= j then lo := mid else hi := mid - 1
+  done;
+  let blk = !lo in
+  let rem = ref (j - ones_before_block blk) in
+  let w = ref (blk * words_per_block) in
+  let wmax = min nwords ((blk + 1) * words_per_block) in
+  let res = ref (-1) in
+  (try
+     while !w < wmax do
+       let c = word_count (Array.unsafe_get t.words !w) in
+       if !rem < c then begin
+         res := (!w * word_bits) + word_select (Array.unsafe_get t.words !w) !rem;
+         raise Exit
+       end;
+       rem := !rem - c;
+       incr w
+     done
+   with Exit -> ());
+  if !res < 0 then invalid_arg "Bitvec_ref.select: out of range" else !res
+
+let mask63 = (1 lsl word_bits) - 1
+
+let select1 t j =
+  select_gen t j (fun b -> t.blocks.(b)) popcount select_in_word t.ones
+
+let select0 t j =
+  let zeros_before b = (b * block_bits) - t.blocks.(b) in
+  let word_count w = word_bits - popcount w in
+  let word_select w r = select_in_word (lnot w land mask63) r in
+  let total = t.len - t.ones in
+  select_gen t j zeros_before word_count word_select total
+
+let next1 t i =
+  if i >= t.len then -1
+  else begin
+    let r = rank1 t i in
+    if r >= t.ones then -1 else select1 t r
+  end
+
+(* Same portable payload format as [Bitvec.to_bytes]: what a
+   pre-layout-change build would have written to disk.  The
+   differential ladder feeds these bytes to [Bitvec.of_bytes] and
+   asserts answers are identical. *)
+let to_bytes t =
+  let nwords = Array.length t.words in
+  let b = Bytes.create (4 + 16 + (8 * nwords)) in
+  Bytes.blit_string "BV1\n" 0 b 0 4;
+  Bytes.set_int64_le b 4 (Int64.of_int t.len);
+  Bytes.set_int64_le b 12 (Int64.of_int nwords);
+  for w = 0 to nwords - 1 do
+    Bytes.set_int64_le b
+      (20 + (8 * w))
+      (Int64.logand (Int64.of_int t.words.(w)) 0x7FFF_FFFF_FFFF_FFFFL)
+  done;
+  b

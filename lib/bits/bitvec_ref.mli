@@ -1,0 +1,27 @@
+(** Snapshot of the pre-broadword rank/select kernels (table popcount,
+    scanning rank, loop select), kept as the differential oracle for
+    the property-test suite and the reference arm of [bench bits].
+    Semantics match {!Bitvec} exactly; only the directory layout and
+    per-word kernels differ.  Never used on a query path. *)
+
+type t
+
+val of_fun : int -> (int -> bool) -> t
+val length : t -> int
+val count : t -> int
+val get : t -> int -> bool
+val rank1 : t -> int -> int
+val rank0 : t -> int -> int
+val select1 : t -> int -> int
+val select0 : t -> int -> int
+val next1 : t -> int -> int
+
+val popcount : int -> int
+(** The old 16-bit-table popcount (per-word kernel of this layout). *)
+
+val select_in_word : int -> int -> int
+(** The old loop-based in-word select. *)
+
+val to_bytes : t -> bytes
+(** The portable payload in the same format {!Bitvec.of_bytes} reads:
+    the bytes a pre-layout-change build would have persisted. *)

@@ -56,20 +56,22 @@ let access t i =
   let v = ref 0 and pos = ref i and lo = ref 0 and hi = ref t.n in
   for k = 0 to t.width - 1 do
     let bv = t.levels.(k) in
+    (* three ranks per level; every zero-side count is derived by
+       arithmetic from the one-side counts *)
     let ones_before = Bitvec.rank1 bv !lo in
+    let ones_at_pos = Bitvec.rank1 bv !pos in
+    let node_ones = Bitvec.rank1 bv !hi - ones_before in
     if Bitvec.get bv !pos then begin
       v := (!v lsl 1) lor 1;
       (* ones of this node go to the right part of the next level *)
-      let node_ones = Bitvec.rank1 bv !hi - ones_before in
-      let rank_in = Bitvec.rank1 bv !pos - ones_before in
+      let rank_in = ones_at_pos - ones_before in
       let zeros_total = !hi - !lo - node_ones in
       pos := !lo + zeros_total + rank_in;
       lo := !lo + zeros_total
     end
     else begin
       v := !v lsl 1;
-      let rank_in = Bitvec.rank0 bv !pos - Bitvec.rank0 bv !lo in
-      let node_ones = Bitvec.rank1 bv !hi - ones_before in
+      let rank_in = !pos - !lo - (ones_at_pos - ones_before) in
       pos := !lo + rank_in;
       hi := !hi - node_ones
     end
@@ -89,13 +91,17 @@ let traverse t ~lo ~hi ~vlo ~vhi f =
         if k = t.width then f vmin (node_hi - node_lo)
         else begin
           let bv = t.levels.(k) in
+          (* four ranks per node (down from eight): every zero-side
+             count is position arithmetic over the one-side ranks *)
           let seg_ones_before = Bitvec.rank1 bv seg_lo in
           let seg_ones = Bitvec.rank1 bv seg_hi - seg_ones_before in
           let seg_zeros = seg_hi - seg_lo - seg_ones in
-          let z_before = Bitvec.rank0 bv node_lo - Bitvec.rank0 bv seg_lo in
-          let z_inside = Bitvec.rank0 bv node_hi - Bitvec.rank0 bv node_lo in
-          let o_before = Bitvec.rank1 bv node_lo - seg_ones_before in
-          let o_inside = Bitvec.rank1 bv node_hi - Bitvec.rank1 bv node_lo in
+          let o_at_node_lo = Bitvec.rank1 bv node_lo in
+          let o_at_node_hi = Bitvec.rank1 bv node_hi in
+          let o_before = o_at_node_lo - seg_ones_before in
+          let o_inside = o_at_node_hi - o_at_node_lo in
+          let z_before = node_lo - seg_lo - o_before in
+          let z_inside = node_hi - node_lo - o_inside in
           let vmid = vmin + ((vmax - vmin + 1) / 2) in
           (* left child occupies [seg_lo, seg_lo + seg_zeros) next level *)
           go (k + 1) (seg_lo + z_before)

@@ -1,29 +1,77 @@
-(* 16-bit lookup table; OCaml ints are 63-bit so SWAR constants with the
-   64th bit set cannot be written as literals. *)
-let table =
-  let t = Bytes.create 65536 in
-  for i = 0 to 65535 do
-    let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
-    Bytes.unsafe_set t i (Char.unsafe_chr (count i 0))
+(* Broadword (SWAR) bit kernels over 63-bit OCaml ints, after Vigna's
+   sideways-addition rank/select primitives ("Broadword implementation
+   of rank/select queries", WEA 2008), adapted to the 63-bit word: the
+   classic 64-bit MSB mask 0x8080..80 has bit 63 set and cannot exist
+   as an OCaml int, so the lane-compare step runs over bytes 0..6 only
+   and byte 7 falls out as the complement.  Constants with bit 62 set
+   (0x5555..55) are negative as OCaml ints; every operator applied to
+   them here is bitwise or wraps mod 2^63, so the bit patterns behave
+   as unsigned. *)
+
+let m55 = 0x5555555555555555
+let m33 = 0x3333333333333333
+let m0f = 0x0f0f0f0f0f0f0f0f
+let h01 = 0x0101010101010101
+let msbs7 = 0x0080808080808080 (* MSB of bytes 0..6 *)
+let ones7 = 0x0001010101010101 (* 0x01 in bytes 0..6 *)
+let low56 = 0x00ffffffffffffff
+
+(* Per-byte popcounts of [x], one count per byte lane (byte 7 covers
+   the top seven bits of the 63-bit word). *)
+let[@inline] byte_counts x =
+  let x = x - ((x lsr 1) land m55) in
+  let x = (x land m33) + ((x lsr 2) land m33) in
+  (x + (x lsr 4)) land m0f
+
+(* The multiply accumulates byte counts left-to-right; byte 7 of the
+   product is the total (<= 63, so bit 62 stays clear and the shift is
+   exact). *)
+let[@inline] popcount x = (byte_counts x * h01) lsr 56
+
+(* Fused two-word popcount: one shared multiply over the summed byte
+   counts (each lane <= 16, total <= 126 — no inter-byte carry).  The
+   unrolled pair is the unit the rank directories are built from. *)
+let[@inline] popcount2 x y = ((byte_counts x + byte_counts y) * h01) lsr 56
+
+let count_words a lo hi =
+  let acc = ref 0 and i = ref lo in
+  while !i + 1 < hi do
+    acc := !acc + popcount2 (Array.unsafe_get a !i) (Array.unsafe_get a (!i + 1));
+    i := !i + 2
+  done;
+  if !i < hi then acc := !acc + popcount (Array.unsafe_get a !i);
+  !acc
+
+(* Final 8-bit step of select: position of the j-th set bit of a byte.
+   256 x 8 entries, 2 KB. *)
+let select_byte =
+  let t = Bytes.make (256 * 8) '\000' in
+  for b = 0 to 255 do
+    let j = ref 0 in
+    for p = 0 to 7 do
+      if (b lsr p) land 1 = 1 then begin
+        Bytes.unsafe_set t ((b lsl 3) lor !j) (Char.unsafe_chr p);
+        incr j
+      end
+    done
   done;
   t
 
-let popcount x =
-  Char.code (Bytes.unsafe_get table (x land 0xffff))
-  + Char.code (Bytes.unsafe_get table ((x lsr 16) land 0xffff))
-  + Char.code (Bytes.unsafe_get table ((x lsr 32) land 0xffff))
-  + Char.code (Bytes.unsafe_get table (x lsr 48))
-
-let select_in_word x j =
-  let rec go x j pos =
-    let c = Char.code (Bytes.unsafe_get table (x land 0xffff)) in
-    if j < c then
-      (* scan the low 16 bits *)
-      let rec bit x j pos =
-        if x land 1 = 1 then if j = 0 then pos else bit (x lsr 1) (j - 1) (pos + 1)
-        else bit (x lsr 1) j (pos + 1)
-      in
-      bit x j pos
-    else go (x lsr 16) (j - c) (pos + 16)
-  in
-  go x j 0
+let[@inline] select_in_word x j =
+  (* cumulative byte counts: byte k of [cs] = ones in bytes 0..k *)
+  let cs = byte_counts x * h01 in
+  (* bytes 0..6 with cumulative count >= j+1, found without branching:
+     lane values are <= 63 and j+1 <= 63, so (c | 0x80) - (j+1) keeps
+     the lane MSB set exactly when c >= j+1 and never borrows across
+     lanes.  Cumulative counts are nondecreasing, so the count of such
+     lanes pins the target byte; if none qualifies the bit lives in
+     byte 7. *)
+  let ge = (((cs land low56) lor msbs7) - ((j + 1) * ones7)) land msbs7 in
+  let byte = 7 - ((((ge lsr 7) * ones7) lsr 48) land 0xff) in
+  let shift = byte lsl 3 in
+  (* ones strictly before the target byte: byte [byte] of [cs lsl 8]
+     (byte 0 of the shifted value is zero, byte 7 reads cs's byte 6) *)
+  let prev = ((cs lsl 8) lsr shift) land 0xff in
+  shift
+  + Char.code
+      (Bytes.unsafe_get select_byte ((((x lsr shift) land 0xff) lsl 3) lor (j - prev)))

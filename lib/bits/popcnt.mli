@@ -1,10 +1,25 @@
-(** Population-count primitives for 63-bit OCaml integers. *)
+(** Broadword (SWAR) population-count and in-word select primitives for
+    63-bit OCaml integers — the innermost kernels every rank/select
+    directory bottoms out in.  All functions treat their argument as a
+    63-bit bit pattern; values with bit 62 set (negative as OCaml ints)
+    are handled. *)
 
 val popcount : int -> int
-(** [popcount x] is the number of set bits in the 63-bit integer [x].
-    [x] must be non-negative. *)
+(** [popcount x] is the number of set bits among the 63 bits of [x].
+    Branchless sideways addition: no table, no memory traffic. *)
+
+val popcount2 : int -> int -> int
+(** [popcount2 x y] is [popcount x + popcount y], fused so the two
+    words share one horizontal-sum multiply — the unrolled 2-word
+    unit used when building rank directories. *)
+
+val count_words : int array -> int -> int -> int
+(** [count_words a lo hi] is the total popcount of [a.(lo) .. a.(hi-1)],
+    processed two words per iteration via {!popcount2}. *)
 
 val select_in_word : int -> int -> int
 (** [select_in_word x j] is the 0-based position of the [j]-th set bit
-    of [x] (0-based [j]); behaviour is unspecified when
-    [j >= popcount x]. *)
+    of [x] (0-based [j]), computed branch-free: byte-cumulative
+    sideways addition, a broadword lane comparison to pin the byte,
+    and an 8-bit table finish.  Behaviour is unspecified when
+    [j >= popcount x] (no exception, result meaningless). *)

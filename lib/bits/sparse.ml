@@ -57,18 +57,26 @@ let rank t i =
   else if i >= t.universe then t.m
   else begin
     let hb = i lsr t.lbits in
+    (* the elements of bucket [hb] sit strictly between zero number
+       hb-1 and zero number hb of the upper bitmap: two selects bound
+       the whole bucket, so the scan below never touches the bitmap
+       again *)
     let start = if hb = 0 then 0 else Bitvec.select0 t.high (hb - 1) + 1 in
-    let ilow = i land ((1 lsl t.lbits) - 1) in
-    let j = ref (start - hb) and p = ref start in
-    while
-      !p < Bitvec.length t.high
-      && Bitvec.get t.high !p
-      && low_of t !j < ilow
-    do
-      incr j;
-      incr p
-    done;
-    !j
+    let stop = Bitvec.select0 t.high hb in
+    let j0 = start - hb in
+    let cnt = stop - start in
+    if t.lbits = 0 then j0
+    else begin
+      let ilow = i land ((1 lsl t.lbits) - 1) in
+      (* low halves are strictly increasing within a bucket: binary
+         search for the first one >= ilow *)
+      let lo = ref 0 and hi = ref cnt in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if low_of t (j0 + mid) < ilow then lo := mid + 1 else hi := mid
+      done;
+      j0 + !lo
+    end
   end
 
 let next t i =

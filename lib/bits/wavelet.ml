@@ -144,6 +144,33 @@ let rank t c i =
     go t.root 0 i
   end
 
+(* Both endpoints of a backward-search step descend the same root-leaf
+   path, so mapping them together halves the bitmap-rank work of the
+   dominant rank pattern (FM-index [sp]/[ep] updates). *)
+let rank2 t c i j =
+  let sym = Char.code c in
+  if t.code_len.(sym) < 0 then (0, 0)
+  else begin
+    let clamp v = if v < 0 then 0 else if v > t.len then t.len else v in
+    let i = clamp i and j = clamp j in
+    let path = t.code_path.(sym) in
+    let rec go node depth i j =
+      if j = 0 then (0, 0)
+      else
+        match node with
+        | Leaf _ -> (i, j)
+        | Node { bits; left; right } ->
+          if (path lsr depth) land 1 = 1 then
+            go right (depth + 1) (Bitvec.rank1 bits i) (Bitvec.rank1 bits j)
+          else go left (depth + 1) (Bitvec.rank0 bits i) (Bitvec.rank0 bits j)
+    in
+    if i <= j then go t.root 0 i j
+    else begin
+      let b, a = go t.root 0 j i in
+      (a, b)
+    end
+  end
+
 let count t c = t.counts.(Char.code c)
 
 let select t c j =

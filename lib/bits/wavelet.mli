@@ -19,6 +19,11 @@ val rank : t -> char -> int -> int
 (** [rank t c i] is the number of occurrences of [c] in the half-open
     prefix [\[0, i)]. *)
 
+val rank2 : t -> char -> int -> int -> int * int
+(** [rank2 t c i j] is [(rank t c i, rank t c j)] computed in a single
+    root-to-leaf descent — half the bitmap ranks of two separate
+    calls.  This is the shape of every FM-index backward-search step. *)
+
 val select : t -> char -> int -> int
 (** [select t c j] is the position of the [j]-th occurrence of [c]
     (0-based), so [rank t c (select t c j) = j]. *)

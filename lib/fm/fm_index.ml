@@ -170,8 +170,9 @@ let search_within t p sp0 ep0 =
          raise Exit
        end;
        let base = t.c.(Char.code ch) in
-       sp := base + Wavelet.rank t.bwt ch !sp;
-       ep := base + Wavelet.rank t.bwt ch !ep;
+       let rsp, rep = Wavelet.rank2 t.bwt ch !sp !ep in
+       sp := base + rsp;
+       ep := base + rep;
        if !ep <= !sp then raise Exit
      done
    with Exit -> ());
@@ -190,8 +191,9 @@ let bounds t p =
     let ch = p.[i] in
     if ch = '\000' then invalid_arg "Fm_index.bounds: NUL in pattern";
     let base = t.c.(Char.code ch) in
-    sp := base + Wavelet.rank t.bwt ch !sp;
-    ep := base + Wavelet.rank t.bwt ch !ep
+    let rsp, rep = Wavelet.rank2 t.bwt ch !sp !ep in
+    sp := base + rsp;
+    ep := base + rep
   done;
   (!sp, !ep)
 
@@ -220,8 +222,8 @@ let search_approx t p ~k =
       let target = p.[i] in
       let step ch =
         let base = t.c.(Char.code ch) in
-        let sp' = base + Wavelet.rank t.bwt ch sp in
-        let ep' = base + Wavelet.rank t.bwt ch ep in
+        let rsp, rep = Wavelet.rank2 t.bwt ch sp ep in
+        let sp' = base + rsp and ep' = base + rep in
         if ep' > sp' then begin
           if ch = target then go (i - 1) sp' ep' budget
           else if budget > 0 then go (i - 1) sp' ep' (budget - 1)
@@ -242,15 +244,15 @@ let dollar_doc t row =
   Intvec.get t.doc_started (Wavelet.rank t.bwt '\000' row)
 
 let dollar_count_in t sp ep =
-  Wavelet.rank t.bwt '\000' ep - Wavelet.rank t.bwt '\000' sp
+  let lo, hi = Wavelet.rank2 t.bwt '\000' sp ep in
+  hi - lo
 
-let dollar_index_range t sp ep =
-  (Wavelet.rank t.bwt '\000' sp, Wavelet.rank t.bwt '\000' ep)
+let dollar_index_range t sp ep = Wavelet.rank2 t.bwt '\000' sp ep
 
 let dollar_doc_at t j = Intvec.get t.doc_started j
 
 let iter_dollar_docs t sp ep f =
-  let lo = Wavelet.rank t.bwt '\000' sp and hi = Wavelet.rank t.bwt '\000' ep in
+  let lo, hi = Wavelet.rank2 t.bwt '\000' sp ep in
   for j = lo to hi - 1 do
     f (Intvec.get t.doc_started j)
   done

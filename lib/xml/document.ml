@@ -282,15 +282,18 @@ let of_xml ?pool ?backend ?(keep_whitespace = true) ?(sample_rate = 32)
 
 let build = of_xml
 
-(* Container format v3: magic, one length byte + backend tag name,
+(* Container format v4: magic, one length byte + backend tag name,
    8-byte big-endian payload length, MD5 digest of the payload, payload
    (the marshalled [t]).  The length and digest let [load] reject
    truncated or corrupt files with a clean [Failure] instead of handing
    garbage to [Marshal.from_channel], which would crash the process.
    The backend tag sits in the header so a reader rejects a container
    built with a backend it does not know — a typed [Unknown_backend]
-   error — without unmarshalling the payload. *)
-let magic = "SXSI-INDEX-v3\n"
+   error — without unmarshalling the payload.  v4 bumps v3 for the
+   broadword [Bitvec] layout: the marshalled record shape changed
+   (interleaved rank directories + select samples), so v3 payloads no
+   longer unmarshal into the current types. *)
+let magic = "SXSI-INDEX-v4\n"
 let old_magic_prefix = "SXSI-INDEX-v"
 
 let backend_name t = Tree_backend.kind_name t.tree
@@ -325,7 +328,7 @@ let load path =
         if String.length m >= String.length old_magic_prefix
            && String.sub m 0 (String.length old_magic_prefix) = old_magic_prefix
         then corrupt "unsupported index version (re-index with this build)"
-        else corrupt "bad magic (not an SXSI v3 index)";
+        else corrupt "bad magic (not an SXSI v4 index)";
       if avail < String.length magic + 1 then corrupt "truncated header";
       let bk_len = input_byte ic in
       if avail < String.length magic + 1 + bk_len + 8 + 16 then

@@ -265,7 +265,7 @@ let test_unknown_backend_tag () =
           ~finally:(fun () -> close_in ic)
           (fun () -> really_input_string ic (in_channel_length ic))
       in
-      let magic_len = String.length "SXSI-INDEX-v3\n" in
+      let magic_len = String.length "SXSI-INDEX-v4\n" in
       (* header: magic, 1-byte tag length, tag *)
       let tag_len = Char.code good.[magic_len] in
       let rest = String.sub good (magic_len + 1 + tag_len)

@@ -400,6 +400,536 @@ let prop_int_wavelet_range =
           (5, 2, 0, 21); (0, Array.length a, 20, 21) ];
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Broadword kernel lockdown                                           *)
+(*                                                                     *)
+(* The rank/select kernels were rewritten (interleaved superblock      *)
+(* directories, branchless broadword select); everything below pins    *)
+(* them against brute force and against [Bitvec_ref], a faithful       *)
+(* snapshot of the previous table-driven kernels, on adversarial       *)
+(* shapes: all-zeros, all-ones, a single bit at every word / block /   *)
+(* superblock boundary, and a density sweep from 1/1024 to 1/2.        *)
+(* ------------------------------------------------------------------ *)
+
+let word_bits = 63
+let super_bits = 504 (* 8 words per superblock *)
+
+let boundary_lengths =
+  [ 1; 62; 63; 64; 125; 126; 127; 503; 504; 505; 1007; 1008; 1009;
+    2015; 2016; 2017; 4031; 4032; 4033 ]
+
+(* Probe indices for a vector of length [len]: 0, len, every word and
+   superblock boundary +/- 1, and a coarse stride — enough to cross
+   every directory structure without O(len) work per case. *)
+let probe_indices len =
+  let acc = ref [ 0; len ] in
+  let add i = if i >= 0 && i <= len then acc := i :: !acc in
+  let k = ref word_bits in
+  while !k <= len + 1 do
+    add (!k - 1);
+    add !k;
+    add (!k + 1);
+    k := !k + word_bits
+  done;
+  let step = max 1 (len / 13) in
+  let i = ref 0 in
+  while !i <= len do
+    add !i;
+    i := !i + step
+  done;
+  List.sort_uniq compare !acc
+
+(* j-probes over [0, count): everything when small, else a stride plus
+   the extremes. *)
+let probe_js count =
+  if count <= 0 then []
+  else if count <= 96 then List.init count Fun.id
+  else begin
+    let step = max 1 (count / 64) in
+    let acc = ref [ 0; count - 1 ] in
+    let j = ref 0 in
+    while !j < count do
+      acc := !j :: !acc;
+      j := !j + step
+    done;
+    List.sort_uniq compare !acc
+  end
+
+let prefix_ranks bits =
+  let n = Array.length bits in
+  let p = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    p.(i + 1) <- p.(i) + (if bits.(i) then 1 else 0)
+  done;
+  p
+
+let positions_of value bits =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b = value then acc := i :: !acc) bits;
+  Array.of_list (List.rev !acc)
+
+let adversarial_gen : bool array QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let len_gen =
+    oneof [ oneofl boundary_lengths; int_range 0 1300 ]
+  in
+  bind len_gen (fun len ->
+      if len = 0 then return [||]
+      else
+        oneof
+          [
+            return (Array.make len false);
+            return (Array.make len true);
+            (* single bit anywhere *)
+            map (fun p -> Array.init len (fun i -> i = p)) (int_bound (len - 1));
+            (* single bit at a word/block/superblock boundary *)
+            map
+              (fun p ->
+                let p = min p (len - 1) in
+                Array.init len (fun i -> i = p))
+              (oneofl
+                 [ 0; word_bits - 1; word_bits; word_bits + 1; super_bits - 1;
+                   super_bits; super_bits + 1; (2 * super_bits) - 1; 2 * super_bits ]);
+            (* single zero at a boundary (the select0 mirror) *)
+            map
+              (fun p ->
+                let p = min p (len - 1) in
+                Array.init len (fun i -> i <> p))
+              (oneofl [ 0; word_bits - 1; word_bits; super_bits - 1; super_bits ]);
+            (* density sweep 1/1024 .. 1/2 *)
+            bind
+              (oneofl [ 1024; 256; 64; 16; 4; 2 ])
+              (fun d ->
+                array_size (return len) (map (fun r -> r = 0) (int_bound (d - 1))));
+          ])
+
+let qtest10k name prop = qtest ~count:10_000 name adversarial_gen prop
+
+(* 1: rank1 against brute force at every probe index *)
+let prop_bw_rank1 =
+  qtest10k "bw: rank1 = naive on adversarial shapes" (fun bits ->
+      let bv = build_bv bits in
+      let p = prefix_ranks bits in
+      List.for_all
+        (fun i -> Bitvec.rank1 bv i = p.(i))
+        (probe_indices (Array.length bits)))
+
+(* 2: rank0 i + rank1 i = i *)
+let prop_bw_rank0_sum =
+  qtest10k "bw: rank0 i + rank1 i = i" (fun bits ->
+      let bv = build_bv bits in
+      List.for_all
+        (fun i -> Bitvec.rank0 bv i + Bitvec.rank1 bv i = i)
+        (probe_indices (Array.length bits)))
+
+(* 3: rank1 (select1 j) = j and the selected position carries a one *)
+let prop_bw_rank_select1_inverse =
+  qtest10k "bw: rank1 (select1 j) = j" (fun bits ->
+      let bv = build_bv bits in
+      List.for_all
+        (fun j ->
+          let pos = Bitvec.select1 bv j in
+          Bitvec.rank1 bv pos = j && Bitvec.get bv pos)
+        (probe_js (Bitvec.count bv)))
+
+(* 4: select1 (rank1 i) >= i whenever a one remains at or after i *)
+let prop_bw_select1_after_rank =
+  qtest10k "bw: select1 (rank1 i) >= i" (fun bits ->
+      let bv = build_bv bits in
+      let ones = Bitvec.count bv in
+      List.for_all
+        (fun i ->
+          let r = Bitvec.rank1 bv i in
+          r >= ones || Bitvec.select1 bv r >= i)
+        (probe_indices (Array.length bits)))
+
+(* 5: select0 inverse, and never a padding-tail position >= len *)
+let prop_bw_select0_inverse =
+  qtest10k "bw: select0 inverse, result < len" (fun bits ->
+      let bv = build_bv bits in
+      let len = Array.length bits in
+      let zeros = len - Bitvec.count bv in
+      List.for_all
+        (fun j ->
+          let pos = Bitvec.select0 bv j in
+          pos < len && Bitvec.rank0 bv pos = j && not (Bitvec.get bv pos))
+        (probe_js zeros))
+
+(* 6: next1 against a naive scan *)
+let prop_bw_next1 =
+  qtest10k "bw: next1 = naive scan" (fun bits ->
+      let bv = build_bv bits in
+      let n = Array.length bits in
+      (* nxt.(i) = first set position >= i, -1 if none *)
+      let nxt = Array.make (n + 1) (-1) in
+      for i = n - 1 downto 0 do
+        nxt.(i) <- (if bits.(i) then i else nxt.(i + 1))
+      done;
+      List.for_all (fun i -> Bitvec.next1 bv i = nxt.(i)) (probe_indices n))
+
+(* 7: Builder.push one-by-one builds the same vector as of_fun *)
+let prop_bw_builder_push =
+  qtest10k "bw: Builder.push round-trip" (fun bits ->
+      let b = Bitvec.Builder.create () in
+      Array.iter (fun bit -> Bitvec.Builder.push b bit) bits;
+      let bv = Bitvec.Builder.finish b in
+      let ref_bv = build_bv bits in
+      Bitvec.length bv = Array.length bits
+      && Bitvec.count bv = Bitvec.count ref_bv
+      && List.for_all
+           (fun i ->
+             Bitvec.rank1 bv i = Bitvec.rank1 ref_bv i
+             && (i = Array.length bits || Bitvec.get bv i = bits.(i)))
+           (probe_indices (Array.length bits)))
+
+(* 8: Builder.push_run (run-length append) agrees with of_fun *)
+let prop_bw_builder_push_run =
+  qtest10k "bw: Builder.push_run round-trip" (fun bits ->
+      let b = Bitvec.Builder.create () in
+      let n = Array.length bits in
+      let i = ref 0 in
+      while !i < n do
+        let v = bits.(!i) in
+        let j = ref !i in
+        while !j < n && bits.(!j) = v do
+          incr j
+        done;
+        Bitvec.Builder.push_run b v (!j - !i);
+        i := !j
+      done;
+      let bv = Bitvec.Builder.finish b in
+      let p = prefix_ranks bits in
+      Bitvec.length bv = n
+      && List.for_all (fun i -> Bitvec.rank1 bv i = p.(i)) (probe_indices n))
+
+(* 9: to_bytes / of_bytes round-trip preserves every answer *)
+let prop_bw_bytes_roundtrip =
+  qtest10k "bw: to_bytes/of_bytes round-trip" (fun bits ->
+      let bv = build_bv bits in
+      let bv' = Bitvec.of_bytes (Bitvec.to_bytes bv) in
+      let len = Array.length bits in
+      Bitvec.length bv' = len
+      && Bitvec.count bv' = Bitvec.count bv
+      && List.for_all
+           (fun i ->
+             Bitvec.rank1 bv' i = Bitvec.rank1 bv i
+             && Bitvec.next1 bv' i = Bitvec.next1 bv i)
+           (probe_indices len)
+      && List.for_all
+           (fun j -> Bitvec.select1 bv' j = Bitvec.select1 bv j)
+           (probe_js (Bitvec.count bv)))
+
+(* 10: differential ladder — bytes serialized by the OLD layout load
+   into the new structure with byte-identical answers, and the new
+   serializer emits the identical payload *)
+let prop_bw_old_layout_ladder =
+  qtest10k "bw: old-layout bytes -> new loader, identical answers"
+    (fun bits ->
+      let len = Array.length bits in
+      let old_bv = Bitvec_ref.of_fun len (fun i -> bits.(i)) in
+      let old_bytes = Bitvec_ref.to_bytes old_bv in
+      let bv = Bitvec.of_bytes old_bytes in
+      let new_bytes = Bitvec.to_bytes (build_bv bits) in
+      Bytes.equal old_bytes new_bytes
+      && Bitvec.length bv = len
+      && Bitvec.count bv = Bitvec_ref.count old_bv
+      && List.for_all
+           (fun i ->
+             Bitvec.rank1 bv i = Bitvec_ref.rank1 old_bv i
+             && Bitvec.next1 bv i = Bitvec_ref.next1 old_bv i)
+           (probe_indices len)
+      && List.for_all
+           (fun j -> Bitvec.select1 bv j = Bitvec_ref.select1 old_bv j)
+           (probe_js (Bitvec_ref.count old_bv))
+      && List.for_all
+           (fun j -> Bitvec.select0 bv j = Bitvec_ref.select0 old_bv j)
+           (probe_js (len - Bitvec_ref.count old_bv)))
+
+(* 11: live new kernels vs the old-kernel snapshot on every operation *)
+let prop_bw_ref_agreement =
+  qtest10k "bw: new kernels = old kernels" (fun bits ->
+      let len = Array.length bits in
+      let bv = build_bv bits in
+      let old_bv = Bitvec_ref.of_fun len (fun i -> bits.(i)) in
+      Bitvec.count bv = Bitvec_ref.count old_bv
+      && List.for_all
+           (fun i ->
+             Bitvec.rank1 bv i = Bitvec_ref.rank1 old_bv i
+             && Bitvec.rank0 bv i = Bitvec_ref.rank0 old_bv i
+             && Bitvec.next1 bv i = Bitvec_ref.next1 old_bv i)
+           (probe_indices len)
+      && List.for_all
+           (fun j -> Bitvec.select1 bv j = Bitvec_ref.select1 old_bv j)
+           (probe_js (Bitvec.count bv))
+      && List.for_all
+           (fun j -> Bitvec.select0 bv j = Bitvec_ref.select0 old_bv j)
+           (probe_js (len - Bitvec.count bv)))
+
+(* 12: broadword select_in_word vs a bit loop, on full 63-bit words *)
+let word_gen =
+  QCheck2.Gen.(
+    map2
+      (fun x hi -> if hi then x lor (1 lsl 62) else x)
+      (int_bound max_int) bool)
+
+let prop_bw_select_in_word =
+  qtest ~count:10_000 "bw: select_in_word = naive over 63 bits" word_gen
+    (fun w ->
+      let c = Popcnt.popcount w in
+      let seen = ref 0 and ok = ref true in
+      for k = 0 to 62 do
+        if (w lsr k) land 1 = 1 then begin
+          if Popcnt.select_in_word w !seen <> k then ok := false;
+          if Bitvec_ref.select_in_word w !seen <> k then ok := false;
+          incr seen
+        end
+      done;
+      !ok && !seen = c && c = Bitvec_ref.popcount w)
+
+(* 13: fused popcount2 and count_words against single-word popcounts *)
+let prop_bw_popcount2 =
+  qtest ~count:10_000 "bw: popcount2/count_words = popcount sums"
+    QCheck2.Gen.(array_size (int_range 0 24) word_gen)
+    (fun ws ->
+      let n = Array.length ws in
+      let sum lo hi =
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          s := !s + Popcnt.popcount ws.(i)
+        done;
+        !s
+      in
+      (n < 2
+      || Popcnt.popcount2 ws.(0) ws.(1)
+         = Popcnt.popcount ws.(0) + Popcnt.popcount ws.(1))
+      && Popcnt.count_words ws 0 n = sum 0 n
+      && Popcnt.count_words ws (n / 2) n = sum (n / 2) n
+      && Popcnt.count_words ws 0 0 = 0)
+
+(* 14: Sparse.rank (select0-bounded bucket + low-bits binary search)
+   against brute force *)
+let prop_bw_sparse_rank =
+  qtest ~count:10_000 "bw: Sparse.rank = naive (bucketed path)"
+    QCheck2.Gen.(
+      list_size (int_range 0 120) (int_bound 4095)
+      |> map (fun l -> List.sort_uniq compare l |> Array.of_list))
+    (fun a ->
+      let s = Sparse.of_sorted ~universe:4096 a in
+      let m = Array.length a in
+      let naive i =
+        let c = ref 0 in
+        Array.iter (fun v -> if v < i then incr c) a;
+        !c
+      in
+      let probes =
+        0 :: 4096
+        :: List.concat_map
+             (fun k ->
+               if k >= 0 && k < m then [ a.(k); a.(k) + 1; max 0 (a.(k) - 1) ]
+               else [])
+             [ 0; m / 2; m - 1 ]
+        @ [ 1; 63; 64; 504; 1000; 2048; 4095 ]
+      in
+      List.for_all (fun i -> Sparse.rank s i = naive i) probes
+      && (m = 0 || Sparse.next s 0 = a.(0)))
+
+(* 15: Wavelet.rank2 = (rank i, rank j), including swapped and clamped
+   endpoints and absent symbols *)
+let prop_bw_wavelet_rank2 =
+  qtest ~count:10_000 "bw: Wavelet.rank2 = (rank, rank)"
+    QCheck2.Gen.(
+      pair
+        (string_size ~gen:(map Char.chr (int_range 97 105)) (int_range 0 160))
+        (pair (int_range (-5) 170) (int_range (-5) 170)))
+    (fun (s, (i, j)) ->
+      let w = Wavelet.of_string s in
+      List.for_all
+        (fun c ->
+          let a, b = Wavelet.rank2 w c i j in
+          a = Wavelet.rank w c i && b = Wavelet.rank w c j)
+        [ 'a'; 'c'; 'h'; 'z'; '\000' ])
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic boundary enumeration                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A single set bit at every word / block / superblock boundary of
+   every boundary length: the exact cases where the interleaved
+   directory, the packed lane counts and the select samples meet. *)
+let test_bw_boundary_single_bit () =
+  List.iter
+    (fun len ->
+      let boundaries = ref [ 0; len - 1 ] in
+      let k = ref word_bits in
+      while !k < len do
+        boundaries := (!k - 1) :: !k :: !boundaries;
+        if !k + 1 < len then boundaries := (!k + 1) :: !boundaries;
+        k := !k + word_bits
+      done;
+      List.iter
+        (fun p ->
+          let bv = Bitvec.of_fun len (fun i -> i = p) in
+          Alcotest.(check int) "count" 1 (Bitvec.count bv);
+          Alcotest.(check int) "select1 0" p (Bitvec.select1 bv 0);
+          Alcotest.(check int) "rank1 p" 0 (Bitvec.rank1 bv p);
+          Alcotest.(check int) "rank1 (p+1)" 1 (Bitvec.rank1 bv (p + 1));
+          Alcotest.(check int) "rank1 len" 1 (Bitvec.rank1 bv len);
+          Alcotest.(check int) "next1 0" p (Bitvec.next1 bv 0);
+          Alcotest.(check int) "next1 p" p (Bitvec.next1 bv p);
+          Alcotest.(check int) "next1 past" (-1) (Bitvec.next1 bv (p + 1));
+          (* the zeros: j-th zero is j below p, j+1 at or above *)
+          if p > 0 then
+            Alcotest.(check int) "select0 before" (p - 1) (Bitvec.select0 bv (p - 1));
+          if p < len - 1 then
+            Alcotest.(check int) "select0 after" (p + 1) (Bitvec.select0 bv p))
+        (List.sort_uniq compare !boundaries))
+    boundary_lengths
+
+(* All-ones and all-zeros at the same boundary lengths: select1 is the
+   identity on the former, select0 on the latter, and the padding tail
+   past [len] must never leak into either. *)
+let test_bw_boundary_constant () =
+  List.iter
+    (fun len ->
+      let ones = Bitvec.of_fun len (fun _ -> true) in
+      let zeros = Bitvec.of_fun len (fun _ -> false) in
+      Alcotest.(check int) "ones count" len (Bitvec.count ones);
+      Alcotest.(check int) "zeros count" 0 (Bitvec.count zeros);
+      List.iter
+        (fun j ->
+          if j < len then begin
+            Alcotest.(check int) "select1 id" j (Bitvec.select1 ones j);
+            Alcotest.(check int) "select0 id" j (Bitvec.select0 zeros j)
+          end)
+        (probe_js len);
+      Alcotest.(check int) "ones next1 at end" (len - 1)
+        (Bitvec.next1 ones (len - 1));
+      Alcotest.(check int) "zeros next1" (-1) (Bitvec.next1 zeros 0))
+    boundary_lengths
+
+(* Regression: select0 near the implicit zero padding of the last
+   word.  Zeros that live only in the final partial word must be
+   found, and no select0 answer may ever reach [len] even though the
+   storage word has plenty of padding zeros past it. *)
+let test_bw_select0_padding_tail () =
+  List.iter
+    (fun len ->
+      (* all ones except a run of 5 zeros at the very end *)
+      let z = min 5 len in
+      let bv = Bitvec.of_fun len (fun i -> i < len - z) in
+      Alcotest.(check int) "zero count" z (Bitvec.rank0 bv len);
+      for j = 0 to z - 1 do
+        Alcotest.(check int) "tail zero" (len - z + j) (Bitvec.select0 bv j)
+      done;
+      (* single zero at the last position *)
+      if len > 0 then begin
+        let bv1 = Bitvec.of_fun len (fun i -> i <> len - 1) in
+        Alcotest.(check int) "last zero" (len - 1) (Bitvec.select0 bv1 0)
+      end)
+    boundary_lengths;
+  (* alternating vector big enough to cross several select-sample
+     blocks (samples are taken every 512 hits) for both pulses *)
+  let n = 4096 + 7 in
+  let alt = Bitvec.of_fun n (fun i -> i land 1 = 0) in
+  for j = 0 to (n / 2) - 1 do
+    if Bitvec.select1 alt j <> 2 * j then
+      Alcotest.failf "alt select1 %d: got %d" j (Bitvec.select1 alt j);
+    if Bitvec.select0 alt j <> (2 * j) + 1 then
+      Alcotest.failf "alt select0 %d: got %d" j (Bitvec.select0 alt j)
+  done
+
+(* Regression: next1 when the last set bit sits exactly on the final
+   word/superblock boundary. *)
+let test_bw_next1_last_bit () =
+  List.iter
+    (fun len ->
+      let bv = Bitvec.of_fun len (fun i -> i = len - 1) in
+      Alcotest.(check int) "next1 at last" (len - 1) (Bitvec.next1 bv (len - 1));
+      Alcotest.(check int) "next1 past last" (-1) (Bitvec.next1 bv len);
+      Alcotest.(check int) "next1 from 0" (len - 1) (Bitvec.next1 bv 0))
+    boundary_lengths
+
+(* of_bytes input validation: corrupt headers and padding must be
+   rejected, not silently mis-indexed. *)
+let test_bw_of_bytes_rejects () =
+  let bv = Bitvec.of_fun 100 (fun i -> i mod 3 = 0) in
+  let good = Bitvec.to_bytes bv in
+  let expect_fail name b =
+    match Bitvec.of_bytes b with
+    | _ -> Alcotest.failf "%s: accepted corrupt bytes" name
+    | exception Invalid_argument _ -> ()
+  in
+  (* round-trip sanity first *)
+  let bv' = Bitvec.of_bytes good in
+  Alcotest.(check int) "roundtrip count" (Bitvec.count bv) (Bitvec.count bv');
+  let corrupt_magic = Bytes.copy good in
+  Bytes.set corrupt_magic 0 'X';
+  expect_fail "magic" corrupt_magic;
+  let truncated = Bytes.sub good 0 (Bytes.length good - 3) in
+  expect_fail "truncated" truncated;
+  (* flip a bit in the padding tail of the final word: the stored
+     vector has 100 bits, so bits 100..125 of the last word must be
+     zero *)
+  let dirty_tail = Bytes.copy good in
+  let last = Bytes.length dirty_tail - 1 in
+  Bytes.set dirty_tail last
+    (Char.chr (Char.code (Bytes.get dirty_tail last) lor 0x40));
+  expect_fail "padding tail" dirty_tail
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end ladder: FM-index + tag index on an XMark document        *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernels feed every layer above; build the same XMark document
+   sequentially and at pool sizes 1/2/4 and demand identical count and
+   select answers from the text index (FM) and the tag index. *)
+let test_bw_e2e_pools () =
+  let xml = Sxsi_datagen.Xmark.generate ~scale:30 () in
+  let seq = Sxsi_xml.Document.of_xml ~backend:`Bp xml in
+  let patterns = [ "the"; "a"; "item"; "zz-no-such-pattern"; "0" ] in
+  let tc_seq = Sxsi_xml.Document.text seq in
+  let ti_seq = Sxsi_xml.Document.tag_index seq in
+  let tags = Sxsi_xml.Document.tag_count seq in
+  List.iter
+    (fun lazy_pool ->
+      let pool = Lazy.force lazy_pool in
+      let doc = Sxsi_xml.Document.of_xml ~pool ~backend:`Bp xml in
+      let tc = Sxsi_xml.Document.text doc in
+      let ti = Sxsi_xml.Document.tag_index doc in
+      let name fmt = Printf.sprintf fmt (Sxsi_par.Pool.size pool) in
+      (* FM-index count/select equality *)
+      List.iter
+        (fun p ->
+          Alcotest.(check int) (name "pool %d global_count")
+            (Sxsi_text.Text_collection.global_count tc_seq p)
+            (Sxsi_text.Text_collection.global_count tc p);
+          Alcotest.(check int) (name "pool %d contains_count")
+            (Sxsi_text.Text_collection.contains_count tc_seq p)
+            (Sxsi_text.Text_collection.contains_count tc p);
+          Alcotest.(check (list int)) (name "pool %d contains")
+            (Sxsi_text.Text_collection.contains tc_seq p)
+            (Sxsi_text.Text_collection.contains tc p))
+        patterns;
+      (* tag index count / rank / select equality *)
+      Alcotest.(check int) (name "pool %d tag_count") tags
+        (Sxsi_xml.Document.tag_count doc);
+      for t = 0 to tags - 1 do
+        let c = Sxsi_tree.Tag_index.count ti_seq t in
+        Alcotest.(check int) (name "pool %d tag count") c
+          (Sxsi_tree.Tag_index.count ti t);
+        let j = ref 0 in
+        while !j < c do
+          if
+            Sxsi_tree.Tag_index.select_tag ti_seq t !j
+            <> Sxsi_tree.Tag_index.select_tag ti t !j
+          then
+            Alcotest.failf "pool %d: select_tag %d %d differs"
+              (Sxsi_par.Pool.size pool) t !j;
+          j := !j + max 1 (c / 16)
+        done
+      done)
+    [ Test_par.pool1; Test_par.pool2; Test_par.pool4 ]
+
 let suite =
   ( "bits",
     [
@@ -434,4 +964,32 @@ let suite =
       Alcotest.test_case "int wavelet basic" `Quick test_int_wavelet_basic;
       prop_int_wavelet_access;
       prop_int_wavelet_range;
+      (* broadword kernel lockdown *)
+      prop_bw_rank1;
+      prop_bw_rank0_sum;
+      prop_bw_rank_select1_inverse;
+      prop_bw_select1_after_rank;
+      prop_bw_select0_inverse;
+      prop_bw_next1;
+      prop_bw_builder_push;
+      prop_bw_builder_push_run;
+      prop_bw_bytes_roundtrip;
+      prop_bw_old_layout_ladder;
+      prop_bw_ref_agreement;
+      prop_bw_select_in_word;
+      prop_bw_popcount2;
+      prop_bw_sparse_rank;
+      prop_bw_wavelet_rank2;
+      Alcotest.test_case "bw: single bit at every boundary" `Quick
+        test_bw_boundary_single_bit;
+      Alcotest.test_case "bw: all-ones/all-zeros at boundaries" `Quick
+        test_bw_boundary_constant;
+      Alcotest.test_case "bw: select0 padding tail" `Quick
+        test_bw_select0_padding_tail;
+      Alcotest.test_case "bw: next1 at final boundary" `Quick
+        test_bw_next1_last_bit;
+      Alcotest.test_case "bw: of_bytes rejects corruption" `Quick
+        test_bw_of_bytes_rejects;
+      Alcotest.test_case "bw: FM + tag index e2e, pools 1/2/4" `Slow
+        test_bw_e2e_pools;
     ] )
