@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate on the event-driven serve ladder (BENCH_service.json).
+
+The service bench section drives a live event-loop server over TCP
+with 1/4/16/64 depth-1 pipelined clients and reports cached
+queries-per-second per rung.  On the cached path the server does no
+engine work, so the ladder isolates the front end itself: parsing,
+routing, batching, and flushing.  A healthy event loop amortizes
+wakeups across connections, so throughput must RISE as clients are
+added — a front end that serializes or thrashes shows a flat or
+falling ladder instead.
+
+Two checks, both on the cache-on column:
+
+ 1. Hard floor: qps at 4 clients must be >= qps at 1 client.  This is
+    the acceptance gate of the evloop front end — more clients means
+    more requests per poll turn, which must never cost throughput.
+ 2. Continued rise: qps at 16 clients must be >= 90% of qps at 4.
+    The 10% allowance absorbs runner noise; an actual fall past it
+    means per-connection overhead grew superlinear (a poll-set or
+    flush regression).
+
+The 64-client rung is reported but not gated: at that depth a 1-2
+core CI runner measures scheduler contention more than the loop.
+
+Usage: check_service_bench.py BENCH_service.json
+"""
+import json
+import sys
+
+MAX_RISE_TOLERANCE = 0.90  # qps16 >= qps4 * this
+
+path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json"
+with open(path) as f:
+    doc = json.load(f)
+
+qps = {}
+for m in doc.get("measurements", []):
+    if "clients" in m and "qps_cache_on" in m:
+        qps[int(m["clients"])] = float(m["qps_cache_on"])
+
+missing = [c for c in (1, 4, 16) if c not in qps]
+if missing:
+    print(f"FAIL: {path} has no cached-throughput rung for clients={missing}")
+    sys.exit(1)
+
+print(f"{'clients':>8} {'qps (cache on)':>16}")
+for c in sorted(qps):
+    print(f"{c:>8} {qps[c]:>16.0f}")
+
+failures = []
+if qps[4] < qps[1]:
+    failures.append(
+        f"cached throughput at 4 clients ({qps[4]:.0f}/s) fell below "
+        f"1 client ({qps[1]:.0f}/s): the loop is not amortizing turns"
+    )
+if qps[16] < qps[4] * MAX_RISE_TOLERANCE:
+    failures.append(
+        f"cached throughput at 16 clients ({qps[16]:.0f}/s) fell below "
+        f"{MAX_RISE_TOLERANCE:.0%} of 4 clients ({qps[4]:.0f}/s): "
+        f"per-connection overhead grew superlinear"
+    )
+
+if failures:
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    sys.exit(1)
+
+print(
+    f"OK: ladder rises 1->4 ({qps[4] / qps[1]:.2f}x) and holds 4->16 "
+    f"({qps[16] / qps[4]:.2f}x)"
+)

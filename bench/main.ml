@@ -557,14 +557,16 @@ let streaming () =
 
 let service () =
   H.section
-    "Service throughput: N client domains x M queries (COUNT via the protocol layer)";
+    "Service throughput over TCP: N depth-1 clients x M queries (evloop front end)";
   let c = Lazy.force xmark_small in
   let doc = Lazy.force c.doc in
-  let lines =
+  let queries =
     Array.of_list (List.map (fun (_, q) -> "COUNT bench " ^ q) xmark_queries)
   in
-  let m = Array.length lines in
-  let mk_service ~cache =
+  let m = Array.length queries in
+  (* a fresh server per cell: the event-driven front end over one
+     shard, on an ephemeral port, stopped and joined after the cell *)
+  let with_server ~cache f =
     let options =
       {
         Sxsi_service.Service.default_options with
@@ -574,37 +576,112 @@ let service () =
     in
     let svc = Sxsi_service.Service.create ~options () in
     Sxsi_service.Service.add_document svc "bench" doc;
-    svc
-  in
-  let run ~domains ~cache =
-    let svc = mk_service ~cache in
-    (* warm the caches so the window measures steady-state serving *)
-    Array.iter (fun l -> ignore (Sxsi_service.Service.handle_line svc l)) lines;
-    let cursors = Array.make domains 0 in
-    let qps =
-      H.throughput_domains ~domains (fun i ->
-          let j = cursors.(i) in
-          cursors.(i) <- j + 1;
-          Sxsi_service.Service.handle_line svc lines.((j + i) mod m))
+    let stop = Atomic.make false in
+    let port = Atomic.make 0 in
+    let srv =
+      Domain.spawn (fun () ->
+          Sxsi_service.Ev_server.serve ~port:0
+            ~on_listen:(fun p -> Atomic.set port p)
+            ~stop:(fun () -> Atomic.get stop)
+            (Sxsi_service.Shards.of_service svc))
     in
-    let stat key =
-      match List.assoc_opt key (Sxsi_service.Service.stats svc) with
-      | Some v -> float_of_string v
-      | None -> 0.0
-    in
-    let hits = stat "compiled_hits" and misses = stat "compiled_misses" in
-    let hit_rate = if hits +. misses > 0.0 then 100.0 *. hits /. (hits +. misses) else 0.0 in
-    (qps, hit_rate)
+    while Atomic.get port = 0 do Thread.yield () done;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Domain.join srv;
+        Sxsi_service.Service.shutdown svc)
+      (fun () -> f (Atomic.get port) svc)
   in
-  Printf.printf "corpus %s: %d queries, window 0.5s per cell\n" c.name m;
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    (* depth-1 RPC over loopback: never wait for Nagle *)
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+  in
+  let exchange ic oc line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | exception End_of_file -> false
+    | l when l = "DATA" ->
+      let rec drain () = if input_line ic <> "." then drain () in
+      drain ();
+      true
+    | _ -> true
+  in
+  (* N clients, one OS thread each, request/response at pipeline depth
+     1: on one core, rising throughput with N comes from the loop
+     batching many connections per turn, not from parallelism *)
+  let run_clients ~clients ~window port =
+    let started = Atomic.make false in
+    let stop = Atomic.make false in
+    let counts = Array.make clients 0 in
+    let ready = Atomic.make 0 in
+    let threads =
+      List.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              let fd = connect port in
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              Fun.protect
+                ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () ->
+                  Atomic.incr ready;
+                  while not (Atomic.get started) do
+                    Thread.yield ()
+                  done;
+                  let j = ref (i * 3) in
+                  while not (Atomic.get stop) do
+                    let q = queries.(!j mod m) in
+                    incr j;
+                    if exchange ic oc q then counts.(i) <- counts.(i) + 1
+                    else Atomic.set stop true
+                  done))
+            ())
+    in
+    while Atomic.get ready < clients do Thread.yield () done;
+    let t0 = Unix.gettimeofday () in
+    Atomic.set started true;
+    Thread.delay window;
+    Atomic.set stop true;
+    let t1 = Unix.gettimeofday () in
+    List.iter Thread.join threads;
+    float_of_int (Array.fold_left ( + ) 0 counts) /. (t1 -. t0)
+  in
+  let run ~clients ~cache =
+    with_server ~cache (fun port svc ->
+        (* warm over the wire so the window measures steady-state *)
+        let fd = connect port in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        Array.iter (fun q -> ignore (exchange ic oc q : bool)) queries;
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        let qps = run_clients ~clients ~window:0.5 port in
+        let stat key =
+          match List.assoc_opt key (Sxsi_service.Service.stats svc) with
+          | Some v -> float_of_string v
+          | None -> 0.0
+        in
+        let hits = stat "compiled_hits" and misses = stat "compiled_misses" in
+        let hit_rate =
+          if hits +. misses > 0.0 then 100.0 *. hits /. (hits +. misses) else 0.0
+        in
+        (qps, hit_rate))
+  in
+  Printf.printf "corpus %s: %d queries, window 0.5s per cell, depth-1 TCP clients\n"
+    c.name m;
   let rows =
     List.map
-      (fun domains ->
-        let qps_on, hits_on = run ~domains ~cache:true in
-        let qps_off, hits_off = run ~domains ~cache:false in
+      (fun clients ->
+        let qps_on, hits_on = run ~clients ~cache:true in
+        let qps_off, hits_off = run ~clients ~cache:false in
         H.measure
           [
-            ("clients", J.Int domains);
+            ("clients", J.Int clients);
             ("queries", J.Int m);
             ("qps_cache_on", J.Float qps_on);
             ("hit_rate_cache_on", J.Float hits_on);
@@ -612,14 +689,14 @@ let service () =
             ("hit_rate_cache_off", J.Float hits_off);
           ];
         [
-          string_of_int domains;
+          string_of_int clients;
           H.pp_rate qps_on;
           Printf.sprintf "%.0f%%" hits_on;
           H.pp_rate qps_off;
           Printf.sprintf "%.0f%%" hits_off;
           Printf.sprintf "%.1fx" (qps_on /. qps_off);
         ])
-      [ 1; 2; 4 ]
+      [ 1; 4; 16; 64 ]
   in
   H.table
     [ "clients"; "cache on"; "hit rate"; "cache off"; "hit rate"; "cached gain" ]

@@ -1,0 +1,162 @@
+(* The event loop: a registration table over {!Poll}, a {!Wheel} of
+   timer callbacks, and a thread-safe [post] queue with a self-pipe
+   wakeup, run single-threaded by one owning domain.
+
+   Each turn: drain posted closures, fire due timers, size the poll
+   timeout from the wheel (capped so [stop] is polled even when idle),
+   wait, dispatch readiness callbacks.  Everything except [post] must
+   be called from the owning domain. *)
+
+module Counter = Sxsi_obs.Counter
+module J = Sxsi_obs.Journal
+
+let n_turn = J.name "evloop/turn"
+let n_wakeup = J.name "evloop/wakeup"
+
+(* Cap on the poll timeout so [stop] is checked regularly. *)
+let max_timeout_ms = 200
+
+type handler = {
+  mutable interest : int;
+  on_event : int -> unit;  (* readiness mask (Poll.ev_* bits) *)
+}
+
+type t = {
+  poll : Poll.t;
+  handlers : (Unix.file_descr, handler) Hashtbl.t;
+  wheel : (unit -> unit) Wheel.t;
+  posted : (unit -> unit) Queue.t;
+  posted_lock : Mutex.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  wake_armed : bool Atomic.t;  (* a wake byte is already in the pipe *)
+  turns : Counter.t;           (* loop iterations *)
+  wakeups : Counter.t;         (* cross-thread wakeup bytes consumed *)
+  timers_fired : Counter.t;
+  mutable stopped : bool;
+}
+
+let create () =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      poll = Poll.create ();
+      handlers = Hashtbl.create 64;
+      wheel = Wheel.create ~now_ns:(Sxsi_obs.Clock.now_ns ()) ();
+      posted = Queue.create ();
+      posted_lock = Mutex.create ();
+      wake_r;
+      wake_w;
+      wake_armed = Atomic.make false;
+      turns = Counter.create ();
+      wakeups = Counter.create ();
+      timers_fired = Counter.create ();
+      stopped = false;
+    }
+  in
+  (* the self-pipe is an ordinary registration: drain it and disarm *)
+  Hashtbl.replace t.handlers wake_r
+    {
+      interest = Poll.ev_read;
+      on_event =
+        (fun _ ->
+          let buf = Bytes.create 64 in
+          (try
+             while Unix.read wake_r buf 0 64 > 0 do
+               ()
+             done
+           with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+          Atomic.set t.wake_armed false;
+          Counter.incr t.wakeups;
+          J.instant J.Evloop n_wakeup ());
+    };
+  Poll.set t.poll wake_r Poll.ev_read;
+  t
+
+let close t =
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+let register t fd ~interest ~on_event =
+  Hashtbl.replace t.handlers fd { interest; on_event };
+  Poll.set t.poll fd interest
+
+let set_interest t fd interest =
+  match Hashtbl.find_opt t.handlers fd with
+  | None -> ()
+  | Some h ->
+    if h.interest <> interest then begin
+      h.interest <- interest;
+      Poll.set t.poll fd interest
+    end
+
+let interest t fd =
+  match Hashtbl.find_opt t.handlers fd with Some h -> h.interest | None -> 0
+
+let unregister t fd =
+  Hashtbl.remove t.handlers fd;
+  Poll.remove t.poll fd
+
+let registered t = Hashtbl.length t.handlers - 1 (* minus the self-pipe *)
+
+let timer_at t ~at_ns f = Wheel.schedule t.wheel ~at_ns f
+let cancel_timer t timer = Wheel.cancel t.wheel timer
+
+let post t f =
+  Mutex.protect t.posted_lock (fun () -> Queue.push f t.posted);
+  (* one byte in the pipe is enough to interrupt any number of turns *)
+  if not (Atomic.exchange t.wake_armed true) then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+      -> ()
+
+let drain_posted t =
+  let batch =
+    Mutex.protect t.posted_lock (fun () ->
+        let b = Queue.copy t.posted in
+        Queue.clear t.posted;
+        b)
+  in
+  let n = Queue.length batch in
+  Queue.iter (fun f -> f ()) batch;
+  n
+
+let turns_total t = Counter.get t.turns
+let wakeups_total t = Counter.get t.wakeups
+let timers_fired_total t = Counter.get t.timers_fired
+let turns_counter t = t.turns
+let wakeups_counter t = t.wakeups
+
+let run ?(stop = fun () -> false) t =
+  t.stopped <- false;
+  while not (t.stopped || stop ()) do
+    Counter.incr t.turns;
+    let posted = drain_posted t in
+    let now = Sxsi_obs.Clock.now_ns () in
+    let due = Wheel.advance t.wheel ~now_ns:now in
+    List.iter
+      (fun f ->
+        Counter.incr t.timers_fired;
+        f ())
+      due;
+    let timeout =
+      let pending_posts = Mutex.protect t.posted_lock (fun () -> Queue.length t.posted) in
+      if pending_posts > 0 then 0
+      else
+        match Wheel.next_delay_ms t.wheel ~now_ns:(Sxsi_obs.Clock.now_ns ()) with
+        | Some d -> min d max_timeout_ms
+        | None -> max_timeout_ms
+    in
+    J.begin_span J.Evloop n_turn ();
+    let fired =
+      Poll.wait t.poll ~timeout_ms:timeout (fun fd readiness ->
+          match Hashtbl.find_opt t.handlers fd with
+          | Some h -> h.on_event readiness
+          | None -> ())
+    in
+    J.end_span J.Evloop n_turn ~a:fired ~b:posted ()
+  done
+
+let stop t = t.stopped <- true

@@ -1,0 +1,75 @@
+(** The event loop: readiness callbacks over {!Poll}, timer callbacks
+    over {!Wheel}, and a thread-safe {!post} queue with a self-pipe
+    wakeup.
+
+    One domain owns the loop and calls everything except {!post},
+    which any thread may call to hand a closure to the loop (executor
+    domains post completions this way).  Each turn drains posted
+    closures, fires due timers, then polls with a timeout bounded by
+    the nearest timer (and capped so [stop] is rechecked while
+    idle). *)
+
+type t
+
+val create : unit -> t
+(** Allocates the self-pipe; pair with {!close}. *)
+
+val close : t -> unit
+(** Close the self-pipe.  Registered fds belong to the caller. *)
+
+(** {1 Readiness} *)
+
+val register :
+  t -> Unix.file_descr -> interest:int -> on_event:(int -> unit) -> unit
+(** Watch [fd] for the {!Poll.ev_read}/{!Poll.ev_write} bits of
+    [interest]; [on_event] receives the fired readiness mask (which
+    may include {!Poll.ev_error}).  Re-registering replaces the
+    handler. *)
+
+val set_interest : t -> Unix.file_descr -> int -> unit
+(** Change what an fd is watched for; no-op on unregistered fds.
+    Interest [0] keeps the registration but polls for nothing — how a
+    connection above its write high-water mark stops reading. *)
+
+val interest : t -> Unix.file_descr -> int
+(** Current interest bits; [0] when unregistered. *)
+
+val unregister : t -> Unix.file_descr -> unit
+(** Forget [fd] (does not close it).  Safe during dispatch: a pending
+    event for an fd unregistered this turn is dropped. *)
+
+val registered : t -> int
+(** Watched fds, excluding the loop's own self-pipe. *)
+
+(** {1 Timers} *)
+
+val timer_at : t -> at_ns:int -> (unit -> unit) -> (unit -> unit) Wheel.timer
+(** Run a callback at an absolute {!Sxsi_obs.Clock} deadline. *)
+
+val cancel_timer : t -> (unit -> unit) Wheel.timer -> unit
+
+(** {1 Cross-thread handoff} *)
+
+val post : t -> (unit -> unit) -> unit
+(** Enqueue a closure for the loop to run at the top of its next turn,
+    waking it if it is parked in poll.  The only thread-safe entry
+    point. *)
+
+(** {1 Running} *)
+
+val run : ?stop:(unit -> bool) -> t -> unit
+(** Turn the loop until [stop] returns [true] (checked at least every
+    200ms) or {!stop} is called from a callback. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current turn.  Loop-thread only; from
+    another thread, [post] a closure that calls it. *)
+
+(** {1 Introspection} *)
+
+val turns_total : t -> int
+val wakeups_total : t -> int
+val timers_fired_total : t -> int
+
+val turns_counter : t -> Sxsi_obs.Counter.t
+val wakeups_counter : t -> Sxsi_obs.Counter.t

@@ -1,0 +1,128 @@
+(* A growable byte queue with a consumed head: the read side appends
+   socket bytes at the tail and parses lines off the head; the write
+   side appends response bytes at the tail and flushes from the head.
+   The head is compacted away when it outgrows half the buffer, so
+   steady-state pipelining never reallocates. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable head : int;  (* first live byte *)
+  mutable tail : int;  (* one past the last live byte *)
+}
+
+let create ?(initial = 4096) () =
+  { buf = Bytes.create (max 16 initial); head = 0; tail = 0 }
+
+let length t = t.tail - t.head
+let is_empty t = t.head = t.tail
+let capacity t = Bytes.length t.buf
+
+let clear t =
+  t.head <- 0;
+  t.tail <- 0
+
+let compact t =
+  if t.head > 0 then begin
+    let n = length t in
+    Bytes.blit t.buf t.head t.buf 0 n;
+    t.head <- 0;
+    t.tail <- n
+  end
+
+let reserve t n =
+  if t.tail + n > Bytes.length t.buf then begin
+    let live = length t in
+    if live + n <= Bytes.length t.buf then compact t
+    else begin
+      let cap = ref (max 16 (2 * Bytes.length t.buf)) in
+      while live + n > !cap do
+        cap := 2 * !cap
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.buf t.head nb 0 live;
+      t.buf <- nb;
+      t.head <- 0;
+      t.tail <- live
+    end
+  end
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf t.tail n;
+  t.tail <- t.tail + n
+
+let contents t = Bytes.sub_string t.buf t.head (length t)
+
+let consume t n =
+  if n < 0 || n > length t then invalid_arg "Netbuf.consume";
+  t.head <- t.head + n;
+  if t.head = t.tail then clear t
+  else if t.head > Bytes.length t.buf / 2 then compact t
+
+(* ------------------------------------------------------------------ *)
+(* Socket I/O                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type fill = Filled of int | Eof | Fill_would_block | Closed_by_peer
+
+let fill_from t fd ~max =
+  reserve t max;
+  match Unix.read fd t.buf t.tail max with
+  | 0 -> Eof
+  | n ->
+    t.tail <- t.tail + n;
+    Filled n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Fill_would_block
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Closed_by_peer
+
+type flush = Flushed of int | Flush_would_block of int | Peer_gone
+
+let flush_to t fd =
+  let total = ref 0 in
+  let rec go () =
+    let n = length t in
+    if n = 0 then Flushed !total
+    else
+      match Unix.write fd t.buf t.head n with
+      | w ->
+        total := !total + w;
+        consume t w;
+        if w < n then Flush_would_block !total else go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Flush_would_block !total
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> Peer_gone
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Line framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type line = Line of string | Too_long | More
+
+let index_nl t =
+  let rec go i = if i >= t.tail then -1 else if Bytes.get t.buf i = '\n' then i else go (i + 1) in
+  go t.head
+
+let next_line t ~max_line =
+  match index_nl t with
+  | -1 -> if length t > max_line then Too_long else More
+  | i ->
+    let n = i - t.head in
+    if n > max_line then Too_long
+    else begin
+      let s = Bytes.sub_string t.buf t.head n in
+      consume t (n + 1);
+      Line s
+    end
+
+let drain_line t =
+  match index_nl t with
+  | -1 ->
+    clear t;
+    false
+  | i ->
+    consume t (i - t.head + 1);
+    true

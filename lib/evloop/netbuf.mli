@@ -1,0 +1,67 @@
+(** Growable byte queues for non-blocking connections.
+
+    One buffer per direction per connection: the read side appends
+    whatever the socket had and parses protocol lines off the head;
+    the write side queues response bytes and flushes as much as the
+    socket accepts, surviving partial writes.  The consumed head is
+    compacted away opportunistically, so steady-state pipelining does
+    not reallocate. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** A fresh empty buffer ([initial] bytes of capacity, default 4096). *)
+
+val length : t -> int
+(** Live (unconsumed) bytes. *)
+
+val is_empty : t -> bool
+val capacity : t -> int
+val clear : t -> unit
+
+val add_string : t -> string -> unit
+(** Append bytes at the tail, growing as needed. *)
+
+val contents : t -> string
+(** Copy of the live bytes (diagnostics/tests). *)
+
+val consume : t -> int -> unit
+(** Drop [n] bytes off the head.  Raises [Invalid_argument] past the
+    live length. *)
+
+(** {1 Socket I/O} *)
+
+type fill =
+  | Filled of int        (** read this many bytes into the buffer *)
+  | Eof                  (** orderly end of stream *)
+  | Fill_would_block     (** nothing available on a non-blocking fd *)
+  | Closed_by_peer       (** [ECONNRESET]/[EPIPE] *)
+
+val fill_from : t -> Unix.file_descr -> max:int -> fill
+(** One [read] of at most [max] bytes appended at the tail. *)
+
+type flush =
+  | Flushed of int           (** the buffer is empty; wrote this many bytes *)
+  | Flush_would_block of int (** wrote this many bytes; more remain queued *)
+  | Peer_gone                (** [EPIPE]/[ECONNRESET] *)
+
+val flush_to : t -> Unix.file_descr -> flush
+(** Write as much of the buffer as the socket accepts, consuming what
+    was written.  Partial writes keep the rest queued in order — the
+    next flush resumes exactly where this one stopped. *)
+
+(** {1 Line framing} *)
+
+type line =
+  | Line of string  (** a complete line, consumed, without its ['\n'] *)
+  | Too_long        (** the buffered line exceeds [max_line]; nothing was
+                        consumed — discard it with {!drain_line} until
+                        that returns [true] *)
+  | More            (** no complete line buffered yet *)
+
+val next_line : t -> max_line:int -> line
+
+val drain_line : t -> bool
+(** Discard bytes up to and including the next newline.  Returns
+    [false] (and empties the buffer) when no newline is buffered yet —
+    keep draining on the next read. *)

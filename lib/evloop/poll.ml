@@ -1,0 +1,125 @@
+type backend = Poll_syscall | Select
+
+(* Read per call (it is one environment lookup per loop turn): tests
+   flip SXSI_EVLOOP_POLL with [Unix.putenv] to drive both backends in
+   one process. *)
+let backend () =
+  match Sys.getenv_opt "SXSI_EVLOOP_POLL" with
+  | Some "select" -> Select
+  | Some _ | None -> Poll_syscall
+
+let ev_read = 1
+let ev_write = 2
+let ev_error = 4
+
+(* The stub reads the fd array with Int_val: on Unix a file_descr is an
+   immediate int, so the arrays cross the boundary without copying. *)
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "sxsi_evloop_poll"
+
+type slot = { mutable interest : int; mutable idx : int }
+
+type t = {
+  tbl : (Unix.file_descr, slot) Hashtbl.t;
+  mutable fds : Unix.file_descr array;      (* packed registrations *)
+  mutable events : int array;               (* interest masks, same index *)
+  mutable revents : int array;              (* readiness out-param *)
+  mutable n : int;
+  mutable dirty : bool;                     (* packed arrays need a rebuild *)
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 64;
+    fds = [||];
+    events = [||];
+    revents = [||];
+    n = 0;
+    dirty = false;
+  }
+
+let set t fd interest =
+  match Hashtbl.find_opt t.tbl fd with
+  | Some s ->
+    s.interest <- interest;
+    if not t.dirty then t.events.(s.idx) <- interest
+  | None ->
+    Hashtbl.add t.tbl fd { interest; idx = -1 };
+    t.dirty <- true
+
+let remove t fd =
+  if Hashtbl.mem t.tbl fd then begin
+    Hashtbl.remove t.tbl fd;
+    t.dirty <- true
+  end
+
+let cardinal t = Hashtbl.length t.tbl
+
+let rebuild t =
+  let n = Hashtbl.length t.tbl in
+  if Array.length t.fds < n then begin
+    let cap = max 16 (max n (2 * Array.length t.fds)) in
+    t.fds <- Array.make cap Unix.stdin;
+    t.events <- Array.make cap 0;
+    t.revents <- Array.make cap 0
+  end;
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun fd s ->
+      t.fds.(!i) <- fd;
+      t.events.(!i) <- s.interest;
+      s.idx <- !i;
+      incr i)
+    t.tbl;
+  t.n <- n;
+  t.dirty <- false
+
+let dispatch t ready_of_fd k =
+  (* Snapshot-driven dispatch: registration changes made by the
+     callback only take effect on the next [wait].  Skip fds the
+     callback removed meanwhile. *)
+  let fired = ref 0 in
+  for i = 0 to t.n - 1 do
+    let r = ready_of_fd i in
+    if r <> 0 && Hashtbl.mem t.tbl t.fds.(i) then begin
+      incr fired;
+      k t.fds.(i) r
+    end
+  done;
+  !fired
+
+let wait_poll t ~timeout_ms k =
+  let rc = poll_stub t.fds t.events t.revents t.n timeout_ms in
+  if rc = 0 then 0 else dispatch t (fun i -> t.revents.(i)) k
+
+let wait_select t ~timeout_ms k =
+  let rd = ref [] and wr = ref [] in
+  for i = 0 to t.n - 1 do
+    if t.events.(i) land ev_read <> 0 then rd := t.fds.(i) :: !rd;
+    if t.events.(i) land ev_write <> 0 then wr := t.fds.(i) :: !wr
+  done;
+  let timeout = if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0 in
+  match Unix.select !rd !wr [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+  | rready, wready, _ ->
+    if rready = [] && wready = [] then 0
+    else
+      dispatch t
+        (fun i ->
+          let fd = t.fds.(i) in
+          (if List.memq fd rready then ev_read else 0)
+          lor if List.memq fd wready then ev_write else 0)
+        k
+
+let wait t ~timeout_ms k =
+  if t.dirty then rebuild t;
+  if t.n = 0 then begin
+    (* nothing registered: just honor the timeout *)
+    if timeout_ms > 0 then Unix.sleepf (float_of_int timeout_ms /. 1000.0);
+    0
+  end
+  else
+    match backend () with
+    | Poll_syscall -> wait_poll t ~timeout_ms k
+    | Select -> wait_select t ~timeout_ms k

@@ -1,0 +1,79 @@
+/* poll(2) binding for the event loop.
+ *
+ * The OCaml side passes parallel int arrays (fds, interest masks) and
+ * a preallocated revents array; the stub copies them into a C pollfd
+ * array, releases the runtime lock for the blocking call, and writes
+ * the readiness masks back.  Interest/readiness bits are the ones
+ * Sxsi_evloop.Poll documents: 1 = readable, 2 = writable, 4 = error
+ * or hangup.  All values are immediate ints, so no caml_modify is
+ * needed when writing results.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define SXSI_EV_READ 1
+#define SXSI_EV_WRITE 2
+#define SXSI_EV_ERROR 4
+
+/* Small registrations poll from a stack buffer; big ones allocate. */
+#define SXSI_POLL_STACK 128
+
+CAMLprim value sxsi_evloop_poll(value v_fds, value v_events, value v_revents,
+                                value v_nfds, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_nfds, v_timeout_ms);
+  int n = Int_val(v_nfds);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd stack_pfds[SXSI_POLL_STACK];
+  struct pollfd *pfds = stack_pfds;
+  int i, rc;
+
+  if (n < 0 || n > Wosize_val(v_fds) || n > Wosize_val(v_events)
+      || n > Wosize_val(v_revents))
+    caml_invalid_argument("Sxsi_evloop.Poll: inconsistent array sizes");
+
+  if (n > SXSI_POLL_STACK) {
+    pfds = malloc((size_t)n * sizeof(struct pollfd));
+    if (pfds == NULL) caml_raise_out_of_memory();
+  }
+
+  for (i = 0; i < n; i++) {
+    int interest = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = 0;
+    if (interest & SXSI_EV_READ) pfds[i].events |= POLLIN;
+    if (interest & SXSI_EV_WRITE) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (rc < 0) {
+    int err = errno;
+    if (pfds != stack_pfds) free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(0));
+    caml_unix_error(err, "poll", Nothing);
+  }
+
+  for (i = 0; i < n; i++) {
+    int r = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP)) r |= SXSI_EV_READ;
+    if (pfds[i].revents & POLLOUT) r |= SXSI_EV_WRITE;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) r |= SXSI_EV_ERROR;
+    Field(v_revents, i) = Val_int(r);
+  }
+
+  if (pfds != stack_pfds) free(pfds);
+  CAMLreturn(Val_int(rc));
+}

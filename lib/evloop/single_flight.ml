@@ -1,0 +1,82 @@
+(* Single-flight coalescing: identical in-flight requests share one
+   evaluation.  The first joiner of a key becomes the leader and
+   carries the work; later joiners attach as waiters and receive the
+   leader's result verbatim when it completes — including error
+   results, so a stampede on a query that trips its budget costs one
+   evaluation and fans the same ERR to everyone.
+
+   Entries can be [seal]ed by group (the service seals a document's
+   entries when a LOAD or EVICT for it is enqueued): a sealed entry
+   still completes and fans out to the waiters it already has, but
+   accepts no new ones — requests parsed after the mutation see a
+   fresh evaluation, preserving FIFO semantics per document.
+
+   Owned by the loop thread; not thread-safe. *)
+
+module Counter = Sxsi_obs.Counter
+
+type 'w entry = {
+  key : string;
+  group : string;
+  mutable waiters : 'w list;  (* reversed join order, leader's first *)
+  mutable sealed : bool;
+}
+
+type 'w t = {
+  tbl : (string, 'w entry) Hashtbl.t;
+  leaders : Counter.t;    (* entries created = evaluations started *)
+  coalesced : Counter.t;  (* waiters attached beyond the leader *)
+  seals : Counter.t;      (* entries sealed by a mutation *)
+}
+
+type 'w outcome = Leader of 'w entry | Attached
+
+let create () =
+  {
+    tbl = Hashtbl.create 64;
+    leaders = Counter.create ();
+    coalesced = Counter.create ();
+    seals = Counter.create ();
+  }
+
+let key e = e.key
+
+let join t ~key:k ~group w =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e when not e.sealed ->
+    e.waiters <- w :: e.waiters;
+    Counter.incr t.coalesced;
+    Attached
+  | Some _ | None ->
+    let e = { key = k; group; waiters = [ w ]; sealed = false } in
+    Hashtbl.replace t.tbl k e;
+    Counter.incr t.leaders;
+    Leader e
+
+(* Completion goes through the entry handle, not the key: a sealed (or
+   superseded) entry is no longer in the table but still owes its
+   waiters their fan-out. *)
+let complete t e =
+  (match Hashtbl.find_opt t.tbl e.key with
+  | Some cur when cur == e -> Hashtbl.remove t.tbl e.key
+  | Some _ | None -> ());
+  List.rev e.waiters
+
+let seal_group t group =
+  let sealed = ref [] in
+  Hashtbl.iter
+    (fun k e ->
+      if e.group = group && not e.sealed then begin
+        e.sealed <- true;
+        Counter.incr t.seals;
+        sealed := k :: !sealed
+      end)
+    t.tbl;
+  List.iter (Hashtbl.remove t.tbl) !sealed
+
+let in_flight t = Hashtbl.length t.tbl
+let leaders_total t = Counter.get t.leaders
+let coalesced_total t = Counter.get t.coalesced
+let seals_total t = Counter.get t.seals
+let leaders_counter t = t.leaders
+let coalesced_counter t = t.coalesced

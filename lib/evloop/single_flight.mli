@@ -1,0 +1,49 @@
+(** Single-flight coalescing of identical in-flight work.
+
+    The first joiner of a key becomes the {e leader} and carries the
+    evaluation; later joiners attach as waiters and receive the
+    leader's result verbatim on {!complete} — error results included,
+    so a stampede on a query that trips its budget costs one
+    evaluation and fans the same [ERR] to every connection.
+
+    Keys are opaque strings (the service keys on verb, document,
+    generation-independent name, query text, and the session's
+    effective deadline).  ['w] is whatever the caller needs to deliver
+    a result to one waiter.  Not thread-safe; owned by the loop. *)
+
+type 'w t
+type 'w entry
+
+val create : unit -> 'w t
+
+type 'w outcome =
+  | Leader of 'w entry
+      (** a fresh entry: the caller owes it an evaluation and a
+          {!complete} *)
+  | Attached  (** joined an in-flight entry; no work to do *)
+
+val join : 'w t -> key:string -> group:string -> 'w -> 'w outcome
+(** Attach [w] under [key].  [group] tags the entry for {!seal_group}
+    (the service uses the document name). *)
+
+val complete : 'w t -> 'w entry -> 'w list
+(** The entry's waiters in join order (the leader's waiter first),
+    removing the entry from the table.  Completion goes through the
+    entry handle so sealed entries — already out of the table — still
+    fan out. *)
+
+val seal_group : 'w t -> string -> unit
+(** Stop coalescing into every in-flight entry of this group: existing
+    waiters keep their pending fan-out, but subsequent {!join}s with
+    the same keys start fresh evaluations.  Called when a mutation
+    (reload/evict) of the group is enqueued, so coalescing never
+    crosses a write. *)
+
+val key : 'w entry -> string
+val in_flight : 'w t -> int
+val leaders_total : 'w t -> int
+val coalesced_total : 'w t -> int
+val seals_total : 'w t -> int
+
+val leaders_counter : 'w t -> Sxsi_obs.Counter.t
+val coalesced_counter : 'w t -> Sxsi_obs.Counter.t

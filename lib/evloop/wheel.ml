@@ -1,0 +1,104 @@
+(* A hashed timer wheel on the monotonic clock: [slots] buckets of
+   [tick_ms] milliseconds each.  A timer lands in the bucket of its
+   deadline tick; firing a bucket walks its list, expiring entries
+   whose deadline has passed and keeping the rest (timers further than
+   one revolution away) for the next pass.  Cancellation is a flag —
+   cancelled entries are dropped lazily when their bucket fires, so
+   the common reschedule-on-activity pattern (idle timeouts) is O(1)
+   and allocation-light.
+
+   [earliest_ns] is a lower bound on the next live deadline, tightened
+   on [schedule] and recomputed by a full scan only when an [advance]
+   crosses it without firing anything (a cancelled front timer).  The
+   loop uses it to size its poll timeout without scanning the wheel
+   every turn. *)
+
+type 'a timer = {
+  deadline_ns : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  tick_ns : int;
+  slots : 'a timer list array;
+  mutable current_tick : int;  (* next tick to inspect *)
+  mutable pending : int;       (* live (non-cancelled) timers *)
+  mutable earliest_ns : int;   (* lower bound on the next live deadline *)
+}
+
+let create ?(tick_ms = 10) ?(slots = 256) ~now_ns () =
+  if tick_ms <= 0 || slots <= 0 then invalid_arg "Wheel.create";
+  let tick_ns = tick_ms * 1_000_000 in
+  {
+    tick_ns;
+    slots = Array.make slots [];
+    current_tick = now_ns / tick_ns;
+    pending = 0;
+    earliest_ns = max_int;
+  }
+
+let pending t = t.pending
+
+let schedule t ~at_ns payload =
+  let timer = { deadline_ns = at_ns; payload; cancelled = false } in
+  (* never schedule behind the cursor: late timers fire on the next
+     advance *)
+  let tick = max (at_ns / t.tick_ns) t.current_tick in
+  let slot = tick mod Array.length t.slots in
+  t.slots.(slot) <- timer :: t.slots.(slot);
+  t.pending <- t.pending + 1;
+  if at_ns < t.earliest_ns then t.earliest_ns <- at_ns;
+  timer
+
+let cancel t timer =
+  if not timer.cancelled then begin
+    timer.cancelled <- true;
+    t.pending <- t.pending - 1
+  end
+
+let rescan_earliest t =
+  let best = ref max_int in
+  Array.iter
+    (List.iter (fun timer ->
+         if (not timer.cancelled) && timer.deadline_ns < !best then
+           best := timer.deadline_ns))
+    t.slots;
+  t.earliest_ns <- !best
+
+(* Expired payloads, oldest bucket first.  Buckets keep entries that
+   belong to a later revolution of the wheel. *)
+let advance t ~now_ns =
+  let target = now_ns / t.tick_ns in
+  let fired = ref [] in
+  let sweep slot =
+    let keep = ref [] in
+    List.iter
+      (fun timer ->
+        if timer.cancelled then ()
+        else if timer.deadline_ns <= now_ns then begin
+          t.pending <- t.pending - 1;
+          fired := timer.payload :: !fired
+        end
+        else keep := timer :: !keep)
+      t.slots.(slot);
+    t.slots.(slot) <- !keep
+  in
+  while t.current_tick < target do
+    sweep (t.current_tick mod Array.length t.slots);
+    t.current_tick <- t.current_tick + 1
+  done;
+  (* the still-elapsing tick: fire what is already due, but keep the
+     cursor on its bucket so a timer due later in this same tick is
+     seen again rather than stranded for a whole revolution *)
+  sweep (t.current_tick mod Array.length t.slots);
+  if t.pending = 0 then t.earliest_ns <- max_int
+  else if t.earliest_ns <= now_ns then rescan_earliest t;
+  List.rev !fired
+
+(* Milliseconds until the next live timer could fire; [None] when
+   nothing is pending.  A lower bound: cancelled timers can make the
+   loop wake early, never late. *)
+let next_delay_ms t ~now_ns =
+  if t.pending = 0 then None
+  else Some (max 0 ((t.earliest_ns - now_ns + 999_999) / 1_000_000))

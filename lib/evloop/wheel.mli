@@ -1,0 +1,38 @@
+(** A hashed timer wheel on the monotonic clock, for connection
+    deadlines and idle timeouts.
+
+    Scheduling and cancellation are O(1); {!advance} pays O(buckets
+    crossed + entries inspected).  Cancelled timers are dropped lazily
+    when their bucket comes around, so the reschedule-on-activity
+    pattern (push an idle deadline forward on every read) costs one
+    flag write and one cons per activity burst.  Not thread-safe;
+    owned by the loop. *)
+
+type 'a t
+
+type 'a timer
+
+val create : ?tick_ms:int -> ?slots:int -> now_ns:int -> unit -> 'a t
+(** A wheel of [slots] buckets (default 256) of [tick_ms] milliseconds
+    each (default 10): deadlines resolve to the tick, timers further
+    than one revolution out stay parked until their round. *)
+
+val schedule : 'a t -> at_ns:int -> 'a -> 'a timer
+(** Arm a timer at an absolute {!Sxsi_obs.Clock} nanosecond deadline.
+    Deadlines in the past fire on the next {!advance}. *)
+
+val cancel : 'a t -> 'a timer -> unit
+(** Disarm; idempotent.  The entry is reclaimed when its bucket next
+    fires. *)
+
+val advance : 'a t -> now_ns:int -> 'a list
+(** Collect the payloads of every timer whose deadline has passed, in
+    bucket order, removing them from the wheel. *)
+
+val next_delay_ms : 'a t -> now_ns:int -> int option
+(** A lower bound, in milliseconds, on the delay until the next live
+    timer fires — the loop's poll timeout.  [None] when no timer is
+    pending.  Cancelled timers can make this early, never late. *)
+
+val pending : 'a t -> int
+(** Live (scheduled, not cancelled, not yet fired) timers. *)

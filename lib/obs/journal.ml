@@ -17,9 +17,9 @@
    span reconstruction below tolerates arbitrary prefixes/garbage, so a
    torn record costs at most one bogus span. *)
 
-type category = Engine | Pool | Qos | Service | Runtime
+type category = Engine | Pool | Qos | Service | Runtime | Evloop
 
-let all_categories = [ Engine; Pool; Qos; Service; Runtime ]
+let all_categories = [ Engine; Pool; Qos; Service; Runtime; Evloop ]
 
 let category_index = function
   | Engine -> 0
@@ -27,6 +27,7 @@ let category_index = function
   | Qos -> 2
   | Service -> 3
   | Runtime -> 4
+  | Evloop -> 5
 
 let category_label = function
   | Engine -> "engine"
@@ -34,6 +35,7 @@ let category_label = function
   | Qos -> "qos"
   | Service -> "service"
   | Runtime -> "runtime"
+  | Evloop -> "evloop"
 
 let category_of_label = function
   | "engine" -> Some Engine
@@ -41,6 +43,7 @@ let category_of_label = function
   | "qos" -> Some Qos
   | "service" -> Some Service
   | "runtime" -> Some Runtime
+  | "evloop" -> Some Evloop
   | _ -> None
 
 type kind = Begin | End | Instant
@@ -236,6 +239,7 @@ let decode r seq =
     | 1 -> Pool
     | 2 -> Qos
     | 3 -> Service
+    | 5 -> Evloop
     | _ -> Runtime
   in
   { seq; ts = r.rts.(i); kind; cat; rname = name_label (code_name code); a = r.ra.(i); b = r.rb.(i) }

@@ -31,6 +31,7 @@ type category =
   | Qos       (** resource governance: budget trips, breaker transitions *)
   | Service   (** the request lifecycle: queue, parse, eval, write, shed *)
   | Runtime   (** the runtime sampler's own marks *)
+  | Evloop    (** the event-driven server: loop turns, flushes, coalescing *)
 
 val all_categories : category list
 

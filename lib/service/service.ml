@@ -197,6 +197,10 @@ let register_server t ~workers ~queue_depth =
       gauge ~help:"Connections waiting in the accept queue."
         ~name:"sxsi_server_queue_depth" (fun () -> float_of_int (queue_depth ())))
 
+(* Front ends with their own instrumentation (the event loop's turn
+   and coalescing counters) register it under the same lock. *)
+let register_exposition t f = Mutex.protect t.lock (fun () -> f t.exposition)
+
 (* Likewise for the runtime sampler: the serve front end starts one
    and hangs its GC/journal series off the shared exposition. *)
 let register_runtime t sampler =

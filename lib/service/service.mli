@@ -85,6 +85,11 @@ val register_server : t -> workers:(unit -> int) -> queue_depth:(unit -> int) ->
     gauges off the service exposition, so [METRICS] reports them
     alongside the request counters. *)
 
+val register_exposition : t -> (Sxsi_obs.Exposition.t -> unit) -> unit
+(** Run a registration callback against the service's exposition under
+    the service lock — how a front end with its own instrumentation
+    (the event loop's turn and coalescing counters) joins [METRICS]. *)
+
 val register_runtime : t -> Sxsi_obs.Runtime.t -> unit
 (** Register a runtime sampler's GC/journal series
     ({!Sxsi_obs.Runtime.register}) on the service exposition. *)

@@ -20,4 +20,5 @@ let () =
       Test_par.suite;
       Test_qos.suite;
       Test_backend.suite;
+      Test_evloop.suite;
     ]

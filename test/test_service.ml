@@ -376,17 +376,35 @@ let test_concurrent_counts () =
 (* TCP front end                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let test_tcp_server () =
-  let svc = Service.create () in
-  Service.add_document svc "d" (small_doc "root" 20);
+(* Which TCP front end the e2e tests drive: the threaded server by
+   default, the event-driven one under SXSI_SERVE_MODE=evloop (the CI
+   matrix runs both).  Tests about threaded-only mechanics (the
+   accept-queue shed path) pin [~mode:`Threaded]. *)
+let serve_mode () =
+  match Sys.getenv_opt "SXSI_SERVE_MODE" with
+  | Some "evloop" -> `Evloop
+  | Some _ | None -> `Threaded
+
+(* Run [body port] against a live server, stopping and joining it
+   afterwards whatever happens.  [workers]/[queue] only apply to the
+   threaded front end. *)
+let with_server ?workers ?queue ?mode svc body =
+  let mode = match mode with Some m -> m | None -> serve_mode () in
   let stop = Atomic.make false in
   let port = Atomic.make 0 in
   let server =
     Domain.spawn (fun () ->
-        Server.serve ~port:0
-          ~on_listen:(fun p -> Atomic.set port p)
-          ~stop:(fun () -> Atomic.get stop)
-          svc)
+        match mode with
+        | `Threaded ->
+          Server.serve ?workers ?queue ~port:0
+            ~on_listen:(fun p -> Atomic.set port p)
+            ~stop:(fun () -> Atomic.get stop)
+            svc
+        | `Evloop ->
+          Ev_server.serve ~port:0
+            ~on_listen:(fun p -> Atomic.set port p)
+            ~stop:(fun () -> Atomic.get stop)
+            (Shards.of_service svc))
   in
   Fun.protect
     ~finally:(fun () ->
@@ -398,8 +416,14 @@ let test_tcp_server () =
         Domain.cpu_relax ()
       done;
       Alcotest.(check bool) "server came up" true (Atomic.get port <> 0);
+      body (Atomic.get port))
+
+let test_tcp_server () =
+  let svc = Service.create () in
+  Service.add_document svc "d" (small_doc "root" 20);
+  with_server svc (fun port ->
       let run_session lines =
-        let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, Atomic.get port) in
+        let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
         let ic, oc = Unix.open_connection addr in
         Fun.protect
           ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
@@ -435,30 +459,6 @@ let test_tcp_server () =
         Alcotest.fail
           ("unexpected responses: "
           ^ String.concat " | " (List.map Protocol.print_response rs))))
-
-(* Run [body port] against a live server, stopping and joining it
-   afterwards whatever happens. *)
-let with_server ?workers ?queue svc body =
-  let stop = Atomic.make false in
-  let port = Atomic.make 0 in
-  let server =
-    Domain.spawn (fun () ->
-        Server.serve ?workers ?queue ~port:0
-          ~on_listen:(fun p -> Atomic.set port p)
-          ~stop:(fun () -> Atomic.get stop)
-          svc)
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      Atomic.set stop true;
-      Domain.join server)
-    (fun () ->
-      let deadline = Unix.gettimeofday () +. 5.0 in
-      while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
-        Domain.cpu_relax ()
-      done;
-      Alcotest.(check bool) "server came up" true (Atomic.get port <> 0);
-      body (Atomic.get port))
 
 let connect port = Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
 
@@ -497,7 +497,7 @@ let test_connection_churn () =
 let test_load_shedding () =
   let svc = Service.create () in
   Service.add_document svc "d" (small_doc "root" 5);
-  with_server ~workers:1 ~queue:1 svc (fun port ->
+  with_server ~workers:1 ~queue:1 ~mode:`Threaded svc (fun port ->
       (* occupy the single worker; reading a response proves the worker
          (not the accept loop) owns this session *)
       let ic_a, oc_a = connect port in
