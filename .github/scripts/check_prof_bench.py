@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Gate the sampling profiler's cost and coverage.
+
+Two hard limits:
+
+  - BENCH_prof.json: running the sampler (labels + contention
+    accounting + the sampler domain) may cost at most
+    MAX_OVERHEAD_PCT of xmark count throughput.  The profiler is
+    meant to stay on in production; if it gets expensive, that
+    promise is broken and the build fails.
+
+  - BENCH_xmark.json (when run with --profile): at most
+    MAX_UNATTRIBUTED_PCT of sampled wall time may fall outside any
+    journal span.  Rising unattributed time means a hot path lost its
+    span coverage, which silently blinds every profile.
+
+Timing noise makes single-run overhead jitter by a few percent in
+either direction (negative values just mean noise), so the overhead
+limit leaves headroom over the observed steady state (<1%).
+"""
+
+import json
+import sys
+
+MAX_OVERHEAD_PCT = 3.0
+MAX_UNATTRIBUTED_PCT = 10.0
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} BENCH_prof.json BENCH_xmark.json")
+
+    prof = json.load(open(sys.argv[1]))
+    measurements = prof.get("measurements", [])
+    if not measurements:
+        fail(f"{sys.argv[1]}: no measurements")
+    m = measurements[0]
+    overhead = m["overhead_pct"]
+    print(
+        f"profiler overhead: {overhead:.2f}% "
+        f"({m['count_qps_profiler_off']:.0f}/s off, "
+        f"{m['count_qps_profiler_on']:.0f}/s on, "
+        f"{m['sampler_ticks']} ticks at {m['sampler_hz']} Hz)"
+    )
+    if overhead > MAX_OVERHEAD_PCT:
+        fail(
+            f"sampler-on overhead {overhead:.2f}% exceeds "
+            f"{MAX_OVERHEAD_PCT:.1f}% on the xmark count workload"
+        )
+
+    xmark = json.load(open(sys.argv[2]))
+    profile = xmark.get("profile")
+    if profile is None:
+        fail(f"{sys.argv[2]}: no profile object (bench not run with --profile)")
+    unattributed = profile["unattributed_pct"]
+    print(f"xmark section unattributed: {unattributed:.1f}% of sampled time")
+    for stack in profile.get("stacks", [])[:5]:
+        print(f"  {stack['self_ns'] / 1e6:10.1f}ms  {stack['stack']}")
+    if unattributed > MAX_UNATTRIBUTED_PCT:
+        fail(
+            f"unattributed sampled time {unattributed:.1f}% exceeds "
+            f"{MAX_UNATTRIBUTED_PCT:.1f}% -- a hot path lost its span coverage"
+        )
+
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,6 +49,10 @@ let throughput_domains ?(window = 0.5) ~domains f =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. window in
   let worker i () =
+    (* retire this domain's profiler label slot on exit: bench spawns
+       short-lived domains, and a dead slot would keep being sampled at
+       its last path forever *)
+    Fun.protect ~finally:Sxsi_obs.Journal.retire_slot @@ fun () ->
     let ops = ref 0 in
     while Unix.gettimeofday () < deadline do
       ignore (f i);
@@ -99,8 +103,43 @@ type json_acc = {
 
 let json_acc : json_acc option ref = ref None
 
+(* --profile: sample every section with the profiler and append a
+   [profile] object (unattributed share, top self-time stacks) to its
+   BENCH_<section>.json, so baselines track where section time goes. *)
+let profile_enabled = ref false
+let profile_since : Sxsi_prof.Prof.snapshot option ref = ref None
+
 let json_begin key =
-  if !json_enabled then json_acc := Some { key; tables = []; measurements = [] }
+  if !json_enabled then json_acc := Some { key; tables = []; measurements = [] };
+  if !profile_enabled then begin
+    Sxsi_prof.Prof.ensure_started ();
+    profile_since := Some (Sxsi_prof.Prof.snapshot ())
+  end
+
+let profile_json () =
+  match !profile_since with
+  | None -> None
+  | Some since ->
+    profile_since := None;
+    let r = Sxsi_prof.Prof.report ~since () in
+    let pct = Sxsi_prof.Prof.unattributed_pct r in
+    let top =
+      List.filteri (fun i _ -> i < 10) r.Sxsi_prof.Prof.r_entries
+      |> List.map (fun e ->
+             J.Obj
+               [
+                 ("stack", J.String (String.concat ";" e.Sxsi_prof.Prof.e_stack));
+                 ("self_ns", J.Int e.Sxsi_prof.Prof.e_self_ns);
+               ])
+    in
+    Some
+      ( pct,
+        J.Obj
+          [
+            ("unattributed_pct", J.Float pct);
+            ("ticks", J.Int r.Sxsi_prof.Prof.r_ticks);
+            ("stacks", J.List top);
+          ] )
 
 let json_table header rows =
   match !json_acc with
@@ -118,6 +157,10 @@ let measure fields =
 
 (* Returns the path written, if JSON output is on. *)
 let json_finish ~scale () =
+  let profiled = profile_json () in
+  (match profiled with
+  | Some (pct, _) -> Printf.printf "[prof] %.1f%% of sampled time unattributed\n" pct
+  | None -> ());
   match !json_acc with
   | None -> None
   | Some acc ->
@@ -125,14 +168,15 @@ let json_finish ~scale () =
     let path = "BENCH_" ^ acc.key ^ ".json" in
     let doc =
       J.Obj
-        [
-          ("schema", J.String "sxsi-bench-v1");
-          ("section", J.String acc.key);
-          ("runs", J.Int !runs);
-          ("scale", J.Float scale);
-          ("tables", J.List (List.rev acc.tables));
-          ("measurements", J.List (List.rev acc.measurements));
-        ]
+        ([
+           ("schema", J.String "sxsi-bench-v1");
+           ("section", J.String acc.key);
+           ("runs", J.Int !runs);
+           ("scale", J.Float scale);
+           ("tables", J.List (List.rev acc.tables));
+           ("measurements", J.List (List.rev acc.measurements));
+         ]
+        @ match profiled with Some (_, p) -> [ ("profile", p) ] | None -> [])
     in
     let oc = open_out path in
     output_string oc (J.to_string doc);

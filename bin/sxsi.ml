@@ -72,6 +72,27 @@ let max_results_arg =
          ~doc:"Per-query result-count cap.  Overruns exit with status 124 \
                ($(b,count)/$(b,select)) or answer ERR BUDGET ($(b,serve)/$(b,repl))")
 
+let profile_flag =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Sample the command with the wall-clock profiler and print a top-N \
+               self-time table (with allocation and lock-wait columns) on stderr \
+               when it exits")
+
+(* Wrap one command run in a profiling window: start the sampler, diff
+   a snapshot across [f] and print the self-time table.  The table goes
+   to stderr so it composes with result output on stdout. *)
+let with_profile enabled f =
+  if not enabled then f ()
+  else begin
+    Sxsi_prof.Prof.ensure_started ();
+    let since = Sxsi_prof.Prof.snapshot () in
+    Fun.protect
+      ~finally:(fun () ->
+        prerr_string (Sxsi_prof.Prof.to_table (Sxsi_prof.Prof.report ~since ()));
+        Sxsi_prof.Prof.stop ())
+      f
+  end
+
 (* Query-only budget for one-shot commands: the clock starts after the
    document is loaded, so --timeout bounds evaluation, not parsing. *)
 let cli_budget ~timeout_ms ~max_results =
@@ -155,39 +176,41 @@ let with_engine file query drop_whitespace no_jump no_memo optimize strategy sta
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run file query dw nj nm opt strategy st tf dom bk timeout maxr =
-    with_engine file query dw nj nm opt strategy st tf dom bk
-      (fun ?pool _doc c config strategy trace ->
-        or_budget_exceeded (fun () ->
-            let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
-            Printf.printf "%d\n" (Engine.count ?budget ?pool ~config ~strategy ?trace c)))
+  let run file query dw nj nm opt strategy st tf dom bk timeout maxr prof =
+    with_profile prof (fun () ->
+        with_engine file query dw nj nm opt strategy st tf dom bk
+          (fun ?pool _doc c config strategy trace ->
+            or_budget_exceeded (fun () ->
+                let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
+                Printf.printf "%d\n" (Engine.count ?budget ?pool ~config ~strategy ?trace c))))
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Count the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ optimize_arg
           $ strategy_arg $ show_stats $ show_trace $ domains_arg $ backend_arg
-          $ timeout_arg $ max_results_arg)
+          $ timeout_arg $ max_results_arg $ profile_flag)
 
 let select_cmd =
   let ids =
     Arg.(value & flag & info [ "ids" ] ~doc:"Print preorder identifiers instead of XML")
   in
-  let run file query dw nj nm opt strategy st tf dom bk timeout maxr ids =
-    with_engine file query dw nj nm opt strategy st tf dom bk
-      (fun ?pool doc c config strategy trace ->
-        or_budget_exceeded (fun () ->
-            let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
-            let nodes = Engine.select ?budget ?pool ~config ~strategy ?trace c in
-            if ids then
-              Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
-            else
-              Array.iter (fun x -> print_endline (Document.serialize doc x)) nodes))
+  let run file query dw nj nm opt strategy st tf dom bk timeout maxr ids prof =
+    with_profile prof (fun () ->
+        with_engine file query dw nj nm opt strategy st tf dom bk
+          (fun ?pool doc c config strategy trace ->
+            or_budget_exceeded (fun () ->
+                let budget = cli_budget ~timeout_ms:timeout ~max_results:maxr in
+                let nodes = Engine.select ?budget ?pool ~config ~strategy ?trace c in
+                if ids then
+                  Array.iter (fun x -> Printf.printf "%d\n" (Document.preorder doc x)) nodes
+                else
+                  Array.iter (fun x -> print_endline (Document.serialize doc x)) nodes)))
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Materialize and serialize the nodes selected by a query")
     Term.(const run $ file_arg $ query_arg $ drop_ws $ no_jump $ no_memo $ optimize_arg
           $ strategy_arg $ show_stats $ show_trace $ domains_arg $ backend_arg
-          $ timeout_arg $ max_results_arg $ ids)
+          $ timeout_arg $ max_results_arg $ ids $ profile_flag)
 
 let stats_cmd =
   let run file dw dom bk opt =
@@ -220,16 +243,19 @@ let index_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Index file to write (conventionally .sxsi)")
   in
-  let run file dw out dom bk =
-    with_domains dom @@ fun pool ->
-    let doc = Document.of_xml ?pool ?backend:bk ~keep_whitespace:(not dw) (read_file file) in
-    Document.save doc out;
-    Printf.printf "indexed %d nodes, %d texts (%s backend) -> %s\n"
-      (Document.node_count doc) (Document.text_count doc) (Document.backend_name doc) out
+  let run file dw out dom bk prof =
+    with_profile prof (fun () ->
+        with_domains dom @@ fun pool ->
+        let doc =
+          Document.of_xml ?pool ?backend:bk ~keep_whitespace:(not dw) (read_file file)
+        in
+        Document.save doc out;
+        Printf.printf "indexed %d nodes, %d texts (%s backend) -> %s\n"
+          (Document.node_count doc) (Document.text_count doc) (Document.backend_name doc) out)
   in
   Cmd.v
     (Cmd.info "index" ~doc:"Build the self-index and save it; count/select accept .sxsi files")
-    Term.(const run $ file_arg $ drop_ws $ out $ domains_arg $ backend_arg)
+    Term.(const run $ file_arg $ drop_ws $ out $ domains_arg $ backend_arg $ profile_flag)
 
 let explain_cmd =
   let query_only =
@@ -419,10 +445,20 @@ let serve_cmd =
            ~doc:"Close connections idle for MS milliseconds with ERR IDLE \
                  ($(b,--serve-mode=evloop); 0 disables)")
   in
-  let run host port mode shards idle_ms workers queue max_mb cc kc nj nm opt dom bk
-      timeout maxr fr slow_ms slow_log specs =
+  let profile_hz_arg =
+    Arg.(value & opt int Sxsi_prof.Prof.default_hz & info [ "profile-hz" ] ~docv:"HZ"
+           ~doc:"Sampling rate of the always-on wall-clock profiler behind the \
+                 PROFILE request and $(b,sxsi profile) (default 997; 0 starts \
+                 it lazily on the first PROFILE instead)")
+  in
+  let run host port mode shards idle_ms profile_hz workers queue max_mb cc kc nj nm opt
+      dom bk timeout maxr fr slow_ms slow_log specs =
     guarded (fun () ->
         let slow_log = obs_setup fr slow_ms slow_log in
+        if profile_hz > 0 then begin
+          Sxsi_prof.Prof.configure ~hz:profile_hz ();
+          Sxsi_prof.Prof.start ()
+        end;
         let options = service_options max_mb cc kc nj nm opt dom bk timeout maxr slow_ms in
         let on_listen p = Printf.eprintf "sxsi: listening on %s:%d\n%!" host p in
         (* with the recorder on, also sample the runtime (GC + ring
@@ -478,10 +514,69 @@ let serve_cmd =
              accept queue with $(b,--serve-mode=threaded); documents and compiled \
              queries are cached and shared across connections")
     Term.(const run $ host_arg $ port_arg $ serve_mode_arg $ shards_arg $ idle_ms_arg
-          $ workers_arg $ queue_arg $ max_doc_mb_arg
+          $ profile_hz_arg $ workers_arg $ queue_arg $ max_doc_mb_arg
           $ compiled_cache_arg $ count_cache_arg $ no_jump $ no_memo $ optimize_arg
           $ domains_arg $ backend_arg $ timeout_arg $ max_results_arg
           $ flight_recorder_arg $ slow_ms_arg $ slow_log_arg $ preload_arg)
+
+let profile_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Server address")
+  in
+  let port_arg =
+    Arg.(value & opt int 7333 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port")
+  in
+  let secs_arg =
+    Arg.(value & opt int 1 & info [ "seconds" ] ~docv:"S"
+           ~doc:"Profiling window in seconds (1..60)")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the JSON report (schema sxsi-prof-v1) instead of the \
+                 collapsed-stack text")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout by default).  The default collapsed-stack \
+                 (\"folded\") output feeds flamegraph.pl / speedscope directly")
+  in
+  let run host port secs json out =
+    guarded (fun () ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let ic, oc = Unix.open_connection (Unix.ADDR_INET (addr, port)) in
+        Fun.protect
+          ~finally:(fun () -> try Unix.shutdown_connection ic with Unix.Unix_error _ -> ())
+          (fun () ->
+            output_string oc (Printf.sprintf "PROFILE %d\n" secs);
+            flush oc;
+            let next () = try Some (input_line ic) with End_of_file -> None in
+            match Sxsi_service.Protocol.read_response next with
+            | Error e -> failwith ("profile: " ^ e)
+            | Ok (Sxsi_service.Protocol.Err e) -> failwith ("server: " ^ e)
+            | Ok (Sxsi_service.Protocol.Data (json_line :: folded)) ->
+              let text =
+                if json then json_line ^ "\n" else String.concat "\n" folded ^ "\n"
+              in
+              (match out with
+              | None -> print_string text
+              | Some path ->
+                let och = open_out_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_out och)
+                  (fun () -> output_string och text))
+            | Ok _ -> failwith "profile: unexpected response"))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Attach to a running $(b,sxsi serve) and capture a sampling profile: \
+             send PROFILE, wait out the window, and write the collapsed-stack \
+             output ($(b,--json) for the full report with allocation and \
+             lock-contention attribution)")
+    Term.(const run $ host_arg $ port_arg $ secs_arg $ json_flag $ out)
 
 let trace_export_cmd =
   let input =
@@ -598,4 +693,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ count_cmd; select_cmd; stats_cmd; gen_cmd; index_cmd; explain_cmd; repl_cmd;
-            serve_cmd; trace_export_cmd ]))
+            serve_cmd; profile_cmd; trace_export_cmd ]))

@@ -46,6 +46,7 @@ type key =
 let table : (key, t) Hashtbl.t = Hashtbl.create 256
 let counter = ref 0
 let lock = Mutex.create ()
+let lock_site = Sxsi_obs.Contend.site "formula.cons"
 
 let union_sorted a b =
   let rec go a b =
@@ -72,7 +73,7 @@ let key_of = function
 
 let cons node =
   let key = key_of node in
-  Mutex.protect lock (fun () ->
+  Sxsi_obs.Contend.with_lock lock_site lock (fun () ->
       match Hashtbl.find_opt table key with
       | Some f -> f
       | None ->

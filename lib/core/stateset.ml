@@ -9,10 +9,11 @@ type t = {
 let table : (int list, t) Hashtbl.t = Hashtbl.create 64
 let counter = ref 0
 let lock = Mutex.create ()
+let lock_site = Sxsi_obs.Contend.site "stateset.cons"
 
 let of_list l =
   let key = List.sort_uniq compare l in
-  Mutex.protect lock (fun () ->
+  Sxsi_obs.Contend.with_lock lock_site lock (fun () ->
       match Hashtbl.find_opt table key with
       | Some s -> s
       | None ->

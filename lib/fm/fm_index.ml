@@ -34,6 +34,16 @@ let active_probe : probe option Atomic.t = Atomic.make None
 let set_probe p = Atomic.set active_probe p
 let current_probe () = Atomic.get active_probe
 
+(* Build-phase spans: the FM build dominates indexing time, and these
+   give the sampling profiler named cost centers for its phases (the
+   fill span runs on pool worker domains under their task span). *)
+module J = Sxsi_obs.Journal
+
+let n_build = J.name "fm/build"
+let n_sais = J.name "fm/sais"
+let n_fill = J.name "fm/bwt_fill"
+let n_wavelet = J.name "fm/wavelet"
+
 type t = {
   bwt : Wavelet.t;                (* BWT of T, '\000' for end-markers *)
   c : int array;                  (* c.(b) = symbols of T smaller than byte b *)
@@ -53,6 +63,7 @@ let par_cutoff = 1 lsl 16
 let build ?pool ?(sample_rate = 64) texts =
   let d = Array.length texts in
   if d = 0 then invalid_arg "Fm_index.build: empty collection";
+  J.with_span J.Engine n_build @@ fun () ->
   let n = Array.fold_left (fun acc s -> acc + String.length s + 1) 0 texts in
   (* Map to an int string where the terminator of text i is the symbol
      i+1 and content byte b is b+d, then append the SA-IS sentinel. *)
@@ -71,7 +82,7 @@ let build ?pool ?(sample_rate = 64) texts =
       mapped.(!p) <- i + 1;
       incr p)
     texts;
-  let sa = Sais.suffix_array mapped (256 + d) in
+  let sa = J.with_span J.Engine n_sais (fun () -> Sais.suffix_array mapped (256 + d)) in
   (* Drop the sentinel row, build BWT / samples / $ docs in one pass.
      Each chunk of rows fills a disjoint slice of [bwt_bytes] (single
      byte stores never tear) and returns its own ascending $-doc and
@@ -79,6 +90,7 @@ let build ?pool ?(sample_rate = 64) texts =
      parallel pass reproduces the sequential output exactly. *)
   let bwt_bytes = Bytes.create n in
   let fill lo hi =
+    J.with_span J.Engine n_fill @@ fun () ->
     let dollars = ref [] and samples = ref [] in
     for i = hi - 1 downto lo do
       let r = sa.(i + 1) in
@@ -118,7 +130,10 @@ let build ?pool ?(sample_rate = 64) texts =
   in
   let doc_started = pack dollar_docs (max 1 (d - 1)) in
   let samples = pack sample_positions (max 1 (n - 1)) in
-  let bwt = Wavelet.of_string ?pool (Bytes.unsafe_to_string bwt_bytes) in
+  let bwt =
+    J.with_span J.Engine n_wavelet (fun () ->
+        Wavelet.of_string ?pool (Bytes.unsafe_to_string bwt_bytes))
+  in
   let c = Array.make 257 0 in
   for b = 1 to 256 do
     c.(b) <- c.(b - 1) + Wavelet.count bwt (Char.chr (b - 1))

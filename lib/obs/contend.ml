@@ -1,0 +1,88 @@
+(* Lock-contention accounting.  A [site] names a shared mutex (the
+   document registry, the hash-consing tables); [with_lock] replaces
+   [Mutex.protect] there.  When profiling is off the replacement is
+   exactly [Mutex.protect].  When on, the fast path is one [try_lock]
+   (uncontended acquires stay cheap); only the slow path — the lock was
+   held by someone else — times the wait and attributes it to whatever
+   label path the blocked domain was executing, so the profiler can say
+   not just *which* lock is hot but *who* waits on it. *)
+
+type site = {
+  cs_name : string;
+  acquires : Counter.t;
+  contended : Counter.t;
+  wait_ns : Counter.t;
+  by_path : (int, int ref) Hashtbl.t; (* path id -> waited ns; under sites_lock *)
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled on = Atomic.set enabled_flag on
+
+let sites_lock = Mutex.create ()
+let sites : site list ref = ref []
+
+let site cs_name =
+  let s =
+    {
+      cs_name;
+      acquires = Counter.create ();
+      contended = Counter.create ();
+      wait_ns = Counter.create ();
+      by_path = Hashtbl.create 16;
+    }
+  in
+  Mutex.protect sites_lock (fun () -> sites := s :: !sites);
+  s
+
+let record_wait s dt =
+  Counter.incr s.contended;
+  Counter.add s.wait_ns dt;
+  let path = Journal.current_path () in
+  Mutex.protect sites_lock (fun () ->
+      match Hashtbl.find_opt s.by_path path with
+      | Some cell -> cell := !cell + dt
+      | None -> Hashtbl.add s.by_path path (ref dt))
+
+let with_lock s m f =
+  if not (Atomic.get enabled_flag) then Mutex.protect m f
+  else begin
+    if Mutex.try_lock m then Counter.incr s.acquires
+    else begin
+      let t0 = Clock.now_ns () in
+      Mutex.lock m;
+      let dt = Clock.since t0 in
+      Counter.incr s.acquires;
+      record_wait s dt
+    end;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  end
+
+let stats () =
+  Mutex.protect sites_lock (fun () -> !sites)
+  |> List.rev_map (fun s ->
+         (s.cs_name, Counter.get s.acquires, Counter.get s.contended, Counter.get s.wait_ns))
+
+let wait_by_path () =
+  let acc : (int, int ref) Hashtbl.t = Hashtbl.create 32 in
+  Mutex.protect sites_lock (fun () ->
+      List.iter
+        (fun s ->
+          Hashtbl.iter
+            (fun path cell ->
+              match Hashtbl.find_opt acc path with
+              | Some total -> total := !total + !cell
+              | None -> Hashtbl.add acc path (ref !cell))
+            s.by_path)
+        !sites);
+  Hashtbl.fold (fun path cell l -> (path, !cell) :: l) acc []
+
+let reset () =
+  Mutex.protect sites_lock (fun () ->
+      List.iter
+        (fun s ->
+          Counter.reset s.acquires;
+          Counter.reset s.contended;
+          Counter.reset s.wait_ns;
+          Hashtbl.reset s.by_path)
+        !sites)

@@ -1,0 +1,40 @@
+(** Lock-contention accounting for the sampling profiler.
+
+    A {!site} names one shared mutex worth watching — the service's
+    document registry, the hash-consing tables behind state sets and
+    formulas.  {!with_lock} replaces [Mutex.protect] at such a site:
+    with accounting {e off} (the default) it {e is} [Mutex.protect];
+    with accounting on, an uncontended acquire costs one [try_lock],
+    and only a blocked acquire pays for timing — the wait is counted,
+    summed, and attributed to the label path ({!Journal.current_path})
+    the blocked domain was executing, so a profile names both the hot
+    lock and the code that waits on it. *)
+
+type site
+
+val site : string -> site
+(** Register a named site.  Call once per mutex, at module
+    initialization. *)
+
+val with_lock : site -> Mutex.t -> (unit -> 'a) -> 'a
+(** Run the thunk with the mutex held, accounting the acquire to the
+    site.  Releases on exception, like [Mutex.protect]. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turn contention accounting on or off, process-wide.  Off is the
+    default; [with_lock] is then plain [Mutex.protect]. *)
+
+val stats : unit -> (string * int * int * int) list
+(** Per site, in registration order:
+    [(name, acquires, contended acquires, total wait ns)].  Acquires
+    are only counted while accounting is enabled.  Monotonic; diff two
+    readings for a window. *)
+
+val wait_by_path : unit -> (int * int) list
+(** Total contended-wait nanoseconds per label path id, summed across
+    sites.  Monotonic. *)
+
+val reset : unit -> unit
+(** Zero every site (tests and benchmarks only). *)

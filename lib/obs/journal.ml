@@ -93,6 +93,274 @@ let name_label id =
   else "name#" ^ string_of_int id
 
 (* ------------------------------------------------------------------ *)
+(* Label slots: the current span path per domain, for the profiler     *)
+(* ------------------------------------------------------------------ *)
+
+(* The sampling profiler (lib/prof) needs to know, at any instant, what
+   each domain is doing.  Rather than unwind stacks, every span
+   enter/exit also maintains a per-domain *slot* holding the id of the
+   current label path ("service/request;engine/count").  Paths are
+   interned globally — a path id names a (parent path, span name) pair —
+   so publishing the current path is one plain int store, and the
+   sampler attributes a tick to a domain with one racy int read.  A torn
+   or stale read costs one sample attributed one span early or late;
+   profiles are statistical, so this needs no synchronization at all on
+   the mutator side.
+
+   Memory model: path ids are published by bumping [paths_count]
+   (Atomic.set, a release) after the parent/name entries are stored and
+   the grown arrays are swapped in (Atomic.set of the array refs).  A
+   reader that observes count >= id through an Atomic.get is therefore
+   guaranteed to see the entries for every path below it. *)
+
+let labels_flag = Atomic.make false
+let labels_enabled () = Atomic.get labels_flag
+let set_labels_enabled on = Atomic.set labels_flag on
+
+let paths_lock = Mutex.create ()
+let paths_parent : int array Atomic.t = Atomic.make (Array.make 64 (-1))
+let paths_name : int array Atomic.t = Atomic.make (Array.make 64 (-1))
+let paths_count = Atomic.make 1 (* path 0 is the root: "not in any span" *)
+let paths_by_key : (int, int) Hashtbl.t = Hashtbl.create 256
+
+(* names are interned small ints (tens of them); 20 bits is plenty *)
+let path_key parent nm = (parent lsl 20) lor (nm land 0xfffff)
+
+let intern_path parent nm =
+  Mutex.protect paths_lock (fun () ->
+      let key = path_key parent nm in
+      match Hashtbl.find_opt paths_by_key key with
+      | Some id -> id
+      | None ->
+        let id = Atomic.get paths_count in
+        if id >= Array.length (Atomic.get paths_parent) then begin
+          let old_p = Atomic.get paths_parent and old_n = Atomic.get paths_name in
+          let cap = 2 * Array.length old_p in
+          let np = Array.make cap (-1) and nn = Array.make cap (-1) in
+          Array.blit old_p 0 np 0 id;
+          Array.blit old_n 0 nn 0 id;
+          Atomic.set paths_parent np;
+          Atomic.set paths_name nn
+        end;
+        (Atomic.get paths_parent).(id) <- parent;
+        (Atomic.get paths_name).(id) <- nm;
+        Atomic.set paths_count (id + 1);
+        Hashtbl.add paths_by_key key id;
+        id)
+
+let path_count () = Atomic.get paths_count
+
+let path_parts p =
+  let n = Atomic.get paths_count in
+  let pp = Atomic.get paths_parent and pn = Atomic.get paths_name in
+  let rec up p acc =
+    if p <= 0 || p >= n then acc
+    else up pp.(p) (name_label pn.(p) :: acc)
+  in
+  up p []
+
+(* One slot per domain.  Only the owning domain writes it (the sampler
+   and the allocation snapshot read racily).  The frame stack mirrors
+   the open spans: [stk_path.(i)] is the path id of frame [i] itself,
+   so restoring the parent on exit is reading the frame below. *)
+type slot = {
+  sl_domain : int;
+  mutable sl_path : int;            (* current path id; racy reads ok *)
+  mutable sl_depth : int;
+  mutable stk_path : int array;
+  mutable stk_name : int array;
+  mutable stk_minor : float array;  (* Gc minor_words at frame entry *)
+  mutable stk_major : float array;
+  mutable stk_cminor : float array; (* words attributed to children *)
+  mutable stk_cmajor : float array;
+  sl_cache : (int, int) Hashtbl.t;  (* domain-local (parent,name) -> path *)
+  mutable alloc_minor : float array;  (* per path id; owner-written *)
+  mutable alloc_major : float array;
+}
+
+let slots_lock = Mutex.create ()
+let slots : slot list ref = ref []
+
+let new_slot () =
+  {
+    sl_domain = (Domain.self () :> int);
+    sl_path = 0;
+    sl_depth = 0;
+    stk_path = Array.make 32 0;
+    stk_name = Array.make 32 0;
+    stk_minor = Array.make 32 0.0;
+    stk_major = Array.make 32 0.0;
+    stk_cminor = Array.make 32 0.0;
+    stk_cmajor = Array.make 32 0.0;
+    sl_cache = Hashtbl.create 64;
+    alloc_minor = Array.make 64 0.0;
+    alloc_major = Array.make 64 0.0;
+  }
+
+let slot_key : slot option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_slot () =
+  let cell = Domain.DLS.get slot_key in
+  match !cell with
+  | Some s -> s
+  | None ->
+    let s = new_slot () in
+    Mutex.protect slots_lock (fun () -> slots := s :: !slots);
+    cell := Some s;
+    s
+
+let grow_stack sl =
+  let cap = 2 * Array.length sl.stk_path in
+  let gi a = let b = Array.make cap 0 in Array.blit a 0 b 0 (Array.length a); b in
+  let gf a = let b = Array.make cap 0.0 in Array.blit a 0 b 0 (Array.length a); b in
+  sl.stk_path <- gi sl.stk_path;
+  sl.stk_name <- gi sl.stk_name;
+  sl.stk_minor <- gf sl.stk_minor;
+  sl.stk_major <- gf sl.stk_major;
+  sl.stk_cminor <- gf sl.stk_cminor;
+  sl.stk_cmajor <- gf sl.stk_cmajor
+
+(* grow-by-replace: the sampler may racily read the old array and miss
+   the latest additions — stale by one snapshot, never out of bounds *)
+let alloc_add sl p minor major =
+  if p >= Array.length sl.alloc_minor then begin
+    let cap = ref (2 * Array.length sl.alloc_minor) in
+    while p >= !cap do cap := 2 * !cap done;
+    let nm = Array.make !cap 0.0 and nj = Array.make !cap 0.0 in
+    Array.blit sl.alloc_minor 0 nm 0 (Array.length sl.alloc_minor);
+    Array.blit sl.alloc_major 0 nj 0 (Array.length sl.alloc_major);
+    sl.alloc_minor <- nm;
+    sl.alloc_major <- nj
+  end;
+  sl.alloc_minor.(p) <- sl.alloc_minor.(p) +. minor;
+  sl.alloc_major.(p) <- sl.alloc_major.(p) +. major
+
+(* A profiler can ask to be called back at every span boundary while
+   labels are on.  The cooperative sampler backend in Sxsi_prof hangs
+   off this: on machines where a dedicated sampler domain is too
+   expensive (one core: every extra domain turns each minor GC into a
+   scheduling round-trip), the working domains tick the sampler
+   themselves.  The hook runs BEFORE the path update, so the interval
+   since the previous tick is attributed to the path that was actually
+   current while it elapsed. *)
+let tick_hook : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+let set_tick_hook f = Atomic.set tick_hook f
+let clear_tick_hook () = Atomic.set tick_hook (fun () -> ())
+
+let slot_enter nm =
+  (Atomic.get tick_hook) ();
+  let sl = my_slot () in
+  let parent = sl.sl_path in
+  let key = path_key parent nm in
+  let p =
+    match Hashtbl.find_opt sl.sl_cache key with
+    | Some p -> p
+    | None ->
+      let p = intern_path parent nm in
+      Hashtbl.add sl.sl_cache key p;
+      p
+  in
+  let d = sl.sl_depth in
+  if d >= Array.length sl.stk_path then grow_stack sl;
+  sl.stk_path.(d) <- p;
+  sl.stk_name.(d) <- nm;
+  let minor, _, major = Gc.counters () in
+  sl.stk_minor.(d) <- minor;
+  sl.stk_major.(d) <- major;
+  sl.stk_cminor.(d) <- 0.0;
+  sl.stk_cmajor.(d) <- 0.0;
+  sl.sl_depth <- d + 1;
+  sl.sl_path <- p
+
+(* Mismatch-tolerant, like the snapshot reconstruction: an exit whose
+   name matches a deeper frame (an End skipped by an exception, or
+   labelling switched on mid-span) pops the frames above it, each
+   attributing its allocation; an exit matching nothing is ignored. *)
+let slot_exit nm =
+  (Atomic.get tick_hook) ();
+  let sl = my_slot () in
+  let d = sl.sl_depth in
+  if d > 0 then begin
+    let rec find i =
+      if i < 0 then -1 else if sl.stk_name.(i) = nm then i else find (i - 1)
+    in
+    let i = find (d - 1) in
+    if i >= 0 then begin
+      let minor_now, _, major_now = Gc.counters () in
+      for j = d - 1 downto i do
+        let total_minor = minor_now -. sl.stk_minor.(j)
+        and total_major = major_now -. sl.stk_major.(j) in
+        alloc_add sl sl.stk_path.(j)
+          (total_minor -. sl.stk_cminor.(j))
+          (total_major -. sl.stk_cmajor.(j));
+        if j > 0 then begin
+          sl.stk_cminor.(j - 1) <- sl.stk_cminor.(j - 1) +. total_minor;
+          sl.stk_cmajor.(j - 1) <- sl.stk_cmajor.(j - 1) +. total_major
+        end
+      done;
+      sl.sl_depth <- i;
+      sl.sl_path <- (if i = 0 then 0 else sl.stk_path.(i - 1))
+    end
+  end
+
+let current_path () =
+  if Atomic.get labels_flag then (my_slot ()).sl_path else 0
+
+let slot_paths () =
+  Mutex.protect slots_lock (fun () -> !slots)
+  |> List.map (fun sl -> (sl.sl_domain, sl.sl_path))
+
+(* allocation attributed by domains that have since retired; folded in
+   so alloc totals stay monotonic across pool teardowns *)
+let retired_minor : float array ref = ref (Array.make 64 0.0)
+let retired_major : float array ref = ref (Array.make 64 0.0)
+
+let retire_slot () =
+  let cell = Domain.DLS.get slot_key in
+  match !cell with
+  | None -> ()
+  | Some s ->
+    cell := None;
+    Mutex.protect slots_lock (fun () ->
+        slots := List.filter (fun x -> x != s) !slots;
+        let n = Array.length s.alloc_minor in
+        if n > Array.length !retired_minor then begin
+          let gm = Array.make n 0.0 and gj = Array.make n 0.0 in
+          Array.blit !retired_minor 0 gm 0 (Array.length !retired_minor);
+          Array.blit !retired_major 0 gj 0 (Array.length !retired_major);
+          retired_minor := gm;
+          retired_major := gj
+        end;
+        for p = 0 to n - 1 do
+          !retired_minor.(p) <- !retired_minor.(p) +. s.alloc_minor.(p);
+          !retired_major.(p) <- !retired_major.(p) +. s.alloc_major.(p)
+        done)
+
+let alloc_snapshot () =
+  let n = Atomic.get paths_count in
+  let minor = Array.make n 0.0 and major = Array.make n 0.0 in
+  let sls =
+    Mutex.protect slots_lock (fun () ->
+        let k = min n (Array.length !retired_minor) in
+        for p = 0 to k - 1 do
+          minor.(p) <- !retired_minor.(p);
+          major.(p) <- !retired_major.(p)
+        done;
+        !slots)
+  in
+  List.iter
+    (fun sl ->
+      let am = sl.alloc_minor and aj = sl.alloc_major in
+      let k = min n (Array.length am) in
+      for p = 0 to k - 1 do
+        minor.(p) <- minor.(p) +. am.(p);
+        major.(p) <- major.(p) +. aj.(p)
+      done)
+    sls;
+  (minor, major)
+
+(* ------------------------------------------------------------------ *)
 (* Rings                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -186,15 +454,29 @@ let emit kind cat nm ?ts ?(a = 0) ?(b = 0) () =
     record_packed ts (pack kind cat nm) a b
   end
 
-let begin_span cat nm ?ts ?a ?b () = emit Begin cat nm ?ts ?a ?b ()
-let end_span cat nm ?ts ?a ?b () = emit End cat nm ?ts ?a ?b ()
+let begin_span cat nm ?ts ?a ?b () =
+  if Atomic.get labels_flag then slot_enter nm;
+  emit Begin cat nm ?ts ?a ?b ()
+
+let end_span cat nm ?ts ?a ?b () =
+  emit End cat nm ?ts ?a ?b ();
+  if Atomic.get labels_flag then slot_exit nm
+
 let instant cat nm ?ts ?a ?b () = emit Instant cat nm ?ts ?a ?b ()
 
 let with_span cat nm ?a f =
-  if not (Atomic.get enabled_flag) then f ()
+  let labelled = Atomic.get labels_flag in
+  if not (labelled || Atomic.get enabled_flag) then f ()
   else begin
+    if labelled then slot_enter nm;
     emit Begin cat nm ?a ();
-    Fun.protect ~finally:(fun () -> emit End cat nm ()) f
+    Fun.protect
+      ~finally:(fun () ->
+        emit End cat nm ();
+        (* exit even if labelling flipped off mid-span, to keep the
+           frame stack balanced; an exit without its enter is ignored *)
+        if labelled || Atomic.get labels_flag then slot_exit nm)
+      f
   end
 
 (* ------------------------------------------------------------------ *)
@@ -275,6 +557,14 @@ let dropped_total () =
 let occupancy () =
   List.map
     (fun r -> (r.rdomain, min (Atomic.get r.head) (r.mask + 1), r.mask + 1))
+    (Mutex.protect rings_lock (fun () -> !rings))
+
+let ring_stats () =
+  List.map
+    (fun r ->
+      let head = Atomic.get r.head in
+      let cap = r.mask + 1 in
+      (r.rdomain, max 0 (head - cap), min head cap, cap))
     (Mutex.protect rings_lock (fun () -> !rings))
 
 (* ------------------------------------------------------------------ *)

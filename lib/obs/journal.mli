@@ -80,8 +80,74 @@ val instant : category -> int -> ?ts:int -> ?a:int -> ?b:int -> unit -> unit
 
 val with_span : category -> int -> ?a:int -> (unit -> 'x) -> 'x
 (** [begin_span]/run/[end_span], closing the span when the thunk
-    raises too.  When the journal is disabled this is exactly one
-    atomic load plus the call. *)
+    raises too.  When both the journal and span labelling are disabled
+    this is two atomic loads plus the call. *)
+
+(** {1 Label slots}
+
+    Support for the sampling profiler ([Sxsi_prof]): when labelling is
+    enabled, every span enter/exit also maintains a per-domain slot
+    holding the interned id of the domain's current {e label path} (the
+    chain of open span names, e.g. [service/request > engine/count]).
+    Publishing the path is one plain int store; a sampler attributes a
+    tick to a domain with one racy int read — a torn or stale read
+    costs one sample attributed one span early or late, which a
+    statistical profile absorbs.  Span entry and exit additionally
+    record [Gc.counters] deltas, so each path accumulates the minor and
+    major words its own code (excluding children) allocated. *)
+
+val labels_enabled : unit -> bool
+
+val set_labels_enabled : bool -> unit
+(** Turn path labelling on or off, process-wide.  Off is the default.
+    Enabling mid-span is safe: exits that never saw their enter are
+    ignored, so slots converge to the true path as spans unwind. *)
+
+val current_path : unit -> int
+(** The calling domain's current label path id (0 when labelling is
+    off or no span is open).  Used to attribute lock-contention waits
+    to whatever the blocked domain was doing. *)
+
+val set_tick_hook : (unit -> unit) -> unit
+(** Install a callback invoked at every span boundary while labels are
+    on, before the boundary updates the slot path.  The cooperative
+    sampler backend in [Sxsi_prof] uses this to tick from the working
+    domains themselves instead of a dedicated sampler domain (which on
+    a single-core machine turns every minor GC into a scheduling
+    round-trip).  The hook must be cheap and must not raise. *)
+
+val clear_tick_hook : unit -> unit
+(** Reset the span-boundary callback to a no-op. *)
+
+val slot_paths : unit -> (int * int) list
+(** [(domain, current path id)] for every domain that has recorded a
+    span since labelling was first enabled.  The paths are racy reads
+    of live slots — exactly what a sampler wants. *)
+
+val retire_slot : unit -> unit
+(** Drop the calling domain's slot.  Call just before a worker domain
+    exits (the pool and the bench harness do): a dead domain's slot
+    would otherwise be sampled forever at its last path, inflating the
+    idle/unattributed share.  The slot's accumulated allocation is
+    folded into a retired pool so {!alloc_snapshot} stays monotonic. *)
+
+val path_count : unit -> int
+(** Number of interned paths; valid path ids are [0 .. count-1].
+    Only grows. *)
+
+val path_parts : int -> string list
+(** The span names along a path, outermost first.  Path 0 (and any
+    out-of-range id) is the empty list. *)
+
+val alloc_snapshot : unit -> float array * float array
+(** [(minor_words, major_words)] attributed to each path id (self
+    allocation, children excluded), summed over all domains, both
+    arrays sized {!path_count}.  Monotonic; diff two snapshots for a
+    window. *)
+
+val ring_stats : unit -> (int * int * int * int) list
+(** Per ring: [(domain, dropped, records_held, capacity)] — the
+    per-domain view behind the [sxsi_journal_*] metrics. *)
 
 (** {1 Snapshots} *)
 

@@ -94,21 +94,8 @@ let register ?(prefix = "sxsi") t e =
   cb ~help:"Words allocated since process start, in bytes."
     ~name:(prefix ^ "_gc_allocated_bytes_total") (fun () ->
       allocated_bytes (Gc.quick_stat ()));
-  gauge ~help:"Flight-recorder state: 1 when recording." ~name:(prefix ^ "_journal_enabled")
-    (fun () -> if Journal.enabled () then 1.0 else 0.0);
-  cb ~help:"Journal records written across all rings, including overwritten ones."
-    ~name:(prefix ^ "_journal_records_total") (fun () ->
-      float_of_int (Journal.records_total ()));
-  cb ~help:"Journal records lost to ring wrap-around."
-    ~name:(prefix ^ "_journal_dropped_total") (fun () ->
-      float_of_int (Journal.dropped_total ()));
-  Exposition.register_multi_gauge e
-    ~help:"Journal ring occupancy per recording domain, percent."
-    ~name:(prefix ^ "_journal_ring_occupancy_percent") (fun () ->
-      List.map
-        (fun (dom, held, cap) ->
-          ([ ("domain", string_of_int dom) ], float_of_int (100 * held / cap)))
-        (Journal.occupancy ()));
+  (* the sxsi_journal_* series are registered by the service exposition
+     (always present, sampler or not), so none are duplicated here *)
   cb ~help:"Runtime telemetry samples taken." ~name:(prefix ^ "_runtime_samples_total")
     (fun () -> float_of_int (samples_total t));
   Exposition.register_histogram e

@@ -36,9 +36,8 @@ val register : ?prefix:string -> t -> Exposition.t -> unit
 (** Register the runtime series on an exposition (default prefix
     ["sxsi"]): [<p>_gc_heap_bytes], [<p>_gc_minor_collections_total],
     [<p>_gc_major_collections_total], [<p>_gc_allocated_bytes_total],
-    [<p>_journal_enabled], [<p>_journal_records_total],
-    [<p>_journal_dropped_total],
-    [<p>_journal_ring_occupancy_percent{domain="..."}],
     [<p>_runtime_samples_total] and the sampled histograms
     [<p>_runtime_heap_bytes],
-    [<p>_runtime_journal_occupancy_percent]. *)
+    [<p>_runtime_journal_occupancy_percent].  The [<p>_journal_*]
+    state series live on the service exposition (always registered,
+    with or without a sampler). *)

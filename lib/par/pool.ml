@@ -44,8 +44,12 @@ type t = {
   stopping : bool Atomic.t;
   tasks : Counter.t;
   steals : Counter.t;
+  steal_failures : Counter.t;    (* scans that found every queue empty *)
+  cas_retries : Counter.t;       (* lost CAS races on the queue HWM *)
   created_ns : int;              (* pool birth; busy fractions divide by age *)
   busy_ns : int Atomic.t array;  (* per slot: nanoseconds spent inside tasks *)
+  slot_steals : Counter.t array; (* per slot: tasks taken from another queue *)
+  slot_parks : Counter.t array;  (* per slot: times it slept on the condition *)
   queue_hwm : int Atomic.t;      (* high-water mark of [pending] *)
 }
 
@@ -61,8 +65,20 @@ let my_slot pool =
 let size t = t.size
 let tasks_total t = Counter.get t.tasks
 let steals_total t = Counter.get t.steals
+let steal_failures_total t = Counter.get t.steal_failures
+let cas_retries_total t = Counter.get t.cas_retries
+let parks_total t =
+  Array.fold_left (fun acc c -> acc + Counter.get c) 0 t.slot_parks
 let queue_depth t = Atomic.get t.pending
 let queue_depth_hwm t = Atomic.get t.queue_hwm
+
+let worker_stats t =
+  Array.to_list
+    (Array.init (Array.length t.busy_ns) (fun slot ->
+         ( slot,
+           Atomic.get t.busy_ns.(slot),
+           Counter.get t.slot_steals.(slot),
+           Counter.get t.slot_parks.(slot) )))
 
 let busy_fractions t =
   let elapsed = Sxsi_obs.Clock.since t.created_ns in
@@ -92,10 +108,15 @@ let default_domains () =
 
 (* Racy-but-monotone maximum: concurrent pushes may each observe a
    stale maximum, but the CAS retry ensures the mark never decreases
-   and eventually covers the largest observed depth. *)
-let rec bump_max a v =
+   and eventually covers the largest observed depth.  Lost races are
+   counted: a high retry rate means pushes from many domains are
+   hammering the same cache line. *)
+let rec bump_max retries a v =
   let cur = Atomic.get a in
-  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+  if v > cur && not (Atomic.compare_and_set a cur v) then begin
+    Counter.incr retries;
+    bump_max retries a v
+  end
 
 let push pool i task =
   if Atomic.get pool.stopping then
@@ -105,7 +126,7 @@ let push pool i task =
   Queue.add task q.items;
   Mutex.unlock q.qlock;
   Atomic.incr pool.pending;
-  bump_max pool.queue_hwm (Atomic.get pool.pending);
+  bump_max pool.cas_retries pool.queue_hwm (Atomic.get pool.pending);
   Mutex.lock pool.lock;
   if pool.sleepers > 0 then Condition.signal pool.nonempty;
   Mutex.unlock pool.lock
@@ -134,19 +155,23 @@ let try_take pool i =
           Atomic.decr pool.pending;
           Counter.incr pool.tasks;
           Counter.incr pool.steals;
+          Counter.incr pool.slot_steals.(i);
           J.instant J.Pool n_steal ~a:((i + k) mod n) ~b:i ();
           Some task
         | None -> scan (k + 1)
       end
     in
-    scan 1
+    let r = scan 1 in
+    if r = None then Counter.incr pool.steal_failures;
+    r
 
 (* Sleep until a push or a completion, unless [ready] already holds;
    re-checked under the pool lock so the wake-up cannot be lost. *)
-let sleep_unless pool ready =
+let sleep_unless pool slot ready =
   Mutex.lock pool.lock;
   if (not (ready ())) && Atomic.get pool.pending = 0 then begin
     pool.sleepers <- pool.sleepers + 1;
+    Counter.incr pool.slot_parks.(slot);
     J.begin_span J.Pool n_park ();
     Condition.wait pool.nonempty pool.lock;
     J.end_span J.Pool n_park ();
@@ -180,7 +205,7 @@ let rec worker_loop pool i =
   | None ->
     if Atomic.get pool.stopping then ()   (* queues drained: exit *)
     else begin
-      sleep_unless pool (fun () -> Atomic.get pool.stopping);
+      sleep_unless pool i (fun () -> Atomic.get pool.stopping);
       worker_loop pool i
     end
 
@@ -200,8 +225,12 @@ let create ?(name = "pool") ~domains () =
       stopping = Atomic.make false;
       tasks = Counter.create ();
       steals = Counter.create ();
+      steal_failures = Counter.create ();
+      cas_retries = Counter.create ();
       created_ns = Clock.now_ns ();
       busy_ns = Array.init domains (fun _ -> Atomic.make 0);
+      slot_steals = Array.init domains (fun _ -> Counter.create ());
+      slot_parks = Array.init domains (fun _ -> Counter.create ());
       queue_hwm = Atomic.make 0;
     }
   in
@@ -209,7 +238,9 @@ let create ?(name = "pool") ~domains () =
     Array.init (domains - 1) (fun k ->
         Domain.spawn (fun () ->
             Domain.DLS.get slot_key := Some (pool, k + 1);
-            worker_loop pool (k + 1)));
+            Fun.protect
+              ~finally:J.retire_slot   (* don't leave a dead profiler slot *)
+              (fun () -> worker_loop pool (k + 1))));
   pool
 
 let shutdown pool =
@@ -273,7 +304,7 @@ let rec await pool p =
     | None ->
       (* the awaited task runs on another domain: sleep until any
          completion or a new push, then re-check *)
-      sleep_unless pool (fun () -> resolved p);
+      sleep_unless pool slot (fun () -> resolved p);
       await pool p
   end
 
@@ -359,6 +390,18 @@ let register_metrics ?(prefix = "sxsi_pool") pool e =
   register_counter e
     ~help:(Printf.sprintf "Tasks stolen across domains of the %s pool." pool.name)
     ~name:(prefix ^ "_steals_total") pool.steals;
+  register_counter e
+    ~help:
+      (Printf.sprintf "Steal scans of the %s pool that found every queue empty."
+         pool.name)
+    ~name:(prefix ^ "_steal_failures_total") pool.steal_failures;
+  register_counter e
+    ~help:(Printf.sprintf "CAS races lost updating the %s pool's queue HWM." pool.name)
+    ~name:(prefix ^ "_cas_retries_total") pool.cas_retries;
+  register_callback_counter e
+    ~help:(Printf.sprintf "Times a %s pool domain parked on the condition." pool.name)
+    ~name:(prefix ^ "_parks_total")
+    (fun () -> float_of_int (parks_total pool));
   register_gauge e
     ~help:(Printf.sprintf "Tasks queued and not yet started in the %s pool." pool.name)
     ~name:(prefix ^ "_queue_depth") (fun () -> float_of_int (queue_depth pool));

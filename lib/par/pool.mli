@@ -85,6 +85,24 @@ val tasks_total : t -> int
 val steals_total : t -> int
 (** Tasks taken from another domain's queue. *)
 
+val steal_failures_total : t -> int
+(** Steal scans that found every queue empty — each one is a domain
+    spinning through [size] locks for nothing, the cost the profiler's
+    contention view attributes to starvation. *)
+
+val parks_total : t -> int
+(** Times any domain slept on the pool condition (summed over
+    slots). *)
+
+val cas_retries_total : t -> int
+(** CAS races lost while bumping the queue high-water mark — a proxy
+    for how hard concurrent pushes hammer the shared counters. *)
+
+val worker_stats : t -> (int * int * int * int) list
+(** Per slot: [(slot, busy_ns, steals, parks)].  Slot [0] is the
+    submitting/awaiting domain.  What the bench baseline records to
+    show where a non-scaling pool's time goes. *)
+
 val queue_depth : t -> int
 (** Tasks currently queued and not yet started (a point-in-time
     gauge). *)
@@ -101,8 +119,9 @@ val busy_fractions : t -> (int * float) list
 
 val register_metrics : ?prefix:string -> t -> Sxsi_obs.Exposition.t -> unit
 (** Register [<prefix>_tasks_total], [<prefix>_steals_total],
-    [<prefix>_queue_depth], [<prefix>_queue_depth_hwm],
-    [<prefix>_domains] and the per-slot
+    [<prefix>_steal_failures_total], [<prefix>_cas_retries_total],
+    [<prefix>_parks_total], [<prefix>_queue_depth],
+    [<prefix>_queue_depth_hwm], [<prefix>_domains] and the per-slot
     [<prefix>_worker_busy_fraction] gauge family (default prefix
     ["sxsi_pool"]) on an exposition.
 

@@ -1,0 +1,414 @@
+(* The sampling profiler.  [hz] times a second a tick reads every
+   domain's current label-path slot (one racy int read each,
+   maintained by Sxsi_obs.Journal on span enter/exit) and adds the
+   elapsed wall time since the previous tick to each observed path.
+   No stack unwinding, no signals, no mutator synchronization: the
+   mutator's whole cost is the plain slot store it already pays for
+   labelling, and the profile converges statistically.
+
+   Ticks come from one of two backends: a dedicated sampler domain
+   (multicore — it parks on its own core), or cooperative ticks taken
+   by the working domains at span boundaries (single core — an extra
+   domain there makes every minor GC pay a stop-the-world scheduling
+   round-trip, ~10% on the count workload even with the domain
+   asleep).  [Auto] picks by [Domain.recommended_domain_count].
+
+   Everything accumulated here is monotonic — wall ns per path, tick
+   counts, the journal's per-path allocation words, the contention-site
+   counters.  A *report* is the difference of two {!snapshot}s, so any
+   number of observers (the PROFILE verb, metrics scrapes, the CLI
+   --profile flag) can window the same stream without coordinating. *)
+
+module J = Sxsi_obs.Journal
+module Clock = Sxsi_obs.Clock
+module Contend = Sxsi_obs.Contend
+module Json = Sxsi_obs.Json
+
+let default_hz = 997
+
+type sampler_backend = Auto | Dedicated | Cooperative
+
+let hz_setting = Atomic.make default_hz
+let backend_setting = ref Auto (* read at [start] *)
+
+let configure ?hz ?sampler () =
+  (match hz with
+  | Some h -> Atomic.set hz_setting (max 1 (min 10_000 h))
+  | None -> ());
+  match sampler with Some s -> backend_setting := s | None -> ()
+
+let hz () = Atomic.get hz_setting
+let period_ns () = 1_000_000_000 / Atomic.get hz_setting
+
+(* ------------------------------------------------------------------ *)
+(* Accumulation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lock = Mutex.create ()
+let wall : int array ref = ref (Array.make 256 0) (* ns per path id *)
+let ticks = ref 0
+
+let ensure_wall n =
+  if n > Array.length !wall then begin
+    let cap = ref (2 * Array.length !wall) in
+    while n > !cap do cap := 2 * !cap done;
+    let w = Array.make !cap 0 in
+    Array.blit !wall 0 w 0 (Array.length !wall);
+    wall := w
+  end
+
+let sample_now ~weight_ns =
+  let slots = J.slot_paths () in
+  Mutex.protect lock (fun () ->
+      ensure_wall (J.path_count ());
+      List.iter
+        (fun (_domain, p) ->
+          if p >= 0 && p < Array.length !wall then
+            !wall.(p) <- !wall.(p) + weight_ns)
+        slots;
+      incr ticks)
+
+(* ------------------------------------------------------------------ *)
+(* The sampler domain                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let running_flag = Atomic.make false
+let stop_flag = Atomic.make false
+let sampler : unit Domain.t option ref = ref None (* under [lock] *)
+
+let sampler_loop () =
+  let last = ref (Clock.now_ns ()) in
+  while not (Atomic.get stop_flag) do
+    Unix.sleepf (1.0 /. float_of_int (Atomic.get hz_setting));
+    let now = Clock.now_ns () in
+    sample_now ~weight_ns:(Clock.diff_ns ~from:!last ~until:now);
+    last := now
+  done
+
+(* Cooperative backend: no sampler context at all.  The working
+   domains call {!coop_tick} from every span boundary (via the journal
+   tick hook); whichever domain first crosses the shared deadline
+   claims the tick by CAS and attributes the elapsed interval to every
+   slot's current path.  [coop_next] is [max_int] while the backend is
+   off, so the hook costs one atomic load when a dedicated sampler is
+   running instead.
+
+   Attribution stays correct even when no boundary fires for a long
+   time: the pending interval is flushed in {!snapshot}, and
+   [sample_now] weights by real elapsed time, so a domain that sat in
+   one span for the whole window gets the whole window. *)
+let coop_next = Atomic.make max_int (* ns deadline of the next tick *)
+let coop_last = Atomic.make 0       (* ns of the last taken tick *)
+
+let coop_take deadline =
+  let now = Clock.now_ns () in
+  if Atomic.compare_and_set coop_next deadline (now + period_ns ()) then begin
+    let last = Atomic.exchange coop_last now in
+    sample_now ~weight_ns:(Clock.diff_ns ~from:last ~until:now)
+  end
+
+let coop_tick () =
+  let deadline = Atomic.get coop_next in
+  if deadline <> max_int && Clock.now_ns () >= deadline then coop_take deadline
+
+(* Flush the interval since the last cooperative tick (no-op for the
+   dedicated backend).  Called on snapshot so a report window's tail
+   is attributed even if span traffic stopped. *)
+let coop_flush () =
+  let deadline = Atomic.get coop_next in
+  if deadline <> max_int then coop_take deadline
+
+let running () = Atomic.get running_flag
+
+(* A dedicated sampler domain is near-free when it has its own core,
+   but on a single-core machine every additional domain makes each
+   minor collection pay a stop-the-world scheduling round-trip —
+   measured at ~10% on the count workload with the domain entirely
+   asleep.  Auto picks the cooperative backend there. *)
+let want_dedicated () =
+  match !backend_setting with
+  | Dedicated -> true
+  | Cooperative -> false
+  | Auto -> Domain.recommended_domain_count () > 1
+
+let start () =
+  if Atomic.compare_and_set running_flag false true then begin
+    Atomic.set stop_flag false;
+    J.set_labels_enabled true;
+    Contend.set_enabled true;
+    if want_dedicated () then begin
+      let d = Domain.spawn sampler_loop in
+      Mutex.protect lock (fun () -> sampler := Some d)
+    end
+    else begin
+      let now = Clock.now_ns () in
+      Atomic.set coop_last now;
+      Atomic.set coop_next (now + period_ns ());
+      J.set_tick_hook coop_tick
+    end
+  end
+
+let ensure_started () = if not (running ()) then start ()
+
+let stop () =
+  if Atomic.compare_and_set running_flag true false then begin
+    Atomic.set stop_flag true;
+    (match Mutex.protect lock (fun () -> let d = !sampler in sampler := None; d) with
+    | Some d -> Domain.join d
+    | None -> ());
+    coop_flush ();
+    J.clear_tick_hook ();
+    Atomic.set coop_next max_int;
+    J.set_labels_enabled false;
+    Contend.set_enabled false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and reports                                                *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_ts : int;
+  sn_ticks : int;
+  sn_wall : int array;
+  sn_minor : float array;
+  sn_major : float array;
+  sn_wait : int array;                              (* contended ns per path *)
+  sn_sites : (string * int * int * int) list;
+}
+
+let wait_array n =
+  let a = Array.make n 0 in
+  List.iter (fun (p, ns) -> if p >= 0 && p < n then a.(p) <- a.(p) + ns)
+    (Contend.wait_by_path ());
+  a
+
+let snapshot () =
+  coop_flush ();
+  let n = J.path_count () in
+  let w, t =
+    Mutex.protect lock (fun () ->
+        (Array.init n (fun p -> if p < Array.length !wall then !wall.(p) else 0), !ticks))
+  in
+  let minor, major = J.alloc_snapshot () in
+  let pad a = if Array.length a >= n then a else Array.init n (fun p -> if p < Array.length a then a.(p) else 0.0) in
+  {
+    sn_ts = Clock.now_ns ();
+    sn_ticks = t;
+    sn_wall = w;
+    sn_minor = pad minor;
+    sn_major = pad major;
+    sn_wait = wait_array n;
+    sn_sites = Contend.stats ();
+  }
+
+type entry = {
+  e_stack : string list;
+  e_self_ns : int;
+  e_minor : float;
+  e_major : float;
+  e_wait_ns : int;
+}
+
+type report = {
+  r_duration_ns : int;
+  r_ticks : int;
+  r_hz : int;
+  r_total_ns : int;             (* attributed + unattributed wall *)
+  r_unattributed_ns : int;
+  r_entries : entry list;       (* path 0 excluded; self-time descending *)
+  r_sites : (string * int * int * int) list;
+}
+
+let report ~since () =
+  let now = snapshot () in
+  let n = Array.length now.sn_wall in
+  let di a b p = b.(p) - (if p < Array.length a then a.(p) else 0) in
+  let df a b p = b.(p) -. (if p < Array.length a then a.(p) else 0.0) in
+  let entries = ref [] in
+  let total = ref 0 in
+  for p = n - 1 downto 1 do
+    let self = di since.sn_wall now.sn_wall p in
+    let minor = df since.sn_minor now.sn_minor p in
+    let major = df since.sn_major now.sn_major p in
+    let wait = di since.sn_wait now.sn_wait p in
+    total := !total + max 0 self;
+    if self > 0 || wait > 0 || minor > 1.0 || major > 1.0 then
+      entries :=
+        { e_stack = J.path_parts p; e_self_ns = max 0 self; e_minor = minor;
+          e_major = major; e_wait_ns = max 0 wait }
+        :: !entries
+  done;
+  let unattributed = max 0 (di since.sn_wall now.sn_wall 0) in
+  let site_diff =
+    List.map
+      (fun (nm, a, c, w) ->
+        match List.find_opt (fun (nm', _, _, _) -> nm' = nm) since.sn_sites with
+        | Some (_, a0, c0, w0) -> (nm, a - a0, c - c0, w - w0)
+        | None -> (nm, a, c, w))
+      now.sn_sites
+  in
+  {
+    r_duration_ns = Clock.diff_ns ~from:since.sn_ts ~until:now.sn_ts;
+    r_ticks = now.sn_ticks - since.sn_ticks;
+    r_hz = Atomic.get hz_setting;
+    r_total_ns = !total + unattributed;
+    r_unattributed_ns = unattributed;
+    r_entries =
+      List.sort (fun x y -> compare y.e_self_ns x.e_self_ns) !entries;
+    r_sites = site_diff;
+  }
+
+let unattributed_pct r =
+  if r.r_total_ns <= 0 then 0.0
+  else 100.0 *. float_of_int r.r_unattributed_ns /. float_of_int r.r_total_ns
+
+(* ------------------------------------------------------------------ *)
+(* Renderings                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fold_stack stack = String.concat ";" stack
+
+(* collapsed-stack format: one line per distinct stack, the value is
+   self time in microseconds (flamegraph.pl / inferno / speedscope all
+   take these verbatim) *)
+let to_folded r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      if e.e_self_ns > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%s %d\n" (fold_stack e.e_stack) (e.e_self_ns / 1000)))
+    r.r_entries;
+  if r.r_unattributed_ns > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(unattributed) %d\n" (r.r_unattributed_ns / 1000));
+  Buffer.contents buf
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String "sxsi-prof-v1");
+      ("duration_ns", Json.Int r.r_duration_ns);
+      ("ticks", Json.Int r.r_ticks);
+      ("hz", Json.Int r.r_hz);
+      ("total_ns", Json.Int r.r_total_ns);
+      ("unattributed_ns", Json.Int r.r_unattributed_ns);
+      ( "stacks",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("stack", Json.List (List.map (fun s -> Json.String s) e.e_stack));
+                   ("self_ns", Json.Int e.e_self_ns);
+                   ("minor_words", Json.Float e.e_minor);
+                   ("major_words", Json.Float e.e_major);
+                   ("wait_ns", Json.Int e.e_wait_ns);
+                 ])
+             r.r_entries) );
+      ( "contention",
+        Json.List
+          (List.map
+             (fun (nm, a, c, w) ->
+               Json.Obj
+                 [
+                   ("site", Json.String nm);
+                   ("acquires", Json.Int a);
+                   ("contended", Json.Int c);
+                   ("wait_ns", Json.Int w);
+                 ])
+             r.r_sites) );
+    ]
+
+let to_table ?(top = 10) r =
+  let buf = Buffer.create 512 in
+  let pct ns =
+    if r.r_total_ns <= 0 then 0.0
+    else 100.0 *. float_of_int ns /. float_of_int r.r_total_ns
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "profile: %.2fs sampled at %d Hz (%d ticks), %.1f%% unattributed\n"
+       (float_of_int r.r_duration_ns /. 1e9)
+       r.r_hz r.r_ticks (unattributed_pct r));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s %6s %12s %10s  %s\n" "SELF" "%" "MINOR_WORDS" "WAIT_MS" "STACK");
+  let rec take k = function
+    | e :: tl when k > 0 ->
+      Buffer.add_string buf
+        (Printf.sprintf "%9.3fs %5.1f%% %12.0f %10.2f  %s\n"
+           (float_of_int e.e_self_ns /. 1e9)
+           (pct e.e_self_ns) e.e_minor
+           (float_of_int e.e_wait_ns /. 1e6)
+           (fold_stack e.e_stack));
+      take (k - 1) tl
+    | _ -> ()
+  in
+  take top r.r_entries;
+  (match r.r_sites with
+  | [] -> ()
+  | sites ->
+    Buffer.add_string buf "locks:\n";
+    List.iter
+      (fun (nm, a, c, w) ->
+        if a > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "  %-24s %d acquires, %d contended, %.2fms waited\n" nm a c
+               (float_of_int w /. 1e6)))
+      sites);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let register_metrics ?(prefix = "sxsi_prof") e =
+  let module E = Sxsi_obs.Exposition in
+  E.register_gauge e ~help:"1 while the sampling profiler is running"
+    ~name:(prefix ^ "_running")
+    (fun () -> if running () then 1.0 else 0.0);
+  E.register_gauge e ~help:"Configured sampler frequency"
+    ~name:(prefix ^ "_hz")
+    (fun () -> float_of_int (Atomic.get hz_setting));
+  E.register_callback_counter e ~help:"Sampler ticks taken"
+    ~name:(prefix ^ "_ticks_total")
+    (fun () -> float_of_int (Mutex.protect lock (fun () -> !ticks)));
+  E.register_callback_counter e
+    ~help:"Sampled wall seconds on no span (idle or unspanned code)"
+    ~name:(prefix ^ "_unattributed_seconds_total")
+    (fun () -> float_of_int (Mutex.protect lock (fun () -> !wall.(0))) /. 1e9);
+  E.register_multi_gauge e
+    ~help:"Sampled wall seconds by root span label"
+    ~name:(prefix ^ "_wall_seconds_total")
+    (fun () ->
+      let n = J.path_count () in
+      let by_root : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+      let w = Mutex.protect lock (fun () -> Array.copy !wall) in
+      for p = 1 to min n (Array.length w) - 1 do
+        if w.(p) > 0 then begin
+          match J.path_parts p with
+          | [] -> ()
+          | root :: _ ->
+            let cell =
+              match Hashtbl.find_opt by_root root with
+              | Some c -> c
+              | None -> let c = ref 0.0 in Hashtbl.add by_root root c; c
+            in
+            cell := !cell +. (float_of_int w.(p) /. 1e9)
+        end
+      done;
+      Hashtbl.fold (fun root c l -> ([ ("root", root) ], !c) :: l) by_root []);
+  E.register_multi_gauge e ~help:"Lock acquires by contention site"
+    ~name:(prefix ^ "_lock_acquires")
+    (fun () ->
+      List.map (fun (nm, a, _, _) -> ([ ("site", nm) ], float_of_int a)) (Contend.stats ()));
+  E.register_multi_gauge e ~help:"Contended lock acquires by contention site"
+    ~name:(prefix ^ "_lock_contended")
+    (fun () ->
+      List.map (fun (nm, _, c, _) -> ([ ("site", nm) ], float_of_int c)) (Contend.stats ()));
+  E.register_multi_gauge e ~help:"Seconds waited on contended locks by site"
+    ~name:(prefix ^ "_lock_wait_seconds")
+    (fun () ->
+      List.map
+        (fun (nm, _, _, w) -> ([ ("site", nm) ], float_of_int w /. 1e9))
+        (Contend.stats ()))

@@ -1,0 +1,131 @@
+(** An always-on sampling profiler with wall-clock, contention and
+    allocation attribution.
+
+    A tick fires {!hz} times a second and reads each domain's current
+    label path — the chain of open journal spans, maintained by
+    [Sxsi_obs.Journal] with one plain int store per span enter/exit.
+    Every tick adds the elapsed wall time to each domain's current
+    path, so paths accumulate {e self} time: exactly the
+    collapsed-stack semantics flamegraph tooling expects.  There is no
+    stack unwinding and no mutator synchronization; overhead is the
+    label stores plus the tick source.
+
+    Ticks come from one of two backends (see {!sampler_backend}): a
+    dedicated sampler domain when spare cores exist, or — on a
+    single-core machine, where any extra domain makes each minor GC
+    pay a stop-the-world scheduling round-trip — cooperative ticks
+    taken by the working domains themselves at span boundaries.
+
+    Accumulation is monotonic.  A {!report} diffs two {!snapshot}s,
+    so concurrent observers (the [PROFILE] service verb, Prometheus
+    scrapes, [--profile] on the CLI) window the same stream freely.
+
+    Alongside wall time a report carries, per path, the minor/major
+    GC words the path's own code allocated ([Journal.alloc_snapshot])
+    and the nanoseconds it spent blocked on instrumented locks
+    ([Contend]), plus per-site lock totals. *)
+
+(** {1 Lifecycle} *)
+
+val default_hz : int
+(** The default sampling frequency, 997 Hz. *)
+
+(** How ticks are produced.
+
+    [Dedicated] spawns a sampler domain that sleeps between ticks —
+    near-free when it can park on its own core, but on a single-core
+    machine its mere existence costs ~10% of throughput (every minor
+    collection then needs the other domain scheduled to its
+    stop-the-world barrier).  [Cooperative] uses no extra execution
+    context at all: the working domains check a shared deadline at
+    every span boundary and whichever crosses it first takes the tick.
+    Tick cadence then follows span traffic, but attribution stays
+    correct regardless — each tick weights by real elapsed time, and
+    {!snapshot} flushes the pending interval, so a domain that sat in
+    one span for a whole quiet window still gets the whole window.
+    [Auto] (the default) picks [Dedicated] exactly when
+    [Domain.recommended_domain_count () > 1]. *)
+type sampler_backend = Auto | Dedicated | Cooperative
+
+val configure : ?hz:int -> ?sampler:sampler_backend -> unit -> unit
+(** Set the sampling frequency (clamped to 1..10000; default 997 —
+    prime, so it cannot lock onto millisecond-periodic work) and the
+    tick backend.  The frequency takes effect from the next tick; the
+    backend from the next {!start}. *)
+
+val hz : unit -> int
+
+val start : unit -> unit
+(** Enable journal span labelling and contention accounting, then
+    start the tick backend.  Idempotent. *)
+
+val ensure_started : unit -> unit
+(** {!start} unless already running. *)
+
+val stop : unit -> unit
+(** Stop the tick backend and disable labelling/contention
+    accounting.  Accumulated profiles are kept. *)
+
+val running : unit -> bool
+
+val sample_now : weight_ns:int -> unit
+(** Take one synchronous sample, attributing [weight_ns] to every
+    domain's current path.  The sampler calls this on its own ticks;
+    tests call it directly to drive a deterministic fake clock. *)
+
+(** {1 Snapshots and reports} *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** The current accumulated totals (wall per path, allocation per
+    path, contention sites). *)
+
+type entry = {
+  e_stack : string list;  (** span names, outermost first *)
+  e_self_ns : int;        (** sampled wall time with this exact stack *)
+  e_minor : float;        (** minor GC words allocated by this stack's own code *)
+  e_major : float;        (** major GC words likewise *)
+  e_wait_ns : int;        (** time blocked on instrumented locks here *)
+}
+
+type report = {
+  r_duration_ns : int;
+  r_ticks : int;
+  r_hz : int;
+  r_total_ns : int;          (** attributed + unattributed sampled wall *)
+  r_unattributed_ns : int;   (** sampled time on no span *)
+  r_entries : entry list;    (** self-time descending *)
+  r_sites : (string * int * int * int) list;
+      (** per lock site: name, acquires, contended, wait ns *)
+}
+
+val report : since:snapshot -> unit -> report
+(** The activity between [since] and now. *)
+
+val unattributed_pct : report -> float
+(** Share of sampled time on no span, in percent (0 when nothing was
+    sampled). *)
+
+(** {1 Renderings} *)
+
+val to_folded : report -> string
+(** Collapsed-stack text: one [root;child;leaf value] line per stack,
+    values in microseconds of self time, with a final
+    [(unattributed) n] line — pipe into [flamegraph.pl], inferno or
+    speedscope. *)
+
+val to_json : report -> Sxsi_obs.Json.t
+(** Schema [sxsi-prof-v1]: duration, tick count, per-stack self
+    wall/allocation/lock-wait, and per-site contention totals. *)
+
+val to_table : ?top:int -> report -> string
+(** Human-readable top-[top] (default 10) self-time table plus lock
+    totals — what [--profile] prints on exit. *)
+
+(** {1 Prometheus} *)
+
+val register_metrics : ?prefix:string -> Sxsi_obs.Exposition.t -> unit
+(** Register the [sxsi_prof_*] series (sampler state, tick count,
+    wall seconds by root span, unattributed seconds, lock-site
+    acquire/contended/wait) on an exposition. *)

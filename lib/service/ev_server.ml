@@ -38,6 +38,7 @@ let n_coalesce = J.name "evloop/coalesce"
 let n_idle = J.name "evloop/idle_close"
 let n_shed = J.name "evloop/shed"
 let n_exec_queue = J.name "evloop/exec_queue"
+let n_exec_idle = J.name "evloop/exec_idle"
 
 let default_high_water = 256 * 1024
 let default_max_conns = 1024
@@ -56,10 +57,19 @@ type exec = {
   em : Mutex.t;
   nonempty : Condition.t;
   mutable closed : bool;
+  jobs_done : Counter.t;
+  busy_ns : Counter.t;   (* wall time spent inside jobs *)
 }
 
 let exec_create () =
-  { jobs = Queue.create (); em = Mutex.create (); nonempty = Condition.create (); closed = false }
+  {
+    jobs = Queue.create ();
+    em = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+    jobs_done = Counter.create ();
+    busy_ns = Counter.create ();
+  }
 
 let exec_submit e job =
   Mutex.protect e.em (fun () ->
@@ -80,7 +90,11 @@ let exec_run e =
           if not (Queue.is_empty e.jobs) then Some (Queue.pop e.jobs)
           else if e.closed then None
           else begin
+            (* spanned so an idle executor profiles as evloop/exec_idle
+               rather than unattributed time *)
+            J.begin_span J.Evloop n_exec_idle ();
             Condition.wait e.nonempty e.em;
+            J.end_span J.Evloop n_exec_idle ();
             wait ()
           end
         in
@@ -90,7 +104,10 @@ let exec_run e =
     match pop () with
     | None -> ()
     | Some job ->
+      let t0 = Clock.now_ns () in
       job ();
+      Counter.add e.busy_ns (Clock.since t0);
+      Counter.incr e.jobs_done;
       loop ()
   in
   loop ()
@@ -212,6 +229,19 @@ let ev_stats_lines t =
     ("ev_seals", string_of_int (Single_flight.seals_total t.sf));
     ("ev_in_flight", string_of_int (Single_flight.in_flight t.sf));
     ("ev_idle_closed", string_of_int (Counter.get t.idle_closed));
+    ( "ev_exec_jobs",
+      String.concat ","
+        (Array.to_list
+           (Array.map (fun e -> string_of_int (Counter.get e.jobs_done)) t.execs)) );
+    ( "ev_exec_busy_ms",
+      String.concat ","
+        (Array.to_list
+           (Array.map
+              (fun e -> string_of_int (Counter.get e.busy_ns / 1_000_000))
+              t.execs)) );
+    ( "ev_exec_depth",
+      String.concat ","
+        (Array.to_list (Array.map (fun e -> string_of_int (exec_depth e)) t.execs)) );
   ]
 
 let give t w bytes =
@@ -313,14 +343,28 @@ let submit t c line =
     | Result.Ok (Protocol.Materialize { doc; query }) -> Some ("M", doc, query)
     | _ -> None
   in
-  (match coalesce_key with
-  | Some (verb, doc, query) ->
-    let eff_dl = match deadline_ms with Some d -> d | None -> -1 in
-    let key = Printf.sprintf "%s\x00%s\x00%s\x00%d" verb doc query eff_dl in
-    (match Single_flight.join t.sf ~key ~group:doc w with
-    | Single_flight.Attached -> ()
-    | Single_flight.Leader entry -> run_leader (fun resp -> deliver_entry t entry resp))
-  | None -> run_leader (fun resp -> deliver_one t w ~stats resp));
+  (match parsed with
+  | Result.Ok (Protocol.Profile secs) ->
+    (* never blocks an executor domain (a blocked shard executor would
+       starve the very load being profiled): snapshot now, let a loop
+       timer deliver the window diff when it closes *)
+    Sxsi_prof.Prof.ensure_started ();
+    let since = Sxsi_prof.Prof.snapshot () in
+    let at_ns = enqueued_ns + (secs * 1_000_000_000) in
+    ignore
+      (Loop.timer_at t.loop ~at_ns (fun () ->
+           deliver_one t w ~stats:false
+             (Service.reject svc (Service.profile_response since)))
+        : (unit -> unit) Sxsi_evloop.Wheel.timer)
+  | _ -> (
+    match coalesce_key with
+    | Some (verb, doc, query) ->
+      let eff_dl = match deadline_ms with Some d -> d | None -> -1 in
+      let key = Printf.sprintf "%s\x00%s\x00%s\x00%d" verb doc query eff_dl in
+      (match Single_flight.join t.sf ~key ~group:doc w with
+      | Single_flight.Attached -> ()
+      | Single_flight.Leader entry -> run_leader (fun resp -> deliver_entry t entry resp))
+    | None -> run_leader (fun resp -> deliver_one t w ~stats resp)));
   (* QUIT answers, then closes: stop reading now, close once the
      pipeline ahead of it (and its own OK) has flushed *)
   match parsed with
@@ -507,7 +551,21 @@ let register_metrics t =
         gauge ~help:"Open connections." ~name:"sxsi_evloop_connections" (fun () ->
             float_of_int (Hashtbl.length t.conns));
         gauge ~help:"Shards." ~name:"sxsi_evloop_shards" (fun () ->
-            float_of_int (Shards.count t.shards)))
+            float_of_int (Shards.count t.shards));
+        let multi = Sxsi_obs.Exposition.register_multi_gauge e in
+        let per_shard f () =
+          Array.to_list
+            (Array.mapi (fun i ex -> ([ ("shard", string_of_int i) ], f ex)) t.execs)
+        in
+        multi ~help:"Jobs completed per shard executor."
+          ~name:"sxsi_evloop_exec_jobs_total"
+          (per_shard (fun ex -> float_of_int (Counter.get ex.jobs_done)));
+        multi ~help:"Seconds each shard executor spent running jobs."
+          ~name:"sxsi_evloop_exec_busy_seconds_total"
+          (per_shard (fun ex -> float_of_int (Counter.get ex.busy_ns) /. 1e9));
+        multi ~help:"Queued jobs per shard executor."
+          ~name:"sxsi_evloop_exec_queue_depth"
+          (per_shard (fun ex -> float_of_int (exec_depth ex))))
   with Invalid_argument _ -> ()
 
 let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(max_line = Server.default_max_line)
@@ -535,7 +593,11 @@ let serve ?(host = "127.0.0.1") ?(backlog = 64) ?(max_line = Server.default_max_
   in
   register_metrics t;
   let domains =
-    Array.map (fun e -> Domain.spawn (fun () -> exec_run e)) t.execs
+    Array.map
+      (fun e ->
+        Domain.spawn (fun () ->
+            Fun.protect ~finally:J.retire_slot (fun () -> exec_run e)))
+      t.execs
   in
   Fun.protect
     ~finally:(fun () ->

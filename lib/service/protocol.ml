@@ -9,6 +9,7 @@ type request =
   | Trace of { doc : string; query : string }
   | Evict of string
   | Deadline of int
+  | Profile of int
   | Quit
 
 type response =
@@ -93,6 +94,17 @@ let parse_request line =
           | Some _ | None -> Error "DEADLINE: want a non-negative millisecond count"
         end
     end
+    | "PROFILE" -> begin
+      match next_word line i with
+      | None -> Result.Ok (Profile 1)
+      | Some (secs, j) ->
+        if rest line j <> "" then Error "PROFILE: trailing garbage"
+        else begin
+          match int_of_string_opt secs with
+          | Some v when v >= 1 && v <= 60 -> Result.Ok (Profile v)
+          | Some _ | None -> Error "PROFILE: want a window of 1..60 seconds"
+        end
+    end
     | "QUIT" ->
       if rest line i <> "" then Error "QUIT takes no argument" else Result.Ok Quit
     | v -> Error ("unknown request: " ^ v)
@@ -109,6 +121,7 @@ let print_request = function
   | Trace { doc; query } -> Printf.sprintf "TRACE %s %s" doc query
   | Evict name -> "EVICT " ^ name
   | Deadline ms -> Printf.sprintf "DEADLINE %d" ms
+  | Profile secs -> Printf.sprintf "PROFILE %d" secs
   | Quit -> "QUIT"
 
 (* ------------------------------------------------------------------ *)

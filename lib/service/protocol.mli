@@ -19,6 +19,10 @@
     EVICT <name>                drop a document (and its cached queries)
     DEADLINE <ms>               set the session's per-request deadline
                                 in milliseconds (0 clears it)
+    PROFILE [secs]              sample the whole process for [secs]
+                                (default 1, max 60) seconds; one JSON
+                                line (schema sxsi-prof-v1) followed by
+                                the collapsed-stack profile lines
     QUIT                        close the session
     v}
     Verbs are case-insensitive; [<name>] and [<path>] contain no
@@ -51,6 +55,7 @@ type request =
   | Trace of { doc : string; query : string }
   | Evict of string
   | Deadline of int
+  | Profile of int
   | Quit
 
 type response =

@@ -9,6 +9,11 @@ let n_parse = J.name "service/parse"
 let n_eval = J.name "service/eval"
 let n_request = J.name "service/request"
 
+(* The registry lock is the most shared mutex in the process (every
+   cache lookup and latency record takes it from every serving domain);
+   watch it for the contention profile. *)
+let lock_site = Sxsi_obs.Contend.site "service.lock"
+
 type options = {
   max_doc_bytes : int;
   compiled_cache : int;
@@ -143,6 +148,35 @@ let build_exposition ~metrics ~registry ~compiled ~counts ~breakers ~breakers_lo
   Sxsi_obs.Exposition.register_histogram e
     ~help:"Accept-queue wait before a connection's first request." ~scale:1e-9
     ~name:"sxsi_admission_wait_seconds" metrics.Metrics.admission_wait;
+  (* Flight-recorder series.  Process-global, registered here (not in
+     Runtime.register) so drops and ring pressure are visible in
+     METRICS whether or not the runtime sampler is running. *)
+  gauge ~help:"1 while the flight recorder is recording."
+    ~name:"sxsi_journal_enabled" (fun () -> if J.enabled () then 1.0 else 0.0);
+  cb ~help:"Journal records ever written, including overwritten ones."
+    ~name:"sxsi_journal_records_total" (fun () -> float_of_int (J.records_total ()));
+  cb ~help:"Journal records lost to ring wrap-around."
+    ~name:"sxsi_journal_dropped_total" (fun () -> float_of_int (J.dropped_total ()));
+  Sxsi_obs.Exposition.register_multi_gauge e
+    ~help:"Journal records lost to wrap-around, by recording domain."
+    ~name:"sxsi_journal_ring_dropped_total"
+    (fun () ->
+      List.map
+        (fun (dom, dropped, _held, _cap) ->
+          ([ ("domain", string_of_int dom) ], float_of_int dropped))
+        (J.ring_stats ()));
+  Sxsi_obs.Exposition.register_multi_gauge e
+    ~help:"How full each domain's journal ring is, in percent."
+    ~name:"sxsi_journal_ring_occupancy_percent"
+    (fun () ->
+      List.map
+        (fun (dom, _dropped, held, cap) ->
+          ( [ ("domain", string_of_int dom) ],
+            100.0 *. float_of_int held /. float_of_int (max 1 cap) ))
+        (J.ring_stats ()));
+  (* The sampling profiler's series (sampler state, wall seconds by
+     root span, lock contention by site). *)
+  Sxsi_prof.Prof.register_metrics e;
   e
 
 let create ?(options = default_options) ?slow_log () =
@@ -207,7 +241,7 @@ let register_runtime t sampler =
   Mutex.protect t.lock (fun () ->
       Sxsi_obs.Runtime.register sampler t.exposition)
 
-let locked t f = Mutex.protect t.lock f
+let locked t f = Sxsi_obs.Contend.with_lock lock_site t.lock f
 
 let run_config t =
   {
@@ -422,6 +456,9 @@ let stats t =
       [
         ("pool_tasks", string_of_int (Sxsi_par.Pool.tasks_total p));
         ("pool_steals", string_of_int (Sxsi_par.Pool.steals_total p));
+        ("pool_steal_failures", string_of_int (Sxsi_par.Pool.steal_failures_total p));
+        ("pool_parks", string_of_int (Sxsi_par.Pool.parks_total p));
+        ("pool_cas_retries", string_of_int (Sxsi_par.Pool.cas_retries_total p));
         ("pool_queue_depth_hwm", string_of_int (Sxsi_par.Pool.queue_depth_hwm p));
         ("pool_busy_fraction", Printf.sprintf "%.3f" mean);
         ( "pool_worker_busy",
@@ -457,9 +494,21 @@ let stats t =
           ("journal_enabled", if J.enabled () then "1" else "0");
           ("journal_records", string_of_int (J.records_total ()));
           ("journal_dropped", string_of_int (J.dropped_total ()));
+          ("prof_running", if Sxsi_prof.Prof.running () then "1" else "0");
+          ("prof_hz", string_of_int (Sxsi_prof.Prof.hz ()));
         ])
 
 let metrics_text t = locked t (fun () -> Sxsi_obs.Exposition.render t.exposition)
+
+(* The PROFILE payload: one JSON line (schema sxsi-prof-v1), then the
+   collapsed-stack lines — both derived from the same window diff. *)
+let profile_response since =
+  let r = Sxsi_prof.Prof.report ~since () in
+  Protocol.Data
+    (Sxsi_obs.Json.to_string (Sxsi_prof.Prof.to_json r)
+    :: List.filter
+         (fun l -> l <> "")
+         (String.split_on_char '\n' (Sxsi_prof.Prof.to_folded r)))
 
 let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.response =
   match req with
@@ -520,6 +569,15 @@ let dispatch t ~deadline_ms ~elapsed_ns (req : Protocol.request) : Protocol.resp
     (* session state lives in the server loop; the service just
        acknowledges so REPL transcripts show the setting took *)
     Protocol.Ok [ "deadline"; (if ms = 0 then "off" else string_of_int ms) ]
+  | Profile secs ->
+    (* sample the whole process for the window, then answer with the
+       JSON report followed by the collapsed-stack lines.  Blocks the
+       calling worker; the event-driven front end never routes Profile
+       here (it diffs snapshots off a loop timer instead). *)
+    Sxsi_prof.Prof.ensure_started ();
+    let since = Sxsi_prof.Prof.snapshot () in
+    Unix.sleepf (float_of_int secs);
+    profile_response since
   | Quit -> Protocol.Ok [ "bye" ]
 
 (* A slow request dumps its reconstructed span tree (this domain's

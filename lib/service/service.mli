@@ -127,6 +127,15 @@ val record_admission_wait : t -> int -> unit
 (** Record one connection's accept-queue wait (nanoseconds) in the
     admission-wait histogram. *)
 
+val profile_response : Sxsi_prof.Prof.snapshot -> Protocol.response
+(** Render the profile window that opened at [since] as the [PROFILE]
+    response: a [Data] block whose first line is the
+    {!Sxsi_prof.Prof.to_json} report and whose remaining lines are the
+    collapsed-stack ({!Sxsi_prof.Prof.to_folded}) output.  Front ends
+    that cannot afford to block a worker for the window (the event
+    loop) take their own snapshot up front and call this from a timer;
+    the threaded path just sleeps inside [handle]. *)
+
 val stats : t -> (string * string) list
 (** The same key=value pairs the [STATS] request reports. *)
 

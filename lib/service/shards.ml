@@ -31,7 +31,7 @@ let shard_of_request t (req : Protocol.request) =
   | Load { name; _ } | Evict name -> shard_of_doc t name
   | Query { doc; _ } | Count { doc; _ } | Materialize { doc; _ } | Trace { doc; _ }
     -> shard_of_doc t doc
-  | Stats | Metrics | Dump | Deadline _ | Quit -> 0
+  | Stats | Metrics | Dump | Deadline _ | Profile _ | Quit -> 0
 
 let add_document t name doc = Service.add_document (for_doc t name) name doc
 let shutdown t = Array.iter Service.shutdown t.services

@@ -13,6 +13,16 @@ let attval_tag = 3
 
 let reserved_names = [| "&"; "#"; "@"; "%" |]
 
+(* Spans over the document-build phases, so indexing shows up as named
+   cost centers in sampled profiles (the tree/text closures may run on
+   pool worker domains, nesting under their task span). *)
+module J = Sxsi_obs.Journal
+
+let n_build = J.name "doc/build"
+let n_parse = J.name "doc/parse"
+let n_tree = J.name "doc/tree"
+let n_text = J.name "doc/text"
+
 type backend = [ `Bp | `Grammar ]
 
 exception Unknown_backend of string
@@ -192,6 +202,7 @@ let add_text b s =
 
 let of_xml ?pool ?backend ?(keep_whitespace = true) ?(sample_rate = 32)
     ?(store_plain = true) src =
+  J.with_span J.Engine n_build @@ fun () ->
   let b = new_builder () in
   open_node b root_tag ~leaf:false;
   let emit_text s =
@@ -220,7 +231,8 @@ let of_xml ?pool ?backend ?(keep_whitespace = true) ?(sample_rate = 32)
     end
   in
   let on_close _ = close_node b in
-  Xml_parser.parse ~on_open ~on_close ~on_text:emit_text src;
+  J.with_span J.Engine n_parse (fun () ->
+      Xml_parser.parse ~on_open ~on_close ~on_text:emit_text src);
   close_node b;
   let bp = Bp.Builder.finish b.bpb in
   let names = Array.of_list (List.rev b.names_rev) in
@@ -230,6 +242,7 @@ let of_xml ?pool ?backend ?(keep_whitespace = true) ?(sample_rate = 32)
      builder output, so with a pool the two builds overlap (each also
      chunks internally across the same pool). *)
   let build_tree () =
+    J.with_span J.Engine n_tree @@ fun () ->
     match backend with
     | `Bp ->
       let tag_index =
@@ -250,7 +263,10 @@ let of_xml ?pool ?backend ?(keep_whitespace = true) ?(sample_rate = 32)
         (Sxsi_grammar.Slp.build ~tag_count:(Array.length names)
            ~leaf_tags:[ text_tag; attval_tag ] syms)
   in
-  let build_text () = Text_collection.build ?pool ~sample_rate ~store_plain texts in
+  let build_text () =
+    J.with_span J.Engine n_text (fun () ->
+        Text_collection.build ?pool ~sample_rate ~store_plain texts)
+  in
   let tree, text =
     match pool with
     | Some p when Sxsi_par.Pool.size p > 1 -> Sxsi_par.Pool.fork_join p build_tree build_text

@@ -21,4 +21,5 @@ let () =
       Test_qos.suite;
       Test_backend.suite;
       Test_evloop.suite;
+      Test_prof.suite;
     ]

@@ -1,0 +1,286 @@
+(* Sampling-profiler tests: deterministic fake-clock attribution over
+   a two-domain workload, sampler-starts-mid-span truncation, the
+   allocation and contention profiles, and the PROFILE verb end to end
+   against a live server under load. *)
+
+module J = Sxsi_obs.Journal
+module Prof = Sxsi_prof.Prof
+module Contend = Sxsi_obs.Contend
+open Sxsi_service
+
+let n_a = J.name "prof_a"
+let n_b = J.name "prof_b"
+let n_c = J.name "prof_c"
+
+(* Every test drives the label slots directly (no sampler domain) and
+   restores the disabled state on the way out. *)
+let with_labels f =
+  J.set_labels_enabled true;
+  Fun.protect ~finally:(fun () -> J.set_labels_enabled false) f
+
+let find_entry r stack =
+  List.find_opt (fun e -> e.Prof.e_stack = stack) r.Prof.r_entries
+
+let self_ns r stack =
+  match find_entry r stack with Some e -> Some e.Prof.e_self_ns | None -> None
+
+(* Two domains in known spans, weights driven by hand through
+   [sample_now]: attribution is exact, no tolerance needed. *)
+let test_fake_clock_attribution () =
+  with_labels (fun () ->
+      let since = Prof.snapshot () in
+      (* phase 1: only this domain, inside prof_a (with a nested
+         prof_c stretch) *)
+      J.begin_span J.Engine n_a ();
+      Prof.sample_now ~weight_ns:7;
+      Prof.sample_now ~weight_ns:7;
+      Prof.sample_now ~weight_ns:7;
+      J.begin_span J.Engine n_c ();
+      Prof.sample_now ~weight_ns:11;
+      J.end_span J.Engine n_c ();
+      J.end_span J.Engine n_a ();
+      (* phase 2: a second domain parks inside prof_b while this one
+         is on no span, so its samples split between prof_b and
+         (unattributed) *)
+      let in_b = Atomic.make false in
+      let release = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            Fun.protect ~finally:J.retire_slot (fun () ->
+                J.begin_span J.Engine n_b ();
+                Atomic.set in_b true;
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done;
+                J.end_span J.Engine n_b ()))
+      in
+      while not (Atomic.get in_b) do
+        Domain.cpu_relax ()
+      done;
+      Prof.sample_now ~weight_ns:5;
+      Prof.sample_now ~weight_ns:5;
+      Prof.sample_now ~weight_ns:5;
+      Prof.sample_now ~weight_ns:5;
+      Atomic.set release true;
+      Domain.join d;
+      let r = Prof.report ~since () in
+      Alcotest.(check (option int)) "prof_a self" (Some 21) (self_ns r [ "prof_a" ]);
+      Alcotest.(check (option int)) "nested prof_a;prof_c" (Some 11)
+        (self_ns r [ "prof_a"; "prof_c" ]);
+      Alcotest.(check (option int)) "prof_b on the second domain" (Some 20)
+        (self_ns r [ "prof_b" ]);
+      (* phase-2 samples also saw this domain on no span *)
+      Alcotest.(check int) "unattributed" 20 r.Prof.r_unattributed_ns;
+      Alcotest.(check int) "total = attributed + unattributed"
+        (21 + 11 + 20 + 20) r.Prof.r_total_ns;
+      Alcotest.(check int) "ticks" 8 r.Prof.r_ticks)
+
+(* Labels flip on while a span is already open: the unmatched exit is
+   ignored, later spans attribute normally, and renderings stay
+   well-formed. *)
+let test_truncation_mid_span () =
+  J.begin_span J.Engine n_a ();
+  with_labels (fun () ->
+      let since = Prof.snapshot () in
+      J.end_span J.Engine n_a ();
+      (* exit of a span never entered into the slot: ignored *)
+      J.with_span J.Engine n_b (fun () -> Prof.sample_now ~weight_ns:9);
+      let r = Prof.report ~since () in
+      Alcotest.(check (option int)) "span after truncated exit" (Some 9)
+        (self_ns r [ "prof_b" ]);
+      Alcotest.(check bool) "no prof_a ghost" true (self_ns r [ "prof_a" ] = None);
+      let folded = Prof.to_folded r in
+      List.iter
+        (fun line ->
+          if line <> "" then
+            Alcotest.(check bool) ("folded line well-formed: " ^ line) true
+              (String.length line > 0
+              && String.contains line ' '
+              && int_of_string_opt
+                   (String.sub line
+                      (String.rindex line ' ' + 1)
+                      (String.length line - String.rindex line ' ' - 1))
+                 <> None))
+        (String.split_on_char '\n' folded))
+
+(* The per-span allocation profile: self words exclude what nested
+   spans allocated. *)
+let test_alloc_attribution () =
+  with_labels (fun () ->
+      let since = Prof.snapshot () in
+      let sink = ref [||] in
+      J.with_span J.Engine n_a (fun () ->
+          sink := Array.make 1000 0.0;
+          J.with_span J.Engine n_c (fun () -> sink := Array.make 100_000 0.0));
+      ignore (Sys.opaque_identity !sink);
+      let r = Prof.report ~since () in
+      let minor stack =
+        match find_entry r stack with
+        | Some e -> e.Prof.e_minor +. e.Prof.e_major
+        | None -> 0.0
+      in
+      let outer = minor [ "prof_a" ] in
+      let inner = minor [ "prof_a"; "prof_c" ] in
+      Alcotest.(check bool) "outer span sees its own 1k words" true (outer >= 1000.0);
+      Alcotest.(check bool) "inner span sees its 100k words" true (inner >= 100_000.0);
+      Alcotest.(check bool) "self excludes the nested allocation" true
+        (outer < 50_000.0))
+
+(* The contention profile: a lock held across a second domain's
+   acquire shows up as a contended acquire with positive wait. *)
+let test_contention_profile () =
+  let site = Contend.site "test.contend" in
+  let m = Mutex.create () in
+  Contend.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Contend.set_enabled false)
+    (fun () ->
+      let holding = Atomic.make false in
+      let release = Atomic.make false in
+      let holder =
+        Domain.spawn (fun () ->
+            Contend.with_lock site m (fun () ->
+                Atomic.set holding true;
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done))
+      in
+      while not (Atomic.get holding) do
+        Domain.cpu_relax ()
+      done;
+      let waiter =
+        Domain.spawn (fun () -> Contend.with_lock site m (fun () -> ()))
+      in
+      (* give the waiter time to block on the held lock *)
+      Unix.sleepf 0.05;
+      Atomic.set release true;
+      Domain.join holder;
+      Domain.join waiter;
+      match List.find_opt (fun (nm, _, _, _) -> nm = "test.contend") (Contend.stats ()) with
+      | None -> Alcotest.fail "site missing from stats"
+      | Some (_, acquires, contended, wait_ns) ->
+        Alcotest.(check int) "acquires" 2 acquires;
+        Alcotest.(check bool) "at least one contended acquire" true (contended >= 1);
+        Alcotest.(check bool) "positive wait" true (wait_ns > 0))
+
+(* ------------------------------------------------------------------ *)
+(* PROFILE end to end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_doc tag n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "<%s>" tag);
+  for i = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "<item><id>%d</id></item>" i)
+  done;
+  Buffer.add_string buf (Printf.sprintf "</%s>" tag);
+  Sxsi_xml.Document.of_xml (Buffer.contents buf)
+
+let read_one ic =
+  Protocol.read_response (fun () ->
+      match input_line ic with
+      | line -> Some line
+      | exception End_of_file -> None)
+
+let test_profile_verb_e2e () =
+  let svc = Service.create () in
+  Service.add_document svc "d" (small_doc "root" 50);
+  Test_service.with_server svc (fun port ->
+      let stop_load = Atomic.make false in
+      (* background load so the window has something to attribute *)
+      let load =
+        Domain.spawn (fun () ->
+            let ic, oc =
+              Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.shutdown_connection ic with Unix.Unix_error _ -> ())
+              (fun () ->
+                while not (Atomic.get stop_load) do
+                  output_string oc "COUNT d //item\n";
+                  flush oc;
+                  match read_one ic with
+                  | Ok _ -> ()
+                  | Error _ -> Atomic.set stop_load true
+                done))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop_load true;
+          Domain.join load;
+          Prof.stop ())
+        (fun () ->
+          let ic, oc =
+            Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.shutdown_connection ic with Unix.Unix_error _ -> ())
+            (fun () ->
+              output_string oc "PROFILE 1\n";
+              flush oc;
+              match read_one ic with
+              | Error e -> Alcotest.fail ("client read: " ^ e)
+              | Ok (Protocol.Data (json_line :: folded)) ->
+                (* first line: the sxsi-prof-v1 JSON report *)
+                (match Sxsi_obs.Json.of_string json_line with
+                | Error e -> Alcotest.fail ("report is not JSON: " ^ e)
+                | Ok (Sxsi_obs.Json.Obj fields) ->
+                  Alcotest.(check bool) "schema" true
+                    (List.assoc_opt "schema" fields
+                    = Some (Sxsi_obs.Json.String "sxsi-prof-v1"));
+                  (match List.assoc_opt "duration_ns" fields with
+                  | Some (Sxsi_obs.Json.Int ns) ->
+                    Alcotest.(check bool) "window covers ~1s" true
+                      (ns > 900_000_000 && ns < 5_000_000_000)
+                  | _ -> Alcotest.fail "duration_ns missing");
+                  (match List.assoc_opt "stacks" fields with
+                  | Some (Sxsi_obs.Json.List (_ :: _)) -> ()
+                  | _ -> Alcotest.fail "no stacks attributed under load")
+                | Ok _ -> Alcotest.fail "report is not a JSON object");
+                (* remaining lines: collapsed stacks, "path value" *)
+                Alcotest.(check bool) "folded output present" true (folded <> []);
+                List.iter
+                  (fun line ->
+                    let sp = String.rindex line ' ' in
+                    Alcotest.(check bool) ("folded value numeric: " ^ line) true
+                      (int_of_string_opt
+                         (String.sub line (sp + 1) (String.length line - sp - 1))
+                      <> None))
+                  folded;
+                (* the profiled load shows up by name *)
+                Alcotest.(check bool) "a service/engine root is attributed" true
+                  (List.exists
+                     (fun l ->
+                       List.exists
+                         (fun root ->
+                           String.length l >= String.length root
+                           && String.sub l 0 (String.length root) = root)
+                         [ "service/"; "engine/"; "evloop/"; "pool/"; "doc/" ])
+                     folded)
+              | Ok r ->
+                Alcotest.fail ("unexpected response: " ^ Protocol.print_response r))))
+
+let test_profile_parse () =
+  Alcotest.(check bool) "bare PROFILE defaults to 1s" true
+    (Protocol.parse_request "PROFILE" = Ok (Protocol.Profile 1));
+  Alcotest.(check bool) "explicit window" true
+    (Protocol.parse_request "PROFILE 5" = Ok (Protocol.Profile 5));
+  Alcotest.(check bool) "zero rejected" true
+    (Result.is_error (Protocol.parse_request "PROFILE 0"));
+  Alcotest.(check bool) "over-long window rejected" true
+    (Result.is_error (Protocol.parse_request "PROFILE 61"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Protocol.parse_request "PROFILE 2 x"))
+
+let suite =
+  ( "prof",
+    [
+      Alcotest.test_case "fake-clock attribution" `Quick test_fake_clock_attribution;
+      Alcotest.test_case "sampler starts mid-span" `Quick test_truncation_mid_span;
+      Alcotest.test_case "allocation attribution" `Quick test_alloc_attribution;
+      Alcotest.test_case "contention profile" `Quick test_contention_profile;
+      Alcotest.test_case "PROFILE parse" `Quick test_profile_parse;
+      Alcotest.test_case "PROFILE verb e2e" `Slow test_profile_verb_e2e;
+    ] )
